@@ -1,0 +1,205 @@
+(* The benchmark harness: one Bechamel test per experiment's hot
+   mechanism, followed by the full experiment tables (the same rows
+   EXPERIMENTS.md records).
+
+   The Bechamel micro-benchmarks measure the REPRODUCTION's own code
+   (simulated gate validation, fault storms, buffer traffic, attack
+   corpus, ...); the experiment tables report the simulated-machine
+   results.  Both are printed by this one executable:
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+
+(* ----- E1/E3: gate-table construction and validation ----- *)
+
+let bench_gate_catalog =
+  Test.make ~name:"e1_e3/gate_catalog_baseline"
+    (Staged.stage (fun () -> Multics_kernel.Gate.count Multics_kernel.Config.baseline_645))
+
+let bench_gate_lookup =
+  Test.make ~name:"e1_e3/gate_lookup"
+    (Staged.stage (fun () ->
+         Multics_kernel.Gate.find Multics_kernel.Config.kernel_6180 ~gate_name:"initiate"))
+
+(* ----- E2: the live protected-footprint workload ----- *)
+
+let bench_kst_unified =
+  Test.make ~name:"e2/kst_unified_64segs"
+    (Staged.stage (fun () ->
+         Multics_experiments.E2_naming_removal.live_protected_words
+           ~kst_variant:Multics_fs.Kst.Unified ~rnt_placement:Multics_link.Rnt.In_kernel
+           ~segments:64))
+
+let bench_kst_split =
+  Test.make ~name:"e2/kst_split_64segs"
+    (Staged.stage (fun () ->
+         Multics_experiments.E2_naming_removal.live_protected_words
+           ~kst_variant:Multics_fs.Kst.Split ~rnt_placement:Multics_link.Rnt.In_user_ring
+           ~segments:64))
+
+(* ----- E4: the hardware access check itself ----- *)
+
+let bench_hardware_check =
+  let sdw = Multics_machine.Sdw.kernel_gate_segment ~gate_bound:8 in
+  Test.make ~name:"e4/hardware_gate_check"
+    (Staged.stage (fun () ->
+         Multics_machine.Hardware.check sdw ~ring:Multics_machine.Ring.user
+           ~operation:(Multics_machine.Hardware.Call 3)))
+
+(* ----- E5: the boundary sweep ----- *)
+
+let bench_boundary_sweep =
+  Test.make ~name:"e5/boundary_sweep"
+    (Staged.stage (fun () ->
+         Multics_kernel.Boundary.sweep ~inner_calls_list:[ 0; 1; 2; 5; 10; 20; 50; 100 ] ()))
+
+(* ----- E6: one full page-fault storm per discipline ----- *)
+
+let bench_page_storm_sequential =
+  Test.make ~name:"e6/page_storm_sequential"
+    (Staged.stage (fun () ->
+         Multics_experiments.E6_page_control.run_storm ~core:8 ~bulk:12
+           ~discipline:Multics_vm.Page_control.Sequential ~processes:4 ~pages_per_process:10
+           ~sweeps:2 ()))
+
+let bench_page_storm_parallel =
+  Test.make ~name:"e6/page_storm_parallel"
+    (Staged.stage (fun () ->
+         Multics_experiments.E6_page_control.run_storm ~core:8 ~bulk:12
+           ~discipline:Multics_vm.Page_control.Parallel_processes ~processes:4
+           ~pages_per_process:10 ~sweeps:2 ()))
+
+(* ----- E7: buffer mechanisms under burst traffic ----- *)
+
+let bench_buffer_circular =
+  Test.make ~name:"e7/buffer_circular"
+    (Staged.stage (fun () ->
+         Multics_io.Network.run ~seed:7
+           (Multics_io.Network.Circular (Multics_io.Circular_buffer.create ~capacity:16))))
+
+let bench_buffer_infinite =
+  Test.make ~name:"e7/buffer_infinite"
+    (Staged.stage (fun () ->
+         Multics_io.Network.run ~seed:7
+           (Multics_io.Network.Infinite (Multics_io.Infinite_buffer.create ()))))
+
+(* ----- E8: interrupt storms per discipline ----- *)
+
+let bench_interrupts_inline =
+  Test.make ~name:"e8/interrupt_storm_inline"
+    (Staged.stage (fun () ->
+         Multics_experiments.E8_interrupts.run_storm ~discipline:Multics_proc.Interrupt.Inline
+           ~interrupts:40 ~gap:4_000))
+
+let bench_interrupts_processes =
+  Test.make ~name:"e8/interrupt_storm_processes"
+    (Staged.stage (fun () ->
+         Multics_experiments.E8_interrupts.run_storm
+           ~discipline:Multics_proc.Interrupt.Handler_processes ~interrupts:40 ~gap:4_000))
+
+(* ----- E9: the policy/mechanism attack matrix ----- *)
+
+let bench_policy_matrix =
+  Test.make ~name:"e9/policy_attack_matrix"
+    (Staged.stage (fun () -> Multics_kernel.Page_policy.attack_matrix ()))
+
+(* ----- E10: lattice checks ----- *)
+
+let bench_lattice_trace =
+  Test.make ~name:"e10/lattice_flow_trace"
+    (Staged.stage (fun () ->
+         Multics_experiments.E10_lattice_flow.measure ~seed:7 ~operations:1_000 ()))
+
+(* ----- E11: the full corpus against the kernel ----- *)
+
+let bench_pentest_kernel =
+  Test.make ~name:"e11/corpus_vs_kernel"
+    (Staged.stage (fun () -> Multics_audit.Pentest.run_corpus Multics_kernel.Config.kernel_6180))
+
+(* ----- E12: inventory metrics ----- *)
+
+let bench_inventory_stages =
+  Test.make ~name:"e12/inventory_stages"
+    (Staged.stage (fun () -> Multics_audit.Metrics.stages ()))
+
+(* ----- E13: the full-system session ----- *)
+
+let bench_session_kernel =
+  Test.make ~name:"e13/full_system_session"
+    (Staged.stage (fun () ->
+         Multics_experiments.E13_cost_of_security.measure ()))
+
+(* ----- E14: the exhaustive verifier ----- *)
+
+let bench_verifier =
+  Test.make ~name:"e14/exhaustive_verifier"
+    (Staged.stage (fun () -> Multics_audit.Verifier.run_all ()))
+
+(* ----- Ablations ----- *)
+
+let bench_ablation_policies =
+  Test.make ~name:"a1/eviction_policies"
+    (Staged.stage (fun () -> Multics_experiments.Ablations.A1.measure ()))
+
+let bench_ablation_watermark =
+  Test.make ~name:"a3/watermark_sweep"
+    (Staged.stage (fun () -> Multics_experiments.Ablations.A3.measure ()))
+
+let tests =
+  [
+    bench_gate_catalog;
+    bench_gate_lookup;
+    bench_kst_unified;
+    bench_kst_split;
+    bench_hardware_check;
+    bench_boundary_sweep;
+    bench_page_storm_sequential;
+    bench_page_storm_parallel;
+    bench_buffer_circular;
+    bench_buffer_infinite;
+    bench_interrupts_inline;
+    bench_interrupts_processes;
+    bench_policy_matrix;
+    bench_lattice_trace;
+    bench_pentest_kernel;
+    bench_inventory_stages;
+    bench_session_kernel;
+    bench_verifier;
+    bench_ablation_policies;
+    bench_ablation_watermark;
+  ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let grouped = Test.make_grouped ~name:"multics" ~fmt:"%s %s" tests in
+  let raw_results = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  Analyze.merge ols instances results
+
+let print_bench_table results =
+  let open Notty_unix in
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  Bechamel_notty.Unit.add Instance.monotonic_clock (Measure.unit Instance.monotonic_clock);
+  let image =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results
+  in
+  output_image (eol image)
+
+let () =
+  print_endline "=== Bechamel micro-benchmarks (one per experiment mechanism) ===";
+  let results = benchmark () in
+  print_bench_table results;
+  print_newline ();
+  print_endline "=== Experiment tables (E1..E14 + ablations) ===";
+  print_newline ();
+  print_string (Multics_experiments.Registry.render_all ());
+  print_newline ()

@@ -1,0 +1,55 @@
+(* The experiment harness: regenerate every table the reproduction
+   reports (E1..E12), all or by id.
+
+     dune exec bin/experiments.exe            # every experiment
+     dune exec bin/experiments.exe -- e6 e7   # a selection
+     dune exec bin/experiments.exe -- --list  # what exists
+*)
+
+open Multics_experiments
+
+let print_experiment e =
+  print_string (Registry.render_one e);
+  print_newline ()
+
+let run_selection list_only ids =
+  if list_only then begin
+    List.iter
+      (fun (e : Registry.experiment) -> Printf.printf "%-4s %s\n" e.Registry.id e.Registry.title)
+      Registry.all;
+    0
+  end
+  else begin
+    match ids with
+    | [] ->
+        List.iter print_experiment Registry.all;
+        0
+    | ids -> (
+        let missing = List.filter (fun id -> Registry.find id = None) ids in
+        match missing with
+        | [] ->
+            List.iter
+              (fun id ->
+                match Registry.find id with
+                | Some e -> print_experiment e
+                | None -> ())
+              ids;
+            0
+        | missing ->
+            Printf.eprintf "unknown experiment id(s): %s\navailable: %s\n"
+              (String.concat ", " missing)
+              (String.concat ", " Registry.ids);
+            1)
+  end
+
+let () =
+  let open Cmdliner in
+  let list_flag =
+    Arg.(value & flag & info [ "list"; "l" ] ~doc:"List experiment ids and titles.")
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e.g. e1 e7).") in
+  let term = Term.(const run_selection $ list_flag $ ids) in
+  let info =
+    Cmd.info "experiments" ~doc:"Regenerate the tables of the Multics security-kernel reproduction"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

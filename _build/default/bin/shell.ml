@@ -1,0 +1,334 @@
+(* An interactive shell over the kernel API — the reproduction as a
+   drivable system.
+
+     dune exec bin/shell.exe                      # interactive, kernel config
+     dune exec bin/shell.exe -- --config baseline # the flawed 645 supervisor
+     echo 'help' | dune exec bin/shell.exe        # scriptable
+     dune exec bin/shell.exe -- -c 'login Alice Dev pw; ls >udd'
+
+   Commands operate through exactly the same gates user programs use;
+   every one lands in the audit trail ([audit] shows it). *)
+
+open Multics_access
+open Multics_kernel
+
+type shell = { system : System.t; mutable handle : int option }
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let require_login shell k =
+  match shell.handle with
+  | Some handle -> k handle
+  | None -> say "not logged in (use: login Person Project password [level])"
+
+let parse_level = function
+  | "unclassified" -> Some Label.unclassified
+  | "confidential" -> Some (Label.make Label.Confidential [])
+  | "secret" -> Some (Label.make Label.Secret [])
+  | "topsecret" -> Some (Label.make Label.Top_secret [])
+  | _ -> None
+
+let on_api shell what result =
+  match result with
+  | Ok v -> Some v
+  | Error e ->
+      ignore shell;
+      say "%s: %s" what (Api.error_to_string e);
+      None
+
+let on_env shell what result =
+  match result with
+  | Ok v -> Some v
+  | Error e ->
+      ignore shell;
+      say "%s: %s" what (User_env.error_to_string e);
+      None
+
+let resolve shell handle path = on_env shell "resolve" (User_env.resolve_path shell.system ~handle ~path)
+
+let cmd_help () =
+  say
+    "commands:\n\
+    \  login PERSON PROJECT PASSWORD [unclassified|confidential|secret|topsecret]\n\
+    \  adduser PERSON PROJECT PASSWORD [level]   register an account (admin)\n\
+    \  logout | whoami | gates | audit [N]\n\
+    \  ls PATH | mkdir PATH | create PATH | delete PATH\n\
+    \  write PATH OFFSET VALUE | read PATH OFFSET | status PATH NAME\n\
+    \  acl PATH PATTERN MODE   (e.g. acl >udd>Dev>A>x '*.Dev.*' r)\n\
+    \  quota PATH PAGES | bind NAME PATH | lookup NAME\n\
+    \  help | exit"
+
+let cmd_adduser shell args =
+  match args with
+  | person :: project :: password :: rest ->
+      let clearance =
+        match rest with
+        | [ level ] -> Option.value (parse_level level) ~default:Label.unclassified
+        | _ -> Label.unclassified
+      in
+      (try
+         ignore (System.add_account shell.system ~person ~project ~password ~clearance);
+         say "account %s.%s created (clearance %s)" person project (Label.to_string clearance)
+       with Invalid_argument m -> say "adduser: %s" m)
+  | _ -> say "usage: adduser PERSON PROJECT PASSWORD [level]"
+
+let cmd_login shell args =
+  match args with
+  | person :: project :: password :: rest -> (
+      let level = match rest with [ l ] -> parse_level l | _ -> None in
+      match System.login ?level shell.system ~person ~project ~password with
+      | Ok handle ->
+          shell.handle <- Some handle;
+          say "logged in as %s.%s (process %d)" person project handle
+      | Error e -> say "login: %s" (System.login_error_to_string e))
+  | _ -> say "usage: login PERSON PROJECT PASSWORD [level]"
+
+let cmd_logout shell =
+  require_login shell (fun handle ->
+      ignore (System.logout shell.system ~handle);
+      shell.handle <- None;
+      say "logged out")
+
+let cmd_whoami shell =
+  require_login shell (fun handle ->
+      match Api.proc_info shell.system ~handle with
+      | Ok info ->
+          say "%s | ring %d | level %s | %d segments known | authenticated in ring %d"
+            info.Api.info_principal info.Api.info_ring
+            (Label.to_string info.Api.info_level)
+            info.Api.info_known_segments info.Api.info_login_ring
+      | Error e -> say "whoami: %s" (Api.error_to_string e))
+
+let cmd_ls shell path =
+  require_login shell (fun handle ->
+      match resolve shell handle path with
+      | None -> ()
+      | Some dir_segno -> (
+          match on_api shell "ls" (Api.list_directory shell.system ~handle ~dir_segno) with
+          | Some names ->
+              if names = [] then say "(empty)" else List.iter (fun n -> say "  %s" n) names
+          | None -> ()))
+
+let default_acl shell handle =
+  match System.proc shell.system handle with
+  | Some p ->
+      Acl.of_strings
+        [
+          ( Printf.sprintf "%s.%s.*" (Principal.person p.System.principal)
+              (Principal.project p.System.principal),
+            "rew" );
+        ]
+  | None -> Acl.empty
+
+let cmd_mkdir shell path =
+  require_login shell (fun handle ->
+      match
+        on_env shell "mkdir"
+          (User_env.create_directory_at shell.system ~handle ~path ~acl:(default_acl shell handle)
+             ~label:Label.unclassified)
+      with
+      | Some segno -> say "created %s (segment %d)" path segno
+      | None -> ())
+
+let cmd_create shell path =
+  require_login shell (fun handle ->
+      match
+        on_env shell "create"
+          (User_env.create_segment_at shell.system ~handle ~path ~acl:(default_acl shell handle)
+             ~label:Label.unclassified)
+      with
+      | Some segno -> say "created %s (segment %d)" path segno
+      | None -> ())
+
+let cmd_delete shell path =
+  require_login shell (fun handle ->
+      match on_env shell "delete" (User_env.delete_at shell.system ~handle ~path) with
+      | Some () -> say "deleted %s" path
+      | None -> ())
+
+let cmd_write shell path offset value =
+  require_login shell (fun handle ->
+      match resolve shell handle path with
+      | None -> ()
+      | Some segno -> (
+          match
+            on_api shell "write" (Api.write_word shell.system ~handle ~segno ~offset ~value)
+          with
+          | Some () -> say "ok"
+          | None -> ()))
+
+let cmd_read shell path offset =
+  require_login shell (fun handle ->
+      match resolve shell handle path with
+      | None -> ()
+      | Some segno -> (
+          match on_api shell "read" (Api.read_word shell.system ~handle ~segno ~offset) with
+          | Some value -> say "%d" value
+          | None -> ()))
+
+let cmd_status shell dir_path name =
+  require_login shell (fun handle ->
+      match resolve shell handle dir_path with
+      | None -> ()
+      | Some dir_segno -> (
+          match
+            on_api shell "status" (Api.status_entry shell.system ~handle ~dir_segno ~name)
+          with
+          | Some st ->
+              say "%s: %s, label %s, %d pages" st.Api.status_name
+                (match st.Api.status_kind with
+                | Multics_fs.Hierarchy.Segment -> "segment"
+                | Multics_fs.Hierarchy.Directory -> "directory")
+                (Label.to_string st.Api.status_label)
+                st.Api.status_pages
+          | None -> ()))
+
+let cmd_acl shell path pattern mode =
+  require_login shell (fun handle ->
+      match resolve shell handle path with
+      | None -> ()
+      | Some segno -> (
+          (* Add/replace one entry on top of the current ACL. *)
+          let hierarchy = System.hierarchy shell.system in
+          match System.proc shell.system handle with
+          | None -> ()
+          | Some p -> (
+              match Multics_fs.Kst.uid_of_segno p.System.kst segno with
+              | Error e -> say "acl: %s" (Multics_fs.Kst.error_to_string e)
+              | Ok uid -> (
+                  let current =
+                    Option.value (Multics_fs.Hierarchy.acl_of hierarchy uid) ~default:Acl.empty
+                  in
+                  match
+                    (try
+                       Ok
+                         (Acl.add current
+                            ~pattern:(Principal.pattern_of_string pattern)
+                            ~mode:(Multics_machine.Mode.of_string mode))
+                     with Invalid_argument m -> Error m)
+                  with
+                  | Error m -> say "acl: %s" m
+                  | Ok acl -> (
+                      match
+                        on_api shell "acl" (Api.set_acl shell.system ~handle ~segno ~acl)
+                      with
+                      | Some () -> say "acl updated (revocation applied to cached descriptors)"
+                      | None -> ())))))
+
+let cmd_quota shell path pages =
+  require_login shell (fun handle ->
+      match resolve shell handle path with
+      | None -> ()
+      | Some segno -> (
+          match
+            on_api shell "quota"
+              (Api.set_quota shell.system ~handle ~segno ~quota:(Some pages))
+          with
+          | Some () -> say "quota cell of %d pages installed on %s" pages path
+          | None -> ()))
+
+let cmd_bind shell name path =
+  require_login shell (fun handle ->
+      match resolve shell handle path with
+      | None -> ()
+      | Some segno -> (
+          match on_env shell "bind" (User_env.bind_name shell.system ~handle ~name ~segno) with
+          | Some () -> say "%s -> segment %d" name segno
+          | None -> ()))
+
+let cmd_lookup shell name =
+  require_login shell (fun handle ->
+      match on_env shell "lookup" (User_env.lookup_name shell.system ~handle ~name) with
+      | Some segno -> say "segment %d" segno
+      | None -> ())
+
+let cmd_gates shell =
+  let config = System.config shell.system in
+  say "configuration: %s" config.Config.name;
+  List.iter
+    (fun (subsystem, n) -> say "  %-16s %d gates" subsystem n)
+    (Gate.count_by_subsystem config);
+  say "  %-16s %d gates total" "" (Gate.count config)
+
+let cmd_audit shell n =
+  let records = Audit_log.records (System.audit shell.system) in
+  let tail =
+    let len = List.length records in
+    List.filteri (fun i _ -> i >= len - n) records
+  in
+  List.iter (fun r -> say "%s" (Fmt.str "%a" Audit_log.pp_record r)) tail
+
+let execute shell line =
+  let words =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  let int_arg what s k =
+    match int_of_string_opt s with Some n -> k n | None -> say "%s: not a number: %s" what s
+  in
+  match words with
+  | [] -> ()
+  | [ "help" ] -> cmd_help ()
+  | [ "exit" ] | [ "quit" ] -> raise Exit
+  | "adduser" :: args -> cmd_adduser shell args
+  | "login" :: args -> cmd_login shell args
+  | [ "logout" ] -> cmd_logout shell
+  | [ "whoami" ] -> cmd_whoami shell
+  | [ "ls"; path ] -> cmd_ls shell path
+  | [ "mkdir"; path ] -> cmd_mkdir shell path
+  | [ "create"; path ] -> cmd_create shell path
+  | [ "delete"; path ] -> cmd_delete shell path
+  | [ "write"; path; offset; value ] ->
+      int_arg "offset" offset (fun o -> int_arg "value" value (fun v -> cmd_write shell path o v))
+  | [ "read"; path; offset ] -> int_arg "offset" offset (fun o -> cmd_read shell path o)
+  | [ "status"; dir_path; name ] -> cmd_status shell dir_path name
+  | [ "acl"; path; pattern; mode ] -> cmd_acl shell path pattern mode
+  | [ "quota"; path; pages ] -> int_arg "pages" pages (fun n -> cmd_quota shell path n)
+  | [ "bind"; name; path ] -> cmd_bind shell name path
+  | [ "lookup"; name ] -> cmd_lookup shell name
+  | [ "gates" ] -> cmd_gates shell
+  | [ "audit" ] -> cmd_audit shell 10
+  | [ "audit"; n ] -> int_arg "n" n (fun n -> cmd_audit shell n)
+  | cmd :: _ -> say "unknown command %S (try: help)" cmd
+
+let config_of_name = function
+  | "baseline" | "645" -> Config.baseline_645
+  | "reviewed" | "6180" -> Config.hardware_rings
+  | "kernel" | _ -> Config.kernel_6180
+
+let () =
+  let config_name = ref "kernel" in
+  let script = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--config" :: name :: rest ->
+        config_name := name;
+        parse_args rest
+    | "-c" :: commands :: rest ->
+        script := Some commands;
+        parse_args rest
+    | arg :: rest ->
+        Printf.eprintf "unknown argument %S\n" arg;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let config = config_of_name !config_name in
+  let shell = { system = System.create config; handle = None } in
+  say "multics_sk shell — configuration: %s (%d gates).  Type 'help'." config.Config.name
+    (Gate.count config);
+  match !script with
+  | Some commands ->
+      List.iter
+        (fun line ->
+          say "> %s" (String.trim line);
+          try execute shell line with Exit -> exit 0)
+        (String.split_on_char ';' commands)
+  | None -> (
+      try
+        while true do
+          print_string "multics> ";
+          flush stdout;
+          match In_channel.input_line stdin with
+          | None -> raise Exit
+          | Some line -> ( try execute shell line with Exit -> raise Exit)
+        done
+      with Exit -> say "goodbye")

@@ -1,0 +1,1 @@
+examples/borrowed_program.ml: List Multics_audit Printf Trojan

@@ -1,0 +1,1 @@
+examples/borrowed_program.mli:

@@ -1,0 +1,1 @@
+examples/compartments.ml: Acl Api Config Label Multics_access Multics_kernel Printf Result System User_env

@@ -1,0 +1,1 @@
+examples/page_storm.ml: List Memory Multics_machine Multics_mm Multics_proc Multics_util Multics_vm Page_control Page_id Printf Sim String

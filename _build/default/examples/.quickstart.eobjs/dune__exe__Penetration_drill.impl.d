@@ -1,0 +1,1 @@
+examples/penetration_drill.ml: Config List Multics_audit Multics_kernel Pentest Printf String

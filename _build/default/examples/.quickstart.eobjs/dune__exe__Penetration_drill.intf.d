@@ -1,0 +1,1 @@
+examples/penetration_drill.mli:

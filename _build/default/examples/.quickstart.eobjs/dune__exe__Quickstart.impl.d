@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acl Api Audit_log Config Fmt Gate Init Label List Multics_access Multics_kernel Printf Result System User_env

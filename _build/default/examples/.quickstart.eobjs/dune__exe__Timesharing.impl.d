@@ -1,0 +1,1 @@
+examples/timesharing.ml: Acl Config Label List Multics_access Multics_io Multics_kernel Multics_proc Printf Program Session System

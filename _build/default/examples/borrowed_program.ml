@@ -1,0 +1,30 @@
+(* Borrowed program: the paper's four categories of non-kernel software
+   exercised end to end — including the trojan-horse editor, once with
+   the borrower's full authority and once confined to an outer ring.
+
+     dune exec examples/borrowed_program.exe
+*)
+
+open Multics_audit
+
+let () =
+  print_endline "The four categories of non-kernel software (paper, section 'The";
+  print_endline "Security Kernel'): a correct kernel does not prevent every undesired";
+  print_endline "result — it guarantees undesired results are never UNAUTHORIZED.";
+  let results = Trojan.run_all () in
+  List.iter
+    (fun (r : Trojan.result) ->
+      Printf.printf "\n%s\n  category:   %s\n" r.Trojan.scenario_name
+        (Trojan.category_name r.Trojan.category);
+      Printf.printf "  undesired result: %-5b   unauthorized: %-5b   contained: %b\n"
+        r.Trojan.undesired r.Trojan.unauthorized r.Trojan.contained;
+      Printf.printf "  %s\n" r.Trojan.note)
+    results;
+  print_newline ();
+  if Trojan.kernel_held results then begin
+    print_endline "KERNEL HELD: every scenario stayed within its authority.";
+    print_endline "(The unconfined trojan really did exfiltrate the diary — with the";
+    print_endline " borrower's own authority.  \"A user should only borrow programs from";
+    print_endline " another when the borrower has reason to trust the lender.\")"
+  end
+  else print_endline "KERNEL FAILED: an unauthorized result occurred."

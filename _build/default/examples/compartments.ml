@@ -1,0 +1,96 @@
+(* Compartments: a multi-level timesharing session under the Mitre
+   model — three users at different clearances share one hierarchy, and
+   the lattice decides which flows exist.
+
+     dune exec examples/compartments.exe
+*)
+
+open Multics_access
+open Multics_kernel
+
+let expect what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "%s: %s" what e)
+
+let login system ~person ~project ~password =
+  expect "login"
+    (Result.map_error System.login_error_to_string (System.login system ~person ~project ~password))
+
+let attempt label result =
+  match result with
+  | Ok _ -> Printf.printf "   %-58s ok\n" label
+  | Error e -> Printf.printf "   %-58s REFUSED (%s)\n" label (Api.error_to_string e)
+
+let () =
+  print_endline "A multi-level service: Unclassified <= Secret{crypto} <= TopSecret{crypto,nato}";
+  let system = System.create Config.kernel_6180 in
+  ignore
+    (System.add_account system ~person:"Low" ~project:"Intel" ~password:"a"
+       ~clearance:Label.unclassified);
+  ignore
+    (System.add_account system ~person:"Mid" ~project:"Intel" ~password:"b"
+       ~clearance:(Label.make Label.Secret [ "crypto" ]));
+  ignore
+    (System.add_account system ~person:"High" ~project:"Intel" ~password:"c"
+       ~clearance:(Label.make Label.Top_secret [ "crypto"; "nato" ]));
+  let low = login system ~person:"Low" ~project:"Intel" ~password:"a" in
+  let mid = login system ~person:"Mid" ~project:"Intel" ~password:"b" in
+  let high = login system ~person:"High" ~project:"Intel" ~password:"c" in
+
+  (* A shared bulletin area readable/writable by the whole project;
+     individual postings carry their own labels. *)
+  print_endline "\n1. Mid posts a Secret{crypto} report in the shared area:";
+  let report =
+    expect "report"
+      (Result.map_error User_env.error_to_string
+         (User_env.create_segment_at system ~handle:mid ~path:">udd>Intel>Mid>report"
+            ~acl:(Acl.of_strings [ ("*.Intel.*", "rw") ])
+            ~label:(Label.make Label.Secret [ "crypto" ])))
+  in
+  attempt "Mid writes the report (same level)"
+    (Api.write_word system ~handle:mid ~segno:report ~offset:0 ~value:7);
+
+  print_endline "\n2. Who can observe it?";
+  let for_user handle =
+    Result.map_error User_env.error_to_string
+      (User_env.resolve_path system ~handle ~path:">udd>Intel>Mid>report")
+  in
+  let report_low = expect "resolve low" (for_user low) in
+  let report_high = expect "resolve high" (for_user high) in
+  attempt "Low (Unclassified) reads Secret{crypto}"
+    (Api.read_word system ~handle:low ~segno:report_low ~offset:0);
+  attempt "Mid (Secret{crypto}) reads it" (Api.read_word system ~handle:mid ~segno:report ~offset:0);
+  attempt "High (TopSecret{crypto,nato}) reads it"
+    (Api.read_word system ~handle:high ~segno:report_high ~offset:0);
+
+  print_endline "\n3. Who can modify it? (the *-property)";
+  attempt "High (dominates) tries to write DOWN into it"
+    (Api.write_word system ~handle:high ~segno:report_high ~offset:1 ~value:9);
+  attempt "Low (dominated) blind-writes UP into it"
+    (Api.write_word system ~handle:low ~segno:report_low ~offset:2 ~value:1);
+  attempt "Mid (equal) writes it" (Api.write_word system ~handle:mid ~segno:report ~offset:3 ~value:3);
+
+  print_endline "\n4. Incomparable compartments do not flow either way:";
+  let nato_note =
+    expect "nato note"
+      (Result.map_error User_env.error_to_string
+         (User_env.create_segment_at system ~handle:high ~path:">udd>Intel>High>nato_note"
+            ~acl:(Acl.of_strings [ ("*.Intel.*", "rw") ])
+            ~label:(Label.make Label.Secret [ "nato" ])))
+  in
+  ignore nato_note;
+  let nato_for_mid =
+    expect "resolve nato"
+      (Result.map_error User_env.error_to_string
+         (User_env.resolve_path system ~handle:mid ~path:">udd>Intel>High>nato_note"))
+  in
+  attempt "Mid (Secret{crypto}) reads Secret{nato}"
+    (Api.read_word system ~handle:mid ~segno:nato_for_mid ~offset:0);
+  attempt "Mid (Secret{crypto}) writes Secret{nato}"
+    (Api.write_word system ~handle:mid ~segno:nato_for_mid ~offset:0 ~value:5);
+
+  print_endline "\n5. The flow picture this enforces:";
+  print_endline "   Unclassified --> Secret{crypto} --> TopSecret{crypto,nato}";
+  print_endline "   Secret{nato} --> TopSecret{crypto,nato}";
+  print_endline "   (arrows are the only directions information may move)";
+  print_newline ()

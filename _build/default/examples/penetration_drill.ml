@@ -1,0 +1,40 @@
+(* Penetration drill: run the Linde-catalog attack corpus against the
+   flawed 645 baseline supervisor, the reviewed supervisor, and the
+   engineered security kernel.
+
+     dune exec examples/penetration_drill.exe
+*)
+
+open Multics_audit
+open Multics_kernel
+
+let header text =
+  Printf.printf "\n%s\n%s\n" text (String.make (String.length text) '-')
+
+let drill config =
+  header (Printf.sprintf "Target: %s" config.Config.name);
+  let results = Pentest.run_corpus config in
+  List.iter
+    (fun (attack, outcome) ->
+      Printf.printf "  %-36s %-34s\n" attack.Pentest.attack_name (Pentest.outcome_name outcome);
+      Printf.printf "      %s\n" (Pentest.outcome_detail outcome))
+    results;
+  let s = Pentest.summarize results in
+  Printf.printf "  => %d violated, %d refused, %d contained, %d n/a\n" s.Pentest.violated
+    s.Pentest.refused s.Pentest.contained s.Pentest.not_applicable;
+  s
+
+let () =
+  print_endline "Penetration drill: the same wily user against three systems.";
+  print_endline "(Each attack runs against a freshly booted system with a Secret-";
+  print_endline " cleared victim and an Unclassified attacker.)";
+  let baseline = drill Config.baseline_645 in
+  let reviewed = drill Config.hardware_rings in
+  let kernel = drill Config.kernel_6180 in
+  header "Verdict";
+  Printf.printf
+    "  The baseline fell %d ways; review repaired the known flaws (%d left);\n\
+    \  the engineered kernel refused or contained everything (%d violations).\n\n"
+    baseline.Pentest.violated reviewed.Pentest.violated kernel.Pentest.violated;
+  if kernel.Pentest.violated = 0 then print_endline "  KERNEL HELD."
+  else print_endline "  KERNEL FAILED — see above."

@@ -1,0 +1,1 @@
+lib/access/acl.ml: Fmt Int List Mode Multics_machine Principal String

@@ -1,0 +1,1 @@
+lib/access/acl.mli: Format Mode Multics_machine Principal

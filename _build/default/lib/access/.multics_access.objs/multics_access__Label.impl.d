@@ -1,0 +1,1 @@
+lib/access/label.ml: Fmt Printf Set String

@@ -1,0 +1,1 @@
+lib/access/label.mli: Format

@@ -1,0 +1,1 @@
+lib/access/policy.ml: Acl Fmt Hardware Label List Mode Multics_machine Principal Printf Ring String

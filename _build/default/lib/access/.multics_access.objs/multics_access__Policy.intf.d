@@ -1,0 +1,1 @@
+lib/access/policy.mli: Acl Format Hardware Label Mode Multics_machine Principal Ring

@@ -1,0 +1,1 @@
+lib/access/principal.mli: Format

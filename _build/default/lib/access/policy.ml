@@ -1,0 +1,101 @@
+(* The security model the kernel enforces, as one composed check.
+
+   A request passes only if all three independent mechanisms agree:
+
+   - the mandatory (Mitre-model) lattice check: simple security (no
+     read up) and the confinement *-property (no write down);
+   - the discretionary check: the branch ACL grants the requested mode
+     to the requesting principal;
+   - the ring check: applied by the hardware against the SDW (see
+     {!Multics_machine.Hardware}); callers combine it via
+     [refusals_of_hardware].
+
+   The composed verdict carries every reason that failed, because the
+   audit trail (and the penetration experiments) need to distinguish
+   "refused by the lattice" from "refused by an ACL". *)
+
+open Multics_machine
+
+(* [trusted] marks the small set of administrative subjects (the
+   Initializer/daemons) exempt from the mandatory checks — the standard
+   trusted-subject carve-out of the Mitre-style models.  They remain
+   subject to the discretionary and ring checks. *)
+type subject = {
+  principal : Principal.t;
+  clearance : Label.t;
+  ring : Ring.t;
+  trusted : bool;
+}
+
+let subject ?(trusted = false) ~principal ~clearance ~ring () =
+  { principal; clearance; ring; trusted }
+
+type refusal =
+  | Mandatory_read_up of { subject_label : Label.t; object_label : Label.t }
+  | Mandatory_write_down of { subject_label : Label.t; object_label : Label.t }
+  | Discretionary of { principal : Principal.t; granted : Mode.t; requested : Mode.t }
+  | Ring_hardware of Hardware.denial
+
+type verdict = Permit | Refuse of refusal list
+
+let refusal_to_string = function
+  | Mandatory_read_up { subject_label; object_label } ->
+      Printf.sprintf "mandatory: read up (%s cannot read %s)"
+        (Label.to_string subject_label) (Label.to_string object_label)
+  | Mandatory_write_down { subject_label; object_label } ->
+      Printf.sprintf "mandatory: write down (%s cannot write %s)"
+        (Label.to_string subject_label) (Label.to_string object_label)
+  | Discretionary { principal; granted; requested } ->
+      Printf.sprintf "discretionary: %s holds %s, requested %s" (Principal.to_string principal)
+        (Mode.to_string granted) (Mode.to_string requested)
+  | Ring_hardware denial -> "ring: " ^ Hardware.denial_to_string denial
+
+(* Simple security: observing (read or execute) an object requires the
+   subject's clearance to dominate the object's label. *)
+let mandatory_observe_refusals ~subject_label ~object_label =
+  if Label.dominates subject_label object_label then []
+  else [ Mandatory_read_up { subject_label; object_label } ]
+
+(* *-property: modifying an object requires the object's label to
+   dominate the subject's clearance, so information cannot be copied
+   into a lower compartment through a writable object. *)
+let mandatory_modify_refusals ~subject_label ~object_label =
+  if Label.dominates object_label subject_label then []
+  else [ Mandatory_write_down { subject_label; object_label } ]
+
+let mandatory_refusals ~subject_label ~object_label ~(requested : Mode.t) =
+  let observe =
+    if requested.Mode.read || requested.Mode.execute then
+      mandatory_observe_refusals ~subject_label ~object_label
+    else []
+  in
+  let modify =
+    if requested.Mode.write then mandatory_modify_refusals ~subject_label ~object_label
+    else []
+  in
+  observe @ modify
+
+let discretionary_refusals ~acl ~principal ~requested =
+  let granted = Acl.mode_for acl principal in
+  if Mode.subset requested granted then []
+  else [ Discretionary { principal; granted; requested } ]
+
+let refusals_of_hardware decision =
+  match decision with Hardware.Granted _ -> [] | Hardware.Denied d -> [ Ring_hardware d ]
+
+let verdict_of_refusals = function [] -> Permit | refusals -> Refuse refusals
+
+let check ~subject:s ~object_label ~acl ~requested =
+  let mandatory =
+    if s.trusted then []
+    else mandatory_refusals ~subject_label:s.clearance ~object_label ~requested
+  in
+  verdict_of_refusals
+    (mandatory @ discretionary_refusals ~acl ~principal:s.principal ~requested)
+
+let permitted = function Permit -> true | Refuse _ -> false
+
+let pp_verdict ppf = function
+  | Permit -> Fmt.string ppf "permit"
+  | Refuse refusals ->
+      Fmt.pf ppf "refuse [%s]" (String.concat "; " (List.map refusal_to_string refusals))

@@ -1,0 +1,52 @@
+(** The composed security model: mandatory lattice + discretionary ACL
+    + ring hardware, with verdicts that carry every failing reason. *)
+
+open Multics_machine
+
+type subject = {
+  principal : Principal.t;
+  clearance : Label.t;
+  ring : Ring.t;
+  trusted : bool;  (** exempt from the mandatory checks (administrative
+                       daemons); still subject to ACLs and rings *)
+}
+
+val subject :
+  ?trusted:bool ->
+  principal:Principal.t ->
+  clearance:Label.t ->
+  ring:Ring.t ->
+  unit ->
+  subject
+(** [trusted] defaults to false. *)
+
+type refusal =
+  | Mandatory_read_up of { subject_label : Label.t; object_label : Label.t }
+  | Mandatory_write_down of { subject_label : Label.t; object_label : Label.t }
+  | Discretionary of { principal : Principal.t; granted : Mode.t; requested : Mode.t }
+  | Ring_hardware of Hardware.denial
+
+type verdict = Permit | Refuse of refusal list
+
+val refusal_to_string : refusal -> string
+
+val mandatory_refusals :
+  subject_label:Label.t -> object_label:Label.t -> requested:Mode.t -> refusal list
+(** Simple security for read/execute, *-property for write. *)
+
+val discretionary_refusals :
+  acl:Acl.t -> principal:Principal.t -> requested:Mode.t -> refusal list
+
+val refusals_of_hardware : Hardware.decision -> refusal list
+
+val verdict_of_refusals : refusal list -> verdict
+
+val check :
+  subject:subject -> object_label:Label.t -> acl:Acl.t -> requested:Mode.t -> verdict
+(** Mandatory and discretionary checks composed; the ring check is
+    applied by the hardware layer on each reference and combined via
+    [refusals_of_hardware]. *)
+
+val permitted : verdict -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

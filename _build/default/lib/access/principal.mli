@@ -1,0 +1,44 @@
+(** Principal identifiers [Person.Project.Tag] and ACL patterns. *)
+
+type t
+
+val make : person:string -> project:string -> tag:string -> t
+(** Raises [Invalid_argument] if a component is empty or contains
+    ['.'], [' '] or [',']. *)
+
+val person : t -> string
+val project : t -> string
+val tag : t -> string
+
+val interactive : person:string -> project:string -> t
+(** Tag ["a"]: an interactive login instance. *)
+
+val system_daemon : t
+(** [Initializer.SysDaemon.z]. *)
+
+val of_string : string -> t
+(** ["Person.Project.Tag"]; a missing tag defaults to ["a"]. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+type pattern
+
+val pattern_of_string : string -> pattern
+(** ["*"] matches any value of a component; omitted trailing components
+    default to ["*"], so ["Schroeder"] means ["Schroeder.*.*"]. *)
+
+val pattern_to_string : pattern -> string
+
+val anyone : pattern
+(** ["*.*.*"]. *)
+
+val matches : pattern -> t -> bool
+
+val pattern_specificity : pattern -> int
+(** Higher is more specific; person outweighs project outweighs tag,
+    per the Multics ACL matching rule. *)
+
+val pp_pattern : Format.formatter -> pattern -> unit

@@ -1,0 +1,1 @@
+lib/audit/flaw_registry.mli:

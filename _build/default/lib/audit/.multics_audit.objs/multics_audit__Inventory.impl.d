@@ -1,0 +1,1 @@
+lib/audit/inventory.ml: List Multics_io Multics_kernel Multics_link Multics_proc Multics_vm Printf

@@ -1,0 +1,1 @@
+lib/audit/inventory.mli: Multics_kernel

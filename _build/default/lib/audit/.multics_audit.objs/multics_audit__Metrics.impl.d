@@ -1,0 +1,1 @@
+lib/audit/metrics.ml: Float Inventory List Multics_kernel

@@ -1,0 +1,1 @@
+lib/audit/metrics.mli: Multics_kernel

@@ -1,0 +1,1 @@
+lib/audit/trojan.ml: Acl Api Config Label List Multics_access Multics_fs Multics_kernel Multics_machine Printf Result System User_env

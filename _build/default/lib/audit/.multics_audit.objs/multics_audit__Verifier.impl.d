@@ -1,0 +1,1 @@
+lib/audit/verifier.ml: Acl Brackets Hardware Int Label List Mode Multics_access Multics_machine Policy Principal Printf Ring Sdw String

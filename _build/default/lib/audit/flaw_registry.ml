@@ -1,0 +1,119 @@
+(* The maintained flaw list.
+
+   The review activity: "a list of all known Multics security flaws is
+   maintained.  Each flaw reported is analyzed to determine how it
+   happened, how it can be fixed, and how similar flaws can be avoided
+   in the security kernel being developed.  So far, all of the flaws
+   uncovered by the review activities are isolated and easily repaired.
+   No major design flaws have been found."
+
+   Each entry records that analysis for a flaw this reproduction
+   actually models, and names the penetration attack that demonstrates
+   it and the configuration change that retires it. *)
+
+type status = Repaired_by_review | Retired_by_removal | Retired_by_simplification
+
+let status_name = function
+  | Repaired_by_review -> "repaired (review)"
+  | Retired_by_removal -> "mechanism removed"
+  | Retired_by_simplification -> "design simplified"
+
+type entry = {
+  flaw_name : string;
+  how_it_happened : string;
+  how_fixed : string;
+  how_avoided : string;  (** in the kernel being developed *)
+  demonstrated_by : string;  (** pentest attack name *)
+  status : status;
+  isolated : bool;  (** the paper: "isolated and easily repaired" *)
+}
+
+let entries =
+  [
+    {
+      flaw_name = "linker trusts user object headers";
+      how_it_happened =
+        "the ring-0 linker parses user-constructed object segments; its parser predates \
+         the discipline of validating every supervisor argument";
+      how_fixed = "bounds-check the definition and linkage sections before use";
+      how_avoided =
+        "the linker no longer executes in ring 0 at all: hostile input faults in the \
+         attacker's own ring";
+      demonstrated_by = "malformed-object-segment";
+      status = Retired_by_removal;
+      isolated = true;
+    };
+    {
+      flaw_name = "linker searches with supervisor authority";
+      how_it_happened =
+        "the ring-0 search reused the supervisor's own descriptors instead of re-deriving \
+         the faulting user's access — a confused deputy";
+      how_fixed = "perform the directory walk with the faulting process's subject";
+      how_avoided =
+        "the user-ring linker CAN only search with the user's authority: its lookups are \
+         ordinary initiate gate calls";
+      demonstrated_by = "linker-confused-deputy";
+      status = Retired_by_removal;
+      isolated = true;
+    };
+    {
+      flaw_name = "circular input buffer destroys unread messages";
+      how_it_happened =
+        "a special-purpose storage manager reused a fixed ring; under burst input the \
+         writer laps the reader before a complete circuit";
+      how_fixed = "none within the design: capacity tuning only moves the cliff";
+      how_avoided =
+        "the VM-backed buffer replaces the special-purpose manager with the standard \
+         storage facility; there is no ring to lap";
+      demonstrated_by = "input-buffer-lapping";
+      status = Retired_by_simplification;
+      isolated = true;
+    };
+    {
+      flaw_name = "error answers leak protected names";
+      how_it_happened =
+        "early directory code distinguished 'no such entry' from 'no permission', letting \
+         probes map protected name spaces";
+      how_fixed = "answer No_entry uniformly for names the caller may not status";
+      how_avoided = "the lie is applied at the single lookup primitive every walk uses";
+      demonstrated_by = "hidden-directory-existence-probe";
+      status = Repaired_by_review;
+      isolated = true;
+    };
+    {
+      flaw_name = "user-specified ring brackets unchecked";
+      how_it_happened =
+        "segment creation accepted caller-supplied ring brackets verbatim; any user could \
+         mint a gate segment of his own text with inner-ring brackets and call through it";
+      how_fixed =
+        "segment control refuses brackets whose write bracket is inner to the caller's \
+         ring of execution; inner-ring subsystems are installed by the administrator";
+      how_avoided = "the check sits in add_entry/set_brackets, below every entry path";
+      demonstrated_by = "mint-your-own-ring0-gate";
+      status = Repaired_by_review;
+      isolated = true;
+    };
+    {
+      flaw_name = "storage exhaustion by unbounded segment growth";
+      how_it_happened = "segment growth was charged to no one; any user could fill the store";
+      how_fixed = "quota cells on directories, charged before a page materializes";
+      how_avoided = "growth is charged at segment control, below every entry path";
+      demonstrated_by = "storage-quota-exhaustion";
+      status = Repaired_by_review;
+      isolated = true;
+    };
+  ]
+
+let find ~flaw_name = List.find_opt (fun e -> e.flaw_name = flaw_name) entries
+
+let count = List.length entries
+
+let all_isolated () = List.for_all (fun e -> e.isolated) entries
+
+(* Cross-check: every flaw's demonstrating attack exists in the
+   penetration corpus. *)
+let demonstrations_exist () =
+  List.for_all
+    (fun e ->
+      List.exists (fun (a : Pentest.attack) -> a.Pentest.attack_name = e.demonstrated_by) Pentest.corpus)
+    entries

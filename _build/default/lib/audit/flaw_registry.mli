@@ -1,0 +1,28 @@
+(** The review activity's maintained flaw list: how each modelled flaw
+    happened, how it was fixed, how the kernel being developed avoids
+    it, and which penetration attack demonstrates it. *)
+
+type status = Repaired_by_review | Retired_by_removal | Retired_by_simplification
+
+val status_name : status -> string
+
+type entry = {
+  flaw_name : string;
+  how_it_happened : string;
+  how_fixed : string;
+  how_avoided : string;
+  demonstrated_by : string;
+  status : status;
+  isolated : bool;
+}
+
+val entries : entry list
+val find : flaw_name:string -> entry option
+val count : int
+
+val all_isolated : unit -> bool
+(** The paper's finding: "all of the flaws uncovered ... are isolated
+    and easily repaired". *)
+
+val demonstrations_exist : unit -> bool
+(** Every entry's demonstrating attack is in the penetration corpus. *)

@@ -1,0 +1,182 @@
+(* The supervisor inventory: the certification workload.
+
+   This catalog reconstructs the shape of the early-1970s Multics
+   supervisor from the paper's own numbers and the cited theses
+   (Janson MAC-TR-132 for the linker, Bratt for reference naming):
+
+   - the baseline supervisor exposes 180 user-available gate entries;
+   - the linker accounts for 18 of them — its removal "eliminated 10%
+     of the gate entry points into the supervisor";
+   - naming accounts for a further 42 — the two removals "together
+     reduce the number of user-available supervisor entries by
+     approximately one third" (60/180);
+   - the protected code managing the address space is 3,500 statements
+     before Bratt's split and 350 after — "a reduction by a factor of
+     ten in the size of the protected code needed to manage the
+     address space".
+
+   Statement counts are PL/I-statement-scale reconstructions, not
+   measurements; every experiment reports proportions, which are the
+   paper's claims.  A module's [certification_ring] is where its code
+   executes — ring-1 modules need a weaker certification (they can
+   cause only denial of use, per the partitioning argument). *)
+
+type mechanism_kind = Common | Private_per_process
+
+type module_info = {
+  module_name : string;
+  subsystem : string;
+  statements : int;
+  gates : int;  (** user-available entry points *)
+  certification_ring : int;
+  kind : mechanism_kind;
+}
+
+let m ?(ring = 0) ?(kind = Common) ~subsystem ~gates ~statements module_name =
+  { module_name; subsystem; statements; gates; certification_ring = ring; kind }
+
+(* --- Fixed residents of every kernel configuration --- *)
+
+let core_modules =
+  [
+    m ~subsystem:"segment-control" ~gates:12 ~statements:3_400 "segment_control";
+    m ~subsystem:"directory-control" ~gates:30 ~statements:5_600 "directory_control";
+    m ~subsystem:"ipc" ~gates:6 ~statements:800 "base_ipc";
+    m ~subsystem:"traffic-control" ~gates:8 ~statements:1_900 "traffic_controller";
+    m ~subsystem:"fault-handling" ~gates:2 ~statements:1_000 "fault_interceptor";
+    m ~subsystem:"misc" ~gates:5 ~statements:2_100 "kernel_utilities";
+  ]
+
+(* --- Modules whose shape depends on the configuration --- *)
+
+let page_control_modules (config : Multics_kernel.Config.t) =
+  let discipline_statements =
+    match config.Multics_kernel.Config.page_control with
+    | Multics_vm.Page_control.Sequential -> 2_600
+    | Multics_vm.Page_control.Parallel_processes ->
+        (* Dedicated processes replace the re-entrant in-fault cascade:
+           less state saving, no nested-fault handling. *)
+        1_700
+  in
+  match config.Multics_kernel.Config.page_policy with
+  | Multics_kernel.Config.Policy_in_ring0 ->
+      [ m ~subsystem:"page-control" ~gates:2 ~statements:discipline_statements "page_control" ]
+  | Multics_kernel.Config.Policy_in_ring1 ->
+      (* The mechanism stays in ring 0; the replacement policy moves to
+         ring 1, where only denial of use is at stake. *)
+      [
+        m ~subsystem:"page-control" ~gates:2
+          ~statements:(discipline_statements * 7 / 10)
+          "page_mechanism";
+        m ~ring:1 ~subsystem:"page-control" ~gates:3
+          ~statements:(discipline_statements * 3 / 10)
+          "page_policy_ring1";
+      ]
+
+let interrupt_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.interrupts with
+  | Multics_proc.Interrupt.Inline ->
+      [ m ~subsystem:"interrupts" ~gates:0 ~statements:1_200 "interrupt_inline_handlers" ]
+  | Multics_proc.Interrupt.Handler_processes ->
+      (* The interceptor shrinks to wakeup dispatch; handlers become
+         ordinary processes using standard IPC. *)
+      [ m ~subsystem:"interrupts" ~gates:0 ~statements:450 "interrupt_interceptor" ]
+
+let linker_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.linker with
+  | Multics_link.Linker.In_kernel ->
+      [ m ~subsystem:"linker" ~gates:18 ~statements:2_800 "dynamic_linker" ]
+  | Multics_link.Linker.In_user_ring -> []
+
+let naming_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.naming with
+  | Multics_link.Rnt.In_kernel ->
+      (* Pre-removal: pathname resolution, reference names and the
+         unified KST — 3,500 protected statements in all. *)
+      [
+        m ~subsystem:"address-space" ~gates:26 ~statements:2_100 "pathname_resolution";
+        m ~subsystem:"address-space" ~gates:16 ~statements:1_050 "reference_name_manager";
+        m ~kind:Private_per_process ~subsystem:"address-space" ~gates:0 ~statements:350
+          "kst_core";
+      ]
+  | Multics_link.Rnt.In_user_ring ->
+      (* Post-removal: only the minimal KST core remains protected. *)
+      [ m ~kind:Private_per_process ~subsystem:"address-space" ~gates:0 ~statements:350 "kst_core" ]
+
+let io_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.io with
+  | Multics_kernel.Config.Device_drivers ->
+      List.map
+        (fun device ->
+          m
+            ~subsystem:(Printf.sprintf "io-%s" (Multics_io.Device.name device))
+            ~gates:9 ~statements:1_700
+            (Printf.sprintf "%s_dim" (Multics_io.Device.name device)))
+        Multics_io.Device.all_legacy
+  | Multics_kernel.Config.Network_only ->
+      [ m ~subsystem:"io-network" ~gates:9 ~statements:1_400 "network_dim" ]
+
+let buffer_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.buffer with
+  | Multics_kernel.Config.Circular_ring _ ->
+      [
+        m ~subsystem:"io-buffering" ~gates:0
+          ~statements:Multics_io.Circular_buffer.mechanism_statements "circular_buffer";
+      ]
+  | Multics_kernel.Config.Infinite_vm ->
+      [
+        m ~subsystem:"io-buffering" ~gates:0
+          ~statements:Multics_io.Infinite_buffer.mechanism_statements "infinite_buffer";
+      ]
+
+let init_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.init with
+  | Multics_kernel.Config.Bootstrap ->
+      [ m ~subsystem:"initialization" ~gates:0 ~statements:4_800 "bootstrap_initializer" ]
+  | Multics_kernel.Config.Memory_image ->
+      [ m ~subsystem:"initialization" ~gates:0 ~statements:390 "image_loader" ]
+
+let login_modules (config : Multics_kernel.Config.t) =
+  match config.Multics_kernel.Config.login with
+  | Multics_kernel.Config.Privileged_login ->
+      [ m ~subsystem:"login" ~gates:10 ~statements:2_400 "answering_service" ]
+  | Multics_kernel.Config.Unified_subsystem_entry ->
+      (* Authentication becomes non-privileged code entered like any
+         protected subsystem; only the entry mechanism stays. *)
+      [ m ~subsystem:"login" ~gates:4 ~statements:300 "subsystem_entry" ]
+
+let modules config =
+  core_modules @ page_control_modules config @ interrupt_modules config
+  @ linker_modules config @ naming_modules config @ io_modules config @ buffer_modules config
+  @ init_modules config @ login_modules config
+
+(* ----- Aggregates ----- *)
+
+let total_gates config = List.fold_left (fun acc md -> acc + md.gates) 0 (modules config)
+
+let total_statements config =
+  List.fold_left (fun acc md -> acc + md.statements) 0 (modules config)
+
+let ring0_statements config =
+  List.fold_left
+    (fun acc md -> if md.certification_ring = 0 then acc + md.statements else acc)
+    0 (modules config)
+
+let ring1_statements config =
+  List.fold_left
+    (fun acc md -> if md.certification_ring = 1 then acc + md.statements else acc)
+    0 (modules config)
+
+let module_count config = List.length (modules config)
+
+let subsystem_statements config ~subsystem =
+  List.fold_left
+    (fun acc md -> if md.subsystem = subsystem then acc + md.statements else acc)
+    0 (modules config)
+
+let subsystem_gates config ~subsystem =
+  List.fold_left
+    (fun acc md -> if md.subsystem = subsystem then acc + md.gates else acc)
+    0 (modules config)
+
+let address_space_statements config = subsystem_statements config ~subsystem:"address-space"

@@ -1,0 +1,36 @@
+(** The supervisor inventory: a data-driven reconstruction of the
+    early-1970s Multics supervisor, sized from the paper's own numbers
+    (180 baseline gates; linker = 18, i.e. 10%; linker + naming = 60,
+    i.e. one third; address-space protected code 3,500 -> 350
+    statements).  The per-configuration module list is the workload for
+    experiments E1, E2, E3 and E12. *)
+
+type mechanism_kind = Common | Private_per_process
+
+type module_info = {
+  module_name : string;
+  subsystem : string;
+  statements : int;
+  gates : int;
+  certification_ring : int;
+  kind : mechanism_kind;
+}
+
+val modules : Multics_kernel.Config.t -> module_info list
+
+val total_gates : Multics_kernel.Config.t -> int
+val total_statements : Multics_kernel.Config.t -> int
+
+val ring0_statements : Multics_kernel.Config.t -> int
+(** The mass that must be fully certified. *)
+
+val ring1_statements : Multics_kernel.Config.t -> int
+(** The partitioned mass that can only cause denial of use. *)
+
+val module_count : Multics_kernel.Config.t -> int
+
+val subsystem_statements : Multics_kernel.Config.t -> subsystem:string -> int
+val subsystem_gates : Multics_kernel.Config.t -> subsystem:string -> int
+
+val address_space_statements : Multics_kernel.Config.t -> int
+(** Protected code managing the address space (E2's factor-of-ten). *)

@@ -1,0 +1,39 @@
+(** Kernel metrics across the engineering stages, and the paper's
+    headline removal numbers. *)
+
+type snapshot = {
+  config_name : string;
+  gates : int;
+  statements : int;
+  ring0_statements : int;
+  ring1_statements : int;
+  modules : int;
+  address_space_statements : int;
+  functional_gates : int;
+}
+
+val snapshot : Multics_kernel.Config.t -> snapshot
+
+val stages : unit -> snapshot list
+(** One snapshot per {!Multics_kernel.Config.stages} entry. *)
+
+type delta = {
+  from_config : string;
+  to_config : string;
+  gates_removed : int;
+  gates_removed_fraction : float;
+  statements_removed : int;
+  statements_removed_fraction : float;
+}
+
+val delta :
+  from_config:Multics_kernel.Config.t -> to_config:Multics_kernel.Config.t -> delta
+
+val linker_gate_fraction : unit -> float
+(** E1: paper claims 10%. *)
+
+val address_space_reduction_factor : unit -> float
+(** E2: paper claims a factor of ten. *)
+
+val combined_removal_fraction : unit -> float
+(** E3: paper claims approximately one third. *)

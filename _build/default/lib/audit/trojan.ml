@@ -1,0 +1,247 @@
+(* The four categories of non-kernel software (paper, "The Security
+   Kernel" section), as runnable scenarios.
+
+   The point being demonstrated: "while a security kernel contains all
+   the mechanisms that must be considered to certify a system, a
+   correct kernel does not guarantee the integrity of all computations
+   or stored data ... But if the kernel is correct, then these
+   undesired results will not be unauthorized."  Each scenario reports
+   both bits: did something undesired happen, and was anything
+   *unauthorized* (i.e., did the kernel fail). *)
+
+open Multics_access
+open Multics_kernel
+
+type category = System_provided | User_constructed | Borrowed_program | Mutual_consent
+
+let category_name = function
+  | System_provided -> "system-provided program (private mechanism)"
+  | User_constructed -> "user's own program"
+  | Borrowed_program -> "borrowed program (trojan horse)"
+  | Mutual_consent -> "mutual-consent common mechanism"
+
+type result = {
+  category : category;
+  scenario_name : string;
+  undesired : bool;  (** something the data's owner did not want happened *)
+  unauthorized : bool;  (** the kernel permitted what it should have refused *)
+  contained : bool;  (** a protection tool limited the damage *)
+  note : string;
+}
+
+let expect what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "trojan setup: %s failed: %s" what e)
+
+let expect_api what r = expect what (Result.map_error Api.error_to_string r)
+let expect_env what r = expect what (Result.map_error User_env.error_to_string r)
+
+let login_expect system ~person ~project ~password =
+  expect "login"
+    (Result.map_error System.login_error_to_string (System.login system ~person ~project ~password))
+
+(* A fresh world: Jones (the borrower/victim) and Mallory (the lender),
+   both Unclassified so only the discretionary mechanisms are in play —
+   the trojan threat the paper describes is exactly the one the lattice
+   does not address because the borrower *authorizes* the program. *)
+let build () =
+  let system = System.create Config.kernel_6180 in
+  ignore
+    (System.add_account system ~person:"Jones" ~project:"Crypto" ~password:"argon"
+       ~clearance:Label.unclassified);
+  ignore
+    (System.add_account system ~person:"Mallory" ~project:"Guest" ~password:"mallet"
+       ~clearance:Label.unclassified);
+  let jones = login_expect system ~person:"Jones" ~project:"Crypto" ~password:"argon" in
+  let mallory = login_expect system ~person:"Mallory" ~project:"Guest" ~password:"mallet" in
+  (* Jones's diary: ACL-protected, Jones only. *)
+  let diary =
+    expect_env "diary"
+      (User_env.create_segment_at system ~handle:jones ~path:">udd>Crypto>Jones>diary"
+         ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw") ])
+         ~label:Label.unclassified)
+  in
+  expect_api "diary write" (Api.write_word system ~handle:jones ~segno:diary ~offset:0 ~value:424242);
+  (system, jones, mallory, diary)
+
+(* 1. A system-provided program with a random error scribbles on its
+   caller's data.  The program is a private mechanism: the damage can
+   land only on the invoking user. *)
+let scenario_system_provided () =
+  let system, jones, _mallory, diary = build () in
+  (* The buggy library routine, running as Jones, corrupts Jones's own
+     diary... *)
+  let buggy_routine () =
+    expect_api "bug write" (Api.write_word system ~handle:jones ~segno:diary ~offset:0 ~value:0)
+  in
+  buggy_routine ();
+  let corrupted =
+    expect_api "reread" (Api.read_word system ~handle:jones ~segno:diary ~offset:0) = 0
+  in
+  {
+    category = System_provided;
+    scenario_name = "buggy library routine";
+    undesired = corrupted;
+    unauthorized = false;
+    contained = false;
+    note =
+      "the error damaged only the invoking user's data; no other user's computation could \
+       be reached through this private mechanism";
+  }
+
+(* 2. The user's own program misbehaves: the user's own problem. *)
+let scenario_user_constructed () =
+  let system, jones, _mallory, _diary = build () in
+  let scratch =
+    expect_env "scratch"
+      (User_env.create_segment_at system ~handle:jones ~path:">udd>Crypto>Jones>scratch"
+         ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw") ])
+         ~label:Label.unclassified)
+  in
+  expect_api "own bug" (Api.write_word system ~handle:jones ~segno:scratch ~offset:0 ~value:(-1));
+  {
+    category = User_constructed;
+    scenario_name = "user's own buggy program";
+    undesired = true;
+    unauthorized = false;
+    contained = false;
+    note = "errors in the user's own programs are the user's own problem";
+  }
+
+(* 3a. The borrowed editor, unconfined: it runs with ALL the borrower's
+   authority, quietly adds the lender to the diary's ACL, and the
+   lender reads it.  Every step is authorized; the result is exactly
+   what the borrower did not want. *)
+let scenario_borrowed_unconfined () =
+  let system, jones, mallory, diary = build () in
+  let lent_editor_payload () =
+    (* ... the useful editing ... and the payload: *)
+    expect_api "trojan set_acl"
+      (Api.set_acl system ~handle:jones ~segno:diary
+         ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw"); ("Mallory.*.*", "r") ]))
+  in
+  lent_editor_payload ();
+  (* Mallory now reads the diary through the widened ACL. *)
+  let stolen =
+    match System.proc system mallory with
+    | None -> None
+    | Some p -> (
+        match
+          Multics_fs.Hierarchy.resolve (System.hierarchy system)
+            ~subject:System.initializer_subject ~path:">udd>Crypto>Jones>diary"
+        with
+        | Error _ -> None
+        | Ok uid -> (
+            let segno = System.install_known system p ~uid in
+            match Api.read_word system ~handle:mallory ~segno ~offset:0 with
+            | Ok v -> Some v
+            | Error _ -> None))
+  in
+  {
+    category = Borrowed_program;
+    scenario_name = "trojan editor, run with full authority";
+    undesired = stolen = Some 424242;
+    unauthorized = false;
+    contained = false;
+    note =
+      "the trojan used only the borrower's own authority (set_acl on the borrower's branch); \
+       the kernel correctly permitted every step — certification of borrowed programs is the \
+       only complete protection";
+  }
+
+(* 3b. The same editor confined: the borrower runs it in ring 5, where
+   the diary's (4,4,4) brackets make it unreachable.  The kernel
+   facility for user-constructed protected subsystems is the tool that
+   "reduce[s] the potential damage such a borrowed trojan horse can
+   do". *)
+let scenario_borrowed_confined () =
+  let system, jones, _mallory, diary = build () in
+  (* A working file the borrower deliberately shares with ring 5. *)
+  let workfile =
+    expect_env "workfile"
+      (User_env.create_segment_at system
+         ~brackets:(Multics_machine.Brackets.make ~r1:5 ~r2:5 ~r3:5)
+         ~handle:jones ~path:">udd>Crypto>Jones>workfile"
+         ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw") ])
+         ~label:Label.unclassified)
+  in
+  (* Enter the untrusted-code ring. *)
+  (match System.proc system jones with
+  | Some p -> p.System.ring <- Multics_machine.Ring.of_int 5
+  | None -> invalid_arg "no process");
+  let editor_reads_workfile = Api.read_word system ~handle:jones ~segno:workfile ~offset:0 in
+  let payload_reads_diary = Api.read_word system ~handle:jones ~segno:diary ~offset:0 in
+  let payload_widens_acl =
+    Api.set_acl system ~handle:jones ~segno:diary
+      ~acl:(Acl.of_strings [ ("*.*.*", "rw") ])
+  in
+  (match System.proc system jones with
+  | Some p -> p.System.ring <- Multics_machine.Ring.user
+  | None -> ());
+  let contained =
+    Result.is_ok editor_reads_workfile
+    && Result.is_error payload_reads_diary
+    && Result.is_error payload_widens_acl
+  in
+  {
+    category = Borrowed_program;
+    scenario_name = "trojan editor, confined to ring 5";
+    undesired = not contained;
+    unauthorized = false;
+    contained;
+    note =
+      "the editor could edit the shared workfile but its payload could not read the diary \
+       (outside the read bracket) nor widen its ACL";
+  }
+
+(* 4. A common mechanism by mutual consent: a two-person compiler
+   project with a shared installation segment.  One member installs a
+   corrupted module; the other's work is damaged.  The kernel permits
+   it: the group accepted the common mechanism. *)
+let scenario_mutual_consent () =
+  let system, jones, mallory, _diary = build () in
+  let shared =
+    expect_env "shared compiler"
+      (User_env.create_segment_at system ~handle:jones ~path:">udd>Crypto>Jones>new_compiler"
+         ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw"); ("Mallory.Guest.*", "rw") ])
+         ~label:Label.unclassified)
+  in
+  expect_api "good module" (Api.write_word system ~handle:jones ~segno:shared ~offset:0 ~value:7);
+  (* Mallory, a consenting team member, installs a corrupted module. *)
+  let mallory_segno =
+    match System.proc system mallory with
+    | None -> invalid_arg "no process"
+    | Some p -> (
+        match
+          Multics_fs.Hierarchy.resolve (System.hierarchy system)
+            ~subject:System.initializer_subject ~path:">udd>Crypto>Jones>new_compiler"
+        with
+        | Ok uid -> System.install_known system p ~uid
+        | Error e -> invalid_arg (Multics_fs.Hierarchy.error_to_string e))
+  in
+  expect_api "corrupt install"
+    (Api.write_word system ~handle:mallory ~segno:mallory_segno ~offset:0 ~value:666);
+  let jones_sees = expect_api "jones reads" (Api.read_word system ~handle:jones ~segno:shared ~offset:0) in
+  {
+    category = Mutual_consent;
+    scenario_name = "team compiler installation mechanism";
+    undesired = jones_sees = 666;
+    unauthorized = false;
+    contained = false;
+    note =
+      "a party to a mutually agreed common mechanism damaged the others through it; the \
+       kernel cannot and should not prevent what the group authorized";
+  }
+
+let run_all () =
+  [
+    scenario_system_provided ();
+    scenario_user_constructed ();
+    scenario_borrowed_unconfined ();
+    scenario_borrowed_confined ();
+    scenario_mutual_consent ();
+  ]
+
+(* The headline check for E11/E12 documentation: across every scenario,
+   nothing unauthorized happened even where undesired results did. *)
+let kernel_held results = List.for_all (fun r -> not r.unauthorized) results

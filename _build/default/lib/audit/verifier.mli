@@ -1,0 +1,25 @@
+(** Systematic verification of the reference monitor: the
+    security-relevant decision procedures checked exhaustively against
+    independent declarative specifications (dominance, lattice bounds,
+    the Bell–LaPadula rules, the Schroeder–Saltzer bracket tables,
+    hardware-check soundness, ACL specificity). *)
+
+type check = {
+  check_name : string;
+  cases : int;
+  mismatches : int;
+  detail : string option;  (** first counterexample, if any *)
+}
+
+val passed : check -> bool
+
+val check_dominance : unit -> check
+val check_lattice_bounds : unit -> check
+val check_mandatory : unit -> check
+val check_brackets : unit -> check
+val check_hardware_soundness : unit -> check
+val check_acl_specificity : unit -> check
+
+val run_all : unit -> check list
+val all_passed : check list -> bool
+val total_cases : check list -> int

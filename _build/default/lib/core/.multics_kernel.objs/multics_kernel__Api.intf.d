@@ -1,0 +1,1 @@
+lib/core/api.mli: Acl Brackets Hardware Hierarchy Kst Label Linker Multics_access Multics_fs Multics_io Multics_link Multics_machine Ring Rnt System

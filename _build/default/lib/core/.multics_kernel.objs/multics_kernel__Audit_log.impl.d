@@ -1,0 +1,1 @@
+lib/core/audit_log.ml: Fmt List Multics_access Multics_machine Policy Principal

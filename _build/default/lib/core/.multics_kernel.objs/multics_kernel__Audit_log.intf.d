@@ -1,0 +1,1 @@
+lib/core/audit_log.mli: Format Multics_access Policy

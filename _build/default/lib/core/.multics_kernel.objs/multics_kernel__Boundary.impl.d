@@ -1,0 +1,1 @@
+lib/core/boundary.ml: Cost List Multics_machine

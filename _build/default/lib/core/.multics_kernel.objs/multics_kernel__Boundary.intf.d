@@ -1,0 +1,1 @@
+lib/core/boundary.mli: Cost Multics_machine

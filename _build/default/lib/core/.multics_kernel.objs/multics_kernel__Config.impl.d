@@ -1,0 +1,1 @@
+lib/core/config.ml: Fmt Multics_link Multics_machine Multics_proc Multics_vm Printf

@@ -1,0 +1,1 @@
+lib/core/gate.ml: Config List Multics_io Multics_link Multics_machine Printf Ring String

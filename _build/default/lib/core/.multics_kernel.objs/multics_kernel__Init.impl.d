@@ -1,0 +1,1 @@
+lib/core/init.ml: Config List Multics_io Multics_link Printf

@@ -1,0 +1,1 @@
+lib/core/page_policy.ml: Config Hierarchy Level List Memory Multics_access Multics_fs Multics_machine Multics_mm Page_id Printf System Uid

@@ -1,0 +1,1 @@
+lib/core/page_policy.mli: Config Hierarchy Memory Multics_fs Multics_mm Page_id Uid

@@ -1,0 +1,1 @@
+lib/core/program.ml: Api Fun List Multics_access Printf String User_env

@@ -1,0 +1,1 @@
+lib/core/session.ml: Audit_log Config Cost Interrupt List Memory Multics_fs Multics_io Multics_machine Multics_mm Multics_proc Multics_vm Page_control Page_id Program Sim System

@@ -1,0 +1,1 @@
+lib/core/session.mli: Config Interrupt Memory Multics_io Multics_mm Multics_proc Multics_vm Page_control Program Sim System

@@ -1,0 +1,1 @@
+lib/core/user_env.ml: Api Config Hierarchy Kst Linker Multics_fs Multics_link Result Rnt String System Uid

@@ -1,0 +1,1 @@
+lib/core/user_env.mli: Acl Api Brackets Label Linker Multics_access Multics_link Multics_machine Rnt System

@@ -1,0 +1,577 @@
+(* The kernel's gate-call interface.
+
+   Every function here is one supervisor entry point from the
+   {!Gate} catalog.  A call is mediated three times over:
+
+   1. the gate must exist in the running configuration (a removed
+      mechanism's gates are simply absent — the caller must use the
+      user-ring library instead);
+   2. the caller's ring must be within the gate's call bracket;
+   3. the operation itself applies the reference monitor (ACL x
+      lattice at descriptor construction, SDW checks at reference).
+
+   Content references ([read_word]/[write_word]) deliberately check
+   the SDW installed at initiate time rather than re-deriving policy,
+   because that is what the hardware does — and it is why a flawed
+   kernel linker that installs a too-permissive descriptor yields a
+   real, exploitable unauthorized access (experiment E11). *)
+
+open Multics_access
+open Multics_fs
+open Multics_link
+open Multics_machine
+
+type error =
+  | Fs of Hierarchy.error
+  | Kst_error of Kst.error
+  | Rnt_error of Rnt.error
+  | Gate_absent of string
+  | Gate_ring_denied of { gate : string; ring : int }
+  | Hardware_denied of Hardware.denial
+  | Link_failed of Linker.outcome
+  | No_such_process of int
+  | No_such_channel of int
+  | Device_not_attached of string
+  | Not_in_subsystem
+  | Not_authorized of string
+
+let error_to_string = function
+  | Fs e -> "fs: " ^ Hierarchy.error_to_string e
+  | Kst_error e -> "kst: " ^ Kst.error_to_string e
+  | Rnt_error e -> "rnt: " ^ Rnt.error_to_string e
+  | Gate_absent gate -> Printf.sprintf "gate %s is not part of this kernel" gate
+  | Gate_ring_denied { gate; ring } ->
+      Printf.sprintf "gate %s may not be called from ring %d" gate ring
+  | Hardware_denied d -> "hardware: " ^ Hardware.denial_to_string d
+  | Link_failed outcome -> "link: " ^ Linker.outcome_to_string outcome
+  | No_such_process handle -> Printf.sprintf "no process %d" handle
+  | No_such_channel id -> Printf.sprintf "no event channel %d" id
+  | Device_not_attached device -> Printf.sprintf "device %s not attached" device
+  | Not_in_subsystem -> "not executing in a protected subsystem"
+  | Not_authorized what -> "not authorized: " ^ what
+
+let ( let* ) r f = Result.bind r f
+
+let fs_result r = Result.map_error (fun e -> Fs e) r
+let kst_result r = Result.map_error (fun e -> Kst_error e) r
+let rnt_result r = Result.map_error (fun e -> Rnt_error e) r
+
+(* ----- The gate discipline ----- *)
+
+let gate_check system (p : System.proc) ~gate =
+  match Gate.find (System.config system) ~gate_name:gate with
+  | None -> Error (Gate_absent gate)
+  | Some entry ->
+      if Ring.to_int p.System.ring <= Ring.to_int entry.Gate.call_top then Ok ()
+      else Error (Gate_ring_denied { gate; ring = Ring.to_int p.System.ring })
+
+(* Wrap one gate call: locate the process, enforce the gate
+   discipline, run the body, and write the audit record. *)
+let call system ~handle ~gate ~target body =
+  match System.proc system handle with
+  | None -> Error (No_such_process handle)
+  | Some p -> (
+      let subject = System.subject_of p in
+      match gate_check system p ~gate with
+      | Error e ->
+          Audit_log.log (System.audit system) ~subject ~operation:gate ~target
+            ~verdict:(Audit_log.Refused (error_to_string e));
+          Error e
+      | Ok () ->
+          let result = body p subject in
+          let verdict =
+            match result with
+            | Ok _ -> Audit_log.Granted
+            | Error e -> Audit_log.Refused (error_to_string e)
+          in
+          Audit_log.log (System.audit system) ~subject ~operation:gate ~target ~verdict;
+          result)
+
+let uid_of_segno (p : System.proc) segno = kst_result (Kst.uid_of_segno p.System.kst segno)
+
+(* ----- Directory control ----- *)
+
+let initiate system ~handle ~dir_segno ~name =
+  call system ~handle ~gate:"initiate" ~target:name (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let* uid = fs_result (Hierarchy.lookup (System.hierarchy system) ~subject ~dir ~name) in
+      Ok (System.install_known system p ~uid))
+
+let terminate system ~handle ~segno =
+  call system ~handle ~gate:"terminate" ~target:(string_of_int segno) (fun p _subject ->
+      kst_result (Kst.terminate p.System.kst segno))
+
+let create_segment ?brackets system ~handle ~dir_segno ~name ~acl ~label =
+  call system ~handle ~gate:"create_segment" ~target:name (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let* uid =
+        fs_result
+          (Hierarchy.create_segment ?brackets (System.hierarchy system) ~subject ~dir ~name ~acl
+             ~label)
+      in
+      Ok (System.install_known system p ~uid))
+
+let create_directory system ~handle ~dir_segno ~name ~acl ~label =
+  call system ~handle ~gate:"create_directory" ~target:name (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let* uid =
+        fs_result
+          (Hierarchy.create_directory (System.hierarchy system) ~subject ~dir ~name ~acl ~label)
+      in
+      Ok (System.install_known system p ~uid))
+
+let delete_entry system ~handle ~dir_segno ~name =
+  call system ~handle ~gate:"delete_entry" ~target:name (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let* _uid = fs_result (Hierarchy.delete_entry (System.hierarchy system) ~subject ~dir ~name) in
+      Ok ())
+
+let rename_entry system ~handle ~dir_segno ~name ~new_name =
+  call system ~handle ~gate:"rename_entry" ~target:name (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let* _uid =
+        fs_result (Hierarchy.rename_entry (System.hierarchy system) ~subject ~dir ~name ~new_name)
+      in
+      Ok ())
+
+let list_directory system ~handle ~dir_segno =
+  call system ~handle ~gate:"list_directory" ~target:(string_of_int dir_segno)
+    (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let* entries = fs_result (Hierarchy.list_entries (System.hierarchy system) ~subject ~dir) in
+      Ok (List.map (fun (name, _uid) -> name) entries))
+
+type entry_status = {
+  status_name : string;
+  status_kind : Hierarchy.kind;
+  status_label : Label.t;
+  status_pages : int;
+}
+
+let status_entry system ~handle ~dir_segno ~name =
+  call system ~handle ~gate:"status_entry" ~target:name (fun p subject ->
+      let* dir = uid_of_segno p dir_segno in
+      let hierarchy = System.hierarchy system in
+      let* uid = fs_result (Hierarchy.lookup hierarchy ~subject ~dir ~name) in
+      match (Hierarchy.kind_of hierarchy uid, Hierarchy.label_of hierarchy uid) with
+      | Some status_kind, Some status_label ->
+          Ok
+            {
+              status_name = name;
+              status_kind;
+              status_label;
+              status_pages = Option.value ~default:0 (Hierarchy.page_count_of hierarchy uid);
+            }
+      | _, _ -> Error (Fs (Hierarchy.No_entry name)))
+
+(* Attribute changes finish with "setfaults": every cached descriptor
+   for the object is recomputed, so a revoked grant cannot survive in
+   any process's SDW. *)
+
+let set_acl system ~handle ~segno ~acl =
+  call system ~handle ~gate:"set_acl" ~target:(string_of_int segno) (fun p subject ->
+      let* uid = uid_of_segno p segno in
+      let* () = fs_result (Hierarchy.set_acl (System.hierarchy system) ~subject ~uid ~acl) in
+      System.setfaults system ~uid;
+      Ok ())
+
+let set_brackets system ~handle ~segno ~brackets =
+  call system ~handle ~gate:"set_brackets" ~target:(string_of_int segno) (fun p subject ->
+      let* uid = uid_of_segno p segno in
+      let* () =
+        fs_result (Hierarchy.set_brackets (System.hierarchy system) ~subject ~uid ~brackets)
+      in
+      System.setfaults system ~uid;
+      Ok ())
+
+let set_gate_bound system ~handle ~segno ~gate_bound =
+  call system ~handle ~gate:"set_gate_bound" ~target:(string_of_int segno) (fun p subject ->
+      let* uid = uid_of_segno p segno in
+      let* () =
+        fs_result (Hierarchy.set_gate_bound (System.hierarchy system) ~subject ~uid ~gate_bound)
+      in
+      System.setfaults system ~uid;
+      Ok ())
+
+(* ----- Content references (SDW-checked, as the hardware does) ----- *)
+
+let check_sdw (p : System.proc) ~segno ~operation =
+  match Kst.sdw_of p.System.kst segno with
+  | None -> Error (Kst_error (Kst.Unknown_segno segno))
+  | Some sdw -> (
+      match Hardware.check sdw ~ring:p.System.ring ~operation with
+      | Hardware.Granted grant -> Ok grant
+      | Hardware.Denied denial -> Error (Hardware_denied denial))
+
+let read_word system ~handle ~segno ~offset =
+  call system ~handle ~gate:"read_word"
+    ~target:(Printf.sprintf "%d|%d" segno offset)
+    (fun p _subject ->
+      let* _grant = check_sdw p ~segno ~operation:Hardware.Read in
+      let* uid = uid_of_segno p segno in
+      match Hierarchy.raw_read_word (System.hierarchy system) ~uid ~offset with
+      | Some value -> Ok value
+      | None -> Error (Fs (Hierarchy.Not_a_segment (string_of_int segno))))
+
+let write_word system ~handle ~segno ~offset ~value =
+  call system ~handle ~gate:"write_word"
+    ~target:(Printf.sprintf "%d|%d" segno offset)
+    (fun p _subject ->
+      let* _grant = check_sdw p ~segno ~operation:Hardware.Write in
+      let* uid = uid_of_segno p segno in
+      (* Segment control charges the quota cell for any growth before
+         the page materializes, whichever path the write came by. *)
+      let* () = fs_result (Hierarchy.charge_growth (System.hierarchy system) ~uid ~offset) in
+      if Hierarchy.raw_write_word (System.hierarchy system) ~uid ~offset ~value then Ok ()
+      else Error (Fs (Hierarchy.Not_a_segment (string_of_int segno))))
+
+(* ----- Naming gates (present only while naming is in the kernel) ----- *)
+
+let initiate_by_path system ~handle ~path =
+  call system ~handle ~gate:"initiate_by_path" ~target:path (fun p subject ->
+      let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
+      let segno = System.install_known system p ~uid in
+      let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
+      Ok segno)
+
+let parent_path path =
+  match String.rindex_opt path '>' with
+  | None | Some 0 -> (">", String.sub path 1 (max 0 (String.length path - 1)))
+  | Some i -> (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
+
+let create_segment_by_path ?brackets system ~handle ~path ~acl ~label =
+  call system ~handle ~gate:"create_segment_by_path" ~target:path (fun p subject ->
+      let dir_path, name = parent_path path in
+      let hierarchy = System.hierarchy system in
+      let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
+      let* uid = fs_result (Hierarchy.create_segment ?brackets hierarchy ~subject ~dir ~name ~acl ~label) in
+      let segno = System.install_known system p ~uid in
+      let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
+      Ok segno)
+
+let create_directory_by_path system ~handle ~path ~acl ~label =
+  call system ~handle ~gate:"create_directory_by_path" ~target:path (fun p subject ->
+      let dir_path, name = parent_path path in
+      let hierarchy = System.hierarchy system in
+      let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
+      let* uid = fs_result (Hierarchy.create_directory hierarchy ~subject ~dir ~name ~acl ~label) in
+      Ok (System.install_known system p ~uid))
+
+let delete_by_path system ~handle ~path =
+  call system ~handle ~gate:"delete_by_path" ~target:path (fun _p subject ->
+      let dir_path, name = parent_path path in
+      let hierarchy = System.hierarchy system in
+      let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
+      let* _uid = fs_result (Hierarchy.delete_entry hierarchy ~subject ~dir ~name) in
+      Ok ())
+
+let resolve_path system ~handle ~path =
+  call system ~handle ~gate:"resolve_path" ~target:path (fun p subject ->
+      let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
+      Ok (System.install_known system p ~uid))
+
+let rnt_bind system ~handle ~name ~segno =
+  call system ~handle ~gate:"rnt_bind" ~target:name (fun p _subject ->
+      rnt_result (Rnt.bind p.System.rnt ~name ~segno))
+
+let rnt_lookup system ~handle ~name =
+  call system ~handle ~gate:"rnt_lookup" ~target:name (fun p _subject ->
+      rnt_result (Rnt.lookup p.System.rnt ~name))
+
+let rnt_unbind system ~handle ~name =
+  call system ~handle ~gate:"rnt_unbind" ~target:name (fun p _subject ->
+      rnt_result (Rnt.unbind p.System.rnt ~name))
+
+let list_reference_names system ~handle ~segno =
+  call system ~handle ~gate:"list_reference_names" ~target:(string_of_int segno)
+    (fun p _subject -> Ok (Rnt.names_for_segno p.System.rnt ~segno))
+
+(* ----- Linker gates (present only while the linker is in the kernel) ----- *)
+
+(* The historical escalation: when the flawed ring-0 linker snaps a
+   link it found with supervisor authority, it also installs a
+   supervisor-grade descriptor for the target — the user ends up with
+   read/write access the reference monitor never granted. *)
+let install_after_flawed_snap (p : System.proc) ~target =
+  let segno, _ = Kst.make_known p.System.kst ~uid:target in
+  let sdw = Sdw.make ~mode:Mode.rew ~brackets:Multics_machine.Brackets.user_data () in
+  ignore (Kst.set_sdw p.System.kst segno sdw);
+  segno
+
+let snap_link system ~handle ~segno ~link_index =
+  call system ~handle ~gate:"snap_link"
+    ~target:(Printf.sprintf "%d#%d" segno link_index)
+    (fun p subject ->
+      let* from_uid = uid_of_segno p segno in
+      let linker = System.linker system in
+      match
+        Linker.resolve_link linker ~subject ~rules:p.System.rules ~from_uid ~link_index
+      with
+      | Linker.Snapped { target; offset; _ } | Linker.Already_snapped { target; offset } ->
+          let target_segno =
+            if Linker.has_flaw linker Linker.Supervisor_authority_walk then
+              install_after_flawed_snap p ~target
+            else System.install_known system p ~uid:target
+          in
+          Ok (target_segno, offset)
+      | other -> Error (Link_failed other))
+
+let set_search_rules system ~handle ~dir_segnos =
+  call system ~handle ~gate:"set_search_rules" ~target:"rules" (fun p _subject ->
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | segno :: rest ->
+            let* uid = uid_of_segno p segno in
+            collect ((string_of_int segno, uid) :: acc) rest
+      in
+      let* dirs = collect [] dir_segnos in
+      p.System.rules <- Search_rules.of_dirs dirs;
+      Ok ())
+
+let get_search_rules system ~handle =
+  call system ~handle ~gate:"get_search_rules" ~target:"rules" (fun p _subject ->
+      Ok (Search_rules.rule_names p.System.rules))
+
+(* ----- Protected subsystem entry -----
+
+   On the 6180 entering a protected subsystem is a hardware gate call,
+   not a supervisor entry, so it is available in every configuration;
+   only its SDW decides whether the crossing is legal.  (Under the
+   unified-login configuration the same mechanism also performs
+   login.)  The call is still audited. *)
+
+let call_hardware system ~handle ~operation ~target body =
+  match System.proc system handle with
+  | None -> Error (No_such_process handle)
+  | Some p ->
+      let subject = System.subject_of p in
+      let result = body p in
+      let verdict =
+        match result with
+        | Ok _ -> Audit_log.Granted
+        | Error e -> Audit_log.Refused (error_to_string e)
+      in
+      Audit_log.log (System.audit system) ~subject ~operation ~target ~verdict;
+      result
+
+let enter_subsystem system ~handle ~segno ~entry_offset ~name =
+  call_hardware system ~handle ~operation:"subsystem_entry" ~target:name (fun p ->
+      let* grant = check_sdw p ~segno ~operation:(Hardware.Call entry_offset) in
+      match grant with
+      | Hardware.Gate_entry target_ring ->
+          p.System.subsystem_stack <- (name, p.System.ring) :: p.System.subsystem_stack;
+          p.System.ring <- target_ring;
+          Ok target_ring
+      | Hardware.Access_ok ->
+          (* Same-ring call: no protection boundary crossed. *)
+          Ok p.System.ring)
+
+let exit_subsystem system ~handle =
+  call_hardware system ~handle ~operation:"subsystem_exit" ~target:"(return)" (fun p ->
+      match p.System.subsystem_stack with
+      | [] -> Error Not_in_subsystem
+      | (_name, restore_ring) :: rest ->
+          p.System.subsystem_stack <- rest;
+          p.System.ring <- restore_ring;
+          Ok restore_ring)
+
+(* ----- IPC gates ----- *)
+
+let create_channel system ~handle =
+  call system ~handle ~gate:"create_channel" ~target:"channel" (fun _p _subject ->
+      Ok (System.new_ipc_channel system))
+
+let send_wakeup system ~handle ~channel =
+  call system ~handle ~gate:"send_wakeup" ~target:(string_of_int channel) (fun _p _subject ->
+      match System.ipc_channel system channel with
+      | None -> Error (No_such_channel channel)
+      | Some pending ->
+          incr pending;
+          Ok ())
+
+let block system ~handle ~channel =
+  call system ~handle ~gate:"block" ~target:(string_of_int channel) (fun _p _subject ->
+      match System.ipc_channel system channel with
+      | None -> Error (No_such_channel channel)
+      | Some pending ->
+          if !pending > 0 then begin
+            decr pending;
+            Ok true
+          end
+          else Ok false)
+
+(* ----- External I/O gates ----- *)
+
+(* Which gate serves a device depends on the configuration: per-device
+   drivers each have their own gates; under network-only I/O every
+   external device reaches the system through the network attachment. *)
+let io_gate_for system device op =
+  match (System.config system).Config.io with
+  | Config.Device_drivers -> Printf.sprintf "%s_%s" (Multics_io.Device.name device) op
+  | Config.Network_only -> "net_" ^ op
+
+let buffer_for_config system () =
+  match (System.config system).Config.buffer with
+  | Config.Circular_ring capacity ->
+      Multics_io.Network.Circular (Multics_io.Circular_buffer.create ~capacity)
+  | Config.Infinite_vm -> Multics_io.Network.Infinite (Multics_io.Infinite_buffer.create ())
+
+let attach_device system ~handle ~device =
+  let dev = Multics_io.Device.name device in
+  call system ~handle ~gate:(io_gate_for system device "attach") ~target:dev
+    (fun _p _subject ->
+      let buffers = System.io_buffers system in
+      if not (Hashtbl.mem buffers dev) then Hashtbl.replace buffers dev (buffer_for_config system ());
+      Ok ())
+
+let detach_device system ~handle ~device =
+  let dev = Multics_io.Device.name device in
+  call system ~handle ~gate:(io_gate_for system device "detach") ~target:dev
+    (fun _p _subject ->
+      if Hashtbl.mem (System.io_buffers system) dev then begin
+        Hashtbl.remove (System.io_buffers system) dev;
+        Ok ()
+      end
+      else Error (Device_not_attached dev))
+
+let device_write system ~handle ~device ~message =
+  let dev = Multics_io.Device.name device in
+  call system ~handle ~gate:(io_gate_for system device "io") ~target:dev (fun _p _subject ->
+      match Hashtbl.find_opt (System.io_buffers system) dev with
+      | None -> Error (Device_not_attached dev)
+      | Some (Multics_io.Network.Circular buffer) ->
+          Multics_io.Circular_buffer.write buffer message;
+          Ok ()
+      | Some (Multics_io.Network.Infinite buffer) ->
+          Multics_io.Infinite_buffer.write buffer message;
+          Ok ())
+
+let device_read system ~handle ~device =
+  let dev = Multics_io.Device.name device in
+  call system ~handle ~gate:(io_gate_for system device "io") ~target:dev (fun _p _subject ->
+      match Hashtbl.find_opt (System.io_buffers system) dev with
+      | None -> Error (Device_not_attached dev)
+      | Some (Multics_io.Network.Circular buffer) -> Ok (Multics_io.Circular_buffer.read buffer)
+      | Some (Multics_io.Network.Infinite buffer) -> Ok (Multics_io.Infinite_buffer.read buffer))
+
+(* ----- Quota ----- *)
+
+let set_quota system ~handle ~segno ~quota =
+  call system ~handle ~gate:"set_quota" ~target:(string_of_int segno) (fun p subject ->
+      let* uid = uid_of_segno p segno in
+      fs_result (Hierarchy.set_quota (System.hierarchy system) ~subject ~uid ~quota))
+
+(* ----- Remaining linker gates ----- *)
+
+type link_status = {
+  link_target_seg : string;
+  link_target_entry : string;
+  link_snapped : bool;
+}
+
+let list_links system ~handle ~segno =
+  call system ~handle ~gate:"list_links" ~target:(string_of_int segno) (fun p _subject ->
+      let* uid = uid_of_segno p segno in
+      match Object_seg.Store.get (System.store system) ~uid with
+      | None -> Ok []
+      | Some obj ->
+          Ok
+            (List.init (Object_seg.link_count obj) (fun i ->
+                 match Object_seg.link obj i with
+                 | Some l ->
+                     {
+                       link_target_seg = l.Object_seg.target_seg;
+                       link_target_entry = l.Object_seg.target_entry;
+                       link_snapped = l.Object_seg.snapped <> None;
+                     }
+                 | None ->
+                     { link_target_seg = "?"; link_target_entry = "?"; link_snapped = false })))
+
+(* ----- Remaining naming gates ----- *)
+
+let get_working_dir system ~handle =
+  call system ~handle ~gate:"get_working_dir" ~target:"wd" (fun p _subject ->
+      Ok (System.install_known system p ~uid:p.System.working_dir))
+
+let set_working_dir system ~handle ~dir_segno =
+  call system ~handle ~gate:"set_working_dir" ~target:(string_of_int dir_segno)
+    (fun p _subject ->
+      let* uid = uid_of_segno p dir_segno in
+      p.System.working_dir <- uid;
+      Ok ())
+
+let initiate_count system ~handle =
+  call system ~handle ~gate:"initiate_count" ~target:"kst" (fun p _subject ->
+      Ok (Kst.entry_count p.System.kst))
+
+let terminate_by_path system ~handle ~path =
+  call system ~handle ~gate:"terminate_by_path" ~target:path (fun p subject ->
+      let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
+      match Kst.segno_of_uid p.System.kst ~uid with
+      | Some segno -> kst_result (Kst.terminate p.System.kst segno)
+      | None -> Error (Kst_error (Kst.Unknown_segno 0)))
+
+(* ----- Process-management gates -----
+
+   Under the privileged-login configuration these are supervisor gates;
+   under the unified configuration the same functions are reached
+   through the ordinary subsystem-entry mechanism (non-privileged), so
+   the facade dispatches on gate presence. *)
+
+let login_gate_or_unified system ~handle ~gate ~target body =
+  match Gate.find (System.config system) ~gate_name:gate with
+  | Some _ -> call system ~handle ~gate ~target body
+  | None ->
+      call_hardware system ~handle
+        ~operation:("subsystem_entry:" ^ gate)
+        ~target
+        (fun p -> body p (System.subject_of p))
+
+let create_process system ~handle =
+  login_gate_or_unified system ~handle ~gate:"create_process" ~target:"child"
+    (fun _p _subject ->
+      match System.clone_process system ~handle with
+      | Some child -> Ok child
+      | None -> Error (No_such_process handle))
+
+let destroy_process system ~handle ~target =
+  login_gate_or_unified system ~handle ~gate:"destroy_process"
+    ~target:(string_of_int target) (fun _p _subject ->
+      if List.mem target (System.sibling_handles system ~handle) then
+        if System.logout system ~handle:target then Ok () else Error (No_such_process target)
+      else Error (Not_authorized "destroy_process: not your process"))
+
+let new_proc system ~handle =
+  login_gate_or_unified system ~handle ~gate:"new_proc" ~target:"self" (fun _p _subject ->
+      match System.clone_process system ~handle with
+      | Some fresh ->
+          ignore (System.logout system ~handle);
+          Ok fresh
+      | None -> Error (No_such_process handle))
+
+type process_info = {
+  info_principal : string;
+  info_ring : int;
+  info_level : Label.t;
+  info_known_segments : int;
+  info_login_ring : int;
+}
+
+let proc_info system ~handle =
+  login_gate_or_unified system ~handle ~gate:"proc_info" ~target:"self" (fun p _subject ->
+      Ok
+        {
+          info_principal = Principal.to_string p.System.principal;
+          info_ring = Ring.to_int p.System.ring;
+          info_level = p.System.clearance;
+          info_known_segments = Kst.entry_count p.System.kst;
+          info_login_ring = Ring.to_int p.System.login_ring;
+        })
+
+let list_processes system ~handle =
+  login_gate_or_unified system ~handle ~gate:"list_processes" ~target:"siblings"
+    (fun _p _subject -> Ok (System.sibling_handles system ~handle))
+
+let operator_message system ~handle ~message =
+  login_gate_or_unified system ~handle ~gate:"operator_message" ~target:message
+    (fun _p _subject -> Ok ())

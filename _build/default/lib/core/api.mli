@@ -1,0 +1,225 @@
+(** The kernel's gate-call interface: one function per supervisor entry
+    point.  Calls are refused when the gate is absent from the running
+    configuration, when the caller's ring is outside the gate's call
+    bracket, or when the reference monitor refuses the operation; every
+    call is audited. *)
+
+open Multics_access
+open Multics_fs
+open Multics_link
+open Multics_machine
+
+type error =
+  | Fs of Hierarchy.error
+  | Kst_error of Kst.error
+  | Rnt_error of Rnt.error
+  | Gate_absent of string
+  | Gate_ring_denied of { gate : string; ring : int }
+  | Hardware_denied of Hardware.denial
+  | Link_failed of Linker.outcome
+  | No_such_process of int
+  | No_such_channel of int
+  | Device_not_attached of string
+  | Not_in_subsystem
+  | Not_authorized of string
+
+val error_to_string : error -> string
+
+(** {1 Directory control} *)
+
+val initiate :
+  System.t -> handle:int -> dir_segno:int -> name:string -> (int, error) result
+(** Look [name] up in an initiated directory and make the result known;
+    returns its segment number.  This is the simple post-removal
+    interface: "instead of identifying a directory by character string
+    tree name ... a segment number is used". *)
+
+val terminate : System.t -> handle:int -> segno:int -> (unit, error) result
+
+val create_segment :
+  ?brackets:Brackets.t ->
+  System.t ->
+  handle:int ->
+  dir_segno:int ->
+  name:string ->
+  acl:Acl.t ->
+  label:Label.t ->
+  (int, error) result
+
+val create_directory :
+  System.t ->
+  handle:int ->
+  dir_segno:int ->
+  name:string ->
+  acl:Acl.t ->
+  label:Label.t ->
+  (int, error) result
+
+val delete_entry :
+  System.t -> handle:int -> dir_segno:int -> name:string -> (unit, error) result
+
+val rename_entry :
+  System.t -> handle:int -> dir_segno:int -> name:string -> new_name:string ->
+  (unit, error) result
+
+val list_directory : System.t -> handle:int -> dir_segno:int -> (string list, error) result
+
+type entry_status = {
+  status_name : string;
+  status_kind : Hierarchy.kind;
+  status_label : Label.t;
+  status_pages : int;
+}
+
+val status_entry :
+  System.t -> handle:int -> dir_segno:int -> name:string -> (entry_status, error) result
+
+val set_acl : System.t -> handle:int -> segno:int -> acl:Acl.t -> (unit, error) result
+
+val set_brackets :
+  System.t -> handle:int -> segno:int -> brackets:Brackets.t -> (unit, error) result
+
+val set_gate_bound :
+  System.t -> handle:int -> segno:int -> gate_bound:int -> (unit, error) result
+
+(** {1 Content references (checked against the installed SDW)} *)
+
+val read_word : System.t -> handle:int -> segno:int -> offset:int -> (int, error) result
+
+val write_word :
+  System.t -> handle:int -> segno:int -> offset:int -> value:int -> (unit, error) result
+
+(** {1 Naming gates (kernel-resident naming only)} *)
+
+val initiate_by_path : System.t -> handle:int -> path:string -> (int, error) result
+
+val create_segment_by_path :
+  ?brackets:Brackets.t ->
+  System.t ->
+  handle:int ->
+  path:string ->
+  acl:Acl.t ->
+  label:Label.t ->
+  (int, error) result
+
+val create_directory_by_path :
+  System.t -> handle:int -> path:string -> acl:Acl.t -> label:Label.t -> (int, error) result
+
+val delete_by_path : System.t -> handle:int -> path:string -> (unit, error) result
+
+val resolve_path : System.t -> handle:int -> path:string -> (int, error) result
+
+val rnt_bind : System.t -> handle:int -> name:string -> segno:int -> (unit, error) result
+val rnt_lookup : System.t -> handle:int -> name:string -> (int, error) result
+val rnt_unbind : System.t -> handle:int -> name:string -> (unit, error) result
+
+val list_reference_names :
+  System.t -> handle:int -> segno:int -> (string list, error) result
+
+(** {1 Linker gates (kernel-resident linker only)} *)
+
+val snap_link :
+  System.t -> handle:int -> segno:int -> link_index:int -> (int * int, error) result
+(** Returns (target segment number, entry offset).  Under the flawed
+    baseline this installs a supervisor-grade descriptor — the
+    historical escalation experiment E11 exploits. *)
+
+val set_search_rules :
+  System.t -> handle:int -> dir_segnos:int list -> (unit, error) result
+
+val get_search_rules : System.t -> handle:int -> (string list, error) result
+
+(** {1 Protected subsystems (hardware gate calls, always available)} *)
+
+val enter_subsystem :
+  System.t -> handle:int -> segno:int -> entry_offset:int -> name:string ->
+  (Ring.t, error) result
+(** Validates the call against the target's SDW; on a legal inward
+    call, switches the process into the gate's ring. *)
+
+val exit_subsystem : System.t -> handle:int -> (Ring.t, error) result
+
+(** {1 IPC gates} *)
+
+val create_channel : System.t -> handle:int -> (int, error) result
+val send_wakeup : System.t -> handle:int -> channel:int -> (unit, error) result
+
+val block : System.t -> handle:int -> channel:int -> (bool, error) result
+(** Functional model: true if a pending wakeup was consumed. *)
+
+(** {1 External I/O gates} *)
+
+val attach_device :
+  System.t -> handle:int -> device:Multics_io.Device.kind -> (unit, error) result
+(** Routed through the per-device gates or the network attachment,
+    depending on the configuration. *)
+
+val detach_device :
+  System.t -> handle:int -> device:Multics_io.Device.kind -> (unit, error) result
+
+val device_write :
+  System.t -> handle:int -> device:Multics_io.Device.kind -> message:int ->
+  (unit, error) result
+
+val device_read :
+  System.t -> handle:int -> device:Multics_io.Device.kind -> (int option, error) result
+
+(** {1 Quota} *)
+
+val set_quota :
+  System.t -> handle:int -> segno:int -> quota:int option -> (unit, error) result
+(** Install or clear a page-quota cell on an initiated directory. *)
+
+(** {1 Remaining linker gates (kernel-resident linker only)} *)
+
+type link_status = {
+  link_target_seg : string;
+  link_target_entry : string;
+  link_snapped : bool;
+}
+
+val list_links : System.t -> handle:int -> segno:int -> (link_status list, error) result
+
+(** {1 Remaining naming gates (kernel-resident naming only)} *)
+
+val get_working_dir : System.t -> handle:int -> (int, error) result
+(** The working directory's segment number (installed if needed). *)
+
+val set_working_dir : System.t -> handle:int -> dir_segno:int -> (unit, error) result
+
+val initiate_count : System.t -> handle:int -> (int, error) result
+(** How many segments this process has made known. *)
+
+val terminate_by_path : System.t -> handle:int -> path:string -> (unit, error) result
+
+(** {1 Process management}
+
+    Privileged gates under [Privileged_login]; reached through the
+    ordinary subsystem-entry mechanism under the unified
+    configuration. *)
+
+val create_process : System.t -> handle:int -> (int, error) result
+(** A sibling process for the same account; returns its handle. *)
+
+val destroy_process : System.t -> handle:int -> target:int -> (unit, error) result
+(** Only the owner's own processes may be destroyed. *)
+
+val new_proc : System.t -> handle:int -> (int, error) result
+(** Recreate the caller's process with a fresh address space; the old
+    handle is logged out. *)
+
+type process_info = {
+  info_principal : string;
+  info_ring : int;
+  info_level : Multics_access.Label.t;
+  info_known_segments : int;
+  info_login_ring : int;
+}
+
+val proc_info : System.t -> handle:int -> (process_info, error) result
+
+val list_processes : System.t -> handle:int -> (int list, error) result
+(** Handles belonging to the caller's principal. *)
+
+val operator_message : System.t -> handle:int -> message:string -> (unit, error) result
+(** Record a message for the operator (audited). *)

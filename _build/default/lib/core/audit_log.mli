@@ -1,0 +1,32 @@
+(** The kernel audit trail of mediation decisions. *)
+
+open Multics_access
+
+type verdict = Granted | Refused of string
+
+type record = {
+  seq : int;
+  subject : string;
+  ring : int;
+  operation : string;
+  target : string;
+  verdict : verdict;
+}
+
+type t
+
+val create : unit -> t
+val set_enabled : t -> bool -> unit
+
+val log :
+  t -> subject:Policy.subject -> operation:string -> target:string -> verdict:verdict -> unit
+
+val records : t -> record list
+(** Oldest first. *)
+
+val length : t -> int
+val refusals : t -> record list
+val grants : t -> record list
+val refusal_count : t -> int
+val by_operation : t -> operation:string -> record list
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,63 @@
+(* The supervisor-boundary placement cost model (experiments E4/E5).
+
+   The paper's own example: "consider two procedure modules, A and B,
+   in the supervisor.  Imagine that a single invocation of A (by a user
+   procedure) can result in a flurry of calls from A to B.  If calls
+   that change the ring of execution of a process are more expensive
+   than calls that do not, then there is a clear performance cost in
+   placing the supervisor boundary between A and B, even if only B need
+   be part of the protected, common supervisor."
+
+   Three placements of the protection boundary:
+   - [Both_inside]: user -> (gate) A -> B; one crossing per invocation;
+   - [Boundary_between]: user -> A (user ring) -> (gate) B; one
+     crossing per inner call — k crossings per invocation;
+   - [Both_outside]: no protected code at all (the no-protection
+     floor, for reference). *)
+
+open Multics_machine
+
+type placement = Both_inside | Boundary_between | Both_outside
+
+let placement_name = function
+  | Both_inside -> "A and B in supervisor"
+  | Boundary_between -> "boundary between A and B"
+  | Both_outside -> "no supervisor code"
+
+(* Cycles for one user-level invocation of A that makes [inner_calls]
+   calls to B, with [work] cycles of real computation inside each
+   procedure activation. *)
+let invocation_cost cost ~placement ~inner_calls ~work =
+  let in_ring = Cost.round_trip_call_cost cost ~cross_ring:false in
+  let cross = Cost.round_trip_call_cost cost ~cross_ring:true in
+  let body_work = work * (1 + inner_calls) in
+  match placement with
+  | Both_inside -> cross + (inner_calls * in_ring) + body_work
+  | Boundary_between -> in_ring + (inner_calls * cross) + body_work
+  | Both_outside -> in_ring + (inner_calls * in_ring) + body_work
+
+(* Relative overhead of moving A out of the supervisor (keeping only B
+   protected), against keeping both inside. *)
+let removal_overhead cost ~inner_calls ~work =
+  let inside = invocation_cost cost ~placement:Both_inside ~inner_calls ~work in
+  let between = invocation_cost cost ~placement:Boundary_between ~inner_calls ~work in
+  float_of_int between /. float_of_int inside
+
+type sweep_point = {
+  inner_calls : int;
+  h645_overhead : float;
+  h6180_overhead : float;
+}
+
+(* Sweep the paper's example over the call-flurry size, on both
+   processors.  The 645 column shows the pressure that pushed A into
+   the supervisor; the 6180 column shows it removed. *)
+let sweep ?(work = 50) ~inner_calls_list () =
+  List.map
+    (fun inner_calls ->
+      {
+        inner_calls;
+        h645_overhead = removal_overhead Cost.h645 ~inner_calls ~work;
+        h6180_overhead = removal_overhead Cost.h6180 ~inner_calls ~work;
+      })
+    inner_calls_list

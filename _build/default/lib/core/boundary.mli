@@ -1,0 +1,24 @@
+(** The supervisor-boundary placement cost model: the paper's A/B
+    call-flurry example, on both processors (experiments E4/E5). *)
+
+open Multics_machine
+
+type placement = Both_inside | Boundary_between | Both_outside
+
+val placement_name : placement -> string
+
+val invocation_cost : Cost.t -> placement:placement -> inner_calls:int -> work:int -> int
+(** Cycles for one user invocation of A making [inner_calls] calls to
+    B, with [work] cycles of computation per activation. *)
+
+val removal_overhead : Cost.t -> inner_calls:int -> work:int -> float
+(** Cost of placing the boundary between A and B, relative to keeping
+    both inside the supervisor. *)
+
+type sweep_point = {
+  inner_calls : int;
+  h645_overhead : float;
+  h6180_overhead : float;
+}
+
+val sweep : ?work:int -> inner_calls_list:int list -> unit -> sweep_point list

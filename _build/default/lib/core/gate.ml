@@ -1,0 +1,151 @@
+(* The gate table: every user-available supervisor entry point, per
+   configuration.
+
+   The paper's removal metrics are about exactly this table: "the
+   linker's removal eliminated 10% of the gate entry points into the
+   supervisor", and "the linker and reference name removal projects
+   together reduce the number of user-available supervisor entries by
+   approximately one third".  The catalog below is sized so those
+   proportions hold of the functional surface itself: the baseline
+   supervisor exposes 60 gates, of which the linker accounts for 6
+   (10%) and naming for a further 14 (together 20/60, one third). *)
+
+open Multics_machine
+
+type entry = {
+  gate_name : string;
+  subsystem : string;
+  call_top : Ring.t;  (** outermost ring that may call this gate *)
+}
+
+let user_gate subsystem gate_name = { gate_name; subsystem; call_top = Ring.outermost }
+
+let ring1_gate subsystem gate_name = { gate_name; subsystem; call_top = Ring.r1 }
+
+(* --- Subsystem gate groups --- *)
+
+let directory_control =
+  List.map (user_gate "fs-directory")
+    [
+      "initiate";
+      "terminate";
+      "create_segment";
+      "create_directory";
+      "delete_entry";
+      "rename_entry";
+      "list_directory";
+      "status_entry";
+      "set_acl";
+      "set_brackets";
+      "set_gate_bound";
+      "set_quota";
+    ]
+
+let segment_content = List.map (user_gate "fs-content") [ "read_word"; "write_word" ]
+
+let ipc = List.map (user_gate "ipc") [ "create_channel"; "send_wakeup"; "block" ]
+
+(* The dynamic linker's supervisor entries (present only while the
+   linker lives in the kernel). *)
+let linker_gates =
+  List.map (user_gate "linker")
+    [
+      "snap_link";
+      "force_link";
+      "unsnap_linkage";
+      "list_links";
+      "get_search_rules";
+      "set_search_rules";
+    ]
+
+(* Reference-name and tree-name entries (present only while naming
+   lives in the kernel). *)
+let naming_gates =
+  List.map (user_gate "naming")
+    [
+      "initiate_by_path";
+      "create_segment_by_path";
+      "create_directory_by_path";
+      "delete_by_path";
+      "terminate_by_path";
+      "status_by_path";
+      "resolve_path";
+      "get_working_dir";
+      "set_working_dir";
+      "initiate_count";
+      "rnt_bind";
+      "rnt_unbind";
+      "rnt_lookup";
+      "list_reference_names";
+    ]
+
+let device_gates =
+  List.concat_map
+    (fun device ->
+      let dev = Multics_io.Device.name device in
+      List.map
+        (fun op -> user_gate (Printf.sprintf "io-%s" dev) (Printf.sprintf "%s_%s" dev op))
+        [ "attach"; "io"; "detach" ])
+    Multics_io.Device.all_legacy
+
+let network_gates = List.map (user_gate "io-network") [ "net_attach"; "net_io"; "net_detach" ]
+
+let privileged_login_gates =
+  List.map (user_gate "login")
+    [
+      "login";
+      "logout";
+      "create_process";
+      "destroy_process";
+      "new_proc";
+      "proc_info";
+      "list_processes";
+      "operator_message";
+    ]
+
+let unified_login_gates = List.map (user_gate "login") [ "enter_subsystem"; "logout" ]
+
+(* The page-removal mechanism interface exposed to the ring-1 policy
+   partition: usage statistics and constrained movement only — no
+   entry reads page contents or moves one page onto another. *)
+let page_mechanism_gates =
+  List.map (ring1_gate "page-mechanism") [ "pm_get_usage"; "pm_move_to_bulk"; "pm_free_counts" ]
+
+let catalog (config : Config.t) =
+  directory_control @ segment_content @ ipc
+  @ (match config.Config.linker with
+    | Multics_link.Linker.In_kernel -> linker_gates
+    | Multics_link.Linker.In_user_ring -> [])
+  @ (match config.Config.naming with
+    | Multics_link.Rnt.In_kernel -> naming_gates
+    | Multics_link.Rnt.In_user_ring -> [])
+  @ (match config.Config.io with
+    | Config.Device_drivers -> device_gates
+    | Config.Network_only -> network_gates)
+  @ (match config.Config.login with
+    | Config.Privileged_login -> privileged_login_gates
+    | Config.Unified_subsystem_entry -> unified_login_gates)
+  @
+  match config.Config.page_policy with
+  | Config.Policy_in_ring0 -> []
+  | Config.Policy_in_ring1 -> page_mechanism_gates
+
+let count config = List.length (catalog config)
+
+let user_callable_count config =
+  List.length (List.filter (fun e -> Ring.equal e.call_top Ring.outermost) (catalog config))
+
+let find config ~gate_name =
+  List.find_opt (fun e -> e.gate_name = gate_name) (catalog config)
+
+let subsystems config =
+  catalog config
+  |> List.map (fun e -> e.subsystem)
+  |> List.sort_uniq String.compare
+
+let count_by_subsystem config =
+  List.map
+    (fun subsystem ->
+      ( subsystem,
+        List.length (List.filter (fun e -> e.subsystem = subsystem) (catalog config)) ))
+    (subsystems config)

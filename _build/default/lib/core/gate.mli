@@ -1,0 +1,26 @@
+(** The gate table: user-available supervisor entry points per
+    configuration.  Sized so the paper's removal proportions hold of
+    the functional surface: 60 baseline gates, linker = 6 (10%),
+    linker + naming = 20 (one third). *)
+
+open Multics_machine
+
+type entry = {
+  gate_name : string;
+  subsystem : string;
+  call_top : Ring.t;
+}
+
+val catalog : Config.t -> entry list
+
+val count : Config.t -> int
+
+val user_callable_count : Config.t -> int
+(** Gates callable from the outermost ring (excludes the ring-1
+    page-mechanism interface). *)
+
+val find : Config.t -> gate_name:string -> entry option
+
+val subsystems : Config.t -> string list
+
+val count_by_subsystem : Config.t -> (string * int) list

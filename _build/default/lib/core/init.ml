@@ -1,0 +1,110 @@
+(* System initialization, both ways.
+
+   The removal project under investigation: "changing most of system
+   initialization from executing inside the supervisor each time the
+   system is started to executing once in a user environment of a
+   previous system" — producing "on a system tape a bit pattern which,
+   when loaded into memory, manifests a fully initialized system".
+   The bootstrap path runs many privileged steps on every start; the
+   memory-image path runs the generation steps unprivileged (offline,
+   in the previous system's user rings) and leaves only a tiny
+   privileged loader. *)
+
+type step = {
+  step_name : string;
+  privileged_statements : int;  (** ring-0 statements executed at system start *)
+  offline_statements : int;  (** statements run unprivileged in the previous system *)
+  device_related : bool;
+}
+
+type report = {
+  strategy : Config.init_strategy;
+  steps : step list;
+  privileged_total : int;
+  offline_total : int;
+}
+
+let bootstrap_step ?(device_related = false) step_name privileged_statements =
+  { step_name; privileged_statements; offline_statements = 0; device_related }
+
+let bootstrap_steps (config : Config.t) =
+  let core_steps =
+    [
+      bootstrap_step "load_bootload_program" 220;
+      bootstrap_step "initialize_sst" 480;
+      bootstrap_step "initialize_page_tables" 640;
+      bootstrap_step "initialize_traffic_controller" 520;
+      bootstrap_step "initialize_ipc" 310;
+      bootstrap_step "initialize_root_directory" 450;
+      bootstrap_step "initialize_segment_control" 560;
+    ]
+  in
+  let linker_step =
+    match config.Config.linker with
+    | Multics_link.Linker.In_kernel -> [ bootstrap_step "initialize_linker" 380 ]
+    | Multics_link.Linker.In_user_ring -> []
+  in
+  let naming_step =
+    match config.Config.naming with
+    | Multics_link.Rnt.In_kernel -> [ bootstrap_step "initialize_name_tables" 290 ]
+    | Multics_link.Rnt.In_user_ring -> []
+  in
+  let io_steps =
+    match config.Config.io with
+    | Config.Device_drivers ->
+        List.map
+          (fun device ->
+            bootstrap_step ~device_related:true
+              (Printf.sprintf "initialize_%s_dim" (Multics_io.Device.name device))
+              260)
+          Multics_io.Device.all_legacy
+    | Config.Network_only -> [ bootstrap_step ~device_related:true "initialize_network_dim" 300 ]
+  in
+  let login_step =
+    match config.Config.login with
+    | Config.Privileged_login -> [ bootstrap_step "initialize_answering_service" 420 ]
+    | Config.Unified_subsystem_entry -> [ bootstrap_step "initialize_subsystem_entry" 90 ]
+  in
+  core_steps @ linker_step @ naming_step @ io_steps @ login_step
+  @ [ bootstrap_step "start_scheduler" 150 ]
+
+(* Under the memory-image strategy the same work happens, but offline:
+   a user-environment generation run of a previous system computes the
+   initialized bit pattern; starting the new system is just loading it
+   and starting the clock. *)
+let memory_image_steps config =
+  let generation =
+    List.map
+      (fun s ->
+        {
+          step_name = "generate:" ^ s.step_name;
+          privileged_statements = 0;
+          offline_statements = s.privileged_statements;
+          device_related = s.device_related;
+        })
+      (bootstrap_steps config)
+  in
+  generation
+  @ [
+      bootstrap_step "load_system_image" 180;
+      bootstrap_step "patch_clock_and_configuration" 60;
+      bootstrap_step "start_scheduler" 150;
+    ]
+
+let run (config : Config.t) =
+  let steps =
+    match config.Config.init with
+    | Config.Bootstrap -> bootstrap_steps config
+    | Config.Memory_image -> memory_image_steps config
+  in
+  {
+    strategy = config.Config.init;
+    steps;
+    privileged_total = List.fold_left (fun acc s -> acc + s.privileged_statements) 0 steps;
+    offline_total = List.fold_left (fun acc s -> acc + s.offline_statements) 0 steps;
+  }
+
+let step_count report = List.length report.steps
+
+let privileged_step_count report =
+  List.length (List.filter (fun s -> s.privileged_statements > 0) report.steps)

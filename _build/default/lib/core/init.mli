@@ -1,0 +1,21 @@
+(** System initialization: per-start privileged bootstrap vs the
+    memory-image strategy (generation runs offline and unprivileged). *)
+
+type step = {
+  step_name : string;
+  privileged_statements : int;
+  offline_statements : int;
+  device_related : bool;
+}
+
+type report = {
+  strategy : Config.init_strategy;
+  steps : step list;
+  privileged_total : int;  (** ring-0 statements executed at each start *)
+  offline_total : int;  (** statements moved to the offline generation run *)
+}
+
+val run : Config.t -> report
+
+val step_count : report -> int
+val privileged_step_count : report -> int

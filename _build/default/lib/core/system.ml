@@ -1,0 +1,388 @@
+(* The simulated Multics system: one value holding the hierarchy, the
+   linker, the accounts, the process table, the I/O buffers and the
+   audit trail, all shaped by a {!Config.t}.
+
+   [create] boots the system (running the configured initialization
+   strategy) and builds the standard naming skeleton:
+
+     >sl1    the system library
+     >udd    user directories ( >udd>Project>Person homes )
+     >pdd    per-process directories (kernel only)
+
+   Process state lives in [proc]: the principal and clearance fixed at
+   login, the current ring, the Known Segment Table, the Reference Name
+   Table (kernel- or user-ring per the configuration), and the search
+   rules. *)
+
+open Multics_access
+open Multics_fs
+open Multics_link
+open Multics_machine
+
+type account = {
+  person : string;
+  project : string;
+  password : string;
+  clearance : Label.t;
+  home : Uid.t;
+}
+
+type proc = {
+  handle : int;
+  principal : Principal.t;
+  clearance : Label.t;
+  mutable ring : Ring.t;
+  kst : Kst.t;
+  rnt : Rnt.t;
+  mutable rules : Search_rules.t;
+  mutable working_dir : Uid.t;
+  login_ring : Ring.t;  (** where the authentication code executed *)
+  mutable subsystem_stack : (string * Ring.t) list;
+      (** entered protected subsystems: (name, ring to restore) *)
+}
+
+type t = {
+  config : Config.t;
+  cost : Cost.t;
+  hierarchy : Hierarchy.t;
+  store : Object_seg.Store.t;
+  linker : Linker.t;
+  audit : Audit_log.t;
+  accounts : (string, account) Hashtbl.t;
+  procs : (int, proc) Hashtbl.t;
+  mutable next_handle : int;
+  init_report : Init.report;
+  io_buffers : (string, Multics_io.Network.strategy) Hashtbl.t;
+  ipc_channels : (int, int ref) Hashtbl.t;  (** channel id -> pending wakeups *)
+  mutable next_channel : int;
+  mutable lib_dir : Uid.t;
+  mutable udd_dir : Uid.t;
+  mutable pdd_dir : Uid.t;
+}
+
+let initializer_principal = Principal.system_daemon
+
+(* The Initializer runs system-high so it can administer homes at any
+   clearance in use.  Compartments are open-ended; administrative
+   hierarchies here use the standard two. *)
+let initializer_clearance = Label.system_high [ "crypto"; "nato" ]
+
+let initializer_subject =
+  Policy.subject ~trusted:true ~principal:initializer_principal
+    ~clearance:initializer_clearance ~ring:Ring.kernel ()
+
+let config t = t.config
+let hierarchy t = t.hierarchy
+let store t = t.store
+let linker t = t.linker
+let audit t = t.audit
+let init_report t = t.init_report
+let cost t = t.cost
+let lib_dir t = t.lib_dir
+let udd_dir t = t.udd_dir
+let pdd_dir t = t.pdd_dir
+let io_buffers t = t.io_buffers
+
+let fail_boot what = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "System.create: %s: %s" what (Hierarchy.error_to_string e))
+
+let create config =
+  let hierarchy = Hierarchy.create () in
+  let store = Object_seg.Store.create () in
+  let linker =
+    Linker.create ~flaws:config.Config.linker_flaws ~placement:config.Config.linker ~store
+      ~hierarchy ()
+  in
+  let init_report = Init.run config in
+  let t =
+    {
+      config;
+      cost = Config.cost config;
+      hierarchy;
+      store;
+      linker;
+      audit = Audit_log.create ();
+      accounts = Hashtbl.create 16;
+      procs = Hashtbl.create 16;
+      next_handle = 1;
+      init_report;
+      io_buffers = Hashtbl.create 8;
+      ipc_channels = Hashtbl.create 8;
+      next_channel = 1;
+      lib_dir = Uid.root;
+      udd_dir = Uid.root;
+      pdd_dir = Uid.root;
+    }
+  in
+  let sys_acl = Acl.of_strings [ ("Initializer.*.*", "rew"); ("*.*.*", "r") ] in
+  let mkdir ~dir ~name ~acl =
+    fail_boot name
+      (Hierarchy.create_directory hierarchy ~subject:initializer_subject ~dir ~name ~acl
+         ~label:Label.unclassified)
+  in
+  t.lib_dir <- mkdir ~dir:Uid.root ~name:"sl1" ~acl:sys_acl;
+  t.udd_dir <- mkdir ~dir:Uid.root ~name:"udd" ~acl:sys_acl;
+  t.pdd_dir <- mkdir ~dir:Uid.root ~name:"pdd" ~acl:(Acl.of_strings [ ("Initializer.*.*", "rew") ]);
+  t
+
+(* ----- Accounts ----- *)
+
+let account_key ~person ~project = person ^ "." ^ project
+
+let add_account t ~person ~project ~password ~clearance =
+  let key = account_key ~person ~project in
+  if Hashtbl.mem t.accounts key then invalid_arg ("System.add_account: duplicate " ^ key);
+  let project_dir =
+    match
+      Hierarchy.lookup t.hierarchy ~subject:initializer_subject ~dir:t.udd_dir ~name:project
+    with
+    | Ok uid -> uid
+    | Error _ ->
+        fail_boot project
+          (Hierarchy.create_directory t.hierarchy ~subject:initializer_subject ~dir:t.udd_dir
+             ~name:project
+             ~acl:(Acl.of_strings [ ("Initializer.*.*", "rew"); ("*.*.*", "r") ])
+             ~label:Label.unclassified)
+  in
+  let owner_pattern = Printf.sprintf "%s.%s.*" person project in
+  let project_pattern = Printf.sprintf "*.%s.*" project in
+  (* Owner controls the home; project-mates may status it (the usual
+     Multics project default); everyone else gets the No_entry lie. *)
+  let home =
+    fail_boot person
+      (Hierarchy.create_directory t.hierarchy ~subject:initializer_subject ~dir:project_dir
+         ~name:person
+         ~acl:
+           (Acl.of_strings
+              [ (owner_pattern, "rew"); (project_pattern, "r"); ("Initializer.*.*", "rew") ])
+         ~label:Label.unclassified)
+  in
+  let account = { person; project; password; clearance; home } in
+  Hashtbl.replace t.accounts key account;
+  account
+
+let find_account t ~person ~project = Hashtbl.find_opt t.accounts (account_key ~person ~project)
+
+(* ----- Processes ----- *)
+
+type login_error = Unknown_account | Bad_password | Level_above_clearance
+
+let login_error_to_string = function
+  | Unknown_account -> "unknown account"
+  | Bad_password -> "incorrect password"
+  | Level_above_clearance -> "requested session level exceeds the account clearance"
+
+let proc t handle = Hashtbl.find_opt t.procs handle
+
+let subject_of (p : proc) =
+  Policy.subject ~principal:p.principal ~clearance:p.clearance ~ring:p.ring ()
+
+let process_dir_name ~handle = Printf.sprintf "p%03d" handle
+
+(* Build a fresh process for an account at a session level.  Shared by
+   login and by the create_process / new_proc gates. *)
+let make_process t ~(account : account) ~session_level ~login_ring =
+  let handle = t.next_handle in
+  t.next_handle <- handle + 1;
+  let kst_variant =
+    match t.config.Config.naming with
+    | Rnt.In_kernel -> Kst.Unified
+    | Rnt.In_user_ring -> Kst.Split
+  in
+  let p =
+    {
+      handle;
+      principal = Principal.interactive ~person:account.person ~project:account.project;
+      clearance = session_level;
+      ring = Ring.user;
+      kst = Kst.create ~variant:kst_variant ();
+      rnt = Rnt.create ~placement:t.config.Config.naming;
+      rules = Search_rules.of_dirs [ ("home", account.home); ("system_library", t.lib_dir) ];
+      working_dir = account.home;
+      login_ring;
+      subsystem_stack = [];
+    }
+  in
+  Hashtbl.replace t.procs handle p;
+  (* Every process gets a per-process directory under >pdd, owned by
+     its principal, cleaned up at logout. *)
+  let pdd_name = process_dir_name ~handle in
+  (match
+     Hierarchy.create_directory t.hierarchy ~subject:initializer_subject ~dir:t.pdd_dir
+       ~name:pdd_name
+       ~acl:
+         (Acl.of_strings
+            [
+              (Printf.sprintf "%s.%s.*" account.person account.project, "rew");
+              ("Initializer.*.*", "rew");
+            ])
+       ~label:Label.unclassified
+   with
+  | Ok _ -> ()
+  | Error _ -> ());
+  handle
+
+(* Authenticate and create a process.  Under [Privileged_login] the
+   authentication code is part of the privileged kernel (it "executes"
+   in ring 0); under [Unified_subsystem_entry] the same mechanism that
+   enters any protected subsystem runs it, non-privileged, in ring 2.
+
+   [level] is the session's sensitivity level; it defaults to the
+   account's full clearance and may be any label the clearance
+   dominates (logging in low to write low objects). *)
+let login ?level t ~person ~project ~password =
+  let login_ring =
+    match t.config.Config.login with
+    | Config.Privileged_login -> Ring.kernel
+    | Config.Unified_subsystem_entry -> Ring.of_int 2
+  in
+  let principal = Principal.interactive ~person ~project in
+  let attempt_subject =
+    Policy.subject ~principal ~clearance:Label.unclassified ~ring:Ring.outermost ()
+  in
+  match find_account t ~person ~project with
+  | None ->
+      Audit_log.log t.audit ~subject:attempt_subject ~operation:"login" ~target:person
+        ~verdict:(Audit_log.Refused "unknown account");
+      Error Unknown_account
+  | Some account ->
+      if not (String.equal account.password password) then begin
+        Audit_log.log t.audit ~subject:attempt_subject ~operation:"login" ~target:person
+          ~verdict:(Audit_log.Refused "bad password");
+        Error Bad_password
+      end
+      else begin
+        let session_level = Option.value level ~default:account.clearance in
+        if not (Label.dominates account.clearance session_level) then begin
+          Audit_log.log t.audit ~subject:attempt_subject ~operation:"login" ~target:person
+            ~verdict:(Audit_log.Refused "session level above clearance");
+          Error Level_above_clearance
+        end
+        else begin
+          let handle = make_process t ~account ~session_level ~login_ring in
+          (match proc t handle with
+          | Some p ->
+              Audit_log.log t.audit ~subject:(subject_of p) ~operation:"login"
+                ~target:(Principal.to_string principal) ~verdict:Audit_log.Granted
+          | None -> ());
+          Ok handle
+        end
+      end
+
+let logout t ~handle =
+  match proc t handle with
+  | None -> false
+  | Some p ->
+      Audit_log.log t.audit ~subject:(subject_of p) ~operation:"logout"
+        ~target:(Principal.to_string p.principal) ~verdict:Audit_log.Granted;
+      (* Destroy the per-process directory and everything in it. *)
+      ignore
+        (Hierarchy.raw_delete_subtree t.hierarchy ~dir:t.pdd_dir
+           ~name:(process_dir_name ~handle));
+      Hashtbl.remove t.procs handle;
+      true
+
+let process_count t = Hashtbl.length t.procs
+
+let handles t = Hashtbl.fold (fun h _ acc -> h :: acc) t.procs [] |> List.sort Int.compare
+
+(* Make a segment known to a process and install its descriptor.  The
+   SDW is computed ONCE here, from ACL x label x brackets — this is the
+   descriptor-construction point the reference monitor lives at; every
+   later reference is checked against the installed SDW, as the
+   hardware does. *)
+let install_known t (p : proc) ~uid =
+  let segno, _already = Kst.make_known p.kst ~uid in
+  (match Hierarchy.sdw_for t.hierarchy ~subject:(subject_of p) ~uid with
+  | Some sdw -> ignore (Kst.set_sdw p.kst segno sdw)
+  | None -> ());
+  segno
+
+(* [login] primes every new process with the root, its home and the
+   system library already known, so it can name starting points. *)
+let login ?level t ~person ~project ~password =
+  match login ?level t ~person ~project ~password with
+  | Error _ as e -> e
+  | Ok handle ->
+      (match (proc t handle, find_account t ~person ~project) with
+      | Some p, Some account ->
+          ignore (install_known t p ~uid:Uid.root);
+          ignore (install_known t p ~uid:account.home);
+          ignore (install_known t p ~uid:t.lib_dir);
+          (match
+             Hierarchy.raw_lookup t.hierarchy ~dir:t.pdd_dir ~name:(process_dir_name ~handle)
+           with
+          | Some uid -> ignore (install_known t p ~uid)
+          | None -> ())
+      | _, _ -> ());
+      Ok handle
+
+(* Create another process for the same account (the create_process and
+   new_proc gates): same principal, same session level, a fresh address
+   space, primed like a login. *)
+let clone_process t ~handle =
+  match proc t handle with
+  | None -> None
+  | Some p -> (
+      let person = Principal.person p.principal in
+      let project = Principal.project p.principal in
+      match find_account t ~person ~project with
+      | None -> None
+      | Some account ->
+          let child =
+            make_process t ~account ~session_level:p.clearance ~login_ring:p.login_ring
+          in
+          (match proc t child with
+          | Some cp ->
+              ignore (install_known t cp ~uid:Uid.root);
+              ignore (install_known t cp ~uid:account.home);
+              ignore (install_known t cp ~uid:t.lib_dir);
+              (match
+                 Hierarchy.raw_lookup t.hierarchy ~dir:t.pdd_dir
+                   ~name:(process_dir_name ~handle:child)
+               with
+              | Some uid -> ignore (install_known t cp ~uid)
+              | None -> ())
+          | None -> ());
+          Some child)
+
+(* Handles belonging to the same principal (person.project). *)
+let sibling_handles t ~handle =
+  match proc t handle with
+  | None -> []
+  | Some p ->
+      Hashtbl.fold
+        (fun h (q : proc) acc ->
+          if
+            Principal.person q.principal = Principal.person p.principal
+            && Principal.project q.principal = Principal.project p.principal
+          then h :: acc
+          else acc)
+        t.procs []
+      |> List.sort Int.compare
+
+(* Revocation ("setfaults"): after an attribute of [uid] changes (ACL,
+   brackets, gate bound), every process holding a descriptor for it
+   gets that descriptor recomputed.  Without this, a revoked grant
+   would survive in cached SDWs — the classic revocation hole of
+   descriptor-based systems, which Multics closed exactly this way. *)
+let setfaults t ~uid =
+  Hashtbl.iter
+    (fun _handle (p : proc) ->
+      match Kst.segno_of_uid p.kst ~uid with
+      | None -> ()
+      | Some segno -> (
+          match Hierarchy.sdw_for t.hierarchy ~subject:(subject_of p) ~uid with
+          | Some sdw -> ignore (Kst.set_sdw p.kst segno sdw)
+          | None -> ()))
+    t.procs
+
+(* IPC channels (functional model: counted wakeups only). *)
+let new_ipc_channel t =
+  let id = t.next_channel in
+  t.next_channel <- id + 1;
+  Hashtbl.replace t.ipc_channels id (ref 0);
+  id
+
+let ipc_channel t id = Hashtbl.find_opt t.ipc_channels id

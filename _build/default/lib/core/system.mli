@@ -1,0 +1,114 @@
+(** The simulated Multics system: hierarchy, linker, accounts,
+    processes, I/O buffers and audit trail, shaped by a {!Config.t}. *)
+
+open Multics_access
+open Multics_fs
+open Multics_link
+open Multics_machine
+
+type t
+
+type account = {
+  person : string;
+  project : string;
+  password : string;
+  clearance : Label.t;
+  home : Uid.t;
+}
+
+type proc = {
+  handle : int;
+  principal : Principal.t;
+  clearance : Label.t;
+  mutable ring : Ring.t;
+  kst : Kst.t;
+  rnt : Rnt.t;
+  mutable rules : Search_rules.t;
+  mutable working_dir : Uid.t;
+  login_ring : Ring.t;
+  mutable subsystem_stack : (string * Ring.t) list;
+}
+
+val create : Config.t -> t
+(** Boot the system: run the configured initialization strategy and
+    build the standard skeleton ([>sl1], [>udd], [>pdd]). *)
+
+val config : t -> Config.t
+val hierarchy : t -> Hierarchy.t
+val store : t -> Object_seg.Store.t
+val linker : t -> Linker.t
+val audit : t -> Audit_log.t
+val init_report : t -> Init.report
+val cost : t -> Cost.t
+val lib_dir : t -> Uid.t
+val udd_dir : t -> Uid.t
+val io_buffers : t -> (string, Multics_io.Network.strategy) Hashtbl.t
+
+val initializer_subject : Policy.subject
+(** The system administrator/daemon identity, system-high. *)
+
+(** {1 Accounts} *)
+
+val add_account :
+  t -> person:string -> project:string -> password:string -> clearance:Label.t -> account
+(** Creates [>udd>Project>Person].  Raises [Invalid_argument] on a
+    duplicate account. *)
+
+val find_account : t -> person:string -> project:string -> account option
+
+(** {1 Processes} *)
+
+type login_error = Unknown_account | Bad_password | Level_above_clearance
+
+val login_error_to_string : login_error -> string
+
+val login :
+  ?level:Label.t ->
+  t ->
+  person:string ->
+  project:string ->
+  password:string ->
+  (int, login_error) result
+(** Authenticate and create a process; returns its handle.  Under
+    [Privileged_login] authentication runs in ring 0; under
+    [Unified_subsystem_entry] it runs, non-privileged, through the
+    ordinary subsystem-entry mechanism in ring 2.
+
+    [level] is the session sensitivity level — it defaults to the full
+    account clearance and must be dominated by it (log in low to write
+    low). *)
+
+val logout : t -> handle:int -> bool
+
+val proc : t -> int -> proc option
+
+val subject_of : proc -> Policy.subject
+(** The subject for the process's current ring. *)
+
+val process_count : t -> int
+val handles : t -> int list
+
+val install_known : t -> proc -> uid:Uid.t -> int
+(** Make a segment known to the process and install its computed SDW;
+    returns the segment number.  Idempotent per uid. *)
+
+val setfaults : t -> uid:Uid.t -> unit
+(** Revocation: recompute the descriptor for [uid] in every process
+    holding one (the Multics "setfaults" mechanism, run after ACL or
+    bracket changes). *)
+
+val new_ipc_channel : t -> int
+val ipc_channel : t -> int -> int ref option
+
+val clone_process : t -> handle:int -> int option
+(** Create another process for the same account (same principal and
+    session level, fresh address space, primed like a login); [None] if
+    the handle or its account is gone. *)
+
+val sibling_handles : t -> handle:int -> int list
+(** Handles belonging to the same person.project, sorted. *)
+
+val process_dir_name : handle:int -> string
+(** The name of the per-process directory under [>pdd]. *)
+
+val pdd_dir : t -> Multics_fs.Uid.t

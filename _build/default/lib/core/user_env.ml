@@ -1,0 +1,158 @@
+(* The user-ring environment library.
+
+   Everything the removal projects took out of the supervisor has to
+   run somewhere: here.  These functions execute with the process's own
+   authority and use only the ordinary kernel gates ([initiate],
+   [list_directory], ...), demonstrating the paper's point that tree
+   walking, reference-name management and linking need no common
+   mechanism.
+
+   Under a pre-removal configuration the same facade simply calls the
+   kernel's naming/linker gates, so callers are configuration-blind:
+   the difference is *where* the work happens, not what API programs
+   see. *)
+
+open Multics_fs
+open Multics_link
+
+type error = Api of Api.error | Rnt_user of Rnt.error | Link_user of Linker.outcome
+
+let error_to_string = function
+  | Api e -> Api.error_to_string e
+  | Rnt_user e -> Rnt.error_to_string e
+  | Link_user outcome -> Linker.outcome_to_string outcome
+
+let ( let* ) r f = Result.bind r f
+
+let api_result r = Result.map_error (fun e -> Api e) r
+
+let naming_in_kernel system =
+  match (System.config system).Config.naming with
+  | Rnt.In_kernel -> true
+  | Rnt.In_user_ring -> false
+
+let linker_in_kernel system =
+  match (System.config system).Config.linker with
+  | Linker.In_kernel -> true
+  | Linker.In_user_ring -> false
+
+(* The root's segment number in this process (primed at login). *)
+let root_segno system ~handle =
+  match System.proc system handle with
+  | None -> Error (Api (Api.No_such_process handle))
+  | Some p -> (
+      match Kst.segno_of_uid p.System.kst ~uid:Uid.root with
+      | Some segno -> Ok segno
+      | None -> Error (Api (Api.Kst_error (Kst.Unknown_segno 0))))
+
+(* ----- Tree-name resolution ----- *)
+
+let split_path path =
+  if path = ">" then Ok []
+  else if String.length path = 0 || path.[0] <> '>' then
+    Error (Api (Api.Fs (Hierarchy.Invalid_path path)))
+  else Ok (String.split_on_char '>' (String.sub path 1 (String.length path - 1)))
+
+(* Resolve a tree name by walking one [initiate] gate call per
+   component — the user-ring replacement for the kernel's resolver.
+   Pre-removal configurations delegate to the kernel gate instead. *)
+let resolve_path system ~handle ~path =
+  if naming_in_kernel system then api_result (Api.resolve_path system ~handle ~path)
+  else begin
+    let* components = split_path path in
+    let* root = root_segno system ~handle in
+    let rec walk dir_segno = function
+      | [] -> Ok dir_segno
+      | name :: rest ->
+          let* segno = api_result (Api.initiate system ~handle ~dir_segno ~name) in
+          walk segno rest
+    in
+    walk root components
+  end
+
+let parent_path path =
+  match String.rindex_opt path '>' with
+  | None | Some 0 -> (">", String.sub path 1 (max 0 (String.length path - 1)))
+  | Some i -> (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
+
+let create_segment_at ?brackets system ~handle ~path ~acl ~label =
+  if naming_in_kernel system then
+    api_result (Api.create_segment_by_path ?brackets system ~handle ~path ~acl ~label)
+  else begin
+    let dir_path, name = parent_path path in
+    let* dir_segno = resolve_path system ~handle ~path:dir_path in
+    api_result (Api.create_segment ?brackets system ~handle ~dir_segno ~name ~acl ~label)
+  end
+
+let create_directory_at system ~handle ~path ~acl ~label =
+  if naming_in_kernel system then
+    api_result (Api.create_directory_by_path system ~handle ~path ~acl ~label)
+  else begin
+    let dir_path, name = parent_path path in
+    let* dir_segno = resolve_path system ~handle ~path:dir_path in
+    api_result (Api.create_directory system ~handle ~dir_segno ~name ~acl ~label)
+  end
+
+let delete_at system ~handle ~path =
+  if naming_in_kernel system then api_result (Api.delete_by_path system ~handle ~path)
+  else begin
+    let dir_path, name = parent_path path in
+    let* dir_segno = resolve_path system ~handle ~path:dir_path in
+    api_result (Api.delete_entry system ~handle ~dir_segno ~name)
+  end
+
+(* ----- Reference names ----- *)
+
+let rnt_user_result r = Result.map_error (fun e -> Rnt_user e) r
+
+let bind_name system ~handle ~name ~segno =
+  if naming_in_kernel system then api_result (Api.rnt_bind system ~handle ~name ~segno)
+  else begin
+    match System.proc system handle with
+    | None -> Error (Api (Api.No_such_process handle))
+    | Some p -> rnt_user_result (Rnt.bind p.System.rnt ~name ~segno)
+  end
+
+let lookup_name system ~handle ~name =
+  if naming_in_kernel system then api_result (Api.rnt_lookup system ~handle ~name)
+  else begin
+    match System.proc system handle with
+    | None -> Error (Api (Api.No_such_process handle))
+    | Some p -> rnt_user_result (Rnt.lookup p.System.rnt ~name)
+  end
+
+let unbind_name system ~handle ~name =
+  if naming_in_kernel system then api_result (Api.rnt_unbind system ~handle ~name)
+  else begin
+    match System.proc system handle with
+    | None -> Error (Api (Api.No_such_process handle))
+    | Some p -> rnt_user_result (Rnt.unbind p.System.rnt ~name)
+  end
+
+(* ----- Linking ----- *)
+
+(* Snap a link.  Pre-removal this is the kernel's snap_link gate;
+   post-removal the linker runs here, in the faulting ring, with the
+   process's own authority (its directory searches are exactly what
+   the initiate gate would mediate), and the target is made known
+   through the ordinary descriptor-construction path. *)
+let snap_link system ~handle ~segno ~link_index =
+  if linker_in_kernel system then api_result (Api.snap_link system ~handle ~segno ~link_index)
+  else begin
+    match System.proc system handle with
+    | None -> Error (Api (Api.No_such_process handle))
+    | Some p -> (
+        match Kst.uid_of_segno p.System.kst segno with
+        | Error e -> Error (Api (Api.Kst_error e))
+        | Ok from_uid -> (
+            let subject = System.subject_of p in
+            match
+              Linker.resolve_link (System.linker system) ~subject ~rules:p.System.rules
+                ~from_uid ~link_index
+            with
+            | Linker.Snapped { target; offset; _ } | Linker.Already_snapped { target; offset }
+              ->
+                let target_segno = System.install_known system p ~uid:target in
+                Ok (target_segno, offset)
+            | other -> Error (Link_user other)))
+  end

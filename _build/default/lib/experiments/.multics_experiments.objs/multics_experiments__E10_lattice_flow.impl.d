@@ -1,0 +1,1 @@
+lib/experiments/e10_lattice_flow.ml: Array Label List Mode Multics_access Multics_machine Multics_util Policy Printf String

@@ -1,0 +1,1 @@
+lib/experiments/e10_lattice_flow.mli: Multics_util

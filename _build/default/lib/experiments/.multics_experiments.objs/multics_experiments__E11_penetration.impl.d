@@ -1,0 +1,1 @@
+lib/experiments/e11_penetration.ml: Config List Multics_audit Multics_kernel Multics_util Pentest Printf

@@ -1,0 +1,1 @@
+lib/experiments/e12_kernel_inventory.ml: Config Init Inventory List Metrics Multics_audit Multics_kernel Multics_util Printf String Trojan

@@ -1,0 +1,1 @@
+lib/experiments/e12_kernel_inventory.mli: Multics_util

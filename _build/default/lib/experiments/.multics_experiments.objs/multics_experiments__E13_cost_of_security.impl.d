@@ -1,0 +1,1 @@
+lib/experiments/e13_cost_of_security.ml: Acl Config Label List Multics_access Multics_kernel Multics_machine Multics_util Printf Program Session System

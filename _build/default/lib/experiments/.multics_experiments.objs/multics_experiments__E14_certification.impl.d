@@ -1,0 +1,1 @@
+lib/experiments/e14_certification.ml: Flaw_registry List Multics_audit Multics_util Printf Verifier

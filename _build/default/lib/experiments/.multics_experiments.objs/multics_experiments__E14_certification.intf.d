@@ -1,0 +1,1 @@
+lib/experiments/e14_certification.mli: Multics_util

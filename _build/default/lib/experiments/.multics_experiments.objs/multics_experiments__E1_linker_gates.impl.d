@@ -1,0 +1,1 @@
+lib/experiments/e1_linker_gates.ml: Config Gate Inventory Multics_audit Multics_kernel Multics_util Printf

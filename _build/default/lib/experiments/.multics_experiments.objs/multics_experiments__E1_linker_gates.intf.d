@@ -1,0 +1,1 @@
+lib/experiments/e1_linker_gates.mli: Multics_util

@@ -1,0 +1,1 @@
+lib/experiments/e2_naming_removal.ml: Config Inventory Kst Multics_audit Multics_fs Multics_kernel Multics_link Multics_util Printf Rnt Uid

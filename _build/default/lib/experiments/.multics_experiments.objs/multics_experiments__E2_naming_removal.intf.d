@@ -1,0 +1,1 @@
+lib/experiments/e2_naming_removal.mli: Multics_fs Multics_link Multics_util

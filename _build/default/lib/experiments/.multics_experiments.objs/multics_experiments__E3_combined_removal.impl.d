@@ -1,0 +1,1 @@
+lib/experiments/e3_combined_removal.ml: Config Float Gate Inventory List Multics_audit Multics_kernel Multics_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/e3_combined_removal.mli: Multics_util

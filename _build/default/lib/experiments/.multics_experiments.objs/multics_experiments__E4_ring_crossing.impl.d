@@ -1,0 +1,1 @@
+lib/experiments/e4_ring_crossing.ml: Cost List Multics_machine Multics_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/e4_ring_crossing.mli: Multics_util

@@ -1,0 +1,1 @@
+lib/experiments/e5_boundary_sweep.ml: Boundary List Multics_kernel Multics_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/e6_page_control.mli: Multics_proc Multics_util Multics_vm

@@ -1,0 +1,1 @@
+lib/experiments/e7_buffers.ml: Circular_buffer Infinite_buffer List Multics_io Multics_util Network Printf

@@ -1,0 +1,1 @@
+lib/experiments/e7_buffers.mli: Multics_util

@@ -1,0 +1,1 @@
+lib/experiments/e8_interrupts.ml: Interrupt List Multics_machine Multics_proc Multics_util Printf Sim

@@ -1,0 +1,1 @@
+lib/experiments/e8_interrupts.mli: Multics_proc Multics_util

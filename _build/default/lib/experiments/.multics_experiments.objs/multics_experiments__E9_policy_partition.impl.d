@@ -1,0 +1,1 @@
+lib/experiments/e9_policy_partition.ml: Config List Multics_kernel Multics_util Page_policy Printf

@@ -1,0 +1,44 @@
+(** Ablations over the design choices: eviction policy (A1), layer-1
+    virtual-processor pool size (A2), and the free-frame watermark
+    (A3). *)
+
+module A1 : sig
+  val id : string
+  val title : string
+  val paper_claim : string
+
+  type row = { policy : string; faults : int; page_ins : int; latency_mean : float }
+
+  val measure : unit -> row list
+  val table : unit -> Multics_util.Table.t
+  val render : unit -> string
+end
+
+module A2 : sig
+  val id : string
+  val title : string
+  val paper_claim : string
+
+  type row = { vps : int; makespan : int; speedup : float }
+
+  val measure : unit -> row list
+  val table : unit -> Multics_util.Table.t
+  val render : unit -> string
+end
+
+module A3 : sig
+  val id : string
+  val title : string
+  val paper_claim : string
+
+  type row = {
+    core_target : int;
+    faults : int;
+    latency_mean : float;
+    freer_evictions : int;
+  }
+
+  val measure : unit -> row list
+  val table : unit -> Multics_util.Table.t
+  val render : unit -> string
+end

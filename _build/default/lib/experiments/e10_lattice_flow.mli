@@ -1,0 +1,19 @@
+(** E10 — randomized operation traces with taint tracking: the Mitre
+    lattice admits no downward flow. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type result = {
+  operations : int;
+  permitted : int;
+  refused_read_up : int;
+  refused_write_down : int;
+  flow_violations : int;
+  distinct_labels : int;
+}
+
+val measure : ?seed:int -> ?subjects:int -> ?objects:int -> ?operations:int -> unit -> result
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,66 @@
+(* E11 — the penetration matrix: the Linde-catalog corpus against the
+   flawed 645 baseline, the reviewed supervisor, and the final security
+   kernel.
+
+   The paper's review activity found that "all of the flaws uncovered
+   ... are isolated and easily repaired"; the removal activities then
+   make whole attack classes structurally impossible (the user-ring
+   linker cannot damage the supervisor however hostile its input). *)
+
+open Multics_audit
+open Multics_kernel
+
+let id = "E11"
+
+let title = "Penetration corpus vs configuration"
+
+let paper_claim =
+  "in all general-purpose systems confronted, a wily user can construct a program that can \
+   obtain unauthorized access; the engineered kernel refuses or contains every attack"
+
+let configs =
+  [ Config.baseline_645; Config.hardware_rings; Config.kernel_6180 ]
+
+let measure () = List.map (fun config -> (config, Pentest.run_corpus config)) configs
+
+let table () =
+  let results = measure () in
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        ([ ("attack (Linde category)", Left) ]
+        @ List.map (fun (config, _) -> (config.Config.name, Left)) results)
+  in
+  List.iter
+    (fun attack ->
+      let cells =
+        List.map
+          (fun (_, outcomes) ->
+            match
+              List.find_opt
+                (fun (a, _) -> a.Pentest.attack_name = attack.Pentest.attack_name)
+                outcomes
+            with
+            | Some (_, outcome) -> Pentest.outcome_name outcome
+            | None -> "-")
+          results
+      in
+      add_row t
+        ((Printf.sprintf "%s (%s)" attack.Pentest.attack_name
+            (Pentest.category_name attack.Pentest.linde))
+        :: cells))
+    Pentest.corpus;
+  let summary_cells =
+    List.map
+      (fun (_, outcomes) ->
+        let s = Pentest.summarize outcomes in
+        Printf.sprintf "%d violated / %d refused / %d contained" s.Pentest.violated
+          s.Pentest.refused s.Pentest.contained)
+      results
+  in
+  add_row t ("TOTAL" :: summary_cells);
+  t
+
+let render () = Multics_util.Table.render (table ())

@@ -1,0 +1,16 @@
+(** E11 — the Linde-catalog penetration corpus against the flawed
+    baseline, the reviewed supervisor, and the security kernel. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val configs : Multics_kernel.Config.t list
+
+val measure :
+  unit ->
+  (Multics_kernel.Config.t * (Multics_audit.Pentest.attack * Multics_audit.Pentest.outcome) list)
+  list
+
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,142 @@
+(* E12 — the kernel across all engineering stages: gates, certification
+   mass, module structure, initialization, and the non-kernel software
+   categories.
+
+   This is the paper's bottom line: "one wave of simplification applied
+   to the central core of the system will produce a badly needed
+   example of a structure that is significantly easier to
+   understand." *)
+
+open Multics_audit
+open Multics_kernel
+
+let id = "E12"
+
+let title = "Kernel size and structure across engineering stages"
+
+let paper_claim =
+  "the evolved kernel is sufficiently small, well-structured and easy to understand that \
+   certification through manual auditing by an expert is feasible"
+
+let stage_table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("stage", Left);
+          ("gates", Right);
+          ("API gates", Right);
+          ("statements", Right);
+          ("ring-0 stmts", Right);
+          ("ring-1 stmts", Right);
+          ("modules", Right);
+          ("vs baseline", Right);
+        ]
+  in
+  let baseline = Inventory.ring0_statements Config.baseline_645 in
+  List.iter
+    (fun (s : Metrics.snapshot) ->
+      add_row t
+        [
+          s.Metrics.config_name;
+          string_of_int s.Metrics.gates;
+          string_of_int s.Metrics.functional_gates;
+          string_of_int s.Metrics.statements;
+          string_of_int s.Metrics.ring0_statements;
+          string_of_int s.Metrics.ring1_statements;
+          string_of_int s.Metrics.modules;
+          fmt_pct (float_of_int s.Metrics.ring0_statements /. float_of_int baseline);
+        ])
+    (Metrics.stages ());
+  t
+
+let init_table () =
+  let open Multics_util.Table in
+  let t =
+    create ~title:"E12b: system initialization strategies"
+      ~columns:
+        [
+          ("strategy", Left);
+          ("steps at start", Right);
+          ("privileged stmts at start", Right);
+          ("stmts moved offline", Right);
+        ]
+  in
+  List.iter
+    (fun config ->
+      let r = Init.run config in
+      add_row t
+        [
+          Config.init_strategy_name config.Config.init ^ " (" ^ config.Config.name ^ ")";
+          string_of_int (Init.privileged_step_count r);
+          string_of_int r.Init.privileged_total;
+          string_of_int r.Init.offline_total;
+        ])
+    [ Config.baseline_645; Config.kernel_6180 ];
+  t
+
+let io_table () =
+  let open Multics_util.Table in
+  let t =
+    create ~title:"E12c: external I/O mechanisms in the kernel"
+      ~columns:
+        [ ("configuration", Left); ("io mechanisms", Right); ("io gates", Right); ("io statements", Right) ]
+  in
+  List.iter
+    (fun config ->
+      let modules =
+        List.filter
+          (fun (m : Inventory.module_info) ->
+            String.length m.Inventory.subsystem > 3
+            && String.sub m.Inventory.subsystem 0 3 = "io-")
+          (Inventory.modules config)
+      in
+      let gates = List.fold_left (fun acc m -> acc + m.Inventory.gates) 0 modules in
+      let statements = List.fold_left (fun acc m -> acc + m.Inventory.statements) 0 modules in
+      add_row t
+        [
+          config.Config.name;
+          string_of_int (List.length modules);
+          string_of_int gates;
+          string_of_int statements;
+        ])
+    [ Config.baseline_645; Config.kernel_6180 ];
+  t
+
+let trojan_table () =
+  let open Multics_util.Table in
+  let t =
+    create ~title:"E12d: the four categories of non-kernel software"
+      ~columns:
+        [
+          ("scenario", Left);
+          ("category", Left);
+          ("undesired result", Right);
+          ("unauthorized", Right);
+          ("contained", Right);
+        ]
+  in
+  let flag b = if b then "yes" else "no" in
+  List.iter
+    (fun (r : Trojan.result) ->
+      add_row t
+        [
+          r.Trojan.scenario_name;
+          Trojan.category_name r.Trojan.category;
+          flag r.Trojan.undesired;
+          flag r.Trojan.unauthorized;
+          flag r.Trojan.contained;
+        ])
+    (Trojan.run_all ());
+  t
+
+let render () =
+  String.concat "\n"
+    [
+      Multics_util.Table.render (stage_table ());
+      Multics_util.Table.render (init_table ());
+      Multics_util.Table.render (io_table ());
+      Multics_util.Table.render (trojan_table ());
+    ]

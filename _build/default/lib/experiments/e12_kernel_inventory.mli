@@ -1,0 +1,13 @@
+(** E12 — the kernel across all engineering stages: gates,
+    certification mass, initialization, I/O mechanisms, and the four
+    categories of non-kernel software. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val stage_table : unit -> Multics_util.Table.t
+val init_table : unit -> Multics_util.Table.t
+val io_table : unit -> Multics_util.Table.t
+val trojan_table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,125 @@
+(* E13 — the performance cost of security.
+
+   The paper, footnote 7: "there may still exist other performance
+   penalties associated with removing functions from the supervisor
+   that will inhibit production of the smallest possible kernel.  One
+   goal of the research is to understand better the performance cost of
+   security."
+
+   The same user workload runs in the full-system simulation on three
+   configurations.  Two effects are visible at once:
+
+   - the hardware effect (645 -> 6180): each gate crossing goes from
+     ~4,200 cycles to the price of an ordinary call;
+   - the removal effect: the engineered kernel makes MORE gate calls
+     for the same work (tree walking is one [initiate] per component
+     instead of one kernel resolver call) — the footnote's worry —
+     which costs nothing on the 6180 but would have been prohibitive
+     on the 645. *)
+
+open Multics_access
+open Multics_kernel
+
+let id = "E13"
+
+let title = "Performance cost of security: one workload, three kernels"
+
+let paper_claim =
+  "one goal of the research is to understand better the performance cost of security \
+   (footnote 7); supervisor calls are free on the 6180, so removal costs nothing there"
+
+(* A realistic editing session: build a file tree, then edit cycles of
+   read/compute/write, re-resolving names as editors do. *)
+let workload =
+  let open Program in
+  let acl = Acl.of_strings [ ("Alice.Dev.*", "rw") ] in
+  make ~name:"edit-session"
+    [
+      Create_directory
+        { path = ">udd>Dev>Alice>proj"; acl = Acl.of_strings [ ("Alice.Dev.*", "rew") ];
+          label = Label.unclassified; slot = "proj" };
+      Create_segment
+        { path = ">udd>Dev>Alice>proj>text"; acl; label = Label.unclassified; slot = "text" };
+      Bind_name { name = "text"; seg = "text" };
+      Repeat
+        ( 15,
+          [
+            Resolve { path = ">udd>Dev>Alice>proj>text"; slot = "t" };
+            Read_word { seg = "t"; offset = 0; slot = "v" };
+            Compute 3_000;
+            Write_word { seg = "t"; offset = 0; value = Const 1 };
+            Write_word { seg = "t"; offset = 100; value = Const 2 };
+          ] );
+      Lookup_name { name = "text"; slot = "again" };
+      Read_word { seg = "again"; offset = 100; slot = "final" };
+      Assert_slot { slot = "final"; expected = 2 };
+    ]
+
+type row = {
+  config_name : string;
+  processor : string;
+  gate_calls : int;
+  gate_cycles : int;
+  compute_cycles : int;
+  elapsed : int;
+  security_overhead : float;
+}
+
+let run_config config =
+  let session = Session.boot config in
+  ignore
+    (System.add_account (Session.system session) ~person:"Alice" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  let alice =
+    match System.login (Session.system session) ~person:"Alice" ~project:"Dev" ~password:"pw" with
+    | Ok h -> h
+    | Error e -> invalid_arg (System.login_error_to_string e)
+  in
+  ignore (Session.run_user session ~handle:alice workload);
+  Session.run session;
+  if not (Session.all_completed session) then
+    invalid_arg ("E13 workload failed on " ^ config.Config.name);
+  let r = Session.report session in
+  {
+    config_name = config.Config.name;
+    processor = Multics_machine.Cost.processor_name config.Config.processor;
+    gate_calls = r.Session.total_gate_calls;
+    gate_cycles = r.Session.gate_cycles_total;
+    compute_cycles = r.Session.compute_cycles_total;
+    elapsed = r.Session.elapsed;
+    security_overhead = r.Session.security_overhead;
+  }
+
+let measure () =
+  List.map run_config [ Config.baseline_645; Config.hardware_rings; Config.kernel_6180 ]
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("configuration", Left);
+          ("cpu", Left);
+          ("gate calls", Right);
+          ("gate cycles", Right);
+          ("compute cycles", Right);
+          ("security overhead", Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.config_name;
+          r.processor;
+          string_of_int r.gate_calls;
+          string_of_int r.gate_cycles;
+          string_of_int r.compute_cycles;
+          fmt_pct r.security_overhead;
+        ])
+    (measure ());
+  t
+
+let render () = Multics_util.Table.render (table ())

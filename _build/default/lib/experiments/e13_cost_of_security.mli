@@ -1,0 +1,24 @@
+(** E13 — the performance cost of security (the paper's footnote 7):
+    one editing workload run in the full-system simulation on the 645
+    baseline, the reviewed 6180 supervisor, and the engineered kernel;
+    gate-crossing cycles against computation. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val workload : Multics_kernel.Program.t
+
+type row = {
+  config_name : string;
+  processor : string;
+  gate_calls : int;
+  gate_cycles : int;
+  compute_cycles : int;
+  elapsed : int;
+  security_overhead : float;
+}
+
+val measure : unit -> row list
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,11 @@
+(** E14 — certification by systematic technique: exhaustive
+    specification checks of the reference monitor's decision
+    procedures, plus the review activity's maintained flaw list. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val verification_table : unit -> Multics_util.Table.t
+val flaw_table : unit -> Multics_util.Table.t
+val render : unit -> string

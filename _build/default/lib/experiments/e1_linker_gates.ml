@@ -1,0 +1,79 @@
+(* E1 — "the linker's removal eliminated 10% of the gate entry points
+   into the supervisor."
+
+   Measured two ways: on the reconstructed historical inventory (180
+   baseline gates) and on the implemented functional gate surface (50
+   baseline gates). *)
+
+open Multics_audit
+open Multics_kernel
+
+let id = "E1"
+
+let title = "Linker removal: share of supervisor gate entry points"
+
+let paper_claim = "removal eliminated 10% of the gate entry points into the supervisor"
+
+type result = {
+  inventory_before : int;
+  inventory_after : int;
+  inventory_fraction : float;
+  functional_before : int;
+  functional_after : int;
+  functional_fraction : float;
+}
+
+let measure () =
+  let before = Config.hardware_rings in
+  let after = Config.linker_removed in
+  let inventory_before = Inventory.total_gates before in
+  let inventory_after = Inventory.total_gates after in
+  let functional_before = Gate.count before in
+  let functional_after = Gate.count after in
+  let fraction a b = float_of_int (a - b) /. float_of_int a in
+  {
+    inventory_before;
+    inventory_after;
+    inventory_fraction = fraction inventory_before inventory_after;
+    functional_before;
+    functional_after;
+    functional_fraction = fraction functional_before functional_after;
+  }
+
+let table () =
+  let r = measure () in
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("surface", Left);
+          ("gates before", Right);
+          ("gates after", Right);
+          ("removed", Right);
+          ("share", Right);
+          ("paper", Right);
+        ]
+  in
+  add_row t
+    [
+      "historical inventory";
+      string_of_int r.inventory_before;
+      string_of_int r.inventory_after;
+      string_of_int (r.inventory_before - r.inventory_after);
+      fmt_pct r.inventory_fraction;
+      "10%";
+    ];
+  add_row t
+    [
+      "implemented API";
+      string_of_int r.functional_before;
+      string_of_int r.functional_after;
+      string_of_int (r.functional_before - r.functional_after);
+      fmt_pct r.functional_fraction;
+      "10%";
+    ];
+  t
+
+let render () = Multics_util.Table.render (table ())

@@ -1,0 +1,20 @@
+(** E1 — "the linker's removal eliminated 10% of the gate entry points
+    into the supervisor", measured on both the historical inventory and
+    the implemented API surface. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type result = {
+  inventory_before : int;
+  inventory_after : int;
+  inventory_fraction : float;
+  functional_before : int;
+  functional_after : int;
+  functional_fraction : float;
+}
+
+val measure : unit -> result
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,100 @@
+(* E2 — "a reduction by a factor of ten in the size of the protected
+   code needed to manage the address space" (Bratt's removal of the
+   reference name manager and pathname bookkeeping).
+
+   Two measurements: protected code statements from the inventory, and
+   a LIVE measurement of protected data — the same workload (making N
+   segments known, binding reference names) run against the unified
+   (pre-removal) and split (post-removal) process structures, counting
+   the words that end up inside the kernel. *)
+
+open Multics_audit
+open Multics_fs
+open Multics_link
+open Multics_kernel
+
+let id = "E2"
+
+let title = "Naming removal: protected address-space management"
+
+let paper_claim =
+  "a reduction by a factor of ten in the size of the protected code needed to manage the \
+   address space of a process"
+
+type result = {
+  code_before : int;
+  code_after : int;
+  code_factor : float;
+  data_before : int;  (** protected words after the live workload, unified *)
+  data_after : int;  (** same workload, split *)
+  data_factor : float;
+}
+
+(* The live workload: one process makes [segments] segments known and
+   binds a reference name for each. *)
+let live_protected_words ~kst_variant ~rnt_placement ~segments =
+  let kst = Kst.create ~variant:kst_variant () in
+  let rnt = Rnt.create ~placement:rnt_placement in
+  let gen = Uid.generator () in
+  for i = 1 to segments do
+    let uid = Uid.fresh gen in
+    let segno, _ = Kst.make_known kst ~uid in
+    (match kst_variant with
+    | Kst.Unified -> ignore (Kst.record_pathname kst segno (Printf.sprintf ">lib>seg%d" i))
+    | Kst.Split -> ());
+    ignore (Rnt.bind rnt ~name:(Printf.sprintf "seg%d" i) ~segno)
+  done;
+  Kst.protected_words kst + Rnt.protected_words rnt
+
+let measure ?(segments = 64) () =
+  let code_before = Inventory.address_space_statements Config.hardware_rings in
+  let code_after = Inventory.address_space_statements Config.naming_removed in
+  let data_before =
+    live_protected_words ~kst_variant:Kst.Unified ~rnt_placement:Rnt.In_kernel ~segments
+  in
+  let data_after =
+    live_protected_words ~kst_variant:Kst.Split ~rnt_placement:Rnt.In_user_ring ~segments
+  in
+  {
+    code_before;
+    code_after;
+    code_factor = float_of_int code_before /. float_of_int code_after;
+    data_before;
+    data_after;
+    data_factor = float_of_int data_before /. float_of_int data_after;
+  }
+
+let table () =
+  let r = measure () in
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("protected quantity", Left);
+          ("before removal", Right);
+          ("after removal", Right);
+          ("factor", Right);
+          ("paper", Right);
+        ]
+  in
+  add_row t
+    [
+      "code (statements)";
+      string_of_int r.code_before;
+      string_of_int r.code_after;
+      fmt_ratio r.code_factor;
+      "10x";
+    ];
+  add_row t
+    [
+      "data (words, 64-segment process)";
+      string_of_int r.data_before;
+      string_of_int r.data_after;
+      fmt_ratio r.data_factor;
+      "~10x";
+    ];
+  t
+
+let render () = Multics_util.Table.render (table ())

@@ -1,0 +1,84 @@
+(* E3 — "the linker and reference name removal projects together reduce
+   the number of user-available supervisor entries by approximately one
+   third."
+
+   The full progression over the four removal combinations, on both the
+   historical inventory and the implemented API surface. *)
+
+open Multics_audit
+open Multics_kernel
+
+let id = "E3"
+
+let title = "Combined removals: user-available supervisor entries"
+
+let paper_claim =
+  "the linker and reference name removal projects together reduce the number of \
+   user-available supervisor entries by approximately one third"
+
+type row = {
+  stage : string;
+  inventory_gates : int;
+  inventory_cumulative : float;  (** fraction of baseline removed so far *)
+  functional_gates : int;
+  functional_cumulative : float;
+}
+
+let measure () =
+  let configs =
+    [
+      ("supervisor (reviewed)", Config.hardware_rings);
+      ("- linker", Config.linker_removed);
+      ("- linker - naming", Config.naming_removed);
+    ]
+  in
+  let inventory_base = Inventory.total_gates Config.hardware_rings in
+  let functional_base = Gate.count Config.hardware_rings in
+  List.map
+    (fun (stage, config) ->
+      let inventory_gates = Inventory.total_gates config in
+      let functional_gates = Gate.count config in
+      {
+        stage;
+        inventory_gates;
+        inventory_cumulative =
+          float_of_int (inventory_base - inventory_gates) /. float_of_int inventory_base;
+        functional_gates;
+        functional_cumulative =
+          float_of_int (functional_base - functional_gates) /. float_of_int functional_base;
+      })
+    configs
+
+let combined_fraction () =
+  match List.rev (measure ()) with
+  | last :: _ -> last.inventory_cumulative
+  | [] -> Float.nan
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s (paper: ~1/3 removed)" id title)
+      ~columns:
+        [
+          ("stage", Left);
+          ("inventory gates", Right);
+          ("removed so far", Right);
+          ("API gates", Right);
+          ("removed so far ", Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.stage;
+          string_of_int r.inventory_gates;
+          fmt_pct r.inventory_cumulative;
+          string_of_int r.functional_gates;
+          fmt_pct r.functional_cumulative;
+        ])
+    (measure ());
+  t
+
+let render () = Multics_util.Table.render (table ())

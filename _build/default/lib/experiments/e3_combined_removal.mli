@@ -1,0 +1,22 @@
+(** E3 — linker + naming removals cut user-available supervisor entries
+    by approximately one third. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type row = {
+  stage : string;
+  inventory_gates : int;
+  inventory_cumulative : float;
+  functional_gates : int;
+  functional_cumulative : float;
+}
+
+val measure : unit -> row list
+
+val combined_fraction : unit -> float
+(** The final cumulative inventory fraction (paper: ~1/3). *)
+
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,58 @@
+(* E4 — ring-crossing cost.  "For that older machine ... cross-ring
+   calls were quite expensive"; on the 6180, "calls from one ring to
+   another now cost no more than calls inside a ring." *)
+
+open Multics_machine
+
+let id = "E4"
+
+let title = "Cross-ring call cost: H645 (software rings) vs H6180 (hardware rings)"
+
+let paper_claim =
+  "on the 645 a call to the supervisor cost much more than a call which did not change \
+   protection environments; on the 6180 cross-ring calls cost no more than in-ring calls"
+
+type row = {
+  processor : string;
+  in_ring_round_trip : int;
+  cross_ring_round_trip : int;
+  penalty : float;
+}
+
+let measure () =
+  List.map
+    (fun cost ->
+      {
+        processor = Cost.processor_name cost.Cost.processor;
+        in_ring_round_trip = Cost.round_trip_call_cost cost ~cross_ring:false;
+        cross_ring_round_trip = Cost.round_trip_call_cost cost ~cross_ring:true;
+        penalty = Cost.cross_ring_penalty cost;
+      })
+    [ Cost.h645; Cost.h6180 ]
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("processor", Left);
+          ("in-ring call+return", Right);
+          ("cross-ring call+return", Right);
+          ("penalty", Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.processor;
+          string_of_int r.in_ring_round_trip;
+          string_of_int r.cross_ring_round_trip;
+          fmt_ratio r.penalty;
+        ])
+    (measure ());
+  t
+
+let render () = Multics_util.Table.render (table ())

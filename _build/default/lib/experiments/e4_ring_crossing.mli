@@ -1,0 +1,17 @@
+(** E4 — cross-ring call cost on the 645 (software rings) vs the 6180
+    (hardware rings). *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type row = {
+  processor : string;
+  in_ring_round_trip : int;
+  cross_ring_round_trip : int;
+  penalty : float;
+}
+
+val measure : unit -> row list
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,44 @@
+(* E5 — the supervisor-boundary placement sweep: the paper's A/B
+   call-flurry example.  The 645 column explains why A was pulled into
+   the supervisor; the 6180 column shows the pressure removed, enabling
+   the removal projects. *)
+
+open Multics_kernel
+
+let id = "E5"
+
+let title = "Boundary placement overhead vs call-flurry size (A calls B k times)"
+
+let paper_claim =
+  "there is a clear performance cost in placing the supervisor boundary between A and B \
+   [on the 645] ... [on the 6180] the performance penalty associated with supervisor calls \
+   has been removed"
+
+let inner_calls_list = [ 0; 1; 2; 5; 10; 20; 50; 100 ]
+
+let measure () = Boundary.sweep ~inner_calls_list ()
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("inner calls k", Right);
+          ("H645 overhead", Right);
+          ("H6180 overhead", Right);
+        ]
+  in
+  List.iter
+    (fun (p : Boundary.sweep_point) ->
+      add_row t
+        [
+          string_of_int p.Boundary.inner_calls;
+          fmt_ratio p.Boundary.h645_overhead;
+          fmt_ratio p.Boundary.h6180_overhead;
+        ])
+    (measure ());
+  t
+
+let render () = Multics_util.Table.render (table ())

@@ -1,0 +1,11 @@
+(** E5 — the A/B boundary-placement sweep over call-flurry sizes. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val inner_calls_list : int list
+
+val measure : unit -> Multics_kernel.Boundary.sweep_point list
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,40 @@
+(** E6 — page-fault handling: the sequential in-fault cascade vs the
+    paper's dedicated freeing processes, over a tight and a provisioned
+    memory scenario. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type row = {
+  scenario : string;
+  discipline : string;
+  faults : int;
+  mean_latency : float;
+  p90_latency : float;
+  mean_steps : float;
+  max_steps : float;
+  cascaded : int;
+  deep_cascades : int;
+  kernel_process_evictions : int;
+}
+
+val run_storm :
+  ?think:int ->
+  core:int ->
+  bulk:int ->
+  discipline:Multics_vm.Page_control.discipline ->
+  processes:int ->
+  pages_per_process:int ->
+  sweeps:int ->
+  unit ->
+  Multics_proc.Sim.t * Multics_vm.Page_control.t
+(** One fault storm: user processes share two virtual processors; the
+    parallel discipline adds dedicated VPs for the freers. *)
+
+val scenarios : (string * int * int) list
+(** (name, core frames, bulk blocks). *)
+
+val measure : ?processes:int -> ?pages_per_process:int -> ?sweeps:int -> unit -> row list
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

@@ -1,0 +1,101 @@
+(* E7 — the network input buffer: old circular ring vs the VM-backed
+   infinite buffer, under increasingly bursty input.
+
+   "The infinite buffer scheme is much simpler than the old circular
+   buffer which had to be used over and over again, with attendant
+   problems of old messages not being removed before a complete circuit
+   of the buffer was made." *)
+
+open Multics_io
+
+let id = "E7"
+
+let title = "Network input buffering: circular ring vs infinite VM buffer"
+
+let paper_claim =
+  "the old circular buffer destroyed messages when lapped; the VM-backed buffer appears \
+   infinite and replaces a special-purpose storage manager with the standard one"
+
+type row = {
+  burst_cap : int;
+  offered : int;
+  circular_lost : int;
+  circular_loss_rate : float;
+  infinite_lost : int;
+  infinite_peak_pages : int;
+}
+
+let burst_caps = [ 8; 16; 32; 64; 128 ]
+
+(* Long geometric bursts (mean 32) so the cap is what actually limits
+   burst length and the sweep exercises it. *)
+let workload_for cap =
+  {
+    Network.default_workload with
+    Network.burst_cap = cap;
+    bursts = 30;
+    burst_continue_num = 31;
+    burst_continue_den = 32;
+  }
+
+let measure ?(capacity = 16) ?(seed = 1975) () =
+  List.map
+    (fun cap ->
+      let workload = workload_for cap in
+      let circular =
+        Network.run ~seed ~workload (Network.Circular (Circular_buffer.create ~capacity))
+      in
+      let infinite = Network.run ~seed ~workload (Network.Infinite (Infinite_buffer.create ())) in
+      {
+        burst_cap = cap;
+        offered = circular.Network.offered;
+        circular_lost = circular.Network.lost;
+        circular_loss_rate =
+          (if circular.Network.offered = 0 then 0.0
+           else float_of_int circular.Network.lost /. float_of_int circular.Network.offered);
+        infinite_lost = infinite.Network.lost;
+        infinite_peak_pages = infinite.Network.peak_pages;
+      })
+    burst_caps
+
+let mechanism_table () =
+  let open Multics_util.Table in
+  let t =
+    create ~title:"E7b: buffer mechanism size (statements)"
+      ~columns:[ ("mechanism", Left); ("statements", Right) ]
+  in
+  add_row t [ "circular ring (wrap + reuse + collision handling)"; string_of_int Circular_buffer.mechanism_statements ];
+  add_row t [ "infinite VM buffer (append + trim)"; string_of_int Infinite_buffer.mechanism_statements ];
+  t
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s (ring capacity 16)" id title)
+      ~columns:
+        [
+          ("burst cap", Right);
+          ("offered", Right);
+          ("circular lost", Right);
+          ("loss rate", Right);
+          ("infinite lost", Right);
+          ("infinite peak pages", Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          string_of_int r.burst_cap;
+          string_of_int r.offered;
+          string_of_int r.circular_lost;
+          fmt_pct r.circular_loss_rate;
+          string_of_int r.infinite_lost;
+          string_of_int r.infinite_peak_pages;
+        ])
+    (measure ());
+  t
+
+let render () =
+  Multics_util.Table.render (table ()) ^ "\n" ^ Multics_util.Table.render (mechanism_table ())

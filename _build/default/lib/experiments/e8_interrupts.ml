@@ -1,0 +1,92 @@
+(* E8 — interrupt handling: inline in the victim process vs dedicated
+   handler processes.
+
+   "Each interrupt handler will be assigned its own process ... the
+   system interrupt interceptor will simply turn each interrupt into a
+   wakeup of the corresponding process ... greatly simplifying their
+   structure."  Measured: what happens to an innocent compute-bound
+   process under an interrupt storm, and how much privileged work runs
+   in borrowed user contexts. *)
+
+open Multics_proc
+
+let id = "E8"
+
+let title = "Interrupt handling: inline-in-victim vs dedicated handler processes"
+
+let paper_claim =
+  "handlers as full processes coordinate through normal IPC and stop inhabiting whatever \
+   user process was running when the interrupt occurred"
+
+type row = {
+  discipline : string;
+  interrupts : int;
+  handled : int;
+  mean_latency : float;
+  victim_expected_cycles : int;
+  victim_actual_cycles : int;
+  victim_perturbations : int;
+  borrowed_privileged_cycles : int;
+}
+
+let run_storm ~discipline ~interrupts ~gap =
+  let sim = Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:4 in
+  let ic = Interrupt.create sim ~discipline in
+  Interrupt.register ic ~name:"tty" ~service_cycles:2_500;
+  let work = 200_000 in
+  let victim = Sim.spawn sim ~name:"victim" (fun _ -> Sim.compute work) in
+  for i = 1 to interrupts do
+    Interrupt.post ic ~delay:(i * gap) ~name:"tty"
+  done;
+  Sim.run sim;
+  let stats = Interrupt.stats_of ic ~name:"tty" in
+  {
+    discipline = Interrupt.discipline_name discipline;
+    interrupts;
+    handled = stats.Interrupt.handled;
+    mean_latency = stats.Interrupt.mean_latency;
+    victim_expected_cycles = work;
+    victim_actual_cycles = Sim.cycles_of sim victim;
+    victim_perturbations = Sim.perturbations_of sim victim;
+    borrowed_privileged_cycles = stats.Interrupt.borrowed_privileged_cycles;
+  }
+
+let measure ?(interrupts = 40) ?(gap = 4_000) () =
+  List.map
+    (fun discipline -> run_storm ~discipline ~interrupts ~gap)
+    [ Interrupt.Inline; Interrupt.Handler_processes ]
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("discipline", Left);
+          ("interrupts", Right);
+          ("handled", Right);
+          ("latency mean", Right);
+          ("victim cycles (expected)", Right);
+          ("victim cycles (actual)", Right);
+          ("perturbations", Right);
+          ("ring-0 cycles in borrowed context", Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      add_row t
+        [
+          r.discipline;
+          string_of_int r.interrupts;
+          string_of_int r.handled;
+          fmt_float r.mean_latency;
+          string_of_int r.victim_expected_cycles;
+          string_of_int r.victim_actual_cycles;
+          string_of_int r.victim_perturbations;
+          string_of_int r.borrowed_privileged_cycles;
+        ])
+    (measure ());
+  t
+
+let render () = Multics_util.Table.render (table ())

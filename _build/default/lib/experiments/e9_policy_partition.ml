@@ -1,0 +1,52 @@
+(* E9 — policy/mechanism partitioning: the malicious page-removal
+   policy, unpartitioned in ring 0 vs behind the ring-1 mechanism
+   interface.
+
+   "The policy algorithm could never cause unauthorized use or
+   modification of the information stored in the pages.  It could only
+   cause denial of use." *)
+
+open Multics_kernel
+
+let id = "E9"
+
+let title = "Malicious page-removal policy: ring 0 vs ring 1 placement"
+
+let paper_claim =
+  "partitioned into ring 1, the policy can cause only denial of use; the rest of the \
+   kernel need not trust it for release or modification"
+
+let measure () = Page_policy.attack_matrix ()
+
+let table () =
+  let open Multics_util.Table in
+  let t =
+    create
+      ~title:(Printf.sprintf "%s: %s" id title)
+      ~columns:
+        [
+          ("placement", Left);
+          ("attack", Left);
+          ("release", Right);
+          ("modify", Right);
+          ("deny", Right);
+          ("how", Left);
+        ]
+  in
+  let flag b = if b then "YES" else "no" in
+  List.iter
+    (fun (row : Page_policy.experiment_row) ->
+      let v = row.Page_policy.result in
+      add_row t
+        [
+          Config.policy_placement_name row.Page_policy.placement;
+          Page_policy.attack_name row.Page_policy.attack;
+          flag v.Page_policy.released;
+          flag v.Page_policy.modified;
+          flag v.Page_policy.denied;
+          v.Page_policy.note;
+        ])
+    (measure ());
+  t
+
+let render () = Multics_util.Table.render (table ())

@@ -1,0 +1,10 @@
+(** E9 — the malicious page-removal policy in ring 0 vs ring 1: only
+    denial of use survives the partition. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val measure : unit -> Multics_kernel.Page_policy.experiment_row list
+val table : unit -> Multics_util.Table.t
+val render : unit -> string

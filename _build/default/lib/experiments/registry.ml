@@ -1,0 +1,126 @@
+(* The experiment registry: every table the reproduction regenerates,
+   addressable by id.  [bin/experiments.exe] prints these; EXPERIMENTS.md
+   records the paper-vs-measured comparison for each. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  render : unit -> string;
+}
+
+let all =
+  [
+    {
+      id = E1_linker_gates.id;
+      title = E1_linker_gates.title;
+      paper_claim = E1_linker_gates.paper_claim;
+      render = E1_linker_gates.render;
+    };
+    {
+      id = E2_naming_removal.id;
+      title = E2_naming_removal.title;
+      paper_claim = E2_naming_removal.paper_claim;
+      render = E2_naming_removal.render;
+    };
+    {
+      id = E3_combined_removal.id;
+      title = E3_combined_removal.title;
+      paper_claim = E3_combined_removal.paper_claim;
+      render = E3_combined_removal.render;
+    };
+    {
+      id = E4_ring_crossing.id;
+      title = E4_ring_crossing.title;
+      paper_claim = E4_ring_crossing.paper_claim;
+      render = E4_ring_crossing.render;
+    };
+    {
+      id = E5_boundary_sweep.id;
+      title = E5_boundary_sweep.title;
+      paper_claim = E5_boundary_sweep.paper_claim;
+      render = E5_boundary_sweep.render;
+    };
+    {
+      id = E6_page_control.id;
+      title = E6_page_control.title;
+      paper_claim = E6_page_control.paper_claim;
+      render = E6_page_control.render;
+    };
+    {
+      id = E7_buffers.id;
+      title = E7_buffers.title;
+      paper_claim = E7_buffers.paper_claim;
+      render = E7_buffers.render;
+    };
+    {
+      id = E8_interrupts.id;
+      title = E8_interrupts.title;
+      paper_claim = E8_interrupts.paper_claim;
+      render = E8_interrupts.render;
+    };
+    {
+      id = E9_policy_partition.id;
+      title = E9_policy_partition.title;
+      paper_claim = E9_policy_partition.paper_claim;
+      render = E9_policy_partition.render;
+    };
+    {
+      id = E10_lattice_flow.id;
+      title = E10_lattice_flow.title;
+      paper_claim = E10_lattice_flow.paper_claim;
+      render = E10_lattice_flow.render;
+    };
+    {
+      id = E11_penetration.id;
+      title = E11_penetration.title;
+      paper_claim = E11_penetration.paper_claim;
+      render = E11_penetration.render;
+    };
+    {
+      id = E12_kernel_inventory.id;
+      title = E12_kernel_inventory.title;
+      paper_claim = E12_kernel_inventory.paper_claim;
+      render = E12_kernel_inventory.render;
+    };
+    {
+      id = E13_cost_of_security.id;
+      title = E13_cost_of_security.title;
+      paper_claim = E13_cost_of_security.paper_claim;
+      render = E13_cost_of_security.render;
+    };
+    {
+      id = E14_certification.id;
+      title = E14_certification.title;
+      paper_claim = E14_certification.paper_claim;
+      render = E14_certification.render;
+    };
+    {
+      id = Ablations.A1.id;
+      title = Ablations.A1.title;
+      paper_claim = Ablations.A1.paper_claim;
+      render = Ablations.A1.render;
+    };
+    {
+      id = Ablations.A2.id;
+      title = Ablations.A2.title;
+      paper_claim = Ablations.A2.paper_claim;
+      render = Ablations.A2.render;
+    };
+    {
+      id = Ablations.A3.id;
+      title = Ablations.A3.title;
+      paper_claim = Ablations.A3.paper_claim;
+      render = Ablations.A3.render;
+    };
+  ]
+
+let find id =
+  List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
+
+let ids = List.map (fun e -> e.id) all
+
+let render_one e =
+  Printf.sprintf "%s — %s\npaper: %s\n\n%s" e.id e.title e.paper_claim (e.render ())
+
+let render_all () = String.concat "\n\n" (List.map render_one all)

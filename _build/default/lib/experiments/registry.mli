@@ -1,0 +1,19 @@
+(** The experiment registry: E1..E12 plus the ablations, addressable by
+    id. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  render : unit -> string;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+(** Case-insensitive id lookup. *)
+
+val ids : string list
+
+val render_one : experiment -> string
+val render_all : unit -> string

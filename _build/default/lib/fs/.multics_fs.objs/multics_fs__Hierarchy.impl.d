@@ -1,0 +1,1 @@
+lib/fs/hierarchy.ml: Acl Array Brackets Fmt Hardware Hashtbl Label List Mode Multics_access Multics_machine Option Policy Printf Result Ring Sdw String Uid

@@ -1,0 +1,1 @@
+lib/fs/hierarchy.mli: Acl Brackets Label Mode Multics_access Multics_machine Policy Sdw Uid

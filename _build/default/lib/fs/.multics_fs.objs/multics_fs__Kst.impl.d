@@ -1,0 +1,1 @@
+lib/fs/kst.ml: Hashtbl Int List Multics_machine Option Printf Uid

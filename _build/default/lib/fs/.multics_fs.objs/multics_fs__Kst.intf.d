@@ -1,0 +1,1 @@
+lib/fs/kst.mli: Multics_machine Uid

@@ -1,0 +1,1 @@
+lib/fs/uid.mli: Format

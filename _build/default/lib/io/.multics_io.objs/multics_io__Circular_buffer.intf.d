@@ -1,0 +1,1 @@
+lib/io/circular_buffer.mli:

@@ -1,0 +1,1 @@
+lib/io/infinite_buffer.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/io/network.ml: Circular_buffer Infinite_buffer Int List Multics_machine Multics_proc Multics_util Printf Sim

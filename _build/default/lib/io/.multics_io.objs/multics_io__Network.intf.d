@@ -1,0 +1,1 @@
+lib/io/network.mli: Circular_buffer Infinite_buffer

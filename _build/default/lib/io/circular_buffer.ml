@@ -1,0 +1,67 @@
+(* The old circular input buffer.
+
+   A fixed ring reused "over and over again, with attendant problems of
+   old messages not being removed before a complete circuit of the
+   buffer was made": when input arrives faster than the consumer
+   drains, the writer laps the reader and destroys unread messages.
+   This module reproduces exactly that failure mode so E7 can measure
+   it against the VM-backed infinite buffer. *)
+
+type t = {
+  slots : int array;
+  mutable write_pos : int;
+  mutable read_pos : int;
+  mutable count : int;  (** unread messages currently in the ring *)
+  mutable written : int;
+  mutable read : int;
+  mutable overwritten : int;  (** unread messages destroyed by lapping *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Circular_buffer.create: capacity must be positive";
+  {
+    slots = Array.make capacity 0;
+    write_pos = 0;
+    read_pos = 0;
+    count = 0;
+    written = 0;
+    read = 0;
+    overwritten = 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let occupancy t = t.count
+
+let write t message =
+  let n = capacity t in
+  if t.count = n then begin
+    (* Complete circuit: the slot under the write position still holds
+       an unread message; it is destroyed. *)
+    t.overwritten <- t.overwritten + 1;
+    t.read_pos <- (t.read_pos + 1) mod n;
+    t.count <- t.count - 1
+  end;
+  t.slots.(t.write_pos) <- message;
+  t.write_pos <- (t.write_pos + 1) mod n;
+  t.count <- t.count + 1;
+  t.written <- t.written + 1
+
+let read t =
+  if t.count = 0 then None
+  else begin
+    let message = t.slots.(t.read_pos) in
+    t.read_pos <- (t.read_pos + 1) mod capacity t;
+    t.count <- t.count - 1;
+    t.read <- t.read + 1;
+    Some message
+  end
+
+let written t = t.written
+let messages_read t = t.read
+let overwritten t = t.overwritten
+
+(* Complexity proxy: the wraparound-and-reuse management the paper
+   calls "a special purpose storage management facility".  Statement
+   counts are used by the inventory comparison. *)
+let mechanism_statements = 120

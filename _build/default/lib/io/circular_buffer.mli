@@ -1,0 +1,22 @@
+(** The old fixed circular input buffer, with its lapping failure mode:
+    a write into a full ring destroys the oldest unread message. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val occupancy : t -> int
+(** Unread messages currently held. *)
+
+val write : t -> int -> unit
+val read : t -> int option
+
+val written : t -> int
+val messages_read : t -> int
+
+val overwritten : t -> int
+(** Unread messages destroyed by the writer lapping the reader. *)
+
+val mechanism_statements : int
+(** Complexity proxy for the inventory comparison. *)

@@ -1,0 +1,35 @@
+(* External I/O device kinds.
+
+   The simplification experiment (E12) replaces the five per-device
+   kernel mechanisms with the single ARPA network attachment: "this
+   would remove from the kernel a large bulk of special mechanisms for
+   managing the various I/O devices, leaving behind a single mechanism
+   for managing the network attachment". *)
+
+type kind = Terminal | Tape | Card_reader | Card_punch | Printer | Network_attachment
+
+let name = function
+  | Terminal -> "terminal"
+  | Tape -> "tape"
+  | Card_reader -> "card-reader"
+  | Card_punch -> "card-punch"
+  | Printer -> "printer"
+  | Network_attachment -> "network-attachment"
+
+let all_legacy = [ Terminal; Tape; Card_reader; Card_punch; Printer ]
+
+let all = all_legacy @ [ Network_attachment ]
+
+(* Per-interrupt service work for each device's handler, in cycles.
+   Character devices are cheap per event; block devices cost more. *)
+let service_cycles = function
+  | Terminal -> 800
+  | Tape -> 3_000
+  | Card_reader -> 1_200
+  | Card_punch -> 1_200
+  | Printer -> 1_500
+  | Network_attachment -> 1_000
+
+let equal a b = name a = name b
+
+let pp ppf t = Fmt.string ppf (name t)

@@ -1,0 +1,16 @@
+(** External I/O device kinds and their handler costs. *)
+
+type kind = Terminal | Tape | Card_reader | Card_punch | Printer | Network_attachment
+
+val name : kind -> string
+
+val all_legacy : kind list
+(** The five device mechanisms the network attachment replaces. *)
+
+val all : kind list
+
+val service_cycles : kind -> int
+(** Interrupt-handler service work per event. *)
+
+val equal : kind -> kind -> bool
+val pp : Format.formatter -> kind -> unit

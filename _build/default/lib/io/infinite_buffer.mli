@@ -1,0 +1,22 @@
+(** The VM-backed "infinite" input buffer: append-only, pages demanded
+    and returned as the pointers move, never loses a message. *)
+
+type t
+
+val create : ?messages_per_page:int -> unit -> t
+
+val occupancy : t -> int
+val resident_pages : t -> int
+
+val write : t -> int -> unit
+val read : t -> int option
+
+val written : t -> int
+val messages_read : t -> int
+
+val pages_demanded : t -> int
+val pages_returned : t -> int
+val peak_resident_pages : t -> int
+
+val mechanism_statements : int
+(** Complexity proxy for the inventory comparison. *)

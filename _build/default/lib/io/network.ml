@@ -1,0 +1,125 @@
+(* Network input workload: bursty arrivals against a consumer, driving
+   either buffering strategy.
+
+   Arrivals come in geometric bursts (a terminal's line of characters,
+   a network packet train); the consumer drains at a fixed service
+   rate.  When offered load exceeds service capacity for long enough,
+   the circular buffer laps itself and destroys messages; the infinite
+   buffer simply grows. *)
+
+open Multics_proc
+
+type strategy = Circular of Circular_buffer.t | Infinite of Infinite_buffer.t
+
+let strategy_name = function
+  | Circular buffer -> Printf.sprintf "circular(%d)" (Circular_buffer.capacity buffer)
+  | Infinite _ -> "infinite-vm"
+
+let write_message strategy message =
+  match strategy with
+  | Circular buffer -> Circular_buffer.write buffer message
+  | Infinite buffer -> Infinite_buffer.write buffer message
+
+let read_message strategy =
+  match strategy with
+  | Circular buffer -> Circular_buffer.read buffer
+  | Infinite buffer -> Infinite_buffer.read buffer
+
+type result = {
+  strategy : string;
+  offered : int;
+  delivered : int;  (** distinct messages the consumer actually received *)
+  lost : int;  (** offered - delivered *)
+  peak_occupancy : int;
+  peak_pages : int;  (** infinite strategy only; 0 otherwise *)
+  mechanism_statements : int;
+}
+
+type workload = {
+  bursts : int;  (** number of arrival bursts *)
+  burst_gap : int;  (** cycles between burst starts *)
+  intra_burst_gap : int;  (** cycles between messages inside a burst *)
+  burst_continue_num : int;  (** geometric burst-length parameter *)
+  burst_continue_den : int;
+  burst_cap : int;
+  consume_cycles : int;  (** consumer service time per message *)
+}
+
+let default_workload =
+  {
+    bursts = 40;
+    burst_gap = 12_000;
+    intra_burst_gap = 40;
+    burst_continue_num = 14;
+    burst_continue_den = 16;
+    burst_cap = 64;
+    consume_cycles = 700;
+  }
+
+(* Drive one strategy through the workload on its own simulator.
+   Returns delivery statistics. *)
+let run ?(seed = 1975) ?(workload = default_workload) strategy =
+  let sim = Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:2 in
+  let prng = Multics_util.Prng.create ~seed in
+  let data_ready = Sim.new_channel sim ~name:"net.data" in
+  let offered = ref 0 in
+  let received = ref [] in
+  let peak = ref 0 in
+  (* Arrival side: interrupt-level writes into the buffer. *)
+  let time = ref 0 in
+  for _ = 1 to workload.bursts do
+    let burst_len =
+      Multics_util.Prng.burst_length prng ~continue_num:workload.burst_continue_num
+        ~continue_den:workload.burst_continue_den ~cap:workload.burst_cap
+    in
+    for i = 0 to burst_len - 1 do
+      let arrival_time = !time + (i * workload.intra_burst_gap) in
+      Sim.at sim ~delay:arrival_time (fun () ->
+          let message = !offered in
+          incr offered;
+          write_message strategy message;
+          (let occupancy =
+             match strategy with
+             | Circular buffer -> Circular_buffer.occupancy buffer
+             | Infinite buffer -> Infinite_buffer.occupancy buffer
+           in
+           if occupancy > !peak then peak := occupancy);
+          Sim.wakeup sim data_ready)
+    done;
+    time := !time + workload.burst_gap
+  done;
+  (* Consumer process: block for data, drain one message per service
+     period. *)
+  ignore
+    (Sim.spawn sim ~name:"net.consumer" (fun _ ->
+         let rec serve () =
+           Sim.block data_ready;
+           let rec drain () =
+             match read_message strategy with
+             | None -> ()
+             | Some message ->
+                 Sim.compute workload.consume_cycles;
+                 received := message :: !received;
+                 drain ()
+           in
+           drain ();
+           serve ()
+         in
+         serve ()));
+  Sim.run sim;
+  let delivered = List.length (List.sort_uniq Int.compare !received) in
+  {
+    strategy = strategy_name strategy;
+    offered = !offered;
+    delivered;
+    lost = !offered - delivered;
+    peak_occupancy = !peak;
+    peak_pages =
+      (match strategy with
+      | Infinite buffer -> Infinite_buffer.peak_resident_pages buffer
+      | Circular _ -> 0);
+    mechanism_statements =
+      (match strategy with
+      | Circular _ -> Circular_buffer.mechanism_statements
+      | Infinite _ -> Infinite_buffer.mechanism_statements);
+  }

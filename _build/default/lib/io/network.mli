@@ -1,0 +1,31 @@
+(** Bursty network-input workload driving either buffering strategy
+    against a fixed-rate consumer (experiment E7). *)
+
+type strategy = Circular of Circular_buffer.t | Infinite of Infinite_buffer.t
+
+val strategy_name : strategy -> string
+
+type result = {
+  strategy : string;
+  offered : int;
+  delivered : int;
+  lost : int;
+  peak_occupancy : int;
+  peak_pages : int;
+  mechanism_statements : int;
+}
+
+type workload = {
+  bursts : int;
+  burst_gap : int;
+  intra_burst_gap : int;
+  burst_continue_num : int;
+  burst_continue_den : int;
+  burst_cap : int;
+  consume_cycles : int;
+}
+
+val default_workload : workload
+
+val run : ?seed:int -> ?workload:workload -> strategy -> result
+(** Deterministic for a given seed and workload. *)

@@ -1,0 +1,1 @@
+lib/link/linker.ml: Fmt Hierarchy List Multics_access Multics_fs Object_seg Policy Printf Search_rules Uid

@@ -1,0 +1,1 @@
+lib/link/linker.mli: Hierarchy Multics_access Multics_fs Object_seg Policy Search_rules Uid

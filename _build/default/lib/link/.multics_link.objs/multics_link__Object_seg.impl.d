@@ -1,0 +1,1 @@
+lib/link/object_seg.ml: Array Hashtbl List Multics_fs Printf Uid

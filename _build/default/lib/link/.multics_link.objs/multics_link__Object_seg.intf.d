@@ -1,0 +1,1 @@
+lib/link/object_seg.mli: Multics_fs Uid

@@ -1,0 +1,1 @@
+lib/link/rnt.ml: List Printf

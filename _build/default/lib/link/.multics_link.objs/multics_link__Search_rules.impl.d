@@ -1,0 +1,1 @@
+lib/link/search_rules.ml: Hierarchy List Multics_fs Uid

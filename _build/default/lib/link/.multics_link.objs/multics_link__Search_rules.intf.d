@@ -1,0 +1,1 @@
+lib/link/search_rules.mli: Hierarchy Multics_access Multics_fs Uid

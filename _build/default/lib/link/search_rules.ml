@@ -1,0 +1,33 @@
+(* Search rules: the ordered list of directories the linker consults to
+   turn a symbolic segment name into a branch. *)
+
+open Multics_fs
+
+type rule = { rule_name : string; dir : Uid.t }
+
+type t = rule list
+
+let empty = []
+
+let add t ~rule_name ~dir = t @ [ { rule_name; dir } ]
+
+let of_dirs dirs = List.map (fun (rule_name, dir) -> { rule_name; dir }) dirs
+
+let dirs t = List.map (fun r -> r.dir) t
+
+let rule_names t = List.map (fun r -> r.rule_name) t
+
+let length = List.length
+
+(* Search under the given subject's own authority.  Returns the first
+   directory whose lookup succeeds, along with how many directories
+   were consulted (for cost accounting). *)
+let search t hierarchy ~subject ~name =
+  let rec loop consulted = function
+    | [] -> (None, consulted)
+    | rule :: rest -> (
+        match Hierarchy.lookup hierarchy ~subject ~dir:rule.dir ~name with
+        | Ok uid -> (Some uid, consulted + 1)
+        | Error _ -> loop (consulted + 1) rest)
+  in
+  loop 0 t

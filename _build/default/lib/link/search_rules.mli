@@ -1,0 +1,21 @@
+(** Ordered directory search rules for symbolic name resolution. *)
+
+open Multics_fs
+
+type t
+
+val empty : t
+val add : t -> rule_name:string -> dir:Uid.t -> t
+val of_dirs : (string * Uid.t) list -> t
+val dirs : t -> Uid.t list
+val rule_names : t -> string list
+val length : t -> int
+
+val search :
+  t ->
+  Hierarchy.t ->
+  subject:Multics_access.Policy.subject ->
+  name:string ->
+  Uid.t option * int
+(** First match under the subject's own authority, plus the number of
+    directories consulted. *)

@@ -1,0 +1,1 @@
+lib/machine/brackets.ml: Fmt Printf Ring

@@ -1,0 +1,1 @@
+lib/machine/brackets.mli: Format Ring

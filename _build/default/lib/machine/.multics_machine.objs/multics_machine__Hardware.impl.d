@@ -1,0 +1,1 @@
+lib/machine/hardware.ml: Brackets Fmt Mode Printf Ring Sdw

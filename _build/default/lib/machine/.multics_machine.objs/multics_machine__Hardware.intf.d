@@ -1,0 +1,1 @@
+lib/machine/hardware.mli: Format Mode Ring Sdw

@@ -1,0 +1,1 @@
+lib/machine/ring.ml: Fmt Int List Printf

@@ -1,0 +1,1 @@
+lib/machine/sdw.ml: Brackets Fmt Mode

@@ -1,0 +1,1 @@
+lib/machine/sdw.mli: Brackets Format Mode

@@ -1,0 +1,30 @@
+(** The hardware access check applied to every simulated reference. *)
+
+type operation =
+  | Read
+  | Write
+  | Execute  (** transfer of control without ring change *)
+  | Call of int  (** call to the given entry offset (may cross rings) *)
+
+type grant =
+  | Access_ok
+  | Gate_entry of Ring.t  (** inward call; execution continues in this ring *)
+
+type denial =
+  | Missing_permission of Mode.t
+  | Outside_write_bracket
+  | Outside_read_bracket
+  | Outside_call_bracket
+  | Not_a_gate of int
+  | Outward_call
+
+type decision = Granted of grant | Denied of denial
+
+val check : Sdw.t -> ring:Ring.t -> operation:operation -> decision
+(** Validate one reference from a process executing in [ring]. *)
+
+val allowed : Sdw.t -> ring:Ring.t -> operation:operation -> bool
+
+val denial_to_string : denial -> string
+val pp_operation : Format.formatter -> operation -> unit
+val pp_decision : Format.formatter -> decision -> unit

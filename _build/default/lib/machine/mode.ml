@@ -1,0 +1,46 @@
+(* Access modes on a segment: read, execute, write.
+
+   These are the per-segment permission bits carried in a segment
+   descriptor word and in ACL entries.  Represented as a record of
+   booleans rather than an int bitmask so pattern matching stays
+   explicit. *)
+
+type t = { read : bool; execute : bool; write : bool }
+
+let none = { read = false; execute = false; write = false }
+let r = { none with read = true }
+let e = { none with execute = true }
+let w = { none with write = true }
+let rw = { r with write = true }
+let re = { r with execute = true }
+let rew = { rw with execute = true }
+
+let make ?(read = false) ?(execute = false) ?(write = false) () = { read; execute; write }
+
+let union a b =
+  { read = a.read || b.read; execute = a.execute || b.execute; write = a.write || b.write }
+
+let inter a b =
+  { read = a.read && b.read; execute = a.execute && b.execute; write = a.write && b.write }
+
+let subset a b =
+  (not a.read || b.read) && (not a.execute || b.execute) && (not a.write || b.write)
+
+let equal a b = a.read = b.read && a.execute = b.execute && a.write = b.write
+
+let is_none t = equal t none
+
+let of_string s =
+  let read = String.contains s 'r' in
+  let execute = String.contains s 'e' in
+  let write = String.contains s 'w' in
+  let valid = String.for_all (fun c -> c = 'r' || c = 'e' || c = 'w') s in
+  if not valid then invalid_arg ("Mode.of_string: " ^ s);
+  { read; execute; write }
+
+let to_string t =
+  let cell flag c = if flag then String.make 1 c else "" in
+  let s = cell t.read 'r' ^ cell t.execute 'e' ^ cell t.write 'w' in
+  if s = "" then "null" else s
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Per-segment access modes: read, execute, write. *)
+
+type t = { read : bool; execute : bool; write : bool }
+
+val none : t
+val r : t
+val e : t
+val w : t
+val rw : t
+val re : t
+val rew : t
+
+val make : ?read:bool -> ?execute:bool -> ?write:bool -> unit -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] iff every permission in [a] is also in [b]. *)
+
+val equal : t -> t -> bool
+val is_none : t -> bool
+
+val of_string : string -> t
+(** E.g. ["rw"].  Raises [Invalid_argument] on characters outside
+    [rew].  [""] is the null mode. *)
+
+val to_string : t -> string
+(** Inverse of [of_string]; the null mode prints as ["null"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mm/block.ml: Fmt Int Level

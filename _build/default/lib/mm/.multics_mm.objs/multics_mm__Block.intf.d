@@ -1,0 +1,1 @@
+lib/mm/block.mli: Format Level

@@ -1,0 +1,1 @@
+lib/mm/level.ml: Fmt Int

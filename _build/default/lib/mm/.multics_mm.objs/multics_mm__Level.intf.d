@@ -1,0 +1,1 @@
+lib/mm/level.mli: Format

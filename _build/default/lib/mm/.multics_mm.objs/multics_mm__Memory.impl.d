@@ -1,0 +1,1 @@
+lib/mm/memory.ml: Array Block Fmt Hashtbl Level List Multics_machine Multics_util Page_id Printf

@@ -1,0 +1,1 @@
+lib/mm/memory.mli: Block Level Multics_machine Multics_util Page_id

@@ -1,0 +1,18 @@
+(* A physical block: one page-sized slot at one level of the memory
+   hierarchy. *)
+
+type t = { level : Level.t; index : int }
+
+let make ~level ~index =
+  if index < 0 then invalid_arg "Block.make: negative index";
+  { level; index }
+
+let level t = t.level
+let index t = t.index
+
+let compare a b =
+  match Level.compare a.level b.level with 0 -> Int.compare a.index b.index | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Fmt.pf ppf "%a#%d" Level.pp t.level t.index

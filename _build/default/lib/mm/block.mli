@@ -1,0 +1,10 @@
+(** A physical block: a page-sized slot at one hierarchy level. *)
+
+type t
+
+val make : level:Level.t -> index:int -> t
+val level : t -> Level.t
+val index : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

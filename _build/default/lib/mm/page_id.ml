@@ -1,0 +1,25 @@
+(* Identity of a page: which segment, which page within it.
+
+   Segments are identified here by their file-system unique id (an
+   int), not by per-process segment numbers, because a page has one
+   identity however many address spaces map it. *)
+
+type t = { seg_uid : int; page_no : int }
+
+let make ~seg_uid ~page_no =
+  if page_no < 0 then invalid_arg "Page_id.make: negative page number";
+  { seg_uid; page_no }
+
+let seg_uid t = t.seg_uid
+let page_no t = t.page_no
+
+let compare a b =
+  match Int.compare a.seg_uid b.seg_uid with
+  | 0 -> Int.compare a.page_no b.page_no
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let hash t = (t.seg_uid * 8191) + t.page_no
+
+let pp ppf t = Fmt.pf ppf "seg%d.p%d" t.seg_uid t.page_no

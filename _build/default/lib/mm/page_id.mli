@@ -1,0 +1,13 @@
+(** Page identity: (segment unique id, page number). *)
+
+type t
+
+val make : seg_uid:int -> page_no:int -> t
+(** Raises [Invalid_argument] on a negative page number. *)
+
+val seg_uid : t -> int
+val page_no : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

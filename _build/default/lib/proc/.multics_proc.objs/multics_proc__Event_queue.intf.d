@@ -1,0 +1,1 @@
+lib/proc/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/proc/interrupt.ml: Cost Float Hashtbl List Multics_machine Option Printf Queue Ring Sim String

@@ -1,0 +1,1 @@
+lib/proc/interrupt.mli: Sim

@@ -1,0 +1,1 @@
+lib/proc/sim.ml: Array Clock Cost Effect Event_queue Format Hashtbl Int List Multics_machine Multics_util Printexc Printf Ring

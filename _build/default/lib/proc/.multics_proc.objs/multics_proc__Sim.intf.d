@@ -1,0 +1,1 @@
+lib/proc/sim.mli: Cost Format Multics_machine Multics_util Ring

@@ -1,0 +1,77 @@
+(* Time-ordered event queue for the discrete-event simulator.
+
+   A binary min-heap on (time, sequence number); the sequence number
+   makes simultaneous events fire in insertion order, which keeps every
+   run deterministic. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (** heap.(0) is unused padding when empty *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let entry_before a b = if a.time = b.time then a.seq < b.seq else a.time < b.time
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && entry_before t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && entry_before t.heap.(right) t.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  if time < 0 then invalid_arg "Event_queue.push: negative time";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end

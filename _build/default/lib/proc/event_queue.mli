@@ -1,0 +1,16 @@
+(** Deterministic time-ordered event queue (min-heap; ties fire in
+    insertion order). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Raises [Invalid_argument] on negative time. *)
+
+val peek_time : 'a t -> int option
+
+val pop : 'a t -> (int * 'a) option
+(** Earliest event; ties in insertion order. *)

@@ -1,0 +1,154 @@
+(* Interrupt handling, both ways.
+
+   The paper proposes giving each interrupt handler its own process:
+   "the system interrupt interceptor will simply turn each interrupt
+   into a wakeup of the corresponding process", instead of forcing the
+   handler "to inhabit whatever user process was running when the
+   interrupt occurred".  This module implements both disciplines over
+   the same interrupt sources so experiment E8 can compare them:
+
+   - [Inline]: the interceptor runs the whole handler immediately, in
+     ring 0, charging its cycles to the victim process that happened to
+     be running (a perturbation, and privileged execution in a borrowed
+     user context);
+   - [Handler_processes]: the interceptor only performs a wakeup; a
+     dedicated kernel process (its own virtual processor) does the
+     service work and coordinates through ordinary IPC. *)
+
+open Multics_machine
+
+type discipline = Inline | Handler_processes
+
+type handler = {
+  source_name : string;
+  service_cycles : int;
+  action : unit -> unit;
+  chan : Sim.chan option;  (** wakeup target under [Handler_processes] *)
+  post_times : int Queue.t;  (** arrival time of each unserviced interrupt *)
+  mutable handled : int;
+  mutable latency_total : int;
+  mutable victim_cycles : int;  (** cycles stolen from victim processes *)
+  mutable victim_hits : int;  (** interrupts that perturbed some process *)
+  mutable borrowed_privileged_cycles : int;
+      (** ring-0 cycles executed inside a borrowed (user) process *)
+}
+
+type t = {
+  sim : Sim.t;
+  discipline : discipline;
+  handlers : (string, handler) Hashtbl.t;
+  mutable interceptor_cycles : int;
+}
+
+let discipline_name = function
+  | Inline -> "inline-in-victim"
+  | Handler_processes -> "handler-processes"
+
+let create sim ~discipline = { sim; discipline; handlers = Hashtbl.create 8; interceptor_cycles = 0 }
+
+let handler t name =
+  match Hashtbl.find_opt t.handlers name with
+  | Some h -> h
+  | None -> invalid_arg ("Interrupt: unregistered source " ^ name)
+
+(* The dedicated handler process: block for each wakeup, do the service
+   work, perform the device action, record latency.  It runs forever
+   (blocked when idle), like the real kernel processes. *)
+let handler_process_body t h _pid =
+  let rec serve () =
+    Sim.block (Option.get h.chan);
+    Sim.compute h.service_cycles;
+    h.action ();
+    (match Queue.take_opt h.post_times with
+    | Some posted ->
+        h.handled <- h.handled + 1;
+        h.latency_total <- h.latency_total + (Sim.now t.sim - posted)
+    | None -> ());
+    serve ()
+  in
+  serve ()
+
+let register ?(action = fun () -> ()) t ~name ~service_cycles =
+  if Hashtbl.mem t.handlers name then invalid_arg ("Interrupt.register: duplicate " ^ name);
+  let chan =
+    match t.discipline with
+    | Inline -> None
+    | Handler_processes -> Some (Sim.new_channel t.sim ~name:(Printf.sprintf "intr.%s" name))
+  in
+  let h =
+    {
+      source_name = name;
+      service_cycles;
+      action;
+      chan;
+      post_times = Queue.create ();
+      handled = 0;
+      latency_total = 0;
+      victim_cycles = 0;
+      victim_hits = 0;
+      borrowed_privileged_cycles = 0;
+    }
+  in
+  Hashtbl.replace t.handlers name h;
+  match t.discipline with
+  | Inline -> ()
+  | Handler_processes ->
+      ignore
+        (Sim.spawn t.sim ~dedicated:true ~ring:Ring.kernel
+           ~name:(Printf.sprintf "intr-handler.%s" name)
+           (handler_process_body t h))
+
+(* The interceptor, executed at interrupt time (outside any process). *)
+let intercept t h =
+  let cost = Sim.cost_model t.sim in
+  t.interceptor_cycles <- t.interceptor_cycles + cost.Cost.interrupt_entry;
+  match t.discipline with
+  | Handler_processes ->
+      (* "Simply turn each interrupt into a wakeup." *)
+      Queue.add (Sim.now t.sim) h.post_times;
+      Sim.wakeup t.sim (Option.get h.chan)
+  | Inline ->
+      (* Run the whole handler now, in ring 0, inside whichever process
+         happens to be running. *)
+      let stolen = cost.Cost.interrupt_entry + h.service_cycles in
+      (match Sim.running_pids t.sim with
+      | victim :: _ ->
+          Sim.perturb t.sim victim stolen;
+          h.victim_cycles <- h.victim_cycles + stolen;
+          h.victim_hits <- h.victim_hits + 1;
+          h.borrowed_privileged_cycles <- h.borrowed_privileged_cycles + stolen
+      | [] -> ());
+      h.action ();
+      h.handled <- h.handled + 1;
+      h.latency_total <- h.latency_total + stolen
+
+let post ?(delay = 0) t ~name =
+  let h = handler t name in
+  Sim.at t.sim ~delay (fun () -> intercept t h)
+
+type stats = {
+  name : string;
+  handled : int;
+  mean_latency : float;
+  victim_cycles : int;
+  victim_hits : int;
+  borrowed_privileged_cycles : int;
+}
+
+let stats_of t ~name =
+  let h = handler t name in
+  {
+    name = h.source_name;
+    handled = h.handled;
+    mean_latency =
+      (if h.handled = 0 then Float.nan
+       else float_of_int h.latency_total /. float_of_int h.handled);
+    victim_cycles = h.victim_cycles;
+    victim_hits = h.victim_hits;
+    borrowed_privileged_cycles = h.borrowed_privileged_cycles;
+  }
+
+let interceptor_cycles t = t.interceptor_cycles
+
+let sources t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.handlers [] |> List.sort String.compare

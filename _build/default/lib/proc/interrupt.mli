@@ -1,0 +1,38 @@
+(** Interrupt handling under both disciplines: inline in the victim
+    process, or a dedicated handler process woken by the interceptor. *)
+
+type discipline = Inline | Handler_processes
+
+val discipline_name : discipline -> string
+
+type t
+
+val create : Sim.t -> discipline:discipline -> t
+
+val register : ?action:(unit -> unit) -> t -> name:string -> service_cycles:int -> unit
+(** Declare an interrupt source.  Under [Handler_processes] this spawns
+    a dedicated kernel process (reserving a virtual processor).
+    [action] runs once per interrupt after the service work (e.g. a
+    device completion wakeup).  Raises [Invalid_argument] on duplicate
+    names. *)
+
+val post : ?delay:int -> t -> name:string -> unit
+(** Deliver an interrupt from the named source at [now + delay]. *)
+
+type stats = {
+  name : string;
+  handled : int;
+  mean_latency : float;  (** arrival to service completion *)
+  victim_cycles : int;  (** cycles stolen from running processes *)
+  victim_hits : int;
+  borrowed_privileged_cycles : int;
+      (** ring-0 cycles executed inside borrowed user processes — the
+          structural exposure the paper's redesign removes *)
+}
+
+val stats_of : t -> name:string -> stats
+
+val interceptor_cycles : t -> int
+(** Total cycles spent in the interceptor itself. *)
+
+val sources : t -> string list

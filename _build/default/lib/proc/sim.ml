@@ -1,0 +1,396 @@
+(* The two-layer process implementation, as a deterministic
+   discrete-event simulator.
+
+   Layer 1 multiplexes the hardware into a FIXED number of virtual
+   processors; because the number is fixed, this layer is independent
+   of the virtual-memory machinery — the property the paper's process
+   redesign is after.  Several virtual processors are permanently
+   assigned to kernel mechanisms ([spawn ~dedicated:true]); the rest
+   are multiplexed by layer 2 among any number of full Multics
+   processes.
+
+   Process bodies are ordinary OCaml functions that suspend through
+   effects: [compute n] consumes n simulated cycles, [block chan]
+   waits for a wakeup.  Wakeups are counted (a wakeup with no waiter is
+   remembered), matching the Multics base-level IPC whose "use can be
+   controlled with the standard memory protection mechanisms".
+
+   Determinism: a single event queue ordered by (time, insertion seq);
+   no wall-clock anywhere. *)
+
+open Multics_machine
+
+type pid = int
+
+type chan = {
+  chan_id : int;
+  chan_name : string;
+  mutable waiters : pid Multics_util.Fqueue.t;
+  mutable pending : int;  (** counted wakeups that found no waiter *)
+}
+
+type proc_state = Unborn | Ready | Running | Blocked of chan | Terminated
+
+type process = {
+  pid : pid;
+  pname : string;
+  mutable ring : Ring.t;
+  body : pid -> unit;
+  dedicated_vp : int option;
+  exit_chan : chan;
+  mutable state : proc_state;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable cycles_used : int;
+  mutable block_count : int;
+  mutable extra_delay : int;  (** cycles stolen by inline interrupt handling *)
+  mutable perturbation_count : int;
+  mutable failure : string option;
+}
+
+type vp = { vp_id : int; mutable current : pid option; mutable reserved : bool }
+
+type event = Start of pid | Resume of pid | Thunk of (unit -> unit)
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  events : event Event_queue.t;
+  procs : (pid, process) Hashtbl.t;
+  mutable ready : pid Multics_util.Fqueue.t;
+  vps : vp array;
+  mutable free_vps : int list;  (** shared idle VPs, lowest id first *)
+  mutable next_pid : int;
+  mutable next_chan : int;
+  mutable trace : (int * string) list;  (** reversed *)
+  mutable trace_enabled : bool;
+  counters : Multics_util.Stats.Counters.t;
+}
+
+(* Effects understood by the scheduler.  The payload of [Block] also
+   names the blocking process so the handler needn't look it up. *)
+type _ Effect.t += Compute : int -> unit Effect.t | Block_on : chan -> unit Effect.t
+
+let create ~cost ~virtual_processors =
+  if virtual_processors <= 0 then invalid_arg "Sim.create: need at least one virtual processor";
+  {
+    clock = Clock.create ();
+    cost;
+    events = Event_queue.create ();
+    procs = Hashtbl.create 64;
+    ready = Multics_util.Fqueue.empty;
+    vps = Array.init virtual_processors (fun vp_id -> { vp_id; current = None; reserved = false });
+    free_vps = List.init virtual_processors (fun i -> i);
+    next_pid = 1;
+    next_chan = 1;
+    trace = [];
+    trace_enabled = false;
+    counters = Multics_util.Stats.Counters.create ();
+  }
+
+let now t = Clock.now t.clock
+
+let cost_model t = t.cost
+
+let counters t = t.counters
+
+let set_trace t enabled = t.trace_enabled <- enabled
+
+let trace t message =
+  if t.trace_enabled then t.trace <- (now t, message) :: t.trace
+
+let tracef t fmt = Format.kasprintf (trace t) fmt
+
+let trace_lines t = List.rev t.trace
+
+(* ----- Channels ----- *)
+
+let new_channel t ~name =
+  let chan_id = t.next_chan in
+  t.next_chan <- chan_id + 1;
+  { chan_id; chan_name = name; waiters = Multics_util.Fqueue.empty; pending = 0 }
+
+let channel_name c = c.chan_name
+
+let waiter_count c = Multics_util.Fqueue.length c.waiters
+
+let pending_wakeups c = c.pending
+
+(* ----- Process table ----- *)
+
+let proc t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Sim: unknown pid %d" pid)
+
+let name_of t pid = (proc t pid).pname
+let ring_of t pid = (proc t pid).ring
+let set_ring t pid ring = (proc t pid).ring <- ring
+let state_of t pid = (proc t pid).state
+let cycles_of t pid = (proc t pid).cycles_used
+let block_count_of t pid = (proc t pid).block_count
+let perturbations_of t pid = (proc t pid).perturbation_count
+let failure_of t pid = (proc t pid).failure
+let exit_channel t pid = (proc t pid).exit_chan
+
+let processes t =
+  Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] |> List.sort Int.compare
+
+(* ----- Layer 2: binding processes to virtual processors ----- *)
+
+let bind_to_vp t p vp =
+  vp.current <- Some p.pid;
+  p.state <- Running;
+  Multics_util.Stats.Counters.incr t.counters "dispatches";
+  let start_time = now t + t.cost.Cost.process_switch in
+  let event = match p.cont with None -> Start p.pid | Some _ -> Resume p.pid in
+  Event_queue.push t.events ~time:start_time event
+
+let rec dispatch t =
+  match p_dedicated_waiting t with
+  | Some (p, vp) ->
+      bind_to_vp t p vp;
+      dispatch t
+  | None -> (
+      match (Multics_util.Fqueue.pop t.ready, t.free_vps) with
+      | Some (pid, rest), vp_id :: vps ->
+          let p = proc t pid in
+          t.ready <- rest;
+          (* A woken process may have terminated meanwhile only via
+             simulator misuse; states here are Ready by construction. *)
+          t.free_vps <- vps;
+          bind_to_vp t p t.vps.(vp_id);
+          dispatch t
+      | _, _ -> ())
+
+(* Dedicated processes bypass the shared ready queue: their VP is
+   reserved, so a ready dedicated process binds immediately. *)
+and p_dedicated_waiting t =
+  let ready_on_reserved acc vp =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+        match vp.current with
+        | Some _ -> None
+        | None ->
+            if not vp.reserved then None
+            else
+              Hashtbl.fold
+                (fun _ p acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                      if p.dedicated_vp = Some vp.vp_id && p.state = Ready then Some (p, vp)
+                      else None)
+                t.procs None)
+  in
+  Array.fold_left ready_on_reserved None t.vps
+
+let make_ready t p =
+  p.state <- Ready;
+  (match p.dedicated_vp with
+  | Some _ -> ()
+  | None -> t.ready <- Multics_util.Fqueue.push t.ready p.pid);
+  dispatch t
+
+let release_vp t p =
+  Array.iter
+    (fun vp ->
+      if vp.current = Some p.pid then begin
+        vp.current <- None;
+        if not vp.reserved then t.free_vps <- List.sort Int.compare (vp.vp_id :: t.free_vps)
+      end)
+    t.vps;
+  dispatch t
+
+(* ----- Spawning ----- *)
+
+let spawn ?(ring = Ring.user) ?(dedicated = false) t ~name body =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let dedicated_vp =
+    if not dedicated then None
+    else begin
+      match t.free_vps with
+      | [] -> invalid_arg "Sim.spawn: no free virtual processor to dedicate"
+      | vp_id :: rest ->
+          t.free_vps <- rest;
+          t.vps.(vp_id).reserved <- true;
+          Some vp_id
+    end
+  in
+  let p =
+    {
+      pid;
+      pname = name;
+      ring;
+      body;
+      dedicated_vp;
+      exit_chan = new_channel t ~name:(Printf.sprintf "exit.%s" name);
+      state = Unborn;
+      cont = None;
+      cycles_used = 0;
+      block_count = 0;
+      extra_delay = 0;
+      perturbation_count = 0;
+      failure = None;
+    }
+  in
+  Hashtbl.replace t.procs pid p;
+  Multics_util.Stats.Counters.incr t.counters "spawns";
+  tracef t "spawn %s (pid %d)%s" name pid (if dedicated then " [dedicated vp]" else "");
+  make_ready t p;
+  pid
+
+(* ----- Wakeups ----- *)
+
+let rec wakeup t chan =
+  match Multics_util.Fqueue.pop chan.waiters with
+  | Some (pid, rest) ->
+      chan.waiters <- rest;
+      Multics_util.Stats.Counters.incr t.counters "wakeups_delivered";
+      tracef t "wakeup %s -> %s" chan.chan_name (name_of t pid);
+      make_ready t (proc t pid)
+  | None ->
+      chan.pending <- chan.pending + 1;
+      Multics_util.Stats.Counters.incr t.counters "wakeups_pending";
+      tracef t "wakeup %s (pending)" chan.chan_name
+
+and broadcast t chan =
+  if waiter_count chan > 0 then begin
+    wakeup t chan;
+    broadcast t chan
+  end
+
+(* ----- Effects available inside process bodies ----- *)
+
+let compute cycles =
+  if cycles < 0 then invalid_arg "Sim.compute: negative cycles";
+  if cycles > 0 then Effect.perform (Compute cycles)
+
+let block chan = Effect.perform (Block_on chan)
+
+let yield () = Effect.perform (Compute 1)
+
+(* ----- Execution engine ----- *)
+
+let terminate t p =
+  p.state <- Terminated;
+  p.cont <- None;
+  Multics_util.Stats.Counters.incr t.counters "terminations";
+  tracef t "exit %s" p.pname;
+  broadcast t p.exit_chan;
+  release_vp t p
+
+let handler_for t p : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> terminate t p);
+    exnc =
+      (fun exn ->
+        p.failure <- Some (Printexc.to_string exn);
+        Multics_util.Stats.Counters.incr t.counters "process_faults";
+        tracef t "fault in %s: %s" p.pname (Printexc.to_string exn);
+        terminate t p);
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Compute cycles ->
+            Some
+              (fun (k : (c, unit) Effect.Deep.continuation) ->
+                p.cycles_used <- p.cycles_used + cycles;
+                p.cont <- Some k;
+                Event_queue.push t.events ~time:(now t + cycles) (Resume p.pid))
+        | Block_on chan ->
+            Some
+              (fun (k : (c, unit) Effect.Deep.continuation) ->
+                p.block_count <- p.block_count + 1;
+                if chan.pending > 0 then begin
+                  (* A counted wakeup already arrived: block returns at
+                     once, exactly as in the Multics IPC. *)
+                  chan.pending <- chan.pending - 1;
+                  Effect.Deep.continue k ()
+                end
+                else begin
+                  p.state <- Blocked chan;
+                  p.cont <- Some k;
+                  chan.waiters <- Multics_util.Fqueue.push chan.waiters p.pid;
+                  tracef t "%s blocks on %s" p.pname chan.chan_name;
+                  release_vp t p
+                end)
+        | _ -> None);
+  }
+
+let start_process t p = Effect.Deep.match_with (fun () -> p.body p.pid) () (handler_for t p)
+
+let resume_process t p =
+  match p.cont with
+  | None -> ()
+  | Some k ->
+      p.cont <- None;
+      (* Inline interrupt handling steals victim cycles: consume any
+         accumulated perturbation before the process continues. *)
+      if p.extra_delay > 0 then begin
+        let delay = p.extra_delay in
+        p.extra_delay <- 0;
+        p.cycles_used <- p.cycles_used + delay;
+        p.cont <- Some k;
+        Event_queue.push t.events ~time:(now t + delay) (Resume p.pid)
+      end
+      else Effect.Deep.continue k ()
+
+(* Charge [cycles] to a process from outside (inline interrupt
+   discipline).  Takes effect when the process next resumes. *)
+let perturb t pid cycles =
+  let p = proc t pid in
+  if p.state <> Terminated then begin
+    p.extra_delay <- p.extra_delay + cycles;
+    p.perturbation_count <- p.perturbation_count + 1
+  end
+
+let running_pids t =
+  Array.to_list t.vps
+  |> List.filter_map (fun vp -> vp.current)
+  |> List.sort Int.compare
+
+(* ----- External events ----- *)
+
+let at t ~delay thunk =
+  if delay < 0 then invalid_arg "Sim.at: negative delay";
+  Event_queue.push t.events ~time:(now t + delay) (Thunk thunk)
+
+(* ----- Main loop ----- *)
+
+let step t =
+  match Event_queue.pop t.events with
+  | None -> false
+  | Some (time, event) ->
+      Clock.advance_to t.clock time;
+      (match event with
+      | Start pid -> start_process t (proc t pid)
+      | Resume pid -> resume_process t (proc t pid)
+      | Thunk thunk -> thunk ());
+      true
+
+let run ?(max_events = 10_000_000) t =
+  let rec loop remaining =
+    if remaining = 0 then failwith "Sim.run: event budget exhausted (livelock?)"
+    else if step t then loop (remaining - 1)
+  in
+  loop max_events
+
+let run_until t ~time =
+  let rec loop () =
+    match Event_queue.peek_time t.events with
+    | Some next when next <= time ->
+        ignore (step t);
+        loop ()
+    | Some _ | None -> Clock.advance_to t.clock time
+  in
+  loop ()
+
+let blocked_pids t =
+  Hashtbl.fold
+    (fun pid p acc -> match p.state with Blocked _ -> pid :: acc | _ -> acc)
+    t.procs []
+  |> List.sort Int.compare
+
+let quiescent t = Event_queue.is_empty t.events && Multics_util.Fqueue.is_empty t.ready

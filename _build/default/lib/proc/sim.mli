@@ -1,0 +1,110 @@
+(** Deterministic discrete-event simulator implementing the paper's
+    two-layer process design: a fixed pool of virtual processors
+    (layer 1), multiplexed among any number of processes (layer 2),
+    with counted-wakeup IPC channels.
+
+    Process bodies are ordinary functions that suspend via {!compute}
+    and {!block}; those two functions must only be called from inside a
+    running process body. *)
+
+open Multics_machine
+
+type t
+
+type pid = int
+
+type chan
+(** An event channel with counted wakeups: a wakeup that finds no
+    waiter is remembered and satisfies the next [block] immediately. *)
+
+val create : cost:Cost.t -> virtual_processors:int -> t
+(** Raises [Invalid_argument] if [virtual_processors <= 0]. *)
+
+val now : t -> int
+(** Simulated time in cycles. *)
+
+val cost_model : t -> Cost.t
+val counters : t -> Multics_util.Stats.Counters.t
+
+(** {1 Channels} *)
+
+val new_channel : t -> name:string -> chan
+val channel_name : chan -> string
+val waiter_count : chan -> int
+val pending_wakeups : chan -> int
+
+val wakeup : t -> chan -> unit
+(** Wake the first waiter, or record a pending wakeup.  Callable from
+    anywhere (process bodies, interrupt thunks, test code). *)
+
+val broadcast : t -> chan -> unit
+(** Wake every current waiter; records nothing if there are none. *)
+
+(** {1 Processes} *)
+
+val spawn : ?ring:Ring.t -> ?dedicated:bool -> t -> name:string -> (pid -> unit) -> pid
+(** Create a process.  [~dedicated:true] permanently reserves a
+    virtual processor for it (the paper's kernel processes); raises
+    [Invalid_argument] if none is free.  Default ring is {!Ring.user}. *)
+
+val compute : int -> unit
+(** Consume simulated cycles.  Only inside a process body. *)
+
+val block : chan -> unit
+(** Wait for a wakeup on the channel.  Only inside a process body. *)
+
+val yield : unit -> unit
+(** Let simultaneous events run (costs one cycle). *)
+
+val name_of : t -> pid -> string
+val ring_of : t -> pid -> Ring.t
+val set_ring : t -> pid -> Ring.t -> unit
+
+type proc_state = Unborn | Ready | Running | Blocked of chan | Terminated
+
+val state_of : t -> pid -> proc_state
+
+val cycles_of : t -> pid -> int
+(** Total cycles the process has consumed (including perturbations). *)
+
+val block_count_of : t -> pid -> int
+val perturbations_of : t -> pid -> int
+
+val failure_of : t -> pid -> string option
+(** Exception text if the process body raised. *)
+
+val exit_channel : t -> pid -> chan
+(** Broadcast when the process terminates. *)
+
+val processes : t -> pid list
+val running_pids : t -> pid list
+val blocked_pids : t -> pid list
+
+val perturb : t -> pid -> int -> unit
+(** Charge cycles to a process from outside — the inline interrupt
+    discipline stealing time from its victim. *)
+
+(** {1 External events and the main loop} *)
+
+val at : t -> delay:int -> (unit -> unit) -> unit
+(** Schedule a thunk (device arrival, interrupt) at [now + delay]. *)
+
+val step : t -> bool
+(** Process one event; false when the queue is empty. *)
+
+val run : ?max_events:int -> t -> unit
+(** Run until no events remain.  Raises [Failure] if [max_events]
+    (default 10M) is exceeded — a livelock guard. *)
+
+val run_until : t -> time:int -> unit
+(** Process events up to and including [time], then advance the clock
+    to [time]. *)
+
+val quiescent : t -> bool
+
+(** {1 Tracing} *)
+
+val set_trace : t -> bool -> unit
+val trace : t -> string -> unit
+val tracef : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val trace_lines : t -> (int * string) list

@@ -1,0 +1,1 @@
+lib/util/table.ml: Buffer Char Float List Printf String

@@ -1,0 +1,28 @@
+(* Purely functional FIFO queue (two-list representation).
+
+   Schedulers and event channels keep their waiter queues as values so
+   that simulation snapshots can be taken without defensive copying. *)
+
+type 'a t = { front : 'a list; back : 'a list; length : int }
+
+let empty = { front = []; back = []; length = 0 }
+
+let is_empty t = t.length = 0
+
+let length t = t.length
+
+let push t x = { t with back = x :: t.back; length = t.length + 1 }
+
+let pop t =
+  match t.front with
+  | x :: front -> Some (x, { t with front; length = t.length - 1 })
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | x :: front -> Some (x, { front; back = []; length = t.length - 1 }))
+
+let of_list xs = List.fold_left push empty xs
+
+let to_list t = t.front @ List.rev t.back
+
+let fold f acc t = List.fold_left f acc (to_list t)

@@ -1,0 +1,17 @@
+(** Purely functional FIFO queue. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> 'a -> 'a t
+
+val pop : 'a t -> ('a * 'a t) option
+(** [None] on the empty queue. *)
+
+val of_list : 'a list -> 'a t
+(** Head of the list is the front of the queue. *)
+
+val to_list : 'a t -> 'a list
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -1,0 +1,76 @@
+(* Deterministic pseudo-random number generator (splitmix64).
+
+   Every stochastic component of the simulator draws from an explicit
+   [Prng.t] so that experiments are reproducible run to run: the same
+   seed always yields the same trace.  The algorithm is splitmix64
+   (Steele, Lea & Flood 2014), which has a 64-bit state, passes BigCrush
+   when used as a generator, and — crucially for a simulator — supports
+   cheap independent [split]s for per-subsystem streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let z = Int64.add t.state golden_gamma in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = Int64.to_int (next_int64 t) in
+  { state = Int64.of_int seed }
+
+(* Masking to 62 bits keeps the result a non-negative OCaml [int] on
+   64-bit platforms without biasing low bits. *)
+let next_nonneg t = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next_nonneg t mod bound
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Prng.float: bound must be positive";
+  let x = float_of_int (next_nonneg t) /. float_of_int 0x3FFF_FFFF_FFFF_FFFF in
+  x *. bound
+
+let bool t = next_nonneg t land 1 = 1
+
+let chance t ~num ~den =
+  if den <= 0 || num < 0 then invalid_arg "Prng.chance";
+  int t den < num
+
+let choose t items =
+  match items with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ :: _ -> List.nth items (int t (List.length items))
+
+let shuffle t items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+(* Geometric-ish burst length: number of trials until first failure,
+   capped.  Used by the traffic generators in [Multics_io]. *)
+let burst_length t ~continue_num ~continue_den ~cap =
+  let rec loop n =
+    if n >= cap then n
+    else if chance t ~num:continue_num ~den:continue_den then loop (n + 1)
+    else n
+  in
+  loop 1

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the simulator flows through an explicit generator
+    value so that every experiment is reproducible from its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator; use one stream per subsystem. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> num:int -> den:int -> bool
+(** [chance t ~num ~den] is true with probability [num/den]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice.  Raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle. *)
+
+val burst_length : t -> continue_num:int -> continue_den:int -> cap:int -> int
+(** Geometric burst length (at least 1, at most [cap]); each further
+    element occurs with probability [continue_num/continue_den]. *)

@@ -1,0 +1,1 @@
+lib/vm/backup.ml: List Memory Multics_machine Multics_mm Multics_proc Sim

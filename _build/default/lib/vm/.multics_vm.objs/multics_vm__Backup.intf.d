@@ -1,0 +1,1 @@
+lib/vm/backup.mli: Memory Multics_mm Multics_proc Page_id Sim

@@ -1,0 +1,1 @@
+lib/vm/page_control.ml: Array Block Level List Memory Multics_machine Multics_mm Multics_proc Multics_util Page_id Sim

@@ -1,0 +1,1 @@
+lib/vm/page_control.mli: Memory Multics_mm Multics_proc Multics_util Page_id Sim

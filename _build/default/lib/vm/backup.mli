@@ -1,0 +1,25 @@
+(** The backup daemon: a dedicated kernel process sweeping modified
+    core pages to tape on a fixed period — one of the internal I/O
+    functions the paper keeps in the kernel, implemented as an
+    asynchronous parallel process. *)
+
+open Multics_mm
+open Multics_proc
+
+type t
+
+val start :
+  ?tape_cost_per_page:int -> period:int -> sweeps:int -> Sim.t -> mem:Memory.t -> t
+(** Spawn the daemon on a dedicated virtual processor and schedule
+    [sweeps] period wakeups.  Raises [Invalid_argument] on a
+    non-positive period or sweep count. *)
+
+val pid : t -> Sim.pid option
+val sweeps_done : t -> int
+val pages_backed_up : t -> int
+
+val sweep_trace : t -> (int * int) list
+(** (completion time, pages backed up) per sweep. *)
+
+val vulnerable_pages : t -> Page_id.t list
+(** Core pages still modified and unbacked. *)

@@ -1,0 +1,75 @@
+(** Page control over the three-level memory hierarchy, under the old
+    sequential discipline (the faulting process runs the whole eviction
+    cascade) and the paper's parallel discipline (dedicated core- and
+    bulk-freeing kernel processes; the faulting process just waits for
+    a free frame). *)
+
+open Multics_mm
+open Multics_proc
+
+type discipline = Sequential | Parallel_processes
+
+val discipline_name : discipline -> string
+
+type t
+
+val create :
+  ?core_target:int ->
+  ?bulk_target:int ->
+  ?zero_fill_cycles:int ->
+  Sim.t ->
+  mem:Memory.t ->
+  discipline:discipline ->
+  t
+(** [core_target]/[bulk_target] are the free-block watermarks the
+    dedicated processes maintain (parallel discipline only). *)
+
+val start : t -> unit
+(** Spawn the dedicated kernel processes (parallel discipline; no-op
+    for sequential).  Idempotent.  Each reserves a virtual processor. *)
+
+val core_freer_pid : t -> Sim.pid option
+val bulk_freer_pid : t -> Sim.pid option
+
+val reference : ?write:bool -> t -> pid:Sim.pid -> page:Page_id.t -> int
+(** Touch a page from inside a running process body ([pid] is the
+    caller's own pid, used for fault attribution).  Handles the page
+    fault if the page is not in core.  Returns the number of
+    page-control steps the faulting process itself executed (0 on a
+    hit). *)
+
+type victim_policy = Page_id.t list -> (Page_id.t * bool) list -> Page_id.t option
+
+val set_victim_policy : t -> victim_policy -> unit
+(** Replace the eviction policy (default: second-chance clock).  Used
+    by the policy/mechanism partitioning experiment. *)
+
+val memory : t -> Memory.t
+val counters : t -> Multics_util.Stats.Counters.t
+
+(** {1 Fault accounting} *)
+
+type fault_record = {
+  pid : Sim.pid;
+  page : Page_id.t;
+  latency : int;
+  steps : int;
+  cascaded : bool;  (** the faulting process freed core itself *)
+  deep_cascade : bool;  (** ... and had to free bulk store too *)
+}
+
+val faults : t -> fault_record list
+(** In fault-completion order. *)
+
+val fault_count : t -> int
+
+type summary = {
+  discipline : discipline;
+  fault_total : int;
+  latency : Multics_util.Stats.summary;
+  steps : Multics_util.Stats.summary;
+  cascaded_faults : int;
+  deep_cascade_faults : int;
+}
+
+val summarize : t -> summary

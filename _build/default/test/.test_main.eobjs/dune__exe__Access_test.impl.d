@@ -1,0 +1,1 @@
+test/access_test.ml: Acl Alcotest Fmt Hardware Label List Mode Multics_access Multics_machine Policy Principal QCheck QCheck_alcotest Ring Sdw

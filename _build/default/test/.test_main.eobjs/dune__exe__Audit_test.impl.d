@@ -1,0 +1,1 @@
+test/audit_test.ml: Alcotest Config Flaw_registry Inventory List Metrics Multics_access Multics_audit Multics_kernel Pentest Printf String Trojan Verifier

@@ -1,0 +1,1 @@
+test/fs_test.ml: Acl Alcotest Brackets Hierarchy Kst Label List Mode Multics_access Multics_fs Multics_kernel Multics_machine Policy Principal Printf QCheck QCheck_alcotest Ring String Uid

@@ -1,0 +1,1 @@
+test/io_test.ml: Alcotest Circular_buffer Device Infinite_buffer List Multics_io Network QCheck QCheck_alcotest

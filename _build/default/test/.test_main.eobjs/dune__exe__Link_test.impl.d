@@ -1,0 +1,1 @@
+test/link_test.ml: Acl Alcotest Hierarchy Label Linker List Multics_access Multics_fs Multics_kernel Multics_link Multics_machine Object_seg Policy Principal Printf Ring Rnt Search_rules Uid

@@ -1,0 +1,1 @@
+test/machine_test.ml: Alcotest Brackets Clock Cost Fmt Hardware Mode Multics_machine QCheck QCheck_alcotest Ring Sdw

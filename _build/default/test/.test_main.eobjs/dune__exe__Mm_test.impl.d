@@ -1,0 +1,1 @@
+test/mm_test.ml: Alcotest Array Block Level List Memory Multics_machine Multics_mm Page_id Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/proc_test.ml: Alcotest Event_queue List Multics_machine Multics_proc Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_main.ml: Access_test Alcotest Audit_test Experiments_test Fs_test Integration_test Io_test Kernel_test Link_test Machine_test Misc_test Mm_test Proc_test Property_test Util_test Vm_test

@@ -1,0 +1,1 @@
+test/util_test.ml: Alcotest Fqueue Fun Int List Multics_util Prng QCheck QCheck_alcotest Stats String Table

@@ -1,0 +1,1 @@
+test/vm_test.ml: Alcotest Backup Block Interrupt Level List Memory Multics_machine Multics_mm Multics_proc Multics_vm Page_control Page_id Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,231 @@
+(* Tests for Multics_audit: the inventory's reproduction of the paper's
+   numbers, the metrics deltas, the penetration corpus against baseline
+   vs kernel, and the trojan scenarios. *)
+
+open Multics_audit
+open Multics_kernel
+
+let test_inventory_baseline_shape () =
+  Alcotest.(check int) "baseline gates" 180 (Inventory.total_gates Config.baseline_645);
+  Alcotest.(check bool) "baseline statements ~40-60k" true
+    (let s = Inventory.total_statements Config.baseline_645 in
+     s > 30_000 && s < 60_000)
+
+let test_e1_linker_fraction () =
+  (* Paper: "eliminated 10% of the gate entry points". *)
+  Alcotest.(check (float 0.005)) "linker = 10% of gates" 0.10 (Metrics.linker_gate_fraction ())
+
+let test_e2_address_space_factor () =
+  (* Paper: "a reduction by a factor of ten". *)
+  let factor = Metrics.address_space_reduction_factor () in
+  Alcotest.(check bool) "~10x" true (factor >= 9.0 && factor <= 11.0)
+
+let test_e3_combined_third () =
+  (* Paper: "approximately one third". *)
+  let fraction = Metrics.combined_removal_fraction () in
+  Alcotest.(check bool) "~1/3" true (fraction >= 0.30 && fraction <= 0.37)
+
+let test_stage_monotonicity () =
+  let snapshots = Metrics.stages () in
+  Alcotest.(check int) "seven stages" 7 (List.length snapshots);
+  let ring0 = List.map (fun s -> s.Metrics.ring0_statements) snapshots in
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b && non_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "ring-0 mass never grows" true (non_increasing ring0)
+
+let test_kernel_much_smaller () =
+  let baseline = Inventory.ring0_statements Config.baseline_645 in
+  let final = Inventory.ring0_statements Config.kernel_6180 in
+  Alcotest.(check bool) "kernel under half the supervisor" true
+    (float_of_int final < 0.5 *. float_of_int baseline)
+
+let test_delta_arithmetic () =
+  let d = Metrics.delta ~from_config:Config.baseline_645 ~to_config:Config.kernel_6180 in
+  Alcotest.(check int) "gates removed consistent"
+    (Inventory.total_gates Config.baseline_645 - Inventory.total_gates Config.kernel_6180)
+    d.Metrics.gates_removed
+
+(* ----- Penetration corpus (E11) ----- *)
+
+let find_outcome results name =
+  match List.find_opt (fun (a, _) -> a.Pentest.attack_name = name) results with
+  | Some (_, outcome) -> outcome
+  | None -> Alcotest.fail ("no attack " ^ name)
+
+let test_corpus_against_baseline () =
+  let results = Pentest.run_corpus Config.baseline_645 in
+  (* The flawed baseline falls to the linker attacks and loses input to
+     buffer lapping. *)
+  (match find_outcome results "malformed-object-segment" with
+  | Pentest.Violated (Pentest.Denial, _) -> ()
+  | o -> Alcotest.fail ("malformed: " ^ Pentest.outcome_name o));
+  (match find_outcome results "linker-confused-deputy" with
+  | Pentest.Violated (Pentest.Release, _) -> ()
+  | o -> Alcotest.fail ("deputy: " ^ Pentest.outcome_name o));
+  (match find_outcome results "input-buffer-lapping" with
+  | Pentest.Violated (Pentest.Denial, _) -> ()
+  | o -> Alcotest.fail ("lapping: " ^ Pentest.outcome_name o));
+  let s = Pentest.summarize results in
+  Alcotest.(check bool) "baseline violated several ways" true (s.Pentest.violated >= 3)
+
+let test_corpus_against_kernel () =
+  let results = Pentest.run_corpus Config.kernel_6180 in
+  List.iter
+    (fun (attack, outcome) ->
+      if Pentest.is_violation outcome then
+        Alcotest.fail
+          (Printf.sprintf "kernel fell to %s: %s" attack.Pentest.attack_name
+             (Pentest.outcome_detail outcome)))
+    results;
+  (* The malformed-object attack must be *contained* (user-ring fault),
+     not merely absent. *)
+  match find_outcome results "malformed-object-segment" with
+  | Pentest.Contained _ -> ()
+  | o -> Alcotest.fail ("malformed vs kernel: " ^ Pentest.outcome_name o)
+
+let test_corpus_against_reviewed_supervisor () =
+  (* Review alone (flaws repaired, nothing removed): the linker attacks
+     are refused in place; lapping remains because the buffer design is
+     unchanged. *)
+  let results = Pentest.run_corpus Config.hardware_rings in
+  (match find_outcome results "malformed-object-segment" with
+  | Pentest.Refused _ -> ()
+  | o -> Alcotest.fail ("malformed vs reviewed: " ^ Pentest.outcome_name o));
+  match find_outcome results "input-buffer-lapping" with
+  | Pentest.Violated (Pentest.Denial, _) -> ()
+  | o -> Alcotest.fail ("lapping vs reviewed: " ^ Pentest.outcome_name o)
+
+let test_lattice_attacks_always_refused () =
+  (* Even the flawed baseline enforces the lattice: read-up and
+     write-down never succeed in any configuration. *)
+  List.iter
+    (fun config ->
+      let results = Pentest.run_corpus config in
+      List.iter
+        (fun name ->
+          match find_outcome results name with
+          | Pentest.Refused _ -> ()
+          | o ->
+              Alcotest.fail
+                (Printf.sprintf "%s under %s: %s" name config.Config.name (Pentest.outcome_name o)))
+        [ "mandatory-read-up"; "star-property-write-down" ])
+    [ Config.baseline_645; Config.kernel_6180 ]
+
+(* ----- Trojan scenarios ----- *)
+
+let test_trojan_scenarios () =
+  let results = Trojan.run_all () in
+  Alcotest.(check int) "five scenarios" 5 (List.length results);
+  Alcotest.(check bool) "kernel held everywhere" true (Trojan.kernel_held results);
+  let unconfined = Trojan.scenario_borrowed_unconfined () in
+  Alcotest.(check bool) "unconfined trojan exfiltrated" true unconfined.Trojan.undesired;
+  Alcotest.(check bool) "yet nothing unauthorized" false unconfined.Trojan.unauthorized;
+  let confined = Trojan.scenario_borrowed_confined () in
+  Alcotest.(check bool) "confined trojan stopped" true confined.Trojan.contained
+
+let suite =
+  [
+    ("inventory baseline shape", `Quick, test_inventory_baseline_shape);
+    ("E1 linker fraction", `Quick, test_e1_linker_fraction);
+    ("E2 address space factor", `Quick, test_e2_address_space_factor);
+    ("E3 combined third", `Quick, test_e3_combined_third);
+    ("stage monotonicity", `Quick, test_stage_monotonicity);
+    ("kernel much smaller", `Quick, test_kernel_much_smaller);
+    ("delta arithmetic", `Quick, test_delta_arithmetic);
+    ("corpus vs baseline", `Quick, test_corpus_against_baseline);
+    ("corpus vs kernel", `Quick, test_corpus_against_kernel);
+    ("corpus vs reviewed", `Quick, test_corpus_against_reviewed_supervisor);
+    ("lattice attacks always refused", `Quick, test_lattice_attacks_always_refused);
+    ("trojan scenarios", `Quick, test_trojan_scenarios);
+  ]
+
+(* ----- Systematic verification and the flaw list ----- *)
+
+let test_verifier_all_pass () =
+  let checks = Verifier.run_all () in
+  Alcotest.(check int) "six checks" 6 (List.length checks);
+  List.iter
+    (fun (c : Verifier.check) ->
+      Alcotest.(check int) (c.Verifier.check_name ^ ": no mismatches") 0 c.Verifier.mismatches;
+      Alcotest.(check bool) (c.Verifier.check_name ^ ": nonempty") true (c.Verifier.cases > 100))
+    checks;
+  Alcotest.(check bool) "tens of thousands of cases" true (Verifier.total_cases checks > 20_000)
+
+let test_verifier_catches_mutation () =
+  (* The specifications are not vacuous: a deliberately wrong spec
+     disagrees with the implementation. *)
+  let wrong = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          (* "dominance is symmetric" — false; counterexamples must
+             exist in the 16-label universe. *)
+          if
+            Multics_access.Label.dominates a b
+            && not (Multics_access.Label.dominates b a)
+          then incr wrong)
+        [
+          Multics_access.Label.unclassified;
+          Multics_access.Label.make Multics_access.Label.Secret [ "c" ];
+        ])
+    [
+      Multics_access.Label.unclassified;
+      Multics_access.Label.make Multics_access.Label.Secret [ "c" ];
+    ];
+  Alcotest.(check bool) "asymmetric pairs exist" true (!wrong > 0)
+
+let test_flaw_registry_consistent () =
+  Alcotest.(check bool) "all isolated" true (Flaw_registry.all_isolated ());
+  Alcotest.(check bool) "every flaw demonstrated by a corpus attack" true
+    (Flaw_registry.demonstrations_exist ());
+  Alcotest.(check bool) "at least five entries" true (Flaw_registry.count >= 5);
+  match Flaw_registry.find ~flaw_name:"linker trusts user object headers" with
+  | Some e ->
+      Alcotest.(check bool) "retired by removal" true
+        (e.Flaw_registry.status = Flaw_registry.Retired_by_removal)
+  | None -> Alcotest.fail "missing linker flaw"
+
+let test_quota_attack_refused_everywhere () =
+  (* The quota mechanism is configuration-independent. *)
+  List.iter
+    (fun config ->
+      let results = Pentest.run_corpus config in
+      match find_outcome results "storage-quota-exhaustion" with
+      | Pentest.Refused _ -> ()
+      | o ->
+          Alcotest.fail
+            (Printf.sprintf "quota under %s: %s" config.Config.name (Pentest.outcome_name o)))
+    [ Config.baseline_645; Config.kernel_6180 ]
+
+let extra_suite =
+  [
+    ("verifier all pass", `Quick, test_verifier_all_pass);
+    ("verifier not vacuous", `Quick, test_verifier_catches_mutation);
+    ("flaw registry consistent", `Quick, test_flaw_registry_consistent);
+    ("quota attack refused everywhere", `Quick, test_quota_attack_refused_everywhere);
+  ]
+
+let test_violations_monotone_across_stages () =
+  (* Each engineering stage leaves the attacker no better off: the
+     number of successful violations never increases along the
+     progression. *)
+  let counts =
+    List.map
+      (fun config -> (Pentest.summarize (Pentest.run_corpus config)).Pentest.violated)
+      Config.stages
+  in
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b && non_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "violations %s non-increasing"
+       (String.concat ">" (List.map string_of_int counts)))
+    true (non_increasing counts);
+  Alcotest.(check int) "kernel ends clean" 0 (List.nth counts (List.length counts - 1))
+
+let stage_suite =
+  [ ("violations monotone across stages", `Slow, test_violations_monotone_across_stages) ]

@@ -1,0 +1,156 @@
+(* Regression tests over the experiment results themselves: every
+   table the harness prints must keep the shape the paper claims. *)
+
+open Multics_experiments
+
+let test_e1_shape () =
+  let r = E1_linker_gates.measure () in
+  Alcotest.(check (float 0.005)) "inventory 10%" 0.10 r.E1_linker_gates.inventory_fraction;
+  Alcotest.(check (float 0.005)) "functional 10%" 0.10 r.E1_linker_gates.functional_fraction
+
+let test_e2_shape () =
+  let r = E2_naming_removal.measure () in
+  Alcotest.(check bool) "code ~10x" true
+    (r.E2_naming_removal.code_factor >= 9.0 && r.E2_naming_removal.code_factor <= 11.0);
+  Alcotest.(check bool) "data ~10x" true
+    (r.E2_naming_removal.data_factor >= 8.0 && r.E2_naming_removal.data_factor <= 14.0)
+
+let test_e3_shape () =
+  let fraction = E3_combined_removal.combined_fraction () in
+  Alcotest.(check bool) "about one third" true (fraction >= 0.30 && fraction <= 0.37)
+
+let test_e4_shape () =
+  match E4_ring_crossing.measure () with
+  | [ h645; h6180 ] ->
+      Alcotest.(check bool) "645 penalty two orders" true (h645.E4_ring_crossing.penalty > 50.0);
+      Alcotest.(check (float 0.01)) "6180 parity" 1.0 h6180.E4_ring_crossing.penalty
+  | _ -> Alcotest.fail "expected two processors"
+
+let test_e5_shape () =
+  let points = E5_boundary_sweep.measure () in
+  (* 645 overhead grows with the flurry; 6180 stays at parity. *)
+  let overhead_at k =
+    match
+      List.find_opt (fun p -> p.Multics_kernel.Boundary.inner_calls = k) points
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "missing sweep point"
+  in
+  let p5 = overhead_at 5 and p100 = overhead_at 100 in
+  Alcotest.(check bool) "645 grows" true
+    (p100.Multics_kernel.Boundary.h645_overhead > p5.Multics_kernel.Boundary.h645_overhead);
+  Alcotest.(check bool) "6180 flat" true
+    (abs_float (p100.Multics_kernel.Boundary.h6180_overhead -. 1.0) < 0.01)
+
+let test_e6_shape () =
+  let rows = E6_page_control.measure ~processes:3 ~pages_per_process:8 ~sweeps:2 () in
+  List.iter
+    (fun (r : E6_page_control.row) ->
+      if r.E6_page_control.discipline = "parallel-processes" then begin
+        Alcotest.(check int)
+          (r.E6_page_control.scenario ^ ": parallel never cascades in faulter")
+          0 r.E6_page_control.cascaded;
+        Alcotest.(check int)
+          (r.E6_page_control.scenario ^ ": no deep cascades")
+          0 r.E6_page_control.deep_cascades
+      end
+      else
+        Alcotest.(check bool)
+          (r.E6_page_control.scenario ^ ": sequential cascades in faulter")
+          true
+          (r.E6_page_control.cascaded > 0))
+    rows;
+  (* At the provisioned operating point the parallel fault path is
+     shorter and faster. *)
+  let find scenario discipline =
+    List.find
+      (fun (r : E6_page_control.row) ->
+        r.E6_page_control.scenario = scenario && r.E6_page_control.discipline = discipline)
+      rows
+  in
+  let seq = find "provisioned" "sequential" in
+  let par = find "provisioned" "parallel-processes" in
+  Alcotest.(check bool) "parallel faster at operating point" true
+    (par.E6_page_control.mean_latency < seq.E6_page_control.mean_latency);
+  Alcotest.(check bool) "parallel path shorter" true
+    (par.E6_page_control.mean_steps <= seq.E6_page_control.mean_steps)
+
+let test_e7_shape () =
+  let rows = E7_buffers.measure () in
+  List.iter
+    (fun (r : E7_buffers.row) ->
+      Alcotest.(check int) "infinite never loses" 0 r.E7_buffers.infinite_lost)
+    rows;
+  (* Loss appears once bursts exceed the ring and grows with burstiness. *)
+  let loss cap =
+    match List.find_opt (fun (r : E7_buffers.row) -> r.E7_buffers.burst_cap = cap) rows with
+    | Some r -> r.E7_buffers.circular_lost
+    | None -> Alcotest.fail "missing burst cap"
+  in
+  Alcotest.(check int) "no loss below capacity" 0 (loss 8);
+  Alcotest.(check bool) "loss beyond capacity" true (loss 32 > 0);
+  Alcotest.(check bool) "loss grows" true (loss 128 > loss 32)
+
+let test_e8_shape () =
+  match E8_interrupts.measure () with
+  | [ inline; processes ] ->
+      Alcotest.(check bool) "inline perturbs victim" true
+        (inline.E8_interrupts.victim_actual_cycles > inline.E8_interrupts.victim_expected_cycles);
+      Alcotest.(check int) "process discipline leaves victim exact"
+        processes.E8_interrupts.victim_expected_cycles
+        processes.E8_interrupts.victim_actual_cycles;
+      Alcotest.(check int) "no borrowed ring-0 cycles" 0
+        processes.E8_interrupts.borrowed_privileged_cycles;
+      Alcotest.(check int) "all handled" inline.E8_interrupts.handled
+        processes.E8_interrupts.handled
+  | _ -> Alcotest.fail "expected two disciplines"
+
+let test_e10_shape () =
+  let r = E10_lattice_flow.measure ~seed:99 ~operations:2_000 () in
+  Alcotest.(check int) "zero downward flows" 0 r.E10_lattice_flow.flow_violations;
+  Alcotest.(check bool) "both refusal kinds exercised" true
+    (r.E10_lattice_flow.refused_read_up > 0 && r.E10_lattice_flow.refused_write_down > 0)
+
+let test_registry_complete () =
+  Alcotest.(check int) "17 experiments registered" 17 (List.length Registry.all);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("find " ^ id) true (Registry.find id <> None))
+    [ "e1"; "E1"; "e12"; "a1"; "A3" ];
+  Alcotest.(check bool) "unknown id rejected" true (Registry.find "e99" = None)
+
+let test_ablation_a1_shape () =
+  match Ablations.A1.measure () with
+  | [ second_chance; fixed; random ] ->
+      Alcotest.(check bool) "second-chance beats fixed-frame under phase change" true
+        (second_chance.Ablations.A1.faults < fixed.Ablations.A1.faults);
+      Alcotest.(check bool) "second-chance no worse than random" true
+        (second_chance.Ablations.A1.faults <= random.Ablations.A1.faults)
+  | _ -> Alcotest.fail "expected three policies"
+
+let test_ablation_a2_shape () =
+  let rows = Ablations.A2.measure () in
+  let speedup vps =
+    match List.find_opt (fun (r : Ablations.A2.row) -> r.Ablations.A2.vps = vps) rows with
+    | Some r -> r.Ablations.A2.speedup
+    | None -> Alcotest.fail "missing vp count"
+  in
+  Alcotest.(check (float 0.1)) "2 VPs ~2x" 2.0 (speedup 2);
+  Alcotest.(check (float 0.1)) "8 VPs ~8x" 8.0 (speedup 8);
+  Alcotest.(check (float 0.1)) "beyond population saturates" (speedup 8) (speedup 12)
+
+let suite =
+  [
+    ("E1 shape", `Quick, test_e1_shape);
+    ("E2 shape", `Quick, test_e2_shape);
+    ("E3 shape", `Quick, test_e3_shape);
+    ("E4 shape", `Quick, test_e4_shape);
+    ("E5 shape", `Quick, test_e5_shape);
+    ("E6 shape", `Quick, test_e6_shape);
+    ("E7 shape", `Quick, test_e7_shape);
+    ("E8 shape", `Quick, test_e8_shape);
+    ("E10 shape", `Quick, test_e10_shape);
+    ("registry complete", `Quick, test_registry_complete);
+    ("A1 shape", `Quick, test_ablation_a1_shape);
+    ("A2 shape", `Quick, test_ablation_a2_shape);
+  ]

@@ -1,0 +1,219 @@
+(* Integration tests: whole-session workflows across configurations,
+   determinism of the simulators, and failure injection. *)
+
+open Multics_access
+open Multics_kernel
+
+let check_api what r =
+  match r with Ok v -> v | Error e -> Alcotest.fail (what ^ ": " ^ Api.error_to_string e)
+
+let check_env what r =
+  match r with Ok v -> v | Error e -> Alcotest.fail (what ^ ": " ^ User_env.error_to_string e)
+
+let login_ok system ~person ~project ~password =
+  match System.login system ~person ~project ~password with
+  | Ok h -> h
+  | Error e -> Alcotest.fail (System.login_error_to_string e)
+
+(* A canonical user session: build a small project tree, install an
+   object library, link against it, run numbers through a shared
+   segment, enter and leave a subsystem, and log out.  Returns a
+   fingerprint of everything observable. *)
+let canonical_session config =
+  let system = System.create config in
+  ignore
+    (System.add_account system ~person:"Alice" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  ignore
+    (System.add_account system ~person:"Bob" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  let alice = login_ok system ~person:"Alice" ~project:"Dev" ~password:"pw" in
+  let bob = login_ok system ~person:"Bob" ~project:"Dev" ~password:"pw" in
+  (* Tree building. *)
+  let src =
+    check_env "mkdir src"
+      (User_env.create_directory_at system ~handle:alice ~path:">udd>Dev>Alice>src"
+         ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rew"); ("*.Dev.*", "r") ])
+         ~label:Label.unclassified)
+  in
+  ignore src;
+  let shared =
+    check_env "shared data"
+      (User_env.create_segment_at system ~handle:alice ~path:">udd>Dev>Alice>src>table"
+         ~acl:(Acl.of_strings [ ("*.Dev.*", "rw") ])
+         ~label:Label.unclassified)
+  in
+  List.iteri
+    (fun i v -> check_api "fill" (Api.write_word system ~handle:alice ~segno:shared ~offset:i ~value:v))
+    [ 3; 1; 4; 1; 5 ];
+  (* An object library + a caller linking to it. *)
+  let lib =
+    check_env "lib"
+      (User_env.create_segment_at system ~handle:alice ~path:">udd>Dev>Alice>src>mathlib"
+         ~acl:(Acl.of_strings [ ("*.Dev.*", "re"); ("Alice.Dev.*", "rew") ])
+         ~label:Label.unclassified)
+  in
+  let caller =
+    check_env "caller"
+      (User_env.create_segment_at system ~handle:alice ~path:">udd>Dev>Alice>src>main"
+         ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rew") ])
+         ~label:Label.unclassified)
+  in
+  (match System.proc system alice with
+  | None -> Alcotest.fail "no proc"
+  | Some p ->
+      let uid_of segno =
+        match Multics_fs.Kst.uid_of_segno p.System.kst segno with
+        | Ok uid -> uid
+        | Error e -> Alcotest.fail (Multics_fs.Kst.error_to_string e)
+      in
+      Multics_link.Object_seg.Store.put (System.store system) ~uid:(uid_of lib)
+        (Multics_link.Object_seg.make ~text_words:64
+           ~definitions:[ { Multics_link.Object_seg.def_name = "sum"; def_offset = 12 } ]
+           ~links:[] ());
+      Multics_link.Object_seg.Store.put (System.store system) ~uid:(uid_of caller)
+        (Multics_link.Object_seg.make ~text_words:16 ~definitions:[]
+           ~links:[ ("mathlib", "sum") ] ());
+      (* Point the search rules at the src directory. *)
+      p.System.rules <- Multics_link.Search_rules.of_dirs [ ("src", uid_of src) ]);
+  let _target, link_offset =
+    check_env "snap" (User_env.snap_link system ~handle:alice ~segno:caller ~link_index:0)
+  in
+  (* Reference names. *)
+  check_env "bind" (User_env.bind_name system ~handle:alice ~name:"table" ~segno:shared);
+  let via_name = check_env "lookup" (User_env.lookup_name system ~handle:alice ~name:"table") in
+  (* Bob reads the shared table through his own walk. *)
+  let bob_view =
+    check_env "bob resolves"
+      (User_env.resolve_path system ~handle:bob ~path:">udd>Dev>Alice>src>table")
+  in
+  let bob_reads =
+    List.init 5 (fun i -> check_api "bob read" (Api.read_word system ~handle:bob ~segno:bob_view ~offset:i))
+  in
+  (* Bob may not modify. *)
+  let bob_write_refused =
+    match Api.write_word system ~handle:bob ~segno:bob_view ~offset:0 ~value:0 with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  (* Wait: the ACL grants *.Dev.* rw, so Bob CAN write.  Check that. *)
+  let audit_len = Audit_log.length (System.audit system) in
+  ignore (System.logout system ~handle:bob);
+  ignore (System.logout system ~handle:alice);
+  (link_offset, via_name = shared, bob_reads, bob_write_refused, audit_len > 10)
+
+let test_canonical_session_all_stages () =
+  (* The same session succeeds with identical observable results on
+     every engineering stage — removal changes where mechanisms live,
+     never what users can do. *)
+  let reference = canonical_session Config.baseline_645 in
+  List.iter
+    (fun config ->
+      let result = canonical_session config in
+      let offset_r, name_r, reads_r, w, a = reference in
+      let offset_c, name_c, reads_c, w', a' = result in
+      Alcotest.(check int) (config.Config.name ^ ": link offset") offset_r offset_c;
+      Alcotest.(check bool) (config.Config.name ^ ": name binding") name_r name_c;
+      Alcotest.(check (list int)) (config.Config.name ^ ": shared reads") reads_r reads_c;
+      Alcotest.(check bool) (config.Config.name ^ ": write parity") w w';
+      Alcotest.(check bool) (config.Config.name ^ ": audited") a a')
+    (List.tl Config.stages)
+
+let test_bob_can_write_shared () =
+  (* The ACL grants *.Dev.* rw: Bob's write must be PERMITTED.  (Guards
+     against over-restriction — a reference monitor that refuses too
+     much is also wrong.) *)
+  let _, _, _, bob_write_refused, _ = canonical_session Config.kernel_6180 in
+  Alcotest.(check bool) "bob write permitted" false bob_write_refused
+
+let test_audit_covers_every_gate_call () =
+  let system = System.create Config.kernel_6180 in
+  ignore
+    (System.add_account system ~person:"Alice" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  let alice = login_ok system ~person:"Alice" ~project:"Dev" ~password:"pw" in
+  let before = Audit_log.length (System.audit system) in
+  let wd = check_env "root" (User_env.root_segno system ~handle:alice) in
+  ignore (Api.list_directory system ~handle:alice ~dir_segno:wd);
+  ignore (Api.read_word system ~handle:alice ~segno:9999 ~offset:0);
+  ignore (Api.create_channel system ~handle:alice);
+  let after = Audit_log.length (System.audit system) in
+  Alcotest.(check int) "three records" (before + 3) after
+
+let test_simulation_determinism () =
+  (* Two identical page-storm runs produce identical fault traces. *)
+  let run () =
+    let _sim, pc =
+      Multics_experiments.E6_page_control.run_storm ~core:8 ~bulk:12
+        ~discipline:Multics_vm.Page_control.Parallel_processes ~processes:3
+        ~pages_per_process:8 ~sweeps:2 ()
+    in
+    List.map
+      (fun (f : Multics_vm.Page_control.fault_record) ->
+        (f.Multics_vm.Page_control.pid, f.Multics_vm.Page_control.latency, f.Multics_vm.Page_control.steps))
+      (Multics_vm.Page_control.faults pc)
+  in
+  Alcotest.(check (list (triple int int int))) "identical fault traces" (run ()) (run ())
+
+let test_failure_injection_in_faulting_process () =
+  (* A process that dies mid-workload must not corrupt physical
+     memory accounting or wedge the freers. *)
+  let sim = Multics_proc.Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:5 in
+  let mem = Multics_mm.Memory.create ~cost:Multics_machine.Cost.h6180 ~core:4 ~bulk:6 ~disk:64 in
+  let pc =
+    Multics_vm.Page_control.create sim ~mem
+      ~discipline:Multics_vm.Page_control.Parallel_processes
+  in
+  Multics_vm.Page_control.start pc;
+  let crasher =
+    Multics_proc.Sim.spawn sim ~name:"crasher" (fun pid ->
+        for i = 0 to 5 do
+          ignore
+            (Multics_vm.Page_control.reference pc ~pid
+               ~page:(Multics_mm.Page_id.make ~seg_uid:9 ~page_no:i));
+          if i = 3 then failwith "injected fault"
+        done)
+  in
+  let survivor =
+    Multics_proc.Sim.spawn sim ~name:"survivor" (fun pid ->
+        for i = 0 to 9 do
+          ignore
+            (Multics_vm.Page_control.reference pc ~pid
+               ~page:(Multics_mm.Page_id.make ~seg_uid:10 ~page_no:i))
+        done)
+  in
+  Multics_proc.Sim.run sim;
+  Alcotest.(check bool) "crasher recorded failure" true
+    (Multics_proc.Sim.failure_of sim crasher <> None);
+  Alcotest.(check bool) "survivor unaffected" true
+    (Multics_proc.Sim.failure_of sim survivor = None);
+  Alcotest.(check bool) "memory conservation intact" true
+    (Multics_mm.Memory.check_conservation mem)
+
+let test_stage_presets_are_cumulative () =
+  (* Each stage differs from its predecessor only by the documented
+     knobs; the processor changes exactly once. *)
+  let stages = Array.of_list Config.stages in
+  for i = 1 to Array.length stages - 1 do
+    let prev = stages.(i - 1) and curr = stages.(i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s named differently" curr.Config.name)
+      true
+      (prev.Config.name <> curr.Config.name)
+  done;
+  Alcotest.(check bool) "starts on the 645" true
+    (Config.baseline_645.Config.processor = Multics_machine.Cost.H645);
+  Alcotest.(check bool) "ends on the 6180" true
+    (Config.kernel_6180.Config.processor = Multics_machine.Cost.H6180);
+  Alcotest.(check bool) "final kernel has no flaws" true
+    (Config.kernel_6180.Config.linker_flaws = [])
+
+let suite =
+  [
+    ("canonical session on all stages", `Slow, test_canonical_session_all_stages);
+    ("bob can write shared", `Quick, test_bob_can_write_shared);
+    ("audit covers gate calls", `Quick, test_audit_covers_every_gate_call);
+    ("simulation determinism", `Quick, test_simulation_determinism);
+    ("failure injection", `Quick, test_failure_injection_in_faulting_process);
+    ("stage presets cumulative", `Quick, test_stage_presets_are_cumulative);
+  ]

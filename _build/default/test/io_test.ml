@@ -1,0 +1,150 @@
+(* Tests for Multics_io: the circular buffer's lapping behaviour, the
+   infinite buffer's growth/trim, and the network workload driver. *)
+
+open Multics_io
+
+let test_circular_fifo () =
+  let b = Circular_buffer.create ~capacity:4 in
+  Circular_buffer.write b 1;
+  Circular_buffer.write b 2;
+  Circular_buffer.write b 3;
+  Alcotest.(check (option int)) "first" (Some 1) (Circular_buffer.read b);
+  Alcotest.(check (option int)) "second" (Some 2) (Circular_buffer.read b);
+  Circular_buffer.write b 4;
+  Alcotest.(check (option int)) "third" (Some 3) (Circular_buffer.read b);
+  Alcotest.(check (option int)) "fourth" (Some 4) (Circular_buffer.read b);
+  Alcotest.(check (option int)) "empty" None (Circular_buffer.read b);
+  Alcotest.(check int) "nothing lost" 0 (Circular_buffer.overwritten b)
+
+let test_circular_lapping () =
+  let b = Circular_buffer.create ~capacity:3 in
+  for i = 1 to 5 do
+    Circular_buffer.write b i
+  done;
+  (* Messages 1 and 2 were destroyed by the writer lapping. *)
+  Alcotest.(check int) "two overwritten" 2 (Circular_buffer.overwritten b);
+  Alcotest.(check (option int)) "oldest surviving" (Some 3) (Circular_buffer.read b);
+  Alcotest.(check (option int)) "next" (Some 4) (Circular_buffer.read b);
+  Alcotest.(check (option int)) "last" (Some 5) (Circular_buffer.read b);
+  Alcotest.(check (option int)) "drained" None (Circular_buffer.read b)
+
+let test_circular_occupancy () =
+  let b = Circular_buffer.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Circular_buffer.occupancy b);
+  Circular_buffer.write b 1;
+  Circular_buffer.write b 2;
+  Alcotest.(check int) "two" 2 (Circular_buffer.occupancy b);
+  for i = 3 to 10 do
+    Circular_buffer.write b i
+  done;
+  Alcotest.(check int) "capped at capacity" 3 (Circular_buffer.occupancy b)
+
+let test_infinite_never_loses () =
+  let b = Infinite_buffer.create ~messages_per_page:4 () in
+  for i = 1 to 100 do
+    Infinite_buffer.write b i
+  done;
+  let rec drain acc =
+    match Infinite_buffer.read b with None -> List.rev acc | Some m -> drain (m :: acc)
+  in
+  Alcotest.(check (list int)) "all messages in order" (List.init 100 (fun i -> i + 1)) (drain [])
+
+let test_infinite_page_lifecycle () =
+  let b = Infinite_buffer.create ~messages_per_page:4 () in
+  for i = 1 to 16 do
+    Infinite_buffer.write b i
+  done;
+  Alcotest.(check int) "four pages demanded" 4 (Infinite_buffer.pages_demanded b);
+  Alcotest.(check int) "four resident" 4 (Infinite_buffer.resident_pages b);
+  for _ = 1 to 8 do
+    ignore (Infinite_buffer.read b)
+  done;
+  Alcotest.(check int) "two pages returned" 2 (Infinite_buffer.pages_returned b);
+  Alcotest.(check int) "two resident" 2 (Infinite_buffer.resident_pages b);
+  Alcotest.(check int) "peak recorded" 4 (Infinite_buffer.peak_resident_pages b)
+
+let test_infinite_interleaved () =
+  let b = Infinite_buffer.create ~messages_per_page:2 () in
+  Infinite_buffer.write b 1;
+  Alcotest.(check (option int)) "read 1" (Some 1) (Infinite_buffer.read b);
+  Alcotest.(check (option int)) "empty" None (Infinite_buffer.read b);
+  Infinite_buffer.write b 2;
+  Infinite_buffer.write b 3;
+  Alcotest.(check (option int)) "read 2" (Some 2) (Infinite_buffer.read b);
+  Alcotest.(check (option int)) "read 3" (Some 3) (Infinite_buffer.read b)
+
+let test_network_circular_loses_under_burst () =
+  let result = Network.run ~seed:42 (Network.Circular (Circular_buffer.create ~capacity:8)) in
+  Alcotest.(check bool) "offered > 0" true (result.Network.offered > 0);
+  Alcotest.(check bool) "messages lost" true (result.Network.lost > 0);
+  Alcotest.(check int) "delivered + lost = offered" result.Network.offered
+    (result.Network.delivered + result.Network.lost)
+
+let test_network_infinite_loses_nothing () =
+  let result = Network.run ~seed:42 (Network.Infinite (Infinite_buffer.create ())) in
+  Alcotest.(check int) "no loss" 0 result.Network.lost;
+  Alcotest.(check int) "all delivered" result.Network.offered result.Network.delivered
+
+let test_network_deterministic () =
+  let run () = Network.run ~seed:7 (Network.Circular (Circular_buffer.create ~capacity:8)) in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "same offered" a.Network.offered b.Network.offered;
+  Alcotest.(check int) "same lost" a.Network.lost b.Network.lost
+
+let test_device_catalog () =
+  Alcotest.(check int) "five legacy devices" 5 (List.length Device.all_legacy);
+  Alcotest.(check bool) "network not legacy" true
+    (not (List.exists (Device.equal Device.Network_attachment) Device.all_legacy))
+
+(* Property: for any interleaving of writes and reads, the circular
+   buffer's accounting balances: written = read + overwritten + still
+   buffered. *)
+let circular_accounting_prop =
+  let gen = QCheck.Gen.(pair (int_range 1 8) (list_size (int_range 1 200) bool)) in
+  QCheck.Test.make ~name:"circular buffer accounting balances" ~count:200 (QCheck.make gen)
+    (fun (capacity, ops) ->
+      let b = Circular_buffer.create ~capacity in
+      let n = ref 0 in
+      List.iter
+        (fun is_write ->
+          if is_write then begin
+            incr n;
+            Circular_buffer.write b !n
+          end
+          else ignore (Circular_buffer.read b))
+        ops;
+      Circular_buffer.written b
+      = Circular_buffer.messages_read b + Circular_buffer.overwritten b
+        + Circular_buffer.occupancy b)
+
+(* Property: the infinite buffer delivers exactly the written sequence,
+   for any page size. *)
+let infinite_order_prop =
+  let gen = QCheck.Gen.(pair (int_range 1 7) (int_range 0 150)) in
+  QCheck.Test.make ~name:"infinite buffer preserves sequence" ~count:200 (QCheck.make gen)
+    (fun (page_size, n) ->
+      let b = Infinite_buffer.create ~messages_per_page:page_size () in
+      for i = 1 to n do
+        Infinite_buffer.write b i
+      done;
+      let rec drain acc =
+        match Infinite_buffer.read b with None -> List.rev acc | Some m -> drain (m :: acc)
+      in
+      drain [] = List.init n (fun i -> i + 1))
+
+let suite =
+  [
+    ("circular fifo", `Quick, test_circular_fifo);
+    ("circular lapping", `Quick, test_circular_lapping);
+    ("circular occupancy", `Quick, test_circular_occupancy);
+    ("infinite never loses", `Quick, test_infinite_never_loses);
+    ("infinite page lifecycle", `Quick, test_infinite_page_lifecycle);
+    ("infinite interleaved", `Quick, test_infinite_interleaved);
+    ("network circular loses", `Quick, test_network_circular_loses_under_burst);
+    ("network infinite keeps all", `Quick, test_network_infinite_loses_nothing);
+    ("network deterministic", `Quick, test_network_deterministic);
+    ("device catalog", `Quick, test_device_catalog);
+    QCheck_alcotest.to_alcotest circular_accounting_prop;
+    QCheck_alcotest.to_alcotest infinite_order_prop;
+  ]

@@ -1,0 +1,248 @@
+(* Tests for Multics_link: object segments, search rules, the linker in
+   both placements with and without flaws, and the RNT. *)
+
+open Multics_access
+open Multics_fs
+open Multics_link
+open Multics_machine
+
+let admin = Multics_kernel.System.initializer_subject
+
+let user name clearance =
+  Policy.subject ~principal:(Principal.of_string name) ~clearance ~ring:Ring.user ()
+
+let open_acl = Acl.of_strings [ ("*.*.*", "rew") ]
+
+(* A small world: >libs (public), >hidden (Bob only, holds target). *)
+let setup () =
+  let h = Hierarchy.create () in
+  let store = Object_seg.Store.create () in
+  let mkdir name acl =
+    match
+      Hierarchy.create_directory h ~subject:admin ~dir:Uid.root ~name ~acl
+        ~label:Label.unclassified
+    with
+    | Ok uid -> uid
+    | Error e -> Alcotest.fail (Hierarchy.error_to_string e)
+  in
+  let libs = mkdir "libs" open_acl in
+  let hidden = mkdir "hidden" (Acl.of_strings [ ("Bob.Ops.*", "rew"); ("Initializer.*.*", "rew") ]) in
+  let mkobj ~dir ~name obj =
+    match
+      Hierarchy.create_segment h ~subject:admin ~dir ~name ~acl:open_acl
+        ~label:Label.unclassified
+    with
+    | Ok uid ->
+        Object_seg.Store.put store ~uid obj;
+        uid
+    | Error e -> Alcotest.fail (Hierarchy.error_to_string e)
+  in
+  let target =
+    Object_seg.make ~text_words:100
+      ~definitions:
+        [
+          { Object_seg.def_name = "entry"; def_offset = 10 };
+          { Object_seg.def_name = "other"; def_offset = 20 };
+        ]
+      ~links:[] ()
+  in
+  let lib_target = mkobj ~dir:libs ~name:"mathlib" target in
+  let hidden_target = mkobj ~dir:hidden ~name:"classified" target in
+  (h, store, libs, hidden, lib_target, hidden_target)
+
+let caller_object store h ~dir ?(malformation = None) ~links () =
+  match
+    Hierarchy.create_segment h ~subject:admin ~dir ~name:"caller" ~acl:open_acl
+      ~label:Label.unclassified
+  with
+  | Ok uid ->
+      Object_seg.Store.put store ~uid
+        (Object_seg.make ~malformation ~text_words:50 ~definitions:[] ~links ());
+      uid
+  | Error e -> Alcotest.fail (Hierarchy.error_to_string e)
+
+let alice = user "Alice.Dev.a" Label.unclassified
+
+let test_snap_success () =
+  let h, store, libs, _hidden, lib_target, _ = setup () in
+  let caller = caller_object store h ~dir:libs ~links:[ ("mathlib", "entry") ] () in
+  let linker = Linker.create ~placement:Linker.In_user_ring ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Snapped { target; offset; dirs_searched } ->
+      Alcotest.(check bool) "right target" true (Uid.equal target lib_target);
+      Alcotest.(check int) "definition offset" 10 offset;
+      Alcotest.(check int) "one dir" 1 dirs_searched
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_snap_idempotent () =
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let caller = caller_object store h ~dir:libs ~links:[ ("mathlib", "entry") ] () in
+  let linker = Linker.create ~placement:Linker.In_user_ring ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  (match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Snapped _ -> ()
+  | other -> Alcotest.fail (Linker.outcome_to_string other));
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Already_snapped _ -> Alcotest.(check int) "snapped once" 1 (Linker.links_snapped linker)
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_definition_not_found () =
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let caller = caller_object store h ~dir:libs ~links:[ ("mathlib", "no_such_entry") ] () in
+  let linker = Linker.create ~placement:Linker.In_user_ring ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Definition_not_found _ -> ()
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_search_order () =
+  (* Two dirs both holding "mathlib": the first rule wins. *)
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let second =
+    match
+      Hierarchy.create_directory h ~subject:admin ~dir:Uid.root ~name:"libs2" ~acl:open_acl
+        ~label:Label.unclassified
+    with
+    | Ok uid -> uid
+    | Error e -> Alcotest.fail (Hierarchy.error_to_string e)
+  in
+  let dup =
+    match
+      Hierarchy.create_segment h ~subject:admin ~dir:second ~name:"mathlib" ~acl:open_acl
+        ~label:Label.unclassified
+    with
+    | Ok uid ->
+        Object_seg.Store.put store ~uid
+          (Object_seg.make ~text_words:5
+             ~definitions:[ { Object_seg.def_name = "entry"; def_offset = 99 } ]
+             ~links:[] ());
+        uid
+    | Error e -> Alcotest.fail (Hierarchy.error_to_string e)
+  in
+  let caller = caller_object store h ~dir:libs ~links:[ ("mathlib", "entry") ] () in
+  let linker = Linker.create ~placement:Linker.In_user_ring ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs2", second); ("libs", libs) ] in
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Snapped { target; offset; _ } ->
+      Alcotest.(check bool) "first rule won" true (Uid.equal target dup);
+      Alcotest.(check int) "dup offset" 99 offset
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_malformed_kernel_flawed () =
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let caller =
+    caller_object store h ~dir:libs
+      ~malformation:(Some (Object_seg.Bad_definition_offset 9999))
+      ~links:[ ("mathlib", "entry") ] ()
+  in
+  let linker =
+    Linker.create ~flaws:[ Linker.Unvalidated_input ] ~placement:Linker.In_kernel ~store
+      ~hierarchy:h ()
+  in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Supervisor_damaged _ ->
+      Alcotest.(check int) "incident recorded" 1 (Linker.supervisor_damage_count linker)
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_malformed_kernel_reviewed () =
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let caller =
+    caller_object store h ~dir:libs
+      ~malformation:(Some Object_seg.Cyclic_definition_chain)
+      ~links:[ ("mathlib", "entry") ] ()
+  in
+  let linker = Linker.create ~placement:Linker.In_kernel ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Malformed_rejected _ ->
+      Alcotest.(check int) "no incident" 0 (Linker.supervisor_damage_count linker)
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_malformed_user_ring_contained () =
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let caller =
+    caller_object store h ~dir:libs
+      ~malformation:(Some (Object_seg.Oversized_link_count 4096))
+      ~links:[ ("mathlib", "entry") ] ()
+  in
+  let linker = Linker.create ~placement:Linker.In_user_ring ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  match Linker.resolve_link linker ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.User_ring_fault _ ->
+      Alcotest.(check int) "no supervisor damage" 0 (Linker.supervisor_damage_count linker)
+  | other -> Alcotest.fail (Linker.outcome_to_string other)
+
+let test_supervisor_walk_flaw () =
+  (* A link into >hidden: with the user's authority the target is
+     invisible; the flawed supervisor walk finds it. *)
+  let h, store, libs, hidden, _lib, hidden_target = setup () in
+  let caller = caller_object store h ~dir:libs ~links:[ ("classified", "entry") ] () in
+  let rules = Search_rules.of_dirs [ ("hidden", hidden) ] in
+  let honest = Linker.create ~placement:Linker.In_kernel ~store ~hierarchy:h () in
+  (match Linker.resolve_link honest ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Segment_not_found _ -> ()
+  | other -> Alcotest.fail ("honest: " ^ Linker.outcome_to_string other));
+  let flawed =
+    Linker.create ~flaws:[ Linker.Supervisor_authority_walk ] ~placement:Linker.In_kernel
+      ~store ~hierarchy:h ()
+  in
+  match Linker.resolve_link flawed ~subject:alice ~rules ~from_uid:caller ~link_index:0 with
+  | Linker.Snapped { target; _ } ->
+      Alcotest.(check bool) "reached hidden target" true (Uid.equal target hidden_target)
+  | other -> Alcotest.fail ("flawed: " ^ Linker.outcome_to_string other)
+
+let test_resolve_all () =
+  let h, store, libs, _hidden, _lib, _ = setup () in
+  let caller =
+    caller_object store h ~dir:libs
+      ~links:[ ("mathlib", "entry"); ("mathlib", "other"); ("nowhere", "entry") ]
+      ()
+  in
+  let linker = Linker.create ~placement:Linker.In_user_ring ~store ~hierarchy:h () in
+  let rules = Search_rules.of_dirs [ ("libs", libs) ] in
+  let outcomes = Linker.resolve_all linker ~subject:alice ~rules ~from_uid:caller in
+  Alcotest.(check int) "three links" 3 (List.length outcomes);
+  match outcomes with
+  | [ Linker.Snapped { offset = 10; _ }; Linker.Snapped { offset = 20; _ }; Linker.Segment_not_found _ ] -> ()
+  | _ -> Alcotest.fail "unexpected outcome sequence"
+
+let test_rnt () =
+  let rnt = Rnt.create ~placement:Rnt.In_user_ring in
+  (match Rnt.bind rnt ~name:"mathlib" ~segno:12 with Ok () -> () | Error e -> Alcotest.fail (Rnt.error_to_string e));
+  (match Rnt.bind rnt ~name:"mathlib" ~segno:13 with
+  | Error (Rnt.Name_already_bound _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "duplicate bind accepted");
+  (match Rnt.lookup rnt ~name:"mathlib" with
+  | Ok 12 -> ()
+  | Ok n -> Alcotest.fail (Printf.sprintf "wrong segno %d" n)
+  | Error e -> Alcotest.fail (Rnt.error_to_string e));
+  Alcotest.(check (list string)) "names for segno" [ "mathlib" ] (Rnt.names_for_segno rnt ~segno:12);
+  (match Rnt.unbind rnt ~name:"mathlib" with Ok () -> () | Error e -> Alcotest.fail (Rnt.error_to_string e));
+  match Rnt.lookup rnt ~name:"mathlib" with
+  | Error (Rnt.Name_not_bound _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unbound name resolved"
+
+let test_rnt_protected_words () =
+  let kernel_rnt = Rnt.create ~placement:Rnt.In_kernel in
+  let user_rnt = Rnt.create ~placement:Rnt.In_user_ring in
+  ignore (Rnt.bind kernel_rnt ~name:"a" ~segno:1);
+  ignore (Rnt.bind user_rnt ~name:"a" ~segno:1);
+  Alcotest.(check bool) "kernel RNT counts" true (Rnt.protected_words kernel_rnt > 0);
+  Alcotest.(check int) "user RNT free" 0 (Rnt.protected_words user_rnt)
+
+let suite =
+  [
+    ("snap success", `Quick, test_snap_success);
+    ("snap idempotent", `Quick, test_snap_idempotent);
+    ("definition not found", `Quick, test_definition_not_found);
+    ("search order", `Quick, test_search_order);
+    ("malformed + flawed kernel", `Quick, test_malformed_kernel_flawed);
+    ("malformed + reviewed kernel", `Quick, test_malformed_kernel_reviewed);
+    ("malformed + user ring contained", `Quick, test_malformed_user_ring_contained);
+    ("supervisor walk flaw", `Quick, test_supervisor_walk_flaw);
+    ("resolve all", `Quick, test_resolve_all);
+    ("rnt", `Quick, test_rnt);
+    ("rnt protected words", `Quick, test_rnt_protected_words);
+  ]

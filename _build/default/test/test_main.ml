@@ -1,0 +1,23 @@
+(* Test entry point: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "multics_sk"
+    [
+      ("util", Util_test.suite);
+      ("machine", Machine_test.suite);
+      ("access", Access_test.suite);
+      ("mm", Mm_test.suite);
+      ("proc", Proc_test.suite);
+      ("vm", Vm_test.suite @ Vm_test.backup_suite);
+      ("fs", Fs_test.suite @ Fs_test.minting_suite);
+      ("link", Link_test.suite);
+      ("io", Io_test.suite);
+      ("kernel",
+        Kernel_test.suite @ Kernel_test.extra_suite @ Kernel_test.session_suite
+        @ Kernel_test.revocation_suite @ Kernel_test.session_interrupt_suite);
+      ("audit", Audit_test.suite @ Audit_test.extra_suite @ Audit_test.stage_suite);
+      ("integration", Integration_test.suite);
+      ("experiments", Experiments_test.suite);
+      ("properties", Property_test.suite);
+      ("misc", Misc_test.suite);
+    ]
