@@ -138,6 +138,70 @@ let bench_verifier =
   Test.make ~name:"e14/exhaustive_verifier"
     (Staged.stage (fun () -> Multics_audit.Verifier.run_all ()))
 
+(* ----- Observability overhead -----
+
+   The same full gate call ([Api.read_word]: process lookup, gate
+   discipline, SDW check, content fetch, metering branch) with the
+   observability switch on and off.  The off row is the seed-equivalent
+   path: its only extra cost is the single disabled branch, so the two
+   rows must land within noise of each other.  The audit log is
+   disabled for both rows so neither accumulates records across
+   iterations. *)
+
+module Obs = Multics_obs.Obs
+
+let obs_bench_system, obs_bench_handle, obs_bench_segno =
+  let open Multics_kernel in
+  let system = System.create Config.kernel_6180 in
+  Audit_log.set_enabled (System.audit system) false;
+  ignore
+    (System.add_account system ~person:"Bench" ~project:"Perf" ~password:"pw"
+       ~clearance:Multics_access.Label.unclassified);
+  let handle =
+    match System.login system ~person:"Bench" ~project:"Perf" ~password:"pw" with
+    | Ok handle -> handle
+    | Error e -> failwith (System.login_error_to_string e)
+  in
+  let segno =
+    match
+      User_env.create_segment_at system ~handle ~path:">udd>Perf>Bench>hot"
+        ~acl:(Multics_access.Acl.of_strings [ ("Bench.Perf.*", "rew") ])
+        ~label:Multics_access.Label.unclassified
+    with
+    | Ok segno -> segno
+    | Error e -> failwith (User_env.error_to_string e)
+  in
+  (match Api.write_word system ~handle ~segno ~offset:0 ~value:42 with
+  | Ok () -> ()
+  | Error e -> failwith (Api.error_to_string e));
+  (system, handle, segno)
+
+let bench_obs_gate_call_on =
+  Test.make ~name:"obs/gate_call_obs_on"
+    (Staged.stage (fun () ->
+         Obs.set_enabled true;
+         Multics_kernel.Api.read_word obs_bench_system ~handle:obs_bench_handle
+           ~segno:obs_bench_segno ~offset:0))
+
+let bench_obs_gate_call_off =
+  Test.make ~name:"obs/gate_call_obs_off"
+    (Staged.stage (fun () ->
+         Obs.set_enabled false;
+         Multics_kernel.Api.read_word obs_bench_system ~handle:obs_bench_handle
+           ~segno:obs_bench_segno ~offset:0))
+
+let obs_bench_counter = Obs.Registry.counter Obs.Registry.global "bench.counter"
+
+let bench_obs_counter_incr =
+  Test.make ~name:"obs/counter_incr"
+    (Staged.stage (fun () -> Obs.Counter.incr obs_bench_counter))
+
+let obs_bench_histogram = Obs.Registry.histogram Obs.Registry.global "bench.histogram"
+
+let bench_obs_histogram_observe =
+  Test.make ~name:"obs/histogram_observe"
+    (Staged.stage (fun () -> Obs.Histogram.observe obs_bench_histogram 1234))
+
 (* ----- Ablations ----- *)
 
 let bench_ablation_policies =
@@ -168,6 +232,10 @@ let tests =
     bench_inventory_stages;
     bench_session_kernel;
     bench_verifier;
+    bench_obs_gate_call_on;
+    bench_obs_gate_call_off;
+    bench_obs_counter_incr;
+    bench_obs_histogram_observe;
     bench_ablation_policies;
     bench_ablation_watermark;
   ]
@@ -197,6 +265,7 @@ let print_bench_table results =
 let () =
   print_endline "=== Bechamel micro-benchmarks (one per experiment mechanism) ===";
   let results = benchmark () in
+  Obs.set_enabled true;
   print_bench_table results;
   print_newline ();
   print_endline "=== Experiment tables (E1..E14 + ablations) ===";

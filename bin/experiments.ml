@@ -4,15 +4,26 @@
      dune exec bin/experiments.exe            # every experiment
      dune exec bin/experiments.exe -- e6 e7   # a selection
      dune exec bin/experiments.exe -- --list  # what exists
+     dune exec bin/experiments.exe -- e13 --stats   # + kernel counters
 *)
 
 open Multics_experiments
+module Obs = Multics_obs.Obs
 
-let print_experiment e =
+(* With --stats, each experiment runs against freshly reset counters so
+   its snapshot reflects that experiment alone. *)
+let print_experiment ~stats e =
+  if stats then Obs.Registry.reset Obs.Registry.global;
   print_string (Registry.render_one e);
-  print_newline ()
+  print_newline ();
+  if stats then begin
+    Printf.printf "--- observability snapshot (%s) ---\n%s\n" e.Registry.id
+      (Obs.Snapshot.to_text (Obs.Snapshot.capture ()));
+    print_newline ()
+  end
 
-let run_selection list_only ids =
+let run_selection list_only stats ids =
+  let print_experiment = print_experiment ~stats in
   if list_only then begin
     List.iter
       (fun (e : Registry.experiment) -> Printf.printf "%-4s %s\n" e.Registry.id e.Registry.title)
@@ -48,7 +59,13 @@ let () =
     Arg.(value & flag & info [ "list"; "l" ] ~doc:"List experiment ids and titles.")
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e.g. e1 e7).") in
-  let term = Term.(const run_selection $ list_flag $ ids) in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the kernel observability snapshot after each experiment.")
+  in
+  let term = Term.(const run_selection $ list_flag $ stats_flag $ ids) in
   let info =
     Cmd.info "experiments" ~doc:"Regenerate the tables of the Multics security-kernel reproduction"
   in

@@ -11,6 +11,7 @@
 
 open Multics_access
 open Multics_kernel
+module Obs = Multics_obs.Obs
 
 type shell = { system : System.t; mutable handle : int option }
 
@@ -33,7 +34,7 @@ let on_api shell what result =
   | Ok v -> Some v
   | Error e ->
       ignore shell;
-      say "%s: %s" what (Api.error_to_string e);
+      say "%s: %s" what (Fmt.str "%a" Api.pp e);
       None
 
 let on_env shell what result =
@@ -56,6 +57,7 @@ let cmd_help () =
     \  write PATH OFFSET VALUE | read PATH OFFSET | status PATH NAME\n\
     \  acl PATH PATTERN MODE   (e.g. acl >udd>Dev>A>x '*.Dev.*' r)\n\
     \  quota PATH PAGES | bind NAME PATH | lookup NAME\n\
+    \  stats [json|reset]      live kernel counters (gates, VM, IPC, policy)\n\
     \  help | exit"
 
 let cmd_adduser shell args =
@@ -97,7 +99,7 @@ let cmd_whoami shell =
             info.Api.info_principal info.Api.info_ring
             (Label.to_string info.Api.info_level)
             info.Api.info_known_segments info.Api.info_login_ring
-      | Error e -> say "whoami: %s" (Api.error_to_string e))
+      | Error e -> say "whoami: %s" (Fmt.str "%a" Api.pp e))
 
 let cmd_ls shell path =
   require_login shell (fun handle ->
@@ -250,6 +252,15 @@ let cmd_gates shell =
     (Gate.count_by_subsystem config);
   say "  %-16s %d gates total" "" (Gate.count config)
 
+let cmd_stats subcommand =
+  match subcommand with
+  | None -> say "%s" (Obs.Snapshot.to_text (Obs.Snapshot.capture ()))
+  | Some "json" -> say "%s" (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
+  | Some "reset" ->
+      Obs.Registry.reset Obs.Registry.global;
+      say "observability counters reset"
+  | Some other -> say "stats: unknown subcommand %S (try: stats | stats json | stats reset)" other
+
 let cmd_audit shell n =
   let records = Audit_log.records (System.audit shell.system) in
   let tail =
@@ -286,6 +297,8 @@ let execute shell line =
   | [ "bind"; name; path ] -> cmd_bind shell name path
   | [ "lookup"; name ] -> cmd_lookup shell name
   | [ "gates" ] -> cmd_gates shell
+  | [ "stats" ] -> cmd_stats None
+  | [ "stats"; sub ] -> cmd_stats (Some sub)
   | [ "audit" ] -> cmd_audit shell 10
   | [ "audit"; n ] -> int_arg "n" n (fun n -> cmd_audit shell n)
   | cmd :: _ -> say "unknown command %S (try: help)" cmd

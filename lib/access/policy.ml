@@ -15,6 +15,7 @@
    "refused by the lattice" from "refused by an ACL". *)
 
 open Multics_machine
+module Obs = Multics_obs.Obs
 
 (* [trusted] marks the small set of administrative subjects (the
    Initializer/daemons) exempt from the mandatory checks — the standard
@@ -85,13 +86,40 @@ let refusals_of_hardware decision =
 
 let verdict_of_refusals = function [] -> Permit | refusals -> Refuse refusals
 
+(* Observability: one counter per refusal cause, so the audit story
+   ("refused by the lattice" vs "refused by an ACL") is visible live. *)
+let obs_checks = Obs.Registry.counter Obs.Registry.global "policy.checks"
+let obs_refusals = Obs.Registry.counter Obs.Registry.global "policy.refusals"
+
+let refusal_label = function
+  | Mandatory_read_up _ -> "mandatory-read-up"
+  | Mandatory_write_down _ -> "mandatory-write-down"
+  | Discretionary _ -> "discretionary"
+  | Ring_hardware _ -> "ring-hardware"
+
+let observe verdict =
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_checks;
+    match verdict with
+    | Permit -> ()
+    | Refuse refusals ->
+        Obs.Counter.incr obs_refusals;
+        List.iter
+          (fun r ->
+            Obs.Counter.incr
+              (Obs.Registry.counter Obs.Registry.global ("policy.refusals." ^ refusal_label r)))
+          refusals
+  end;
+  verdict
+
 let check ~subject:s ~object_label ~acl ~requested =
   let mandatory =
     if s.trusted then []
     else mandatory_refusals ~subject_label:s.clearance ~object_label ~requested
   in
-  verdict_of_refusals
-    (mandatory @ discretionary_refusals ~acl ~principal:s.principal ~requested)
+  observe
+    (verdict_of_refusals
+       (mandatory @ discretionary_refusals ~acl ~principal:s.principal ~requested))
 
 let permitted = function Permit -> true | Refuse _ -> false
 

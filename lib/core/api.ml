@@ -1,7 +1,15 @@
 (* The kernel's gate-call interface.
 
-   Every function here is one supervisor entry point from the
-   {!Gate} catalog.  A call is mediated three times over:
+   Every supervisor entry point from the {!Gate} catalog is reachable
+   two equivalent ways:
+
+   - the typed way: build a {!Call.request} and hand it to
+     {!Call.dispatch} — THE single audited, metered entry point;
+   - the legacy way: the per-gate functions below, which are thin
+     wrappers that build the request, dispatch it, and project the
+     typed reply back out.
+
+   A call is mediated three times over:
 
    1. the gate must exist in the running configuration (a removed
       mechanism's gates are simply absent — the caller must use the
@@ -9,6 +17,11 @@
    2. the caller's ring must be within the gate's call bracket;
    3. the operation itself applies the reference monitor (ACL x
       lattice at descriptor construction, SDW checks at reference).
+
+   Because every call funnels through [dispatch]'s [call] wrapper, the
+   audit record and the observability counters (per-gate call/refusal
+   counts, mediation cycles, audit-trail depth) are written in exactly
+   one place.
 
    Content references ([read_word]/[write_word]) deliberately check
    the SDW installed at initiate time rather than re-deriving policy,
@@ -20,6 +33,7 @@ open Multics_access
 open Multics_fs
 open Multics_link
 open Multics_machine
+module Obs = Multics_obs.Obs
 
 type error =
   | Fs of Hierarchy.error
@@ -35,26 +49,125 @@ type error =
   | Not_in_subsystem
   | Not_authorized of string
 
-let error_to_string = function
-  | Fs e -> "fs: " ^ Hierarchy.error_to_string e
-  | Kst_error e -> "kst: " ^ Kst.error_to_string e
-  | Rnt_error e -> "rnt: " ^ Rnt.error_to_string e
-  | Gate_absent gate -> Printf.sprintf "gate %s is not part of this kernel" gate
+(* ----- Structured error rendering -----
+
+   [pp] is the canonical human rendering ([error_to_string] is just
+   [Fmt.str "%a" pp]); [error_to_json] gives refusal causes a
+   machine-readable shape: {"kind": ..., plus cause-specific fields}. *)
+
+let pp ppf = function
+  | Fs e -> Fmt.pf ppf "fs: %s" (Hierarchy.error_to_string e)
+  | Kst_error e -> Fmt.pf ppf "kst: %s" (Kst.error_to_string e)
+  | Rnt_error e -> Fmt.pf ppf "rnt: %s" (Rnt.error_to_string e)
+  | Gate_absent gate -> Fmt.pf ppf "gate %s is not part of this kernel" gate
   | Gate_ring_denied { gate; ring } ->
-      Printf.sprintf "gate %s may not be called from ring %d" gate ring
-  | Hardware_denied d -> "hardware: " ^ Hardware.denial_to_string d
-  | Link_failed outcome -> "link: " ^ Linker.outcome_to_string outcome
-  | No_such_process handle -> Printf.sprintf "no process %d" handle
-  | No_such_channel id -> Printf.sprintf "no event channel %d" id
-  | Device_not_attached device -> Printf.sprintf "device %s not attached" device
-  | Not_in_subsystem -> "not executing in a protected subsystem"
-  | Not_authorized what -> "not authorized: " ^ what
+      Fmt.pf ppf "gate %s may not be called from ring %d" gate ring
+  | Hardware_denied d -> Fmt.pf ppf "hardware: %s" (Hardware.denial_to_string d)
+  | Link_failed outcome -> Fmt.pf ppf "link: %s" (Linker.outcome_to_string outcome)
+  | No_such_process handle -> Fmt.pf ppf "no process %d" handle
+  | No_such_channel id -> Fmt.pf ppf "no event channel %d" id
+  | Device_not_attached device -> Fmt.pf ppf "device %s not attached" device
+  | Not_in_subsystem -> Fmt.string ppf "not executing in a protected subsystem"
+  | Not_authorized what -> Fmt.pf ppf "not authorized: %s" what
+
+let error_to_string e = Fmt.str "%a" pp e
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_fields fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields) ^ "}"
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let error_to_json e =
+  let kind k rest = json_fields (("kind", json_str k) :: rest) in
+  match e with
+  | Fs fs -> kind "fs" [ ("detail", json_str (Hierarchy.error_to_string fs)) ]
+  | Kst_error k -> kind "kst" [ ("detail", json_str (Kst.error_to_string k)) ]
+  | Rnt_error r -> kind "rnt" [ ("detail", json_str (Rnt.error_to_string r)) ]
+  | Gate_absent gate -> kind "gate-absent" [ ("gate", json_str gate) ]
+  | Gate_ring_denied { gate; ring } ->
+      kind "gate-ring-denied" [ ("gate", json_str gate); ("ring", string_of_int ring) ]
+  | Hardware_denied d -> kind "hardware-denied" [ ("detail", json_str (Hardware.denial_to_string d)) ]
+  | Link_failed outcome -> kind "link-failed" [ ("detail", json_str (Linker.outcome_to_string outcome)) ]
+  | No_such_process handle -> kind "no-such-process" [ ("handle", string_of_int handle) ]
+  | No_such_channel id -> kind "no-such-channel" [ ("channel", string_of_int id) ]
+  | Device_not_attached device -> kind "device-not-attached" [ ("device", json_str device) ]
+  | Not_in_subsystem -> kind "not-in-subsystem" []
+  | Not_authorized what -> kind "not-authorized" [ ("detail", json_str what) ]
 
 let ( let* ) r f = Result.bind r f
 
 let fs_result r = Result.map_error (fun e -> Fs e) r
 let kst_result r = Result.map_error (fun e -> Kst_error e) r
 let rnt_result r = Result.map_error (fun e -> Rnt_error e) r
+
+(* ----- Reply payload records ----- *)
+
+type entry_status = {
+  status_name : string;
+  status_kind : Hierarchy.kind;
+  status_label : Label.t;
+  status_pages : int;
+}
+
+type link_status = {
+  link_target_seg : string;
+  link_target_entry : string;
+  link_snapped : bool;
+}
+
+type process_info = {
+  info_principal : string;
+  info_ring : int;
+  info_level : Label.t;
+  info_known_segments : int;
+  info_login_ring : int;
+}
+
+(* ----- Observability: the gate-dispatch choke point ----- *)
+
+let obs_gate_calls = Obs.Registry.counter Obs.Registry.global "gate.calls"
+let obs_gate_refusals = Obs.Registry.counter Obs.Registry.global "gate.refusals"
+let obs_gate_cycles = Obs.Registry.counter Obs.Registry.global "gate.cycles"
+let obs_audit_depth = Obs.Registry.counter Obs.Registry.global "audit.depth"
+let obs_dispatch_span = Obs.Registry.span Obs.Registry.global "gate.dispatch"
+
+(* One record per mediated call, written after the audit record so the
+   audit-depth gauge includes it.  Mediation cycles are charged at the
+   configured processor's cross-ring round-trip price — the same
+   accounting {!Session} applies, so snapshot totals and the E13 table
+   agree. *)
+let meter system ~operation ~refused =
+  if Obs.enabled () then begin
+    let cycles = Cost.round_trip_call_cost (System.cost system) ~cross_ring:true in
+    Obs.Counter.incr obs_gate_calls;
+    Obs.Counter.incr ~by:cycles obs_gate_cycles;
+    Obs.Span.record obs_dispatch_span ~cycles;
+    Obs.Counter.incr (Obs.Registry.counter Obs.Registry.global ("gate." ^ operation ^ ".calls"));
+    let config = (System.config system).Config.name in
+    Obs.Counter.incr
+      (Obs.Registry.counter Obs.Registry.global ("config." ^ config ^ ".gate.calls"));
+    Obs.Counter.incr ~by:cycles
+      (Obs.Registry.counter Obs.Registry.global ("config." ^ config ^ ".gate.cycles"));
+    if refused then begin
+      Obs.Counter.incr obs_gate_refusals;
+      Obs.Counter.incr
+        (Obs.Registry.counter Obs.Registry.global ("gate." ^ operation ^ ".refusals"))
+    end;
+    Obs.Counter.set obs_audit_depth (Audit_log.length (System.audit system))
+  end
 
 (* ----- The gate discipline ----- *)
 
@@ -66,16 +179,20 @@ let gate_check system (p : System.proc) ~gate =
       else Error (Gate_ring_denied { gate; ring = Ring.to_int p.System.ring })
 
 (* Wrap one gate call: locate the process, enforce the gate
-   discipline, run the body, and write the audit record. *)
+   discipline, run the body, and write the audit and observability
+   records. *)
 let call system ~handle ~gate ~target body =
   match System.proc system handle with
-  | None -> Error (No_such_process handle)
+  | None ->
+      meter system ~operation:gate ~refused:true;
+      Error (No_such_process handle)
   | Some p -> (
       let subject = System.subject_of p in
       match gate_check system p ~gate with
       | Error e ->
           Audit_log.log (System.audit system) ~subject ~operation:gate ~target
             ~verdict:(Audit_log.Refused (error_to_string e));
+          meter system ~operation:gate ~refused:true;
           Error e
       | Ok () ->
           let result = body p subject in
@@ -85,115 +202,43 @@ let call system ~handle ~gate ~target body =
             | Error e -> Audit_log.Refused (error_to_string e)
           in
           Audit_log.log (System.audit system) ~subject ~operation:gate ~target ~verdict;
+          meter system ~operation:gate ~refused:(Result.is_error result);
           result)
 
 let uid_of_segno (p : System.proc) segno = kst_result (Kst.uid_of_segno p.System.kst segno)
 
-(* ----- Directory control ----- *)
-
-let initiate system ~handle ~dir_segno ~name =
-  call system ~handle ~gate:"initiate" ~target:name (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let* uid = fs_result (Hierarchy.lookup (System.hierarchy system) ~subject ~dir ~name) in
-      Ok (System.install_known system p ~uid))
-
-let terminate system ~handle ~segno =
-  call system ~handle ~gate:"terminate" ~target:(string_of_int segno) (fun p _subject ->
-      kst_result (Kst.terminate p.System.kst segno))
-
-let create_segment ?brackets system ~handle ~dir_segno ~name ~acl ~label =
-  call system ~handle ~gate:"create_segment" ~target:name (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let* uid =
-        fs_result
-          (Hierarchy.create_segment ?brackets (System.hierarchy system) ~subject ~dir ~name ~acl
-             ~label)
+(* Hardware gate calls (subsystem entry/exit): not supervisor entries,
+   but still audited and metered. *)
+let call_hardware system ~handle ~operation ~target body =
+  match System.proc system handle with
+  | None ->
+      meter system ~operation ~refused:true;
+      Error (No_such_process handle)
+  | Some p ->
+      let subject = System.subject_of p in
+      let result = body p in
+      let verdict =
+        match result with
+        | Ok _ -> Audit_log.Granted
+        | Error e -> Audit_log.Refused (error_to_string e)
       in
-      Ok (System.install_known system p ~uid))
+      Audit_log.log (System.audit system) ~subject ~operation ~target ~verdict;
+      meter system ~operation ~refused:(Result.is_error result);
+      result
 
-let create_directory system ~handle ~dir_segno ~name ~acl ~label =
-  call system ~handle ~gate:"create_directory" ~target:name (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let* uid =
-        fs_result
-          (Hierarchy.create_directory (System.hierarchy system) ~subject ~dir ~name ~acl ~label)
-      in
-      Ok (System.install_known system p ~uid))
+(* Process-management operations are supervisor gates under the
+   privileged-login configuration, ordinary subsystem entries under the
+   unified configuration; the facade dispatches on gate presence. *)
+let login_gate_or_unified system ~handle ~gate ~target body =
+  match Gate.find (System.config system) ~gate_name:gate with
+  | Some _ -> call system ~handle ~gate ~target body
+  | None ->
+      call_hardware system ~handle
+        ~operation:("subsystem_entry:" ^ gate)
+        ~target
+        (fun p -> body p (System.subject_of p))
 
-let delete_entry system ~handle ~dir_segno ~name =
-  call system ~handle ~gate:"delete_entry" ~target:name (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let* _uid = fs_result (Hierarchy.delete_entry (System.hierarchy system) ~subject ~dir ~name) in
-      Ok ())
-
-let rename_entry system ~handle ~dir_segno ~name ~new_name =
-  call system ~handle ~gate:"rename_entry" ~target:name (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let* _uid =
-        fs_result (Hierarchy.rename_entry (System.hierarchy system) ~subject ~dir ~name ~new_name)
-      in
-      Ok ())
-
-let list_directory system ~handle ~dir_segno =
-  call system ~handle ~gate:"list_directory" ~target:(string_of_int dir_segno)
-    (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let* entries = fs_result (Hierarchy.list_entries (System.hierarchy system) ~subject ~dir) in
-      Ok (List.map (fun (name, _uid) -> name) entries))
-
-type entry_status = {
-  status_name : string;
-  status_kind : Hierarchy.kind;
-  status_label : Label.t;
-  status_pages : int;
-}
-
-let status_entry system ~handle ~dir_segno ~name =
-  call system ~handle ~gate:"status_entry" ~target:name (fun p subject ->
-      let* dir = uid_of_segno p dir_segno in
-      let hierarchy = System.hierarchy system in
-      let* uid = fs_result (Hierarchy.lookup hierarchy ~subject ~dir ~name) in
-      match (Hierarchy.kind_of hierarchy uid, Hierarchy.label_of hierarchy uid) with
-      | Some status_kind, Some status_label ->
-          Ok
-            {
-              status_name = name;
-              status_kind;
-              status_label;
-              status_pages = Option.value ~default:0 (Hierarchy.page_count_of hierarchy uid);
-            }
-      | _, _ -> Error (Fs (Hierarchy.No_entry name)))
-
-(* Attribute changes finish with "setfaults": every cached descriptor
-   for the object is recomputed, so a revoked grant cannot survive in
-   any process's SDW. *)
-
-let set_acl system ~handle ~segno ~acl =
-  call system ~handle ~gate:"set_acl" ~target:(string_of_int segno) (fun p subject ->
-      let* uid = uid_of_segno p segno in
-      let* () = fs_result (Hierarchy.set_acl (System.hierarchy system) ~subject ~uid ~acl) in
-      System.setfaults system ~uid;
-      Ok ())
-
-let set_brackets system ~handle ~segno ~brackets =
-  call system ~handle ~gate:"set_brackets" ~target:(string_of_int segno) (fun p subject ->
-      let* uid = uid_of_segno p segno in
-      let* () =
-        fs_result (Hierarchy.set_brackets (System.hierarchy system) ~subject ~uid ~brackets)
-      in
-      System.setfaults system ~uid;
-      Ok ())
-
-let set_gate_bound system ~handle ~segno ~gate_bound =
-  call system ~handle ~gate:"set_gate_bound" ~target:(string_of_int segno) (fun p subject ->
-      let* uid = uid_of_segno p segno in
-      let* () =
-        fs_result (Hierarchy.set_gate_bound (System.hierarchy system) ~subject ~uid ~gate_bound)
-      in
-      System.setfaults system ~uid;
-      Ok ())
-
-(* ----- Content references (SDW-checked, as the hardware does) ----- *)
+(* ----- Shared helpers for gate bodies ----- *)
 
 let check_sdw (p : System.proc) ~segno ~operation =
   match Kst.sdw_of p.System.kst segno with
@@ -203,90 +248,10 @@ let check_sdw (p : System.proc) ~segno ~operation =
       | Hardware.Granted grant -> Ok grant
       | Hardware.Denied denial -> Error (Hardware_denied denial))
 
-let read_word system ~handle ~segno ~offset =
-  call system ~handle ~gate:"read_word"
-    ~target:(Printf.sprintf "%d|%d" segno offset)
-    (fun p _subject ->
-      let* _grant = check_sdw p ~segno ~operation:Hardware.Read in
-      let* uid = uid_of_segno p segno in
-      match Hierarchy.raw_read_word (System.hierarchy system) ~uid ~offset with
-      | Some value -> Ok value
-      | None -> Error (Fs (Hierarchy.Not_a_segment (string_of_int segno))))
-
-let write_word system ~handle ~segno ~offset ~value =
-  call system ~handle ~gate:"write_word"
-    ~target:(Printf.sprintf "%d|%d" segno offset)
-    (fun p _subject ->
-      let* _grant = check_sdw p ~segno ~operation:Hardware.Write in
-      let* uid = uid_of_segno p segno in
-      (* Segment control charges the quota cell for any growth before
-         the page materializes, whichever path the write came by. *)
-      let* () = fs_result (Hierarchy.charge_growth (System.hierarchy system) ~uid ~offset) in
-      if Hierarchy.raw_write_word (System.hierarchy system) ~uid ~offset ~value then Ok ()
-      else Error (Fs (Hierarchy.Not_a_segment (string_of_int segno))))
-
-(* ----- Naming gates (present only while naming is in the kernel) ----- *)
-
-let initiate_by_path system ~handle ~path =
-  call system ~handle ~gate:"initiate_by_path" ~target:path (fun p subject ->
-      let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
-      let segno = System.install_known system p ~uid in
-      let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
-      Ok segno)
-
 let parent_path path =
   match String.rindex_opt path '>' with
   | None | Some 0 -> (">", String.sub path 1 (max 0 (String.length path - 1)))
   | Some i -> (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
-
-let create_segment_by_path ?brackets system ~handle ~path ~acl ~label =
-  call system ~handle ~gate:"create_segment_by_path" ~target:path (fun p subject ->
-      let dir_path, name = parent_path path in
-      let hierarchy = System.hierarchy system in
-      let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
-      let* uid = fs_result (Hierarchy.create_segment ?brackets hierarchy ~subject ~dir ~name ~acl ~label) in
-      let segno = System.install_known system p ~uid in
-      let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
-      Ok segno)
-
-let create_directory_by_path system ~handle ~path ~acl ~label =
-  call system ~handle ~gate:"create_directory_by_path" ~target:path (fun p subject ->
-      let dir_path, name = parent_path path in
-      let hierarchy = System.hierarchy system in
-      let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
-      let* uid = fs_result (Hierarchy.create_directory hierarchy ~subject ~dir ~name ~acl ~label) in
-      Ok (System.install_known system p ~uid))
-
-let delete_by_path system ~handle ~path =
-  call system ~handle ~gate:"delete_by_path" ~target:path (fun _p subject ->
-      let dir_path, name = parent_path path in
-      let hierarchy = System.hierarchy system in
-      let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
-      let* _uid = fs_result (Hierarchy.delete_entry hierarchy ~subject ~dir ~name) in
-      Ok ())
-
-let resolve_path system ~handle ~path =
-  call system ~handle ~gate:"resolve_path" ~target:path (fun p subject ->
-      let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
-      Ok (System.install_known system p ~uid))
-
-let rnt_bind system ~handle ~name ~segno =
-  call system ~handle ~gate:"rnt_bind" ~target:name (fun p _subject ->
-      rnt_result (Rnt.bind p.System.rnt ~name ~segno))
-
-let rnt_lookup system ~handle ~name =
-  call system ~handle ~gate:"rnt_lookup" ~target:name (fun p _subject ->
-      rnt_result (Rnt.lookup p.System.rnt ~name))
-
-let rnt_unbind system ~handle ~name =
-  call system ~handle ~gate:"rnt_unbind" ~target:name (fun p _subject ->
-      rnt_result (Rnt.unbind p.System.rnt ~name))
-
-let list_reference_names system ~handle ~segno =
-  call system ~handle ~gate:"list_reference_names" ~target:(string_of_int segno)
-    (fun p _subject -> Ok (Rnt.names_for_segno p.System.rnt ~segno))
-
-(* ----- Linker gates (present only while the linker is in the kernel) ----- *)
 
 (* The historical escalation: when the flawed ring-0 linker snaps a
    link it found with supervisor authority, it also installs a
@@ -297,110 +262,6 @@ let install_after_flawed_snap (p : System.proc) ~target =
   let sdw = Sdw.make ~mode:Mode.rew ~brackets:Multics_machine.Brackets.user_data () in
   ignore (Kst.set_sdw p.System.kst segno sdw);
   segno
-
-let snap_link system ~handle ~segno ~link_index =
-  call system ~handle ~gate:"snap_link"
-    ~target:(Printf.sprintf "%d#%d" segno link_index)
-    (fun p subject ->
-      let* from_uid = uid_of_segno p segno in
-      let linker = System.linker system in
-      match
-        Linker.resolve_link linker ~subject ~rules:p.System.rules ~from_uid ~link_index
-      with
-      | Linker.Snapped { target; offset; _ } | Linker.Already_snapped { target; offset } ->
-          let target_segno =
-            if Linker.has_flaw linker Linker.Supervisor_authority_walk then
-              install_after_flawed_snap p ~target
-            else System.install_known system p ~uid:target
-          in
-          Ok (target_segno, offset)
-      | other -> Error (Link_failed other))
-
-let set_search_rules system ~handle ~dir_segnos =
-  call system ~handle ~gate:"set_search_rules" ~target:"rules" (fun p _subject ->
-      let rec collect acc = function
-        | [] -> Ok (List.rev acc)
-        | segno :: rest ->
-            let* uid = uid_of_segno p segno in
-            collect ((string_of_int segno, uid) :: acc) rest
-      in
-      let* dirs = collect [] dir_segnos in
-      p.System.rules <- Search_rules.of_dirs dirs;
-      Ok ())
-
-let get_search_rules system ~handle =
-  call system ~handle ~gate:"get_search_rules" ~target:"rules" (fun p _subject ->
-      Ok (Search_rules.rule_names p.System.rules))
-
-(* ----- Protected subsystem entry -----
-
-   On the 6180 entering a protected subsystem is a hardware gate call,
-   not a supervisor entry, so it is available in every configuration;
-   only its SDW decides whether the crossing is legal.  (Under the
-   unified-login configuration the same mechanism also performs
-   login.)  The call is still audited. *)
-
-let call_hardware system ~handle ~operation ~target body =
-  match System.proc system handle with
-  | None -> Error (No_such_process handle)
-  | Some p ->
-      let subject = System.subject_of p in
-      let result = body p in
-      let verdict =
-        match result with
-        | Ok _ -> Audit_log.Granted
-        | Error e -> Audit_log.Refused (error_to_string e)
-      in
-      Audit_log.log (System.audit system) ~subject ~operation ~target ~verdict;
-      result
-
-let enter_subsystem system ~handle ~segno ~entry_offset ~name =
-  call_hardware system ~handle ~operation:"subsystem_entry" ~target:name (fun p ->
-      let* grant = check_sdw p ~segno ~operation:(Hardware.Call entry_offset) in
-      match grant with
-      | Hardware.Gate_entry target_ring ->
-          p.System.subsystem_stack <- (name, p.System.ring) :: p.System.subsystem_stack;
-          p.System.ring <- target_ring;
-          Ok target_ring
-      | Hardware.Access_ok ->
-          (* Same-ring call: no protection boundary crossed. *)
-          Ok p.System.ring)
-
-let exit_subsystem system ~handle =
-  call_hardware system ~handle ~operation:"subsystem_exit" ~target:"(return)" (fun p ->
-      match p.System.subsystem_stack with
-      | [] -> Error Not_in_subsystem
-      | (_name, restore_ring) :: rest ->
-          p.System.subsystem_stack <- rest;
-          p.System.ring <- restore_ring;
-          Ok restore_ring)
-
-(* ----- IPC gates ----- *)
-
-let create_channel system ~handle =
-  call system ~handle ~gate:"create_channel" ~target:"channel" (fun _p _subject ->
-      Ok (System.new_ipc_channel system))
-
-let send_wakeup system ~handle ~channel =
-  call system ~handle ~gate:"send_wakeup" ~target:(string_of_int channel) (fun _p _subject ->
-      match System.ipc_channel system channel with
-      | None -> Error (No_such_channel channel)
-      | Some pending ->
-          incr pending;
-          Ok ())
-
-let block system ~handle ~channel =
-  call system ~handle ~gate:"block" ~target:(string_of_int channel) (fun _p _subject ->
-      match System.ipc_channel system channel with
-      | None -> Error (No_such_channel channel)
-      | Some pending ->
-          if !pending > 0 then begin
-            decr pending;
-            Ok true
-          end
-          else Ok false)
-
-(* ----- External I/O gates ----- *)
 
 (* Which gate serves a device depends on the configuration: per-device
    drivers each have their own gates; under network-only I/O every
@@ -416,162 +277,752 @@ let buffer_for_config system () =
       Multics_io.Network.Circular (Multics_io.Circular_buffer.create ~capacity)
   | Config.Infinite_vm -> Multics_io.Network.Infinite (Multics_io.Infinite_buffer.create ())
 
+(* ----- The typed gate-call surface ----- *)
+
+module Call = struct
+  type request =
+    (* directory control *)
+    | Initiate of { dir_segno : int; name : string }
+    | Terminate of { segno : int }
+    | Create_segment of {
+        dir_segno : int;
+        name : string;
+        acl : Acl.t;
+        label : Label.t;
+        brackets : Brackets.t option;
+      }
+    | Create_directory of { dir_segno : int; name : string; acl : Acl.t; label : Label.t }
+    | Delete_entry of { dir_segno : int; name : string }
+    | Rename_entry of { dir_segno : int; name : string; new_name : string }
+    | List_directory of { dir_segno : int }
+    | Status_entry of { dir_segno : int; name : string }
+    | Set_acl of { segno : int; acl : Acl.t }
+    | Set_brackets of { segno : int; brackets : Brackets.t }
+    | Set_gate_bound of { segno : int; gate_bound : int }
+    | Set_quota of { segno : int; quota : int option }
+    (* content references *)
+    | Read_word of { segno : int; offset : int }
+    | Write_word of { segno : int; offset : int; value : int }
+    (* naming (kernel-resident naming only) *)
+    | Initiate_by_path of { path : string }
+    | Create_segment_by_path of {
+        path : string;
+        acl : Acl.t;
+        label : Label.t;
+        brackets : Brackets.t option;
+      }
+    | Create_directory_by_path of { path : string; acl : Acl.t; label : Label.t }
+    | Delete_by_path of { path : string }
+    | Resolve_path of { path : string }
+    | Terminate_by_path of { path : string }
+    | Rnt_bind of { name : string; segno : int }
+    | Rnt_lookup of { name : string }
+    | Rnt_unbind of { name : string }
+    | List_reference_names of { segno : int }
+    | Get_working_dir
+    | Set_working_dir of { dir_segno : int }
+    | Initiate_count
+    (* linker (kernel-resident linker only) *)
+    | Snap_link of { segno : int; link_index : int }
+    | List_links of { segno : int }
+    | Set_search_rules of { dir_segnos : int list }
+    | Get_search_rules
+    (* protected subsystems (hardware gate calls) *)
+    | Enter_subsystem of { segno : int; entry_offset : int; name : string }
+    | Exit_subsystem
+    (* IPC *)
+    | Create_channel
+    | Send_wakeup of { channel : int }
+    | Block of { channel : int }
+    (* external I/O *)
+    | Attach_device of { device : Multics_io.Device.kind }
+    | Detach_device of { device : Multics_io.Device.kind }
+    | Device_write of { device : Multics_io.Device.kind; message : int }
+    | Device_read of { device : Multics_io.Device.kind }
+    (* process management *)
+    | Create_process
+    | Destroy_process of { target : int }
+    | New_proc
+    | Proc_info
+    | List_processes
+    | Operator_message of { message : string }
+
+  type reply =
+    | Done
+    | Segno of int
+    | Word of int
+    | Message of int option
+    | Names of string list
+    | Status of entry_status
+    | Links of link_status list
+    | Snapped of { segno : int; offset : int }
+    | Entered of Ring.t
+    | Channel of int
+    | Consumed of bool
+    | Process of int
+    | Processes of int list
+    | Info of process_info
+
+  type response = (reply, error) result
+
+  (* The operation name a request is mediated (and metered) under —
+     configuration-dependent for device I/O and process management. *)
+  let operation_name system = function
+    | Initiate _ -> "initiate"
+    | Terminate _ -> "terminate"
+    | Create_segment _ -> "create_segment"
+    | Create_directory _ -> "create_directory"
+    | Delete_entry _ -> "delete_entry"
+    | Rename_entry _ -> "rename_entry"
+    | List_directory _ -> "list_directory"
+    | Status_entry _ -> "status_entry"
+    | Set_acl _ -> "set_acl"
+    | Set_brackets _ -> "set_brackets"
+    | Set_gate_bound _ -> "set_gate_bound"
+    | Set_quota _ -> "set_quota"
+    | Read_word _ -> "read_word"
+    | Write_word _ -> "write_word"
+    | Initiate_by_path _ -> "initiate_by_path"
+    | Create_segment_by_path _ -> "create_segment_by_path"
+    | Create_directory_by_path _ -> "create_directory_by_path"
+    | Delete_by_path _ -> "delete_by_path"
+    | Resolve_path _ -> "resolve_path"
+    | Terminate_by_path _ -> "terminate_by_path"
+    | Rnt_bind _ -> "rnt_bind"
+    | Rnt_lookup _ -> "rnt_lookup"
+    | Rnt_unbind _ -> "rnt_unbind"
+    | List_reference_names _ -> "list_reference_names"
+    | Get_working_dir -> "get_working_dir"
+    | Set_working_dir _ -> "set_working_dir"
+    | Initiate_count -> "initiate_count"
+    | Snap_link _ -> "snap_link"
+    | List_links _ -> "list_links"
+    | Set_search_rules _ -> "set_search_rules"
+    | Get_search_rules -> "get_search_rules"
+    | Enter_subsystem _ -> "subsystem_entry"
+    | Exit_subsystem -> "subsystem_exit"
+    | Create_channel -> "create_channel"
+    | Send_wakeup _ -> "send_wakeup"
+    | Block _ -> "block"
+    | Attach_device { device } -> io_gate_for system device "attach"
+    | Detach_device { device } -> io_gate_for system device "detach"
+    | Device_write { device; _ } -> io_gate_for system device "io"
+    | Device_read { device } -> io_gate_for system device "io"
+    | Create_process -> "create_process"
+    | Destroy_process _ -> "destroy_process"
+    | New_proc -> "new_proc"
+    | Proc_info -> "proc_info"
+    | List_processes -> "list_processes"
+    | Operator_message _ -> "operator_message"
+
+  let dispatch system ~handle (request : request) : response =
+    match request with
+    (* ----- Directory control ----- *)
+    | Initiate { dir_segno; name } ->
+        call system ~handle ~gate:"initiate" ~target:name (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let* uid =
+              fs_result (Hierarchy.lookup (System.hierarchy system) ~subject ~dir ~name)
+            in
+            Ok (Segno (System.install_known system p ~uid)))
+    | Terminate { segno } ->
+        call system ~handle ~gate:"terminate" ~target:(string_of_int segno) (fun p _subject ->
+            let* () = kst_result (Kst.terminate p.System.kst segno) in
+            Ok Done)
+    | Create_segment { dir_segno; name; acl; label; brackets } ->
+        call system ~handle ~gate:"create_segment" ~target:name (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let* uid =
+              fs_result
+                (Hierarchy.create_segment ?brackets (System.hierarchy system) ~subject ~dir
+                   ~name ~acl ~label)
+            in
+            Ok (Segno (System.install_known system p ~uid)))
+    | Create_directory { dir_segno; name; acl; label } ->
+        call system ~handle ~gate:"create_directory" ~target:name (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let* uid =
+              fs_result
+                (Hierarchy.create_directory (System.hierarchy system) ~subject ~dir ~name ~acl
+                   ~label)
+            in
+            Ok (Segno (System.install_known system p ~uid)))
+    | Delete_entry { dir_segno; name } ->
+        call system ~handle ~gate:"delete_entry" ~target:name (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let* _uid =
+              fs_result (Hierarchy.delete_entry (System.hierarchy system) ~subject ~dir ~name)
+            in
+            Ok Done)
+    | Rename_entry { dir_segno; name; new_name } ->
+        call system ~handle ~gate:"rename_entry" ~target:name (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let* _uid =
+              fs_result
+                (Hierarchy.rename_entry (System.hierarchy system) ~subject ~dir ~name ~new_name)
+            in
+            Ok Done)
+    | List_directory { dir_segno } ->
+        call system ~handle ~gate:"list_directory" ~target:(string_of_int dir_segno)
+          (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let* entries =
+              fs_result (Hierarchy.list_entries (System.hierarchy system) ~subject ~dir)
+            in
+            Ok (Names (List.map (fun (name, _uid) -> name) entries)))
+    | Status_entry { dir_segno; name } ->
+        call system ~handle ~gate:"status_entry" ~target:name (fun p subject ->
+            let* dir = uid_of_segno p dir_segno in
+            let hierarchy = System.hierarchy system in
+            let* uid = fs_result (Hierarchy.lookup hierarchy ~subject ~dir ~name) in
+            match (Hierarchy.kind_of hierarchy uid, Hierarchy.label_of hierarchy uid) with
+            | Some status_kind, Some status_label ->
+                Ok
+                  (Status
+                     {
+                       status_name = name;
+                       status_kind;
+                       status_label;
+                       status_pages =
+                         Option.value ~default:0 (Hierarchy.page_count_of hierarchy uid);
+                     })
+            | _, _ -> Error (Fs (Hierarchy.No_entry name)))
+    (* Attribute changes finish with "setfaults": every cached
+       descriptor for the object is recomputed, so a revoked grant
+       cannot survive in any process's SDW. *)
+    | Set_acl { segno; acl } ->
+        call system ~handle ~gate:"set_acl" ~target:(string_of_int segno) (fun p subject ->
+            let* uid = uid_of_segno p segno in
+            let* () = fs_result (Hierarchy.set_acl (System.hierarchy system) ~subject ~uid ~acl) in
+            System.setfaults system ~uid;
+            Ok Done)
+    | Set_brackets { segno; brackets } ->
+        call system ~handle ~gate:"set_brackets" ~target:(string_of_int segno) (fun p subject ->
+            let* uid = uid_of_segno p segno in
+            let* () =
+              fs_result (Hierarchy.set_brackets (System.hierarchy system) ~subject ~uid ~brackets)
+            in
+            System.setfaults system ~uid;
+            Ok Done)
+    | Set_gate_bound { segno; gate_bound } ->
+        call system ~handle ~gate:"set_gate_bound" ~target:(string_of_int segno)
+          (fun p subject ->
+            let* uid = uid_of_segno p segno in
+            let* () =
+              fs_result
+                (Hierarchy.set_gate_bound (System.hierarchy system) ~subject ~uid ~gate_bound)
+            in
+            System.setfaults system ~uid;
+            Ok Done)
+    | Set_quota { segno; quota } ->
+        call system ~handle ~gate:"set_quota" ~target:(string_of_int segno) (fun p subject ->
+            let* uid = uid_of_segno p segno in
+            let* () = fs_result (Hierarchy.set_quota (System.hierarchy system) ~subject ~uid ~quota) in
+            Ok Done)
+    (* ----- Content references (SDW-checked, as the hardware does) ----- *)
+    | Read_word { segno; offset } ->
+        call system ~handle ~gate:"read_word"
+          ~target:(Printf.sprintf "%d|%d" segno offset)
+          (fun p _subject ->
+            let* _grant = check_sdw p ~segno ~operation:Hardware.Read in
+            let* uid = uid_of_segno p segno in
+            match Hierarchy.raw_read_word (System.hierarchy system) ~uid ~offset with
+            | Some value -> Ok (Word value)
+            | None -> Error (Fs (Hierarchy.Not_a_segment (string_of_int segno))))
+    | Write_word { segno; offset; value } ->
+        call system ~handle ~gate:"write_word"
+          ~target:(Printf.sprintf "%d|%d" segno offset)
+          (fun p _subject ->
+            let* _grant = check_sdw p ~segno ~operation:Hardware.Write in
+            let* uid = uid_of_segno p segno in
+            (* Segment control charges the quota cell for any growth
+               before the page materializes, whichever path the write
+               came by. *)
+            let* () = fs_result (Hierarchy.charge_growth (System.hierarchy system) ~uid ~offset) in
+            if Hierarchy.raw_write_word (System.hierarchy system) ~uid ~offset ~value then Ok Done
+            else Error (Fs (Hierarchy.Not_a_segment (string_of_int segno))))
+    (* ----- Naming gates (present only while naming is in the kernel) ----- *)
+    | Initiate_by_path { path } ->
+        call system ~handle ~gate:"initiate_by_path" ~target:path (fun p subject ->
+            let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
+            let segno = System.install_known system p ~uid in
+            let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
+            Ok (Segno segno))
+    | Create_segment_by_path { path; acl; label; brackets } ->
+        call system ~handle ~gate:"create_segment_by_path" ~target:path (fun p subject ->
+            let dir_path, name = parent_path path in
+            let hierarchy = System.hierarchy system in
+            let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
+            let* uid =
+              fs_result (Hierarchy.create_segment ?brackets hierarchy ~subject ~dir ~name ~acl ~label)
+            in
+            let segno = System.install_known system p ~uid in
+            let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
+            Ok (Segno segno))
+    | Create_directory_by_path { path; acl; label } ->
+        call system ~handle ~gate:"create_directory_by_path" ~target:path (fun p subject ->
+            let dir_path, name = parent_path path in
+            let hierarchy = System.hierarchy system in
+            let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
+            let* uid =
+              fs_result (Hierarchy.create_directory hierarchy ~subject ~dir ~name ~acl ~label)
+            in
+            Ok (Segno (System.install_known system p ~uid)))
+    | Delete_by_path { path } ->
+        call system ~handle ~gate:"delete_by_path" ~target:path (fun _p subject ->
+            let dir_path, name = parent_path path in
+            let hierarchy = System.hierarchy system in
+            let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
+            let* _uid = fs_result (Hierarchy.delete_entry hierarchy ~subject ~dir ~name) in
+            Ok Done)
+    | Resolve_path { path } ->
+        call system ~handle ~gate:"resolve_path" ~target:path (fun p subject ->
+            let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
+            Ok (Segno (System.install_known system p ~uid)))
+    | Terminate_by_path { path } ->
+        call system ~handle ~gate:"terminate_by_path" ~target:path (fun p subject ->
+            let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
+            match Kst.segno_of_uid p.System.kst ~uid with
+            | Some segno ->
+                let* () = kst_result (Kst.terminate p.System.kst segno) in
+                Ok Done
+            | None -> Error (Kst_error (Kst.Unknown_segno 0)))
+    | Rnt_bind { name; segno } ->
+        call system ~handle ~gate:"rnt_bind" ~target:name (fun p _subject ->
+            let* () = rnt_result (Rnt.bind p.System.rnt ~name ~segno) in
+            Ok Done)
+    | Rnt_lookup { name } ->
+        call system ~handle ~gate:"rnt_lookup" ~target:name (fun p _subject ->
+            let* segno = rnt_result (Rnt.lookup p.System.rnt ~name) in
+            Ok (Segno segno))
+    | Rnt_unbind { name } ->
+        call system ~handle ~gate:"rnt_unbind" ~target:name (fun p _subject ->
+            let* () = rnt_result (Rnt.unbind p.System.rnt ~name) in
+            Ok Done)
+    | List_reference_names { segno } ->
+        call system ~handle ~gate:"list_reference_names" ~target:(string_of_int segno)
+          (fun p _subject -> Ok (Names (Rnt.names_for_segno p.System.rnt ~segno)))
+    | Get_working_dir ->
+        call system ~handle ~gate:"get_working_dir" ~target:"wd" (fun p _subject ->
+            Ok (Segno (System.install_known system p ~uid:p.System.working_dir)))
+    | Set_working_dir { dir_segno } ->
+        call system ~handle ~gate:"set_working_dir" ~target:(string_of_int dir_segno)
+          (fun p _subject ->
+            let* uid = uid_of_segno p dir_segno in
+            p.System.working_dir <- uid;
+            Ok Done)
+    | Initiate_count ->
+        call system ~handle ~gate:"initiate_count" ~target:"kst" (fun p _subject ->
+            Ok (Word (Kst.entry_count p.System.kst)))
+    (* ----- Linker gates (present only while the linker is in the kernel) ----- *)
+    | Snap_link { segno; link_index } ->
+        call system ~handle ~gate:"snap_link"
+          ~target:(Printf.sprintf "%d#%d" segno link_index)
+          (fun p subject ->
+            let* from_uid = uid_of_segno p segno in
+            let linker = System.linker system in
+            match
+              Linker.resolve_link linker ~subject ~rules:p.System.rules ~from_uid ~link_index
+            with
+            | Linker.Snapped { target; offset; _ } | Linker.Already_snapped { target; offset } ->
+                let target_segno =
+                  if Linker.has_flaw linker Linker.Supervisor_authority_walk then
+                    install_after_flawed_snap p ~target
+                  else System.install_known system p ~uid:target
+                in
+                Ok (Snapped { segno = target_segno; offset })
+            | other -> Error (Link_failed other))
+    | List_links { segno } ->
+        call system ~handle ~gate:"list_links" ~target:(string_of_int segno) (fun p _subject ->
+            let* uid = uid_of_segno p segno in
+            match Object_seg.Store.get (System.store system) ~uid with
+            | None -> Ok (Links [])
+            | Some obj ->
+                Ok
+                  (Links
+                     (List.init (Object_seg.link_count obj) (fun i ->
+                          match Object_seg.link obj i with
+                          | Some l ->
+                              {
+                                link_target_seg = l.Object_seg.target_seg;
+                                link_target_entry = l.Object_seg.target_entry;
+                                link_snapped = l.Object_seg.snapped <> None;
+                              }
+                          | None ->
+                              {
+                                link_target_seg = "?";
+                                link_target_entry = "?";
+                                link_snapped = false;
+                              }))))
+    | Set_search_rules { dir_segnos } ->
+        call system ~handle ~gate:"set_search_rules" ~target:"rules" (fun p _subject ->
+            let rec collect acc = function
+              | [] -> Ok (List.rev acc)
+              | segno :: rest ->
+                  let* uid = uid_of_segno p segno in
+                  collect ((string_of_int segno, uid) :: acc) rest
+            in
+            let* dirs = collect [] dir_segnos in
+            p.System.rules <- Search_rules.of_dirs dirs;
+            Ok Done)
+    | Get_search_rules ->
+        call system ~handle ~gate:"get_search_rules" ~target:"rules" (fun p _subject ->
+            Ok (Names (Search_rules.rule_names p.System.rules)))
+    (* ----- Protected subsystem entry -----
+
+       On the 6180 entering a protected subsystem is a hardware gate
+       call, not a supervisor entry, so it is available in every
+       configuration; only its SDW decides whether the crossing is
+       legal.  (Under the unified-login configuration the same
+       mechanism also performs login.)  The call is still audited. *)
+    | Enter_subsystem { segno; entry_offset; name } ->
+        call_hardware system ~handle ~operation:"subsystem_entry" ~target:name (fun p ->
+            let* grant = check_sdw p ~segno ~operation:(Hardware.Call entry_offset) in
+            match grant with
+            | Hardware.Gate_entry target_ring ->
+                p.System.subsystem_stack <- (name, p.System.ring) :: p.System.subsystem_stack;
+                p.System.ring <- target_ring;
+                Ok (Entered target_ring)
+            | Hardware.Access_ok ->
+                (* Same-ring call: no protection boundary crossed. *)
+                Ok (Entered p.System.ring))
+    | Exit_subsystem ->
+        call_hardware system ~handle ~operation:"subsystem_exit" ~target:"(return)" (fun p ->
+            match p.System.subsystem_stack with
+            | [] -> Error Not_in_subsystem
+            | (_name, restore_ring) :: rest ->
+                p.System.subsystem_stack <- rest;
+                p.System.ring <- restore_ring;
+                Ok (Entered restore_ring))
+    (* ----- IPC gates ----- *)
+    | Create_channel ->
+        call system ~handle ~gate:"create_channel" ~target:"channel" (fun _p _subject ->
+            Ok (Channel (System.new_ipc_channel system)))
+    | Send_wakeup { channel } ->
+        call system ~handle ~gate:"send_wakeup" ~target:(string_of_int channel)
+          (fun _p _subject ->
+            match System.ipc_channel system channel with
+            | None -> Error (No_such_channel channel)
+            | Some pending ->
+                incr pending;
+                Ok Done)
+    | Block { channel } ->
+        call system ~handle ~gate:"block" ~target:(string_of_int channel) (fun _p _subject ->
+            match System.ipc_channel system channel with
+            | None -> Error (No_such_channel channel)
+            | Some pending ->
+                if !pending > 0 then begin
+                  decr pending;
+                  Ok (Consumed true)
+                end
+                else Ok (Consumed false))
+    (* ----- External I/O gates ----- *)
+    | Attach_device { device } ->
+        let dev = Multics_io.Device.name device in
+        call system ~handle ~gate:(io_gate_for system device "attach") ~target:dev
+          (fun _p _subject ->
+            let buffers = System.io_buffers system in
+            if not (Hashtbl.mem buffers dev) then
+              Hashtbl.replace buffers dev (buffer_for_config system ());
+            Ok Done)
+    | Detach_device { device } ->
+        let dev = Multics_io.Device.name device in
+        call system ~handle ~gate:(io_gate_for system device "detach") ~target:dev
+          (fun _p _subject ->
+            if Hashtbl.mem (System.io_buffers system) dev then begin
+              Hashtbl.remove (System.io_buffers system) dev;
+              Ok Done
+            end
+            else Error (Device_not_attached dev))
+    | Device_write { device; message } ->
+        let dev = Multics_io.Device.name device in
+        call system ~handle ~gate:(io_gate_for system device "io") ~target:dev
+          (fun _p _subject ->
+            match Hashtbl.find_opt (System.io_buffers system) dev with
+            | None -> Error (Device_not_attached dev)
+            | Some (Multics_io.Network.Circular buffer) ->
+                Multics_io.Circular_buffer.write buffer message;
+                Ok Done
+            | Some (Multics_io.Network.Infinite buffer) ->
+                Multics_io.Infinite_buffer.write buffer message;
+                Ok Done)
+    | Device_read { device } ->
+        let dev = Multics_io.Device.name device in
+        call system ~handle ~gate:(io_gate_for system device "io") ~target:dev
+          (fun _p _subject ->
+            match Hashtbl.find_opt (System.io_buffers system) dev with
+            | None -> Error (Device_not_attached dev)
+            | Some (Multics_io.Network.Circular buffer) ->
+                Ok (Message (Multics_io.Circular_buffer.read buffer))
+            | Some (Multics_io.Network.Infinite buffer) ->
+                Ok (Message (Multics_io.Infinite_buffer.read buffer)))
+    (* ----- Process-management gates ----- *)
+    | Create_process ->
+        login_gate_or_unified system ~handle ~gate:"create_process" ~target:"child"
+          (fun _p _subject ->
+            match System.clone_process system ~handle with
+            | Some child -> Ok (Process child)
+            | None -> Error (No_such_process handle))
+    | Destroy_process { target } ->
+        login_gate_or_unified system ~handle ~gate:"destroy_process"
+          ~target:(string_of_int target) (fun _p _subject ->
+            if List.mem target (System.sibling_handles system ~handle) then
+              if System.logout system ~handle:target then Ok Done
+              else Error (No_such_process target)
+            else Error (Not_authorized "destroy_process: not your process"))
+    | New_proc ->
+        login_gate_or_unified system ~handle ~gate:"new_proc" ~target:"self" (fun _p _subject ->
+            match System.clone_process system ~handle with
+            | Some fresh ->
+                ignore (System.logout system ~handle);
+                Ok (Process fresh)
+            | None -> Error (No_such_process handle))
+    | Proc_info ->
+        login_gate_or_unified system ~handle ~gate:"proc_info" ~target:"self" (fun p _subject ->
+            Ok
+              (Info
+                 {
+                   info_principal = Principal.to_string p.System.principal;
+                   info_ring = Ring.to_int p.System.ring;
+                   info_level = p.System.clearance;
+                   info_known_segments = Kst.entry_count p.System.kst;
+                   info_login_ring = Ring.to_int p.System.login_ring;
+                 }))
+    | List_processes ->
+        login_gate_or_unified system ~handle ~gate:"list_processes" ~target:"siblings"
+          (fun _p _subject -> Ok (Processes (System.sibling_handles system ~handle)))
+    | Operator_message { message } ->
+        login_gate_or_unified system ~handle ~gate:"operator_message" ~target:message
+          (fun _p _subject -> Ok Done)
+end
+
+(* ----- Legacy per-gate functions: thin wrappers over [Call.dispatch] -----
+
+   Each projects the typed reply back into the function's historical
+   return type.  A shape mismatch is impossible by construction (each
+   dispatch arm returns its request's reply constructor); [mismatch]
+   makes the impossible loud rather than silent. *)
+
+let mismatch what = invalid_arg ("Api." ^ what ^ ": dispatch returned a mismatched reply")
+
+let expect_done what = function
+  | Ok Call.Done -> Ok ()
+  | Error e -> Error e
+  | Ok _ -> mismatch what
+
+let expect_segno what = function
+  | Ok (Call.Segno segno) -> Ok segno
+  | Error e -> Error e
+  | Ok _ -> mismatch what
+
+let expect_word what = function
+  | Ok (Call.Word value) -> Ok value
+  | Error e -> Error e
+  | Ok _ -> mismatch what
+
+let expect_names what = function
+  | Ok (Call.Names names) -> Ok names
+  | Error e -> Error e
+  | Ok _ -> mismatch what
+
+(* ----- Directory control ----- *)
+
+let initiate system ~handle ~dir_segno ~name =
+  expect_segno "initiate" (Call.dispatch system ~handle (Call.Initiate { dir_segno; name }))
+
+let terminate system ~handle ~segno =
+  expect_done "terminate" (Call.dispatch system ~handle (Call.Terminate { segno }))
+
+let create_segment ?brackets system ~handle ~dir_segno ~name ~acl ~label =
+  expect_segno "create_segment"
+    (Call.dispatch system ~handle (Call.Create_segment { dir_segno; name; acl; label; brackets }))
+
+let create_directory system ~handle ~dir_segno ~name ~acl ~label =
+  expect_segno "create_directory"
+    (Call.dispatch system ~handle (Call.Create_directory { dir_segno; name; acl; label }))
+
+let delete_entry system ~handle ~dir_segno ~name =
+  expect_done "delete_entry" (Call.dispatch system ~handle (Call.Delete_entry { dir_segno; name }))
+
+let rename_entry system ~handle ~dir_segno ~name ~new_name =
+  expect_done "rename_entry"
+    (Call.dispatch system ~handle (Call.Rename_entry { dir_segno; name; new_name }))
+
+let list_directory system ~handle ~dir_segno =
+  expect_names "list_directory" (Call.dispatch system ~handle (Call.List_directory { dir_segno }))
+
+let status_entry system ~handle ~dir_segno ~name =
+  match Call.dispatch system ~handle (Call.Status_entry { dir_segno; name }) with
+  | Ok (Call.Status status) -> Ok status
+  | Error e -> Error e
+  | Ok _ -> mismatch "status_entry"
+
+let set_acl system ~handle ~segno ~acl =
+  expect_done "set_acl" (Call.dispatch system ~handle (Call.Set_acl { segno; acl }))
+
+let set_brackets system ~handle ~segno ~brackets =
+  expect_done "set_brackets" (Call.dispatch system ~handle (Call.Set_brackets { segno; brackets }))
+
+let set_gate_bound system ~handle ~segno ~gate_bound =
+  expect_done "set_gate_bound"
+    (Call.dispatch system ~handle (Call.Set_gate_bound { segno; gate_bound }))
+
+(* ----- Content references ----- *)
+
+let read_word system ~handle ~segno ~offset =
+  expect_word "read_word" (Call.dispatch system ~handle (Call.Read_word { segno; offset }))
+
+let write_word system ~handle ~segno ~offset ~value =
+  expect_done "write_word" (Call.dispatch system ~handle (Call.Write_word { segno; offset; value }))
+
+(* ----- Naming gates ----- *)
+
+let initiate_by_path system ~handle ~path =
+  expect_segno "initiate_by_path" (Call.dispatch system ~handle (Call.Initiate_by_path { path }))
+
+let create_segment_by_path ?brackets system ~handle ~path ~acl ~label =
+  expect_segno "create_segment_by_path"
+    (Call.dispatch system ~handle (Call.Create_segment_by_path { path; acl; label; brackets }))
+
+let create_directory_by_path system ~handle ~path ~acl ~label =
+  expect_segno "create_directory_by_path"
+    (Call.dispatch system ~handle (Call.Create_directory_by_path { path; acl; label }))
+
+let delete_by_path system ~handle ~path =
+  expect_done "delete_by_path" (Call.dispatch system ~handle (Call.Delete_by_path { path }))
+
+let resolve_path system ~handle ~path =
+  expect_segno "resolve_path" (Call.dispatch system ~handle (Call.Resolve_path { path }))
+
+let rnt_bind system ~handle ~name ~segno =
+  expect_done "rnt_bind" (Call.dispatch system ~handle (Call.Rnt_bind { name; segno }))
+
+let rnt_lookup system ~handle ~name =
+  expect_segno "rnt_lookup" (Call.dispatch system ~handle (Call.Rnt_lookup { name }))
+
+let rnt_unbind system ~handle ~name =
+  expect_done "rnt_unbind" (Call.dispatch system ~handle (Call.Rnt_unbind { name }))
+
+let list_reference_names system ~handle ~segno =
+  expect_names "list_reference_names"
+    (Call.dispatch system ~handle (Call.List_reference_names { segno }))
+
+(* ----- Linker gates ----- *)
+
+let snap_link system ~handle ~segno ~link_index =
+  match Call.dispatch system ~handle (Call.Snap_link { segno; link_index }) with
+  | Ok (Call.Snapped { segno; offset }) -> Ok (segno, offset)
+  | Error e -> Error e
+  | Ok _ -> mismatch "snap_link"
+
+let set_search_rules system ~handle ~dir_segnos =
+  expect_done "set_search_rules"
+    (Call.dispatch system ~handle (Call.Set_search_rules { dir_segnos }))
+
+let get_search_rules system ~handle =
+  expect_names "get_search_rules" (Call.dispatch system ~handle Call.Get_search_rules)
+
+(* ----- Protected subsystem entry ----- *)
+
+let expect_ring what = function
+  | Ok (Call.Entered ring) -> Ok ring
+  | Error e -> Error e
+  | Ok _ -> mismatch what
+
+let enter_subsystem system ~handle ~segno ~entry_offset ~name =
+  expect_ring "enter_subsystem"
+    (Call.dispatch system ~handle (Call.Enter_subsystem { segno; entry_offset; name }))
+
+let exit_subsystem system ~handle =
+  expect_ring "exit_subsystem" (Call.dispatch system ~handle Call.Exit_subsystem)
+
+(* ----- IPC gates ----- *)
+
+let create_channel system ~handle =
+  match Call.dispatch system ~handle Call.Create_channel with
+  | Ok (Call.Channel id) -> Ok id
+  | Error e -> Error e
+  | Ok _ -> mismatch "create_channel"
+
+let send_wakeup system ~handle ~channel =
+  expect_done "send_wakeup" (Call.dispatch system ~handle (Call.Send_wakeup { channel }))
+
+let block system ~handle ~channel =
+  match Call.dispatch system ~handle (Call.Block { channel }) with
+  | Ok (Call.Consumed consumed) -> Ok consumed
+  | Error e -> Error e
+  | Ok _ -> mismatch "block"
+
+(* ----- External I/O gates ----- *)
+
 let attach_device system ~handle ~device =
-  let dev = Multics_io.Device.name device in
-  call system ~handle ~gate:(io_gate_for system device "attach") ~target:dev
-    (fun _p _subject ->
-      let buffers = System.io_buffers system in
-      if not (Hashtbl.mem buffers dev) then Hashtbl.replace buffers dev (buffer_for_config system ());
-      Ok ())
+  expect_done "attach_device" (Call.dispatch system ~handle (Call.Attach_device { device }))
 
 let detach_device system ~handle ~device =
-  let dev = Multics_io.Device.name device in
-  call system ~handle ~gate:(io_gate_for system device "detach") ~target:dev
-    (fun _p _subject ->
-      if Hashtbl.mem (System.io_buffers system) dev then begin
-        Hashtbl.remove (System.io_buffers system) dev;
-        Ok ()
-      end
-      else Error (Device_not_attached dev))
+  expect_done "detach_device" (Call.dispatch system ~handle (Call.Detach_device { device }))
 
 let device_write system ~handle ~device ~message =
-  let dev = Multics_io.Device.name device in
-  call system ~handle ~gate:(io_gate_for system device "io") ~target:dev (fun _p _subject ->
-      match Hashtbl.find_opt (System.io_buffers system) dev with
-      | None -> Error (Device_not_attached dev)
-      | Some (Multics_io.Network.Circular buffer) ->
-          Multics_io.Circular_buffer.write buffer message;
-          Ok ()
-      | Some (Multics_io.Network.Infinite buffer) ->
-          Multics_io.Infinite_buffer.write buffer message;
-          Ok ())
+  expect_done "device_write" (Call.dispatch system ~handle (Call.Device_write { device; message }))
 
 let device_read system ~handle ~device =
-  let dev = Multics_io.Device.name device in
-  call system ~handle ~gate:(io_gate_for system device "io") ~target:dev (fun _p _subject ->
-      match Hashtbl.find_opt (System.io_buffers system) dev with
-      | None -> Error (Device_not_attached dev)
-      | Some (Multics_io.Network.Circular buffer) -> Ok (Multics_io.Circular_buffer.read buffer)
-      | Some (Multics_io.Network.Infinite buffer) -> Ok (Multics_io.Infinite_buffer.read buffer))
+  match Call.dispatch system ~handle (Call.Device_read { device }) with
+  | Ok (Call.Message message) -> Ok message
+  | Error e -> Error e
+  | Ok _ -> mismatch "device_read"
 
 (* ----- Quota ----- *)
 
 let set_quota system ~handle ~segno ~quota =
-  call system ~handle ~gate:"set_quota" ~target:(string_of_int segno) (fun p subject ->
-      let* uid = uid_of_segno p segno in
-      fs_result (Hierarchy.set_quota (System.hierarchy system) ~subject ~uid ~quota))
+  expect_done "set_quota" (Call.dispatch system ~handle (Call.Set_quota { segno; quota }))
 
 (* ----- Remaining linker gates ----- *)
 
-type link_status = {
-  link_target_seg : string;
-  link_target_entry : string;
-  link_snapped : bool;
-}
-
 let list_links system ~handle ~segno =
-  call system ~handle ~gate:"list_links" ~target:(string_of_int segno) (fun p _subject ->
-      let* uid = uid_of_segno p segno in
-      match Object_seg.Store.get (System.store system) ~uid with
-      | None -> Ok []
-      | Some obj ->
-          Ok
-            (List.init (Object_seg.link_count obj) (fun i ->
-                 match Object_seg.link obj i with
-                 | Some l ->
-                     {
-                       link_target_seg = l.Object_seg.target_seg;
-                       link_target_entry = l.Object_seg.target_entry;
-                       link_snapped = l.Object_seg.snapped <> None;
-                     }
-                 | None ->
-                     { link_target_seg = "?"; link_target_entry = "?"; link_snapped = false })))
+  match Call.dispatch system ~handle (Call.List_links { segno }) with
+  | Ok (Call.Links links) -> Ok links
+  | Error e -> Error e
+  | Ok _ -> mismatch "list_links"
 
 (* ----- Remaining naming gates ----- *)
 
 let get_working_dir system ~handle =
-  call system ~handle ~gate:"get_working_dir" ~target:"wd" (fun p _subject ->
-      Ok (System.install_known system p ~uid:p.System.working_dir))
+  expect_segno "get_working_dir" (Call.dispatch system ~handle Call.Get_working_dir)
 
 let set_working_dir system ~handle ~dir_segno =
-  call system ~handle ~gate:"set_working_dir" ~target:(string_of_int dir_segno)
-    (fun p _subject ->
-      let* uid = uid_of_segno p dir_segno in
-      p.System.working_dir <- uid;
-      Ok ())
+  expect_done "set_working_dir" (Call.dispatch system ~handle (Call.Set_working_dir { dir_segno }))
 
 let initiate_count system ~handle =
-  call system ~handle ~gate:"initiate_count" ~target:"kst" (fun p _subject ->
-      Ok (Kst.entry_count p.System.kst))
+  expect_word "initiate_count" (Call.dispatch system ~handle Call.Initiate_count)
 
 let terminate_by_path system ~handle ~path =
-  call system ~handle ~gate:"terminate_by_path" ~target:path (fun p subject ->
-      let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in
-      match Kst.segno_of_uid p.System.kst ~uid with
-      | Some segno -> kst_result (Kst.terminate p.System.kst segno)
-      | None -> Error (Kst_error (Kst.Unknown_segno 0)))
+  expect_done "terminate_by_path" (Call.dispatch system ~handle (Call.Terminate_by_path { path }))
 
-(* ----- Process-management gates -----
+(* ----- Process-management gates ----- *)
 
-   Under the privileged-login configuration these are supervisor gates;
-   under the unified configuration the same functions are reached
-   through the ordinary subsystem-entry mechanism (non-privileged), so
-   the facade dispatches on gate presence. *)
-
-let login_gate_or_unified system ~handle ~gate ~target body =
-  match Gate.find (System.config system) ~gate_name:gate with
-  | Some _ -> call system ~handle ~gate ~target body
-  | None ->
-      call_hardware system ~handle
-        ~operation:("subsystem_entry:" ^ gate)
-        ~target
-        (fun p -> body p (System.subject_of p))
+let expect_process what = function
+  | Ok (Call.Process handle) -> Ok handle
+  | Error e -> Error e
+  | Ok _ -> mismatch what
 
 let create_process system ~handle =
-  login_gate_or_unified system ~handle ~gate:"create_process" ~target:"child"
-    (fun _p _subject ->
-      match System.clone_process system ~handle with
-      | Some child -> Ok child
-      | None -> Error (No_such_process handle))
+  expect_process "create_process" (Call.dispatch system ~handle Call.Create_process)
 
 let destroy_process system ~handle ~target =
-  login_gate_or_unified system ~handle ~gate:"destroy_process"
-    ~target:(string_of_int target) (fun _p _subject ->
-      if List.mem target (System.sibling_handles system ~handle) then
-        if System.logout system ~handle:target then Ok () else Error (No_such_process target)
-      else Error (Not_authorized "destroy_process: not your process"))
+  expect_done "destroy_process" (Call.dispatch system ~handle (Call.Destroy_process { target }))
 
-let new_proc system ~handle =
-  login_gate_or_unified system ~handle ~gate:"new_proc" ~target:"self" (fun _p _subject ->
-      match System.clone_process system ~handle with
-      | Some fresh ->
-          ignore (System.logout system ~handle);
-          Ok fresh
-      | None -> Error (No_such_process handle))
-
-type process_info = {
-  info_principal : string;
-  info_ring : int;
-  info_level : Label.t;
-  info_known_segments : int;
-  info_login_ring : int;
-}
+let new_proc system ~handle = expect_process "new_proc" (Call.dispatch system ~handle Call.New_proc)
 
 let proc_info system ~handle =
-  login_gate_or_unified system ~handle ~gate:"proc_info" ~target:"self" (fun p _subject ->
-      Ok
-        {
-          info_principal = Principal.to_string p.System.principal;
-          info_ring = Ring.to_int p.System.ring;
-          info_level = p.System.clearance;
-          info_known_segments = Kst.entry_count p.System.kst;
-          info_login_ring = Ring.to_int p.System.login_ring;
-        })
+  match Call.dispatch system ~handle Call.Proc_info with
+  | Ok (Call.Info info) -> Ok info
+  | Error e -> Error e
+  | Ok _ -> mismatch "proc_info"
 
 let list_processes system ~handle =
-  login_gate_or_unified system ~handle ~gate:"list_processes" ~target:"siblings"
-    (fun _p _subject -> Ok (System.sibling_handles system ~handle))
+  match Call.dispatch system ~handle Call.List_processes with
+  | Ok (Call.Processes handles) -> Ok handles
+  | Error e -> Error e
+  | Ok _ -> mismatch "list_processes"
 
 let operator_message system ~handle ~message =
-  login_gate_or_unified system ~handle ~gate:"operator_message" ~target:message
-    (fun _p _subject -> Ok ())
+  expect_done "operator_message" (Call.dispatch system ~handle (Call.Operator_message { message }))

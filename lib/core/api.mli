@@ -25,6 +25,13 @@ type error =
 
 val error_to_string : error -> string
 
+val pp : Format.formatter -> error -> unit
+(** Canonical human rendering; [error_to_string] is [Fmt.str "%a" pp]. *)
+
+val error_to_json : error -> string
+(** Machine-readable refusal cause: an object with a ["kind"]
+    discriminator plus cause-specific fields. *)
+
 (** {1 Directory control} *)
 
 val initiate :
@@ -223,3 +230,97 @@ val list_processes : System.t -> handle:int -> (int list, error) result
 
 val operator_message : System.t -> handle:int -> message:string -> (unit, error) result
 (** Record a message for the operator (audited). *)
+
+(** {1 The typed gate-call surface}
+
+    One request constructor per supervisor entry point; {!Call.dispatch}
+    is THE single audited, metered entry point — every per-gate function
+    above is a thin wrapper that builds the request, dispatches it, and
+    projects the typed reply back out. *)
+
+module Call : sig
+  type request =
+    | Initiate of { dir_segno : int; name : string }
+    | Terminate of { segno : int }
+    | Create_segment of {
+        dir_segno : int;
+        name : string;
+        acl : Acl.t;
+        label : Label.t;
+        brackets : Brackets.t option;
+      }
+    | Create_directory of { dir_segno : int; name : string; acl : Acl.t; label : Label.t }
+    | Delete_entry of { dir_segno : int; name : string }
+    | Rename_entry of { dir_segno : int; name : string; new_name : string }
+    | List_directory of { dir_segno : int }
+    | Status_entry of { dir_segno : int; name : string }
+    | Set_acl of { segno : int; acl : Acl.t }
+    | Set_brackets of { segno : int; brackets : Brackets.t }
+    | Set_gate_bound of { segno : int; gate_bound : int }
+    | Set_quota of { segno : int; quota : int option }
+    | Read_word of { segno : int; offset : int }
+    | Write_word of { segno : int; offset : int; value : int }
+    | Initiate_by_path of { path : string }
+    | Create_segment_by_path of {
+        path : string;
+        acl : Acl.t;
+        label : Label.t;
+        brackets : Brackets.t option;
+      }
+    | Create_directory_by_path of { path : string; acl : Acl.t; label : Label.t }
+    | Delete_by_path of { path : string }
+    | Resolve_path of { path : string }
+    | Terminate_by_path of { path : string }
+    | Rnt_bind of { name : string; segno : int }
+    | Rnt_lookup of { name : string }
+    | Rnt_unbind of { name : string }
+    | List_reference_names of { segno : int }
+    | Get_working_dir
+    | Set_working_dir of { dir_segno : int }
+    | Initiate_count
+    | Snap_link of { segno : int; link_index : int }
+    | List_links of { segno : int }
+    | Set_search_rules of { dir_segnos : int list }
+    | Get_search_rules
+    | Enter_subsystem of { segno : int; entry_offset : int; name : string }
+    | Exit_subsystem
+    | Create_channel
+    | Send_wakeup of { channel : int }
+    | Block of { channel : int }
+    | Attach_device of { device : Multics_io.Device.kind }
+    | Detach_device of { device : Multics_io.Device.kind }
+    | Device_write of { device : Multics_io.Device.kind; message : int }
+    | Device_read of { device : Multics_io.Device.kind }
+    | Create_process
+    | Destroy_process of { target : int }
+    | New_proc
+    | Proc_info
+    | List_processes
+    | Operator_message of { message : string }
+
+  type reply =
+    | Done
+    | Segno of int
+    | Word of int
+    | Message of int option
+    | Names of string list
+    | Status of entry_status
+    | Links of link_status list
+    | Snapped of { segno : int; offset : int }
+    | Entered of Ring.t
+    | Channel of int
+    | Consumed of bool
+    | Process of int
+    | Processes of int list
+    | Info of process_info
+
+  type response = (reply, error) result
+
+  val operation_name : System.t -> request -> string
+  (** The operation name the request is mediated, audited, and metered
+      under — configuration-dependent for device I/O. *)
+
+  val dispatch : System.t -> handle:int -> request -> response
+  (** Mediate one gate call: gate presence, ring bracket, reference
+      monitor; writes the audit record and the observability counters. *)
+end

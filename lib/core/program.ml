@@ -87,7 +87,7 @@ let value_of env = function Const v -> v | Slot s -> slot_value env s
 
 let api_exn what = function
   | Ok v -> v
-  | Error e -> raise (Step_failed (what ^ ": " ^ Api.error_to_string e))
+  | Error e -> raise (Step_failed (Fmt.str "%s: %a" what Api.pp e))
 
 let env_exn what = function
   | Ok v -> v

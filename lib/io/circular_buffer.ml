@@ -7,6 +7,12 @@
    This module reproduces exactly that failure mode so E7 can measure
    it against the VM-backed infinite buffer. *)
 
+module Obs = Multics_obs.Obs
+
+let obs_writes = Obs.Registry.counter Obs.Registry.global "io.circular.writes"
+let obs_reads = Obs.Registry.counter Obs.Registry.global "io.circular.reads"
+let obs_overwritten = Obs.Registry.counter Obs.Registry.global "io.circular.overwritten"
+
 type t = {
   slots : int array;
   mutable write_pos : int;
@@ -39,13 +45,15 @@ let write t message =
     (* Complete circuit: the slot under the write position still holds
        an unread message; it is destroyed. *)
     t.overwritten <- t.overwritten + 1;
+    Obs.Counter.incr obs_overwritten;
     t.read_pos <- (t.read_pos + 1) mod n;
     t.count <- t.count - 1
   end;
   t.slots.(t.write_pos) <- message;
   t.write_pos <- (t.write_pos + 1) mod n;
   t.count <- t.count + 1;
-  t.written <- t.written + 1
+  t.written <- t.written + 1;
+  Obs.Counter.incr obs_writes
 
 let read t =
   if t.count = 0 then None
@@ -54,6 +62,7 @@ let read t =
     t.read_pos <- (t.read_pos + 1) mod capacity t;
     t.count <- t.count - 1;
     t.read <- t.read + 1;
+    Obs.Counter.incr obs_reads;
     Some message
   end
 

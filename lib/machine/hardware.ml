@@ -6,6 +6,8 @@
    (ACLs, the mandatory-access lattice) only decides what SDWs say;
    this module decides what a given SDW permits. *)
 
+module Obs = Multics_obs.Obs
+
 type operation = Read | Write | Execute | Call of int  (** entry offset *)
 
 type grant =
@@ -30,7 +32,34 @@ let denial_to_string = function
   | Not_a_gate off -> Printf.sprintf "entry %d is not a gate" off
   | Outward_call -> "outward call"
 
+(* Observability: the hardware check is the innermost mediation point,
+   so its counters are the ground truth every other layer's numbers
+   must reconcile with. *)
+let obs_checks = Obs.Registry.counter Obs.Registry.global "hw.checks"
+let obs_denials = Obs.Registry.counter Obs.Registry.global "hw.denials"
+
+let denial_label = function
+  | Missing_permission _ -> "missing-permission"
+  | Outside_write_bracket -> "write-bracket"
+  | Outside_read_bracket -> "read-bracket"
+  | Outside_call_bracket -> "call-bracket"
+  | Not_a_gate _ -> "not-a-gate"
+  | Outward_call -> "outward-call"
+
+let observe decision =
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_checks;
+    match decision with
+    | Granted _ -> ()
+    | Denied d ->
+        Obs.Counter.incr obs_denials;
+        Obs.Counter.incr (Obs.Registry.counter Obs.Registry.global ("hw.denials." ^ denial_label d))
+  end;
+  decision
+
 let check sdw ~ring ~operation =
+  observe
+  @@
   let mode = Sdw.mode sdw in
   let brackets = Sdw.brackets sdw in
   match operation with

@@ -1,0 +1,418 @@
+(* Kernel observability: counters, log-bucketed histograms and spans,
+   in named registries, with text-table and JSON renderers.
+
+   Design constraints, in order:
+
+   1. the disabled path must cost one branch — every recording
+      primitive starts with [if !switched_on];
+   2. zero dependencies — the kernel's innermost layers (the hardware
+      check, the simulator) record here, so this library must sit
+      below everything;
+   3. recording must never allocate on the hot path — counters mutate
+      an int field, histograms mutate a preallocated array. *)
+
+let switched_on = ref true
+
+let enabled () = !switched_on
+let set_enabled flag = switched_on := flag
+
+let with_disabled f =
+  let saved = !switched_on in
+  switched_on := false;
+  Fun.protect ~finally:(fun () -> switched_on := saved) f
+
+(* ----- Counters ----- *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let make name = { name; value = 0 }
+  let name c = c.name
+  let incr ?(by = 1) c = if !switched_on then c.value <- c.value + by
+  let set c v = if !switched_on then c.value <- v
+  let get c = c.value
+  let reset c = c.value <- 0
+end
+
+(* ----- Histograms ----- *)
+
+module Histogram = struct
+  (* Bucket i holds samples whose highest set bit is i: the range
+     [2^i, 2^(i+1) - 1].  Bucket 0 also absorbs 0 (and, defensively,
+     negative samples).  62 buckets cover every OCaml int. *)
+  let bucket_count = 62
+
+  type t = {
+    name : string;
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable min_value : int;
+    mutable max_value : int;
+  }
+
+  let make name =
+    {
+      name;
+      buckets = Array.make bucket_count 0;
+      count = 0;
+      sum = 0;
+      min_value = max_int;
+      max_value = 0;
+    }
+
+  let name h = h.name
+
+  let bucket_index v =
+    if v <= 1 then 0
+    else begin
+      let rec highest_bit acc v = if v <= 1 then acc else highest_bit (acc + 1) (v lsr 1) in
+      min (bucket_count - 1) (highest_bit 0 v)
+    end
+
+  let bucket_lower_bound i = if i = 0 then 0 else 1 lsl i
+
+  let observe h v =
+    if !switched_on then begin
+      let v = if v < 0 then 0 else v in
+      h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+      h.count <- h.count + 1;
+      h.sum <- h.sum + v;
+      if v < h.min_value then h.min_value <- v;
+      if v > h.max_value then h.max_value <- v
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+  let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+  let min_value h = if h.count = 0 then 0 else h.min_value
+  let max_value h = h.max_value
+
+  let buckets h =
+    let acc = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      if h.buckets.(i) > 0 then acc := (bucket_lower_bound i, h.buckets.(i)) :: !acc
+    done;
+    !acc
+
+  (* The quantile estimate reports the upper bound of the bucket the
+     rank falls in — pessimistic by at most the bucket's factor of 2. *)
+  let quantile h q =
+    if h.count = 0 then 0
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = int_of_float (ceil (q *. float_of_int h.count)) in
+      let rank = if rank < 1 then 1 else rank in
+      let rec walk i seen =
+        if i >= bucket_count then h.max_value
+        else begin
+          let seen = seen + h.buckets.(i) in
+          if seen >= rank then begin
+            let lo = bucket_lower_bound i in
+            let hi = if lo = 0 then 1 else (2 * lo) - 1 in
+            min h.max_value hi
+          end
+          else walk (i + 1) seen
+        end
+      in
+      walk 0 0
+    end
+
+  let reset h =
+    Array.fill h.buckets 0 bucket_count 0;
+    h.count <- 0;
+    h.sum <- 0;
+    h.min_value <- max_int;
+    h.max_value <- 0
+end
+
+(* ----- Spans ----- *)
+
+module Span = struct
+  type t = {
+    name : string;
+    cycles : Histogram.t;
+    mutable entries : int;
+    mutable live : int;
+    mutable max_depth : int;
+  }
+
+  let make name = { name; cycles = Histogram.make name; entries = 0; live = 0; max_depth = 0 }
+
+  let name s = s.name
+
+  let enter s =
+    if !switched_on then begin
+      s.entries <- s.entries + 1;
+      s.live <- s.live + 1;
+      if s.live > s.max_depth then s.max_depth <- s.live
+    end
+
+  let leave s ~cycles =
+    if !switched_on then begin
+      if s.live > 0 then s.live <- s.live - 1;
+      Histogram.observe s.cycles cycles
+    end
+
+  let record s ~cycles =
+    enter s;
+    leave s ~cycles
+
+  let entries s = s.entries
+  let live s = s.live
+  let max_depth s = s.max_depth
+  let cycles s = s.cycles
+
+  let reset s =
+    s.entries <- 0;
+    s.live <- 0;
+    s.max_depth <- 0;
+    Histogram.reset s.cycles
+end
+
+(* ----- Registries ----- *)
+
+module Registry = struct
+  type t = {
+    name : string;
+    counters : (string, Counter.t) Hashtbl.t;
+    histograms : (string, Histogram.t) Hashtbl.t;
+    spans : (string, Span.t) Hashtbl.t;
+  }
+
+  let create ~name =
+    {
+      name;
+      counters = Hashtbl.create 64;
+      histograms = Hashtbl.create 16;
+      spans = Hashtbl.create 16;
+    }
+
+  let name t = t.name
+
+  let global = create ~name:"kernel"
+
+  let memo table make key =
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+        let v = make key in
+        Hashtbl.add table key v;
+        v
+
+  let counter t key = memo t.counters Counter.make key
+  let histogram t key = memo t.histograms Histogram.make key
+  let span t key = memo t.spans Span.make key
+
+  let sorted_bindings table value =
+    Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let counters t = sorted_bindings t.counters Counter.get
+
+  let reset t =
+    Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
+    Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms;
+    Hashtbl.iter (fun _ s -> Span.reset s) t.spans
+end
+
+(* ----- Snapshots ----- *)
+
+module Snapshot = struct
+  type histogram_data = {
+    count : int;
+    sum : int;
+    min_value : int;
+    max_value : int;
+    buckets : (int * int) list;
+  }
+
+  type span_data = { entries : int; live : int; max_depth : int; span_cycles : histogram_data }
+
+  type t = {
+    registry : string;
+    counters : (string * int) list;
+    histograms : (string * histogram_data) list;
+    spans : (string * span_data) list;
+  }
+
+  let histogram_data h =
+    {
+      count = Histogram.count h;
+      sum = Histogram.sum h;
+      min_value = Histogram.min_value h;
+      max_value = Histogram.max_value h;
+      buckets = Histogram.buckets h;
+    }
+
+  let capture ?(registry = Registry.global) () =
+    {
+      registry = Registry.name registry;
+      counters = Registry.counters registry;
+      histograms = Registry.sorted_bindings registry.Registry.histograms histogram_data;
+      spans =
+        Registry.sorted_bindings registry.Registry.spans (fun s ->
+            {
+              entries = Span.entries s;
+              live = Span.live s;
+              max_depth = Span.max_depth s;
+              span_cycles = histogram_data (Span.cycles s);
+            });
+    }
+
+  (* ----- Differencing ----- *)
+
+  let diff_alist ~zero ~sub before after =
+    List.map
+      (fun (key, a) ->
+        let b = match List.assoc_opt key before with Some b -> b | None -> zero in
+        (key, sub a b))
+      after
+
+  let diff_buckets before after =
+    List.filter
+      (fun (_, n) -> n > 0)
+      (diff_alist ~zero:0 ~sub:( - ) before after)
+
+  let diff_histogram (b : histogram_data) (a : histogram_data) =
+    if b.count = 0 then a
+    else
+      {
+        count = a.count - b.count;
+        sum = a.sum - b.sum;
+        (* min/max cannot be differenced; report the after-side values,
+           which bound the phase's samples. *)
+        min_value = a.min_value;
+        max_value = a.max_value;
+        buckets = diff_buckets b.buckets a.buckets;
+      }
+
+  let diff ~before ~after =
+    let empty_hist = { count = 0; sum = 0; min_value = 0; max_value = 0; buckets = [] } in
+    {
+      registry = after.registry;
+      counters = diff_alist ~zero:0 ~sub:( - ) before.counters after.counters;
+      histograms =
+        diff_alist ~zero:empty_hist ~sub:(fun a b -> diff_histogram b a) before.histograms
+          after.histograms;
+      spans =
+        diff_alist
+          ~zero:{ entries = 0; live = 0; max_depth = 0; span_cycles = empty_hist }
+          ~sub:(fun a b ->
+            {
+              entries = a.entries - b.entries;
+              live = a.live;
+              max_depth = a.max_depth;
+              span_cycles = diff_histogram b.span_cycles a.span_cycles;
+            })
+          before.spans after.spans;
+    }
+
+  let is_empty t =
+    List.for_all (fun (_, v) -> v = 0) t.counters
+    && List.for_all (fun (_, h) -> h.count = 0) t.histograms
+    && List.for_all (fun (_, s) -> s.entries = 0) t.spans
+
+  (* ----- Text rendering ----- *)
+
+  let pad_left width s = if String.length s >= width then s else String.make (width - String.length s) ' ' ^ s
+
+  let pad_right width s = if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+  let render_rows buf ~header rows =
+    if rows <> [] then begin
+      let name_width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) (String.length header) rows
+      in
+      let value_width = List.fold_left (fun w (_, v) -> max w (String.length v)) 0 rows in
+      Buffer.add_string buf (header ^ "\n");
+      List.iter
+        (fun (n, v) ->
+          Buffer.add_string buf
+            ("  " ^ pad_right name_width n ^ "  " ^ pad_left value_width v ^ "\n"))
+        rows
+    end
+
+  let describe_histogram h =
+    if h.count = 0 then "(empty)"
+    else
+      Printf.sprintf "n=%d sum=%d mean=%.1f min=%d max=%d" h.count h.sum
+        (float_of_int h.sum /. float_of_int h.count)
+        h.min_value h.max_value
+
+  let to_text t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "registry: %s\n" t.registry);
+    let live_counters = List.filter (fun (_, v) -> v <> 0) t.counters in
+    render_rows buf ~header:"counters"
+      (List.map (fun (n, v) -> (n, string_of_int v)) live_counters);
+    let live_hists = List.filter (fun (_, h) -> h.count > 0) t.histograms in
+    render_rows buf ~header:"histograms"
+      (List.map (fun (n, h) -> (n, describe_histogram h)) live_hists);
+    let live_spans = List.filter (fun (_, s) -> s.entries > 0) t.spans in
+    render_rows buf ~header:"spans"
+      (List.map
+         (fun (n, s) ->
+           ( n,
+             Printf.sprintf "entries=%d live=%d max_depth=%d cycles: %s" s.entries s.live
+               s.max_depth (describe_histogram s.span_cycles) ))
+         live_spans);
+    if is_empty t then Buffer.add_string buf "(no recorded activity)\n";
+    Buffer.contents buf
+
+  (* ----- JSON rendering (hand-rolled; the library has no deps) ----- *)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_object fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ json_escape k ^ "\":" ^ v) fields) ^ "}"
+
+  let json_histogram h =
+    json_object
+      [
+        ("count", string_of_int h.count);
+        ("sum", string_of_int h.sum);
+        ("min", string_of_int h.min_value);
+        ("max", string_of_int h.max_value);
+        ( "buckets",
+          "["
+          ^ String.concat ","
+              (List.map
+                 (fun (lo, n) -> Printf.sprintf "{\"ge\":%d,\"count\":%d}" lo n)
+                 h.buckets)
+          ^ "]" );
+      ]
+
+  let to_json t =
+    json_object
+      [
+        ("registry", "\"" ^ json_escape t.registry ^ "\"");
+        ("counters", json_object (List.map (fun (n, v) -> (n, string_of_int v)) t.counters));
+        ("histograms", json_object (List.map (fun (n, h) -> (n, json_histogram h)) t.histograms));
+        ( "spans",
+          json_object
+            (List.map
+               (fun (n, s) ->
+                 ( n,
+                   json_object
+                     [
+                       ("entries", string_of_int s.entries);
+                       ("live", string_of_int s.live);
+                       ("max_depth", string_of_int s.max_depth);
+                       ("cycles", json_histogram s.span_cycles);
+                     ] ))
+               t.spans) );
+      ]
+end

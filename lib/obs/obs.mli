@@ -1,0 +1,157 @@
+(** Kernel observability: monotonic counters, log-bucketed cycle
+    histograms and lightweight spans, collected in named registries and
+    rendered as text tables or JSON.
+
+    The library is dependency-free and built for instrumentation of hot
+    paths: every recording primitive is gated on one global switch, so
+    the disabled cost of an instrumented site is a single branch on a
+    [bool ref].  Instrumented modules obtain their instruments once, at
+    module initialization, from {!Registry.global}; a {!Snapshot}
+    captures the registry at a point in time for rendering or
+    differencing. *)
+
+val enabled : unit -> bool
+(** Whether recording primitives currently have any effect. *)
+
+val set_enabled : bool -> unit
+(** Flip the global switch.  Instruments keep their accumulated values
+    when disabled; recording simply stops. *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run a thunk with recording off, restoring the previous state. *)
+
+(** {1 Instruments} *)
+
+(** A named monotonic counter (plus [set] for gauge-style readings such
+    as a table depth). *)
+module Counter : sig
+  type t
+
+  val name : t -> string
+  val incr : ?by:int -> t -> unit
+  val set : t -> int -> unit
+  val get : t -> int
+end
+
+(** A histogram over non-negative integer samples (cycle counts,
+    latencies), log2-bucketed: bucket [i] holds samples whose highest
+    set bit is [i], i.e. the range [2^i .. 2^(i+1)-1] (bucket 0 holds 0
+    and 1).  Constant memory, constant-time observe. *)
+module Histogram : sig
+  type t
+
+  val name : t -> string
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+  val mean : t -> float
+  val min_value : t -> int
+  (** Smallest observed sample; 0 when empty. *)
+
+  val max_value : t -> int
+  val buckets : t -> (int * int) list
+  (** Non-empty buckets as (bucket lower bound, sample count), ascending. *)
+
+  val quantile : t -> float -> int
+  (** Upper bound of the bucket holding the given quantile (0 when
+      empty).  An estimate: exact to within the bucket's factor of 2. *)
+
+  val bucket_index : int -> int
+  (** The bucket a sample lands in (exposed for tests). *)
+
+  val bucket_lower_bound : int -> int
+  (** Smallest sample value of bucket [i]. *)
+end
+
+(** A lightweight span: tracks concurrent/nested activations and feeds
+    the cycles spent per activation into a histogram.  The simulation
+    supplies cycle counts explicitly (there is no wall clock in a
+    deterministic simulator). *)
+module Span : sig
+  type t
+
+  val name : t -> string
+
+  val enter : t -> unit
+  val leave : t -> cycles:int -> unit
+  (** [leave] records one completed activation of [cycles]. *)
+
+  val record : t -> cycles:int -> unit
+  (** [enter] immediately followed by [leave]. *)
+
+  val entries : t -> int
+  val live : t -> int
+  (** Activations currently entered but not left. *)
+
+  val max_depth : t -> int
+  val cycles : t -> Histogram.t
+end
+
+(** {1 Registries} *)
+
+(** A named collection of instruments.  Instruments are created on
+    first lookup and memoized by name, so call sites may re-resolve
+    freely; hot paths should resolve once at module initialization. *)
+module Registry : sig
+  type t
+
+  val create : name:string -> t
+  val name : t -> string
+
+  val global : t
+  (** The registry every kernel subsystem records into. *)
+
+  val counter : t -> string -> Counter.t
+  val histogram : t -> string -> Histogram.t
+  val span : t -> string -> Span.t
+
+  val counters : t -> (string * int) list
+  (** Current counter readings, sorted by name. *)
+
+  val reset : t -> unit
+  (** Zero every instrument (they remain registered). *)
+end
+
+(** {1 Snapshots} *)
+
+module Snapshot : sig
+  type histogram_data = {
+    count : int;
+    sum : int;
+    min_value : int;
+    max_value : int;
+    buckets : (int * int) list;  (** (bucket lower bound, count) *)
+  }
+
+  type span_data = {
+    entries : int;
+    live : int;
+    max_depth : int;
+    span_cycles : histogram_data;
+  }
+
+  type t = {
+    registry : string;
+    counters : (string * int) list;  (** sorted by name *)
+    histograms : (string * histogram_data) list;
+    spans : (string * span_data) list;
+  }
+
+  val capture : ?registry:Registry.t -> unit -> t
+  (** Default registry: {!Registry.global}. *)
+
+  val diff : before:t -> after:t -> t
+  (** Per-instrument difference [after - before]; instruments absent
+      from [before] are taken as zero.  Used to attribute activity to a
+      bounded phase (one experiment, one command). *)
+
+  val is_empty : t -> bool
+  (** No counters/histograms/spans with any recorded activity. *)
+
+  val to_text : t -> string
+  (** An aligned, sectioned text table (the shell's [stats] output). *)
+
+  val to_json : t -> string
+  (** One JSON object; keys [registry], [counters], [histograms],
+      [spans]. *)
+end

@@ -24,6 +24,21 @@
 
 open Multics_mm
 open Multics_proc
+module Obs = Multics_obs.Obs
+
+(* Observability: page control's live counters mirror the per-instance
+   [counters] bag but land in the global registry, where the shell's
+   [stats] command and the experiment [--stats] snapshots can see them
+   next to the gate and IPC numbers. *)
+let obs_faults = Obs.Registry.counter Obs.Registry.global "vm.faults"
+let obs_zero_fills = Obs.Registry.counter Obs.Registry.global "vm.zero_fills"
+let obs_page_ins = Obs.Registry.counter Obs.Registry.global "vm.page_ins"
+let obs_core_to_bulk = Obs.Registry.counter Obs.Registry.global "vm.evictions.core_to_bulk"
+let obs_bulk_to_disk = Obs.Registry.counter Obs.Registry.global "vm.evictions.bulk_to_disk"
+let obs_cascaded = Obs.Registry.counter Obs.Registry.global "vm.faults.cascaded"
+let obs_freer_wakeups = Obs.Registry.counter Obs.Registry.global "vm.freer.wakeups"
+let obs_frame_waits = Obs.Registry.counter Obs.Registry.global "vm.faults.frame_waits"
+let obs_fault_latency = Obs.Registry.histogram Obs.Registry.global "vm.fault.latency_cycles"
 
 type discipline = Sequential | Parallel_processes
 
@@ -152,6 +167,7 @@ let push_bulk_page_to_disk t =
       match Memory.transfer t.mem victim ~dest:Level.Disk with
       | Ok (_, cost) ->
           Multics_util.Stats.Counters.incr t.counters "bulk_to_disk";
+          Obs.Counter.incr obs_bulk_to_disk;
           cost
       | Error _ -> 0)
 
@@ -166,6 +182,7 @@ let push_core_page_to_bulk t =
       match Memory.transfer t.mem victim ~dest:Level.Bulk with
       | Ok (_, cost) ->
           Multics_util.Stats.Counters.incr t.counters "core_to_bulk";
+          Obs.Counter.incr obs_core_to_bulk;
           (cascade_cost + cost, cascade_cost > 0)
       | Error _ -> (cascade_cost, cascade_cost > 0))
 
@@ -180,6 +197,7 @@ let page_in t page =
       | Ok _ ->
           Sim.compute t.zero_fill_cycles;
           Multics_util.Stats.Counters.incr t.counters "zero_fill";
+          Obs.Counter.incr obs_zero_fills;
           true
       | Error _ -> false)
   | Some block when Level.equal (Block.level block) Level.Core -> true
@@ -188,6 +206,7 @@ let page_in t page =
       | Ok (_, cost) ->
           Sim.compute cost;
           Multics_util.Stats.Counters.incr t.counters "page_in";
+          Obs.Counter.incr obs_page_ins;
           true
       | Error _ -> false)
 
@@ -259,7 +278,12 @@ let bulk_freer_pid t = t.bulk_freer_pid
 
 let record_fault t record =
   t.faults <- record :: t.faults;
-  Multics_util.Stats.Counters.incr t.counters "faults"
+  Multics_util.Stats.Counters.incr t.counters "faults";
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_faults;
+    Obs.Histogram.observe obs_fault_latency record.latency;
+    if record.cascaded then Obs.Counter.incr obs_cascaded
+  end
 
 (* Reference a page from a running process.  Returns the number of
    page-control steps the faulting process itself executed (0 when the
@@ -294,6 +318,8 @@ let reference ?(write = false) t ~pid ~page =
             if move_cost > 0 then Sim.compute move_cost
         | Parallel_processes ->
             (* Just wait for the core freeing process. *)
+            Obs.Counter.incr obs_freer_wakeups;
+            Obs.Counter.incr obs_frame_waits;
             Sim.wakeup t.sim t.core_kick;
             Sim.block t.frame_avail;
             incr steps);
@@ -307,7 +333,10 @@ let reference ?(write = false) t ~pid ~page =
     (* Keep the freer running ahead of demand. *)
     (match t.discipline with
     | Parallel_processes ->
-        if Memory.free_count t.mem Level.Core < t.core_target then Sim.wakeup t.sim t.core_kick
+        if Memory.free_count t.mem Level.Core < t.core_target then begin
+          Obs.Counter.incr obs_freer_wakeups;
+          Sim.wakeup t.sim t.core_kick
+        end
     | Sequential -> ());
     incr steps;
     record_fault t

@@ -1,0 +1,567 @@
+(* Dispatch parity: every legacy per-gate function must behave exactly
+   like [Api.Call.dispatch] of the corresponding request — success and
+   refusal paths alike, in all three reference configurations.
+
+   Two identical systems are booted; the same scenario runs on both,
+   one through the legacy functions and one through typed dispatch.
+   Because the simulation is deterministic, every step must render the
+   same result (including segment numbers, handles, and refusal
+   causes) on both sides. *)
+
+open Multics_access
+open Multics_kernel
+
+type env = { system : System.t; mutable handle : int; slots : (string, int) Hashtbl.t }
+
+let slot env name =
+  match Hashtbl.find_opt env.slots name with
+  | Some v -> v
+  | None -> Alcotest.failf "scenario slot %S unset" name
+
+let set_slot env name v = Hashtbl.replace env.slots name v
+
+(* Render results to comparable strings; errors via the canonical
+   rendering so refusal parity is checked cause-for-cause. *)
+let err e = "err " ^ Api.error_to_string e
+let r_unit = function Ok () -> "ok" | Error e -> err e
+let r_int = function Ok v -> Printf.sprintf "ok %d" v | Error e -> err e
+let r_bool = function Ok b -> Printf.sprintf "ok %b" b | Error e -> err e
+let r_names = function Ok ns -> "ok [" ^ String.concat "; " ns ^ "]" | Error e -> err e
+let r_int_opt = function
+  | Ok None -> "ok none"
+  | Ok (Some v) -> Printf.sprintf "ok %d" v
+  | Error e -> err e
+
+let r_ring = function
+  | Ok ring -> Printf.sprintf "ok ring %d" (Multics_machine.Ring.to_int ring)
+  | Error e -> err e
+
+let r_pair = function Ok (a, b) -> Printf.sprintf "ok (%d,%d)" a b | Error e -> err e
+
+let r_status = function
+  | Ok st ->
+      Printf.sprintf "ok %s/%s/%s/%d" st.Api.status_name
+        (match st.Api.status_kind with
+        | Multics_fs.Hierarchy.Segment -> "seg"
+        | Multics_fs.Hierarchy.Directory -> "dir")
+        (Label.to_string st.Api.status_label)
+        st.Api.status_pages
+  | Error e -> err e
+
+let r_links = function
+  | Ok links ->
+      "ok ["
+      ^ String.concat "; "
+          (List.map
+             (fun l ->
+               Printf.sprintf "%s$%s%s" l.Api.link_target_seg l.Api.link_target_entry
+                 (if l.Api.link_snapped then "!" else ""))
+             links)
+      ^ "]"
+  | Error e -> err e
+
+let r_info = function
+  | Ok i ->
+      Printf.sprintf "ok %s r%d %s k%d l%d" i.Api.info_principal i.Api.info_ring
+        (Label.to_string i.Api.info_level) i.Api.info_known_segments i.Api.info_login_ring
+  | Error e -> err e
+
+let r_ints = function
+  | Ok vs -> "ok [" ^ String.concat "; " (List.map string_of_int vs) ^ "]"
+  | Error e -> err e
+
+(* Typed-side projectors (mirror the wrappers' expectations). *)
+let d env request = Api.Call.dispatch env.system ~handle:env.handle request
+
+let p_unit = function Ok Api.Call.Done -> Ok () | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
+let p_segno = function Ok (Api.Call.Segno s) -> Ok s | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
+let p_word = function Ok (Api.Call.Word v) -> Ok v | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
+
+let acl_rw = Acl.of_strings [ ("Alice.Dev.*", "rew") ]
+let label = Label.unclassified
+
+(* One scenario step: a display name, the legacy path, the typed
+   path.  Both receive the run's own [env]. *)
+type step = { name : string; legacy : env -> string; typed : env -> string }
+
+let remember_segno env key rendered result =
+  (match result with Ok segno -> set_slot env key segno | Error _ -> ());
+  rendered result
+
+let steps : step list =
+  [
+    {
+      name = "create_segment";
+      legacy =
+        (fun env ->
+          remember_segno env "hot" r_int
+            (Api.create_segment env.system ~handle:env.handle ~dir_segno:(slot env "dir")
+               ~name:"hot" ~acl:acl_rw ~label));
+      typed =
+        (fun env ->
+          remember_segno env "hot" r_int
+            (p_segno
+               (d env
+                  (Api.Call.Create_segment
+                     { dir_segno = slot env "dir"; name = "hot"; acl = acl_rw; label; brackets = None }))));
+    };
+    {
+      name = "create_directory";
+      legacy =
+        (fun env ->
+          remember_segno env "sub" r_int
+            (Api.create_directory env.system ~handle:env.handle ~dir_segno:(slot env "dir")
+               ~name:"sub" ~acl:acl_rw ~label));
+      typed =
+        (fun env ->
+          remember_segno env "sub" r_int
+            (p_segno
+               (d env
+                  (Api.Call.Create_directory
+                     { dir_segno = slot env "dir"; name = "sub"; acl = acl_rw; label }))));
+    };
+    {
+      name = "initiate";
+      legacy =
+        (fun env ->
+          r_int
+            (Api.initiate env.system ~handle:env.handle ~dir_segno:(slot env "dir") ~name:"hot"));
+      typed =
+        (fun env ->
+          r_int (p_segno (d env (Api.Call.Initiate { dir_segno = slot env "dir"; name = "hot" }))));
+    };
+    {
+      name = "write_word";
+      legacy =
+        (fun env ->
+          r_unit
+            (Api.write_word env.system ~handle:env.handle ~segno:(slot env "hot") ~offset:1
+               ~value:7));
+      typed =
+        (fun env ->
+          r_unit
+            (p_unit (d env (Api.Call.Write_word { segno = slot env "hot"; offset = 1; value = 7 }))));
+    };
+    {
+      name = "read_word";
+      legacy =
+        (fun env -> r_int (Api.read_word env.system ~handle:env.handle ~segno:(slot env "hot") ~offset:1));
+      typed =
+        (fun env -> r_int (p_word (d env (Api.Call.Read_word { segno = slot env "hot"; offset = 1 }))));
+    };
+    {
+      name = "read_word unknown segno (refusal)";
+      legacy = (fun env -> r_int (Api.read_word env.system ~handle:env.handle ~segno:999 ~offset:0));
+      typed = (fun env -> r_int (p_word (d env (Api.Call.Read_word { segno = 999; offset = 0 }))));
+    };
+    {
+      name = "list_directory";
+      legacy =
+        (fun env -> r_names (Api.list_directory env.system ~handle:env.handle ~dir_segno:(slot env "dir")));
+      typed =
+        (fun env ->
+          match d env (Api.Call.List_directory { dir_segno = slot env "dir" }) with
+          | Ok (Api.Call.Names ns) -> r_names (Ok ns)
+          | Error e -> r_names (Error e)
+          | Ok _ -> Alcotest.fail "reply shape");
+    };
+    {
+      name = "status_entry";
+      legacy =
+        (fun env ->
+          r_status
+            (Api.status_entry env.system ~handle:env.handle ~dir_segno:(slot env "dir") ~name:"hot"));
+      typed =
+        (fun env ->
+          match d env (Api.Call.Status_entry { dir_segno = slot env "dir"; name = "hot" }) with
+          | Ok (Api.Call.Status st) -> r_status (Ok st)
+          | Error e -> r_status (Error e)
+          | Ok _ -> Alcotest.fail "reply shape");
+    };
+    {
+      name = "rename_entry + delete_entry";
+      legacy =
+        (fun env ->
+          let a =
+            r_unit
+              (Api.rename_entry env.system ~handle:env.handle ~dir_segno:(slot env "dir")
+                 ~name:"sub" ~new_name:"sub-old")
+          in
+          let b =
+            r_unit
+              (Api.delete_entry env.system ~handle:env.handle ~dir_segno:(slot env "dir")
+                 ~name:"sub-old")
+          in
+          a ^ "/" ^ b);
+      typed =
+        (fun env ->
+          let a =
+            r_unit
+              (p_unit
+                 (d env
+                    (Api.Call.Rename_entry
+                       { dir_segno = slot env "dir"; name = "sub"; new_name = "sub-old" })))
+          in
+          let b =
+            r_unit
+              (p_unit (d env (Api.Call.Delete_entry { dir_segno = slot env "dir"; name = "sub-old" })))
+          in
+          a ^ "/" ^ b);
+    };
+    {
+      name = "set_acl";
+      legacy =
+        (fun env -> r_unit (Api.set_acl env.system ~handle:env.handle ~segno:(slot env "hot") ~acl:acl_rw));
+      typed =
+        (fun env -> r_unit (p_unit (d env (Api.Call.Set_acl { segno = slot env "hot"; acl = acl_rw }))));
+    };
+    {
+      name = "set_brackets";
+      legacy =
+        (fun env ->
+          r_unit
+            (Api.set_brackets env.system ~handle:env.handle ~segno:(slot env "hot")
+               ~brackets:Multics_machine.Brackets.user_data));
+      typed =
+        (fun env ->
+          r_unit
+            (p_unit
+               (d env
+                  (Api.Call.Set_brackets
+                     { segno = slot env "hot"; brackets = Multics_machine.Brackets.user_data }))));
+    };
+    {
+      name = "set_gate_bound";
+      legacy =
+        (fun env ->
+          r_unit (Api.set_gate_bound env.system ~handle:env.handle ~segno:(slot env "hot") ~gate_bound:4));
+      typed =
+        (fun env ->
+          r_unit (p_unit (d env (Api.Call.Set_gate_bound { segno = slot env "hot"; gate_bound = 4 }))));
+    };
+    {
+      name = "set_quota";
+      legacy =
+        (fun env ->
+          r_unit (Api.set_quota env.system ~handle:env.handle ~segno:(slot env "dir") ~quota:(Some 64)));
+      typed =
+        (fun env ->
+          r_unit (p_unit (d env (Api.Call.Set_quota { segno = slot env "dir"; quota = Some 64 }))));
+    };
+    {
+      name = "initiate_by_path";
+      legacy =
+        (fun env -> r_int (Api.initiate_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>hot"));
+      typed =
+        (fun env -> r_int (p_segno (d env (Api.Call.Initiate_by_path { path = ">udd>Dev>Alice>hot" }))));
+    };
+    {
+      name = "create_segment_by_path";
+      legacy =
+        (fun env ->
+          r_int
+            (Api.create_segment_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>hot2"
+               ~acl:acl_rw ~label));
+      typed =
+        (fun env ->
+          r_int
+            (p_segno
+               (d env
+                  (Api.Call.Create_segment_by_path
+                     { path = ">udd>Dev>Alice>hot2"; acl = acl_rw; label; brackets = None }))));
+    };
+    {
+      name = "create_directory_by_path";
+      legacy =
+        (fun env ->
+          r_int
+            (Api.create_directory_by_path env.system ~handle:env.handle
+               ~path:">udd>Dev>Alice>sub2" ~acl:acl_rw ~label));
+      typed =
+        (fun env ->
+          r_int
+            (p_segno
+               (d env
+                  (Api.Call.Create_directory_by_path
+                     { path = ">udd>Dev>Alice>sub2"; acl = acl_rw; label }))));
+    };
+    {
+      name = "delete_by_path";
+      legacy =
+        (fun env -> r_unit (Api.delete_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>hot2"));
+      typed =
+        (fun env -> r_unit (p_unit (d env (Api.Call.Delete_by_path { path = ">udd>Dev>Alice>hot2" }))));
+    };
+    {
+      name = "resolve_path";
+      legacy = (fun env -> r_int (Api.resolve_path env.system ~handle:env.handle ~path:">udd>Dev"));
+      typed = (fun env -> r_int (p_segno (d env (Api.Call.Resolve_path { path = ">udd>Dev" }))));
+    };
+    {
+      name = "rnt bind/lookup/names/unbind";
+      legacy =
+        (fun env ->
+          let a = r_unit (Api.rnt_bind env.system ~handle:env.handle ~name:"h" ~segno:(slot env "hot")) in
+          let b = r_int (Api.rnt_lookup env.system ~handle:env.handle ~name:"h") in
+          let c = r_names (Api.list_reference_names env.system ~handle:env.handle ~segno:(slot env "hot")) in
+          let e = r_unit (Api.rnt_unbind env.system ~handle:env.handle ~name:"h") in
+          String.concat "/" [ a; b; c; e ]);
+      typed =
+        (fun env ->
+          let a = r_unit (p_unit (d env (Api.Call.Rnt_bind { name = "h"; segno = slot env "hot" }))) in
+          let b = r_int (p_segno (d env (Api.Call.Rnt_lookup { name = "h" }))) in
+          let c =
+            match d env (Api.Call.List_reference_names { segno = slot env "hot" }) with
+            | Ok (Api.Call.Names ns) -> r_names (Ok ns)
+            | Error e -> r_names (Error e)
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          let e = r_unit (p_unit (d env (Api.Call.Rnt_unbind { name = "h" }))) in
+          String.concat "/" [ a; b; c; e ]);
+    };
+    {
+      name = "working dir + initiate_count";
+      legacy =
+        (fun env ->
+          let a = r_int (Api.get_working_dir env.system ~handle:env.handle) in
+          let b = r_unit (Api.set_working_dir env.system ~handle:env.handle ~dir_segno:(slot env "dir")) in
+          let c = r_int (Api.initiate_count env.system ~handle:env.handle) in
+          String.concat "/" [ a; b; c ]);
+      typed =
+        (fun env ->
+          let a = r_int (p_segno (d env Api.Call.Get_working_dir)) in
+          let b = r_unit (p_unit (d env (Api.Call.Set_working_dir { dir_segno = slot env "dir" }))) in
+          let c = r_int (p_word (d env Api.Call.Initiate_count)) in
+          String.concat "/" [ a; b; c ]);
+    };
+    {
+      name = "snap_link (refusal in kernel config)";
+      legacy =
+        (fun env -> r_pair (Api.snap_link env.system ~handle:env.handle ~segno:(slot env "hot") ~link_index:0));
+      typed =
+        (fun env ->
+          match d env (Api.Call.Snap_link { segno = slot env "hot"; link_index = 0 }) with
+          | Ok (Api.Call.Snapped { segno; offset }) -> r_pair (Ok (segno, offset))
+          | Error e -> r_pair (Error e)
+          | Ok _ -> Alcotest.fail "reply shape");
+    };
+    {
+      name = "list_links";
+      legacy = (fun env -> r_links (Api.list_links env.system ~handle:env.handle ~segno:(slot env "hot")));
+      typed =
+        (fun env ->
+          match d env (Api.Call.List_links { segno = slot env "hot" }) with
+          | Ok (Api.Call.Links ls) -> r_links (Ok ls)
+          | Error e -> r_links (Error e)
+          | Ok _ -> Alcotest.fail "reply shape");
+    };
+    {
+      name = "search rules";
+      legacy =
+        (fun env ->
+          let a = r_unit (Api.set_search_rules env.system ~handle:env.handle ~dir_segnos:[ slot env "dir" ]) in
+          let b = r_names (Api.get_search_rules env.system ~handle:env.handle) in
+          a ^ "/" ^ b);
+      typed =
+        (fun env ->
+          let a =
+            r_unit (p_unit (d env (Api.Call.Set_search_rules { dir_segnos = [ slot env "dir" ] })))
+          in
+          let b =
+            match d env Api.Call.Get_search_rules with
+            | Ok (Api.Call.Names ns) -> r_names (Ok ns)
+            | Error e -> r_names (Error e)
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          a ^ "/" ^ b);
+    };
+    {
+      name = "enter_subsystem unknown segno (refusal)";
+      legacy =
+        (fun env ->
+          r_ring (Api.enter_subsystem env.system ~handle:env.handle ~segno:999 ~entry_offset:0 ~name:"ss"));
+      typed =
+        (fun env ->
+          match d env (Api.Call.Enter_subsystem { segno = 999; entry_offset = 0; name = "ss" }) with
+          | Ok (Api.Call.Entered ring) -> r_ring (Ok ring)
+          | Error e -> r_ring (Error e)
+          | Ok _ -> Alcotest.fail "reply shape");
+    };
+    {
+      name = "exit_subsystem outside subsystem (refusal)";
+      legacy = (fun env -> r_ring (Api.exit_subsystem env.system ~handle:env.handle));
+      typed =
+        (fun env ->
+          match d env Api.Call.Exit_subsystem with
+          | Ok (Api.Call.Entered ring) -> r_ring (Ok ring)
+          | Error e -> r_ring (Error e)
+          | Ok _ -> Alcotest.fail "reply shape");
+    };
+    {
+      name = "ipc channel/wakeup/block";
+      legacy =
+        (fun env ->
+          let chan_r = Api.create_channel env.system ~handle:env.handle in
+          (match chan_r with Ok c -> set_slot env "chan" c | Error _ -> ());
+          let a = r_int chan_r in
+          let b = r_unit (Api.send_wakeup env.system ~handle:env.handle ~channel:(slot env "chan")) in
+          let c = r_bool (Api.block env.system ~handle:env.handle ~channel:(slot env "chan")) in
+          let e = r_bool (Api.block env.system ~handle:env.handle ~channel:(slot env "chan")) in
+          let f = r_unit (Api.send_wakeup env.system ~handle:env.handle ~channel:999) in
+          String.concat "/" [ a; b; c; e; f ]);
+      typed =
+        (fun env ->
+          let chan_r =
+            match d env Api.Call.Create_channel with
+            | Ok (Api.Call.Channel c) -> Ok c
+            | Error e -> Error e
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          (match chan_r with Ok c -> set_slot env "chan" c | Error _ -> ());
+          let a = r_int chan_r in
+          let b = r_unit (p_unit (d env (Api.Call.Send_wakeup { channel = slot env "chan" }))) in
+          let consume () =
+            match d env (Api.Call.Block { channel = slot env "chan" }) with
+            | Ok (Api.Call.Consumed consumed) -> r_bool (Ok consumed)
+            | Error e -> r_bool (Error e)
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          let c = consume () in
+          let e = consume () in
+          let f = r_unit (p_unit (d env (Api.Call.Send_wakeup { channel = 999 }))) in
+          String.concat "/" [ a; b; c; e; f ]);
+    };
+    {
+      name = "device attach/write/read/detach";
+      legacy =
+        (fun env ->
+          let device = Multics_io.Device.Printer in
+          let a = r_unit (Api.attach_device env.system ~handle:env.handle ~device) in
+          let b = r_unit (Api.device_write env.system ~handle:env.handle ~device ~message:5) in
+          let c = r_int_opt (Api.device_read env.system ~handle:env.handle ~device) in
+          let e = r_unit (Api.detach_device env.system ~handle:env.handle ~device) in
+          let f = r_unit (Api.detach_device env.system ~handle:env.handle ~device) in
+          String.concat "/" [ a; b; c; e; f ]);
+      typed =
+        (fun env ->
+          let device = Multics_io.Device.Printer in
+          let a = r_unit (p_unit (d env (Api.Call.Attach_device { device }))) in
+          let b = r_unit (p_unit (d env (Api.Call.Device_write { device; message = 5 }))) in
+          let c =
+            match d env (Api.Call.Device_read { device }) with
+            | Ok (Api.Call.Message m) -> r_int_opt (Ok m)
+            | Error e -> r_int_opt (Error e)
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          let e = r_unit (p_unit (d env (Api.Call.Detach_device { device }))) in
+          let f = r_unit (p_unit (d env (Api.Call.Detach_device { device }))) in
+          String.concat "/" [ a; b; c; e; f ]);
+    };
+    {
+      name = "proc_info + list_processes + operator_message";
+      legacy =
+        (fun env ->
+          let a = r_info (Api.proc_info env.system ~handle:env.handle) in
+          let b = r_ints (Api.list_processes env.system ~handle:env.handle) in
+          let c = r_unit (Api.operator_message env.system ~handle:env.handle ~message:"hello") in
+          String.concat "/" [ a; b; c ]);
+      typed =
+        (fun env ->
+          let a =
+            match d env Api.Call.Proc_info with
+            | Ok (Api.Call.Info i) -> r_info (Ok i)
+            | Error e -> r_info (Error e)
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          let b =
+            match d env Api.Call.List_processes with
+            | Ok (Api.Call.Processes hs) -> r_ints (Ok hs)
+            | Error e -> r_ints (Error e)
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          let c = r_unit (p_unit (d env (Api.Call.Operator_message { message = "hello" }))) in
+          String.concat "/" [ a; b; c ]);
+    };
+    {
+      name = "create_process + destroy_process";
+      legacy =
+        (fun env ->
+          let child_r = Api.create_process env.system ~handle:env.handle in
+          (match child_r with Ok c -> set_slot env "child" c | Error _ -> ());
+          let a = r_int child_r in
+          let b =
+            match child_r with
+            | Ok _ -> r_unit (Api.destroy_process env.system ~handle:env.handle ~target:(slot env "child"))
+            | Error _ -> "skipped"
+          in
+          let c = r_unit (Api.destroy_process env.system ~handle:env.handle ~target:999) in
+          String.concat "/" [ a; b; c ]);
+      typed =
+        (fun env ->
+          let child_r =
+            match d env Api.Call.Create_process with
+            | Ok (Api.Call.Process c) -> Ok c
+            | Error e -> Error e
+            | Ok _ -> Alcotest.fail "reply shape"
+          in
+          (match child_r with Ok c -> set_slot env "child" c | Error _ -> ());
+          let a = r_int child_r in
+          let b =
+            match child_r with
+            | Ok _ ->
+                r_unit (p_unit (d env (Api.Call.Destroy_process { target = slot env "child" })))
+            | Error _ -> "skipped"
+          in
+          let c = r_unit (p_unit (d env (Api.Call.Destroy_process { target = 999 }))) in
+          String.concat "/" [ a; b; c ]);
+    };
+    {
+      name = "terminate + terminate_by_path";
+      legacy =
+        (fun env ->
+          let a = r_unit (Api.terminate env.system ~handle:env.handle ~segno:(slot env "hot")) in
+          let b = r_unit (Api.terminate_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>sub2") in
+          a ^ "/" ^ b);
+      typed =
+        (fun env ->
+          let a = r_unit (p_unit (d env (Api.Call.Terminate { segno = slot env "hot" }))) in
+          let b = r_unit (p_unit (d env (Api.Call.Terminate_by_path { path = ">udd>Dev>Alice>sub2" }))) in
+          a ^ "/" ^ b);
+    };
+  ]
+
+let boot config =
+  let system = System.create config in
+  ignore
+    (System.add_account system ~person:"Alice" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  let handle =
+    match System.login system ~person:"Alice" ~project:"Dev" ~password:"pw" with
+    | Ok handle -> handle
+    | Error e -> Alcotest.fail (System.login_error_to_string e)
+  in
+  let env = { system; handle; slots = Hashtbl.create 8 } in
+  (* The home directory's segment number, via the user-ring environment
+     (identical on both sides; not itself under test). *)
+  (match User_env.resolve_path system ~handle ~path:">udd>Dev>Alice" with
+  | Ok dir -> set_slot env "dir" dir
+  | Error e -> Alcotest.fail (User_env.error_to_string e));
+  env
+
+let parity_for config () =
+  let legacy_env = boot config in
+  let typed_env = boot config in
+  List.iter
+    (fun step ->
+      let expected = step.legacy legacy_env in
+      let got = step.typed typed_env in
+      Alcotest.(check string) step.name expected got)
+    steps
+
+let suite =
+  List.map
+    (fun (config : Config.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "legacy = dispatch (%s)" config.Config.name)
+        `Quick (parity_for config))
+    [ Config.baseline_645; Config.hardware_rings; Config.kernel_6180 ]

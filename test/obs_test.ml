@@ -1,0 +1,169 @@
+(* Tests for Multics_obs: counters, histogram bucketing, spans,
+   registries, snapshot rendering and the global enable switch. *)
+
+module Obs = Multics_obs.Obs
+
+(* Every test works against a private registry so the suite cannot be
+   confounded by (or confound) the kernel's global instruments. *)
+let fresh name = Obs.Registry.create ~name
+
+let test_counter_basics () =
+  let r = fresh "counters" in
+  let c = Obs.Registry.counter r "calls" in
+  Alcotest.(check int) "fresh counter reads 0" 0 (Obs.Counter.get c);
+  Obs.Counter.incr c;
+  Obs.Counter.incr c ~by:5;
+  Alcotest.(check int) "incr accumulates" 6 (Obs.Counter.get c);
+  Obs.Counter.set c 42;
+  Alcotest.(check int) "set overrides (gauge style)" 42 (Obs.Counter.get c);
+  Alcotest.(check string) "counter keeps its name" "calls" (Obs.Counter.name c)
+
+let test_counter_memoized () =
+  let r = fresh "memo" in
+  let a = Obs.Registry.counter r "x" in
+  let b = Obs.Registry.counter r "x" in
+  Obs.Counter.incr a;
+  Alcotest.(check int) "same name resolves to the same instrument" 1 (Obs.Counter.get b)
+
+let test_disabled_is_inert () =
+  let r = fresh "switch" in
+  let c = Obs.Registry.counter r "c" in
+  let h = Obs.Registry.histogram r "h" in
+  Obs.with_disabled (fun () ->
+      Obs.Counter.incr c;
+      Obs.Counter.set c 99;
+      Obs.Histogram.observe h 7);
+  Alcotest.(check bool) "switch restored" true (Obs.enabled ());
+  Alcotest.(check int) "disabled incr/set are no-ops" 0 (Obs.Counter.get c);
+  Alcotest.(check int) "disabled observe is a no-op" 0 (Obs.Histogram.count h);
+  Obs.Counter.incr c;
+  Alcotest.(check int) "recording resumes after restore" 1 (Obs.Counter.get c)
+
+let test_bucket_index_edges () =
+  let cases =
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9); (1024, 10); (1025, 10) ]
+  in
+  List.iter
+    (fun (sample, bucket) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket_index %d" sample)
+        bucket
+        (Obs.Histogram.bucket_index sample))
+    cases;
+  Alcotest.(check int) "bucket 0 starts at 0" 0 (Obs.Histogram.bucket_lower_bound 0);
+  Alcotest.(check int) "bucket 5 starts at 32" 32 (Obs.Histogram.bucket_lower_bound 5)
+
+let test_histogram_stats () =
+  let r = fresh "hist" in
+  let h = Obs.Registry.histogram r "cycles" in
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.001)) "empty mean" 0.0 (Obs.Histogram.mean h);
+  List.iter (Obs.Histogram.observe h) [ 3; 5; 100; 100; 7 ];
+  Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+  Alcotest.(check int) "sum" 215 (Obs.Histogram.sum h);
+  Alcotest.(check (float 0.001)) "mean" 43.0 (Obs.Histogram.mean h);
+  Alcotest.(check int) "min" 3 (Obs.Histogram.min_value h);
+  Alcotest.(check int) "max" 100 (Obs.Histogram.max_value h);
+  (* 3 lands in bucket 1 [2,3]; 5 and 7 in bucket 2 [4,7]; the two
+     100s in bucket 6 [64,127]. *)
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (2, 1); (4, 2); (64, 2) ] (Obs.Histogram.buckets h);
+  (* Median sits in bucket 2, whose upper bound is 7. *)
+  Alcotest.(check int) "p50 bucket upper bound" 7 (Obs.Histogram.quantile h 0.5);
+  Alcotest.(check int) "p100 clamps to observed max" 100 (Obs.Histogram.quantile h 1.0)
+
+let test_span () =
+  let r = fresh "spans" in
+  let s = Obs.Registry.span r "dispatch" in
+  Obs.Span.enter s;
+  Obs.Span.enter s;
+  Alcotest.(check int) "live tracks nesting" 2 (Obs.Span.live s);
+  Obs.Span.leave s ~cycles:10;
+  Obs.Span.leave s ~cycles:30;
+  Obs.Span.record s ~cycles:20;
+  Alcotest.(check int) "live back to 0" 0 (Obs.Span.live s);
+  Alcotest.(check int) "entries" 3 (Obs.Span.entries s);
+  Alcotest.(check int) "max depth" 2 (Obs.Span.max_depth s);
+  Alcotest.(check int) "cycles histogram fed" 60 (Obs.Histogram.sum (Obs.Span.cycles s))
+
+let test_registry_reset () =
+  let r = fresh "reset" in
+  let c = Obs.Registry.counter r "c" in
+  let h = Obs.Registry.histogram r "h" in
+  Obs.Counter.incr c ~by:9;
+  Obs.Histogram.observe h 9;
+  Obs.Registry.reset r;
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Counter.get c);
+  Alcotest.(check int) "histogram zeroed" 0 (Obs.Histogram.count h);
+  Alcotest.(check (list (pair string int))) "still registered" [ ("c", 0) ] (Obs.Registry.counters r)
+
+let test_snapshot_capture_and_diff () =
+  let r = fresh "snap" in
+  let c = Obs.Registry.counter r "gate.calls" in
+  Obs.Counter.incr c ~by:3;
+  let before = Obs.Snapshot.capture ~registry:r () in
+  Obs.Counter.incr c ~by:4;
+  Obs.Histogram.observe (Obs.Registry.histogram r "lat") 12;
+  let after = Obs.Snapshot.capture ~registry:r () in
+  Alcotest.(check (list (pair string int)))
+    "capture reads counters" [ ("gate.calls", 7) ] after.Obs.Snapshot.counters;
+  let d = Obs.Snapshot.diff ~before ~after in
+  Alcotest.(check (list (pair string int)))
+    "diff attributes only the delta" [ ("gate.calls", 4) ] d.Obs.Snapshot.counters;
+  (match d.Obs.Snapshot.histograms with
+  | [ ("lat", hd) ] ->
+      Alcotest.(check int) "diffed histogram count" 1 hd.Obs.Snapshot.count;
+      Alcotest.(check int) "diffed histogram sum" 12 hd.Obs.Snapshot.sum
+  | _ -> Alcotest.fail "expected one diffed histogram");
+  Alcotest.(check bool) "after is not empty" false (Obs.Snapshot.is_empty after);
+  Alcotest.(check bool) "self-diff is empty" true
+    (Obs.Snapshot.is_empty (Obs.Snapshot.diff ~before:after ~after))
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_snapshot_text () =
+  let r = fresh "text" in
+  Alcotest.(check bool) "empty snapshot says so" true
+    (contains ~needle:"no recorded activity"
+       (Obs.Snapshot.to_text (Obs.Snapshot.capture ~registry:r ())));
+  Obs.Counter.incr (Obs.Registry.counter r "gate.calls") ~by:21;
+  Obs.Span.record (Obs.Registry.span r "gate.dispatch") ~cycles:34;
+  let text = Obs.Snapshot.to_text (Obs.Snapshot.capture ~registry:r ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("text mentions " ^ needle) true (contains ~needle text))
+    [ "gate.calls"; "21"; "gate.dispatch"; "counters"; "spans" ]
+
+let test_snapshot_json () =
+  let r = fresh "json" in
+  Obs.Counter.incr (Obs.Registry.counter r "a\"b") ~by:2;
+  Obs.Histogram.observe (Obs.Registry.histogram r "h") 5;
+  let json = Obs.Snapshot.to_json (Obs.Snapshot.capture ~registry:r ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json mentions " ^ needle) true (contains ~needle json))
+    [
+      "\"registry\":\"json\"";
+      "\"counters\"";
+      "\"a\\\"b\":2";
+      "\"histograms\"";
+      "\"count\":1";
+      "\"buckets\":[{\"ge\":4,\"count\":1}]";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "counter memoized by name" `Quick test_counter_memoized;
+    Alcotest.test_case "disabled recording is inert" `Quick test_disabled_is_inert;
+    Alcotest.test_case "histogram bucket index edges" `Quick test_bucket_index_edges;
+    Alcotest.test_case "histogram statistics" `Quick test_histogram_stats;
+    Alcotest.test_case "span nesting and cycles" `Quick test_span;
+    Alcotest.test_case "registry reset" `Quick test_registry_reset;
+    Alcotest.test_case "snapshot capture and diff" `Quick test_snapshot_capture_and_diff;
+    Alcotest.test_case "snapshot text rendering" `Quick test_snapshot_text;
+    Alcotest.test_case "snapshot json rendering" `Quick test_snapshot_json;
+  ]
