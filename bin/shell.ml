@@ -57,7 +57,13 @@ let cmd_help () =
     \  write PATH OFFSET VALUE | read PATH OFFSET | status PATH NAME\n\
     \  acl PATH PATTERN MODE   (e.g. acl >udd>Dev>A>x '*.Dev.*' r)\n\
     \  quota PATH PAGES | bind NAME PATH | lookup NAME\n\
-    \  stats [json|reset]      live kernel counters (gates, VM, IPC, policy)\n\
+    \  stats [json|reset]      live kernel counters (gates, VM, IPC, fault.*, salvage.*,\n\
+    \                          backup.* — tape errors included when a backup daemon ran)\n\
+    \  fault plan SEED SPEC    install a fault plan, e.g. fault plan 7 gate.deny=every:5\n\
+    \  fault status            active plan + injector counters\n\
+    \  fault clear             remove the active plan\n\
+    \  salvage                 roll back aborted creates, drop dangling KST entries,\n\
+    \                          re-derive descriptors from the access records\n\
     \  help | exit"
 
 let cmd_adduser shell args =
@@ -261,6 +267,44 @@ let cmd_stats subcommand =
       say "observability counters reset"
   | Some other -> say "stats: unknown subcommand %S (try: stats | stats json | stats reset)" other
 
+(* The fault/salvage operator actions go through the typed dispatch
+   surface directly — same mediation, audit and metering as every
+   other gate call. *)
+let cmd_fault shell args =
+  require_login shell (fun handle ->
+      let dispatch what request k =
+        match on_api shell what (Api.Call.dispatch shell.system ~handle request) with
+        | Some reply -> k reply
+        | None -> ()
+      in
+      match args with
+      | [ "plan"; seed; spec ] -> (
+          match int_of_string_opt seed with
+          | None -> say "fault plan: seed not a number: %s" seed
+          | Some seed ->
+              dispatch "fault plan" (Api.Call.Set_fault_plan { seed; spec }) (function
+                | Api.Call.Done -> say "fault plan installed: %s (seed %d)" spec seed
+                | _ -> ()))
+      | [ "status" ] ->
+          dispatch "fault status" Api.Call.Fault_status (function
+            | Api.Call.Fault_report { plan; counts } ->
+                say "plan: %s" plan;
+                List.iter (fun (name, v) -> say "  %-28s %d" name v) counts
+            | _ -> ())
+      | [ "clear" ] ->
+          dispatch "fault clear" Api.Call.Clear_faults (function
+            | Api.Call.Done -> say "fault plan cleared"
+            | _ -> ())
+      | _ -> say "usage: fault plan SEED SPEC | fault status | fault clear")
+
+let cmd_salvage shell =
+  require_login shell (fun handle ->
+      match
+        on_api shell "salvage" (Api.Call.dispatch shell.system ~handle Api.Call.Salvage)
+      with
+      | Some (Api.Call.Salvaged report) -> say "%s" (Salvager.render report)
+      | Some _ | None -> ())
+
 let cmd_audit shell n =
   let records = Audit_log.records (System.audit shell.system) in
   let tail =
@@ -296,6 +340,8 @@ let execute shell line =
   | [ "quota"; path; pages ] -> int_arg "pages" pages (fun n -> cmd_quota shell path n)
   | [ "bind"; name; path ] -> cmd_bind shell name path
   | [ "lookup"; name ] -> cmd_lookup shell name
+  | "fault" :: args -> cmd_fault shell args
+  | [ "salvage" ] -> cmd_salvage shell
   | [ "gates" ] -> cmd_gates shell
   | [ "stats" ] -> cmd_stats None
   | [ "stats"; sub ] -> cmd_stats (Some sub)

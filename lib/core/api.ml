@@ -48,6 +48,8 @@ type error =
   | Device_not_attached of string
   | Not_in_subsystem
   | Not_authorized of string
+  | Fault_injected of { site : string; operation : string }
+  | Bad_fault_plan of string
 
 (* ----- Structured error rendering -----
 
@@ -69,6 +71,9 @@ let pp ppf = function
   | Device_not_attached device -> Fmt.pf ppf "device %s not attached" device
   | Not_in_subsystem -> Fmt.string ppf "not executing in a protected subsystem"
   | Not_authorized what -> Fmt.pf ppf "not authorized: %s" what
+  | Fault_injected { site; operation } ->
+      Fmt.pf ppf "injected fault at %s aborted %s" site operation
+  | Bad_fault_plan detail -> Fmt.pf ppf "bad fault plan: %s" detail
 
 let error_to_string e = Fmt.str "%a" pp e
 
@@ -106,6 +111,9 @@ let error_to_json e =
   | Device_not_attached device -> kind "device-not-attached" [ ("device", json_str device) ]
   | Not_in_subsystem -> kind "not-in-subsystem" []
   | Not_authorized what -> kind "not-authorized" [ ("detail", json_str what) ]
+  | Fault_injected { site; operation } ->
+      kind "fault-injected" [ ("site", json_str site); ("operation", json_str operation) ]
+  | Bad_fault_plan detail -> kind "bad-fault-plan" [ ("detail", json_str detail) ]
 
 let ( let* ) r f = Result.bind r f
 
@@ -180,7 +188,14 @@ let gate_check system (p : System.proc) ~gate =
 
 (* Wrap one gate call: locate the process, enforce the gate
    discipline, run the body, and write the audit and observability
-   records. *)
+   records.
+
+   Fault injection hooks into this choke point on the refusing side
+   only: an injected [Gate_deny] turns the call away before the body
+   runs (a clean refusal, audited like any other), and the mutating
+   dispatch arms consult [Gate_abort] after their hierarchy update
+   (a mid-dispatch crash, leaving partial state for the salvager).
+   Neither path can widen what the reference monitor granted. *)
 let call system ~handle ~gate ~target body =
   match System.proc system handle with
   | None ->
@@ -195,7 +210,11 @@ let call system ~handle ~gate ~target body =
           meter system ~operation:gate ~refused:true;
           Error e
       | Ok () ->
-          let result = body p subject in
+          let result =
+            if System.fault_fires system Multics_fault.Fault.Gate_deny then
+              Error (Fault_injected { site = "gate.deny"; operation = gate })
+            else body p subject
+          in
           let verdict =
             match result with
             | Ok _ -> Audit_log.Granted
@@ -204,6 +223,44 @@ let call system ~handle ~gate ~target body =
           Audit_log.log (System.audit system) ~subject ~operation:gate ~target ~verdict;
           meter system ~operation:gate ~refused:(Result.is_error result);
           result)
+
+(* Consulted by the mutating dispatch arms right after their hierarchy
+   update succeeded: an injected abort records what the kernel knew in
+   the crash journal and fails the call — the caller never learns the
+   object exists, and the salvager later rolls the orphan back. *)
+let abort_after_mutation system ~handle ~operation ?dir ?entry_name () =
+  if System.fault_fires system Multics_fault.Fault.Gate_abort then begin
+    System.journal_crash system ~handle ~operation ?dir ?entry_name ();
+    Error (Fault_injected { site = "gate.abort"; operation })
+  end
+  else Ok ()
+
+(* Device transients: each fired fault costs one backoff period on the
+   system clock (doubled per retry); three consecutive failures give
+   the operation up with a typed refusal. *)
+let device_transient_attempts = 3
+
+let device_transient_guard system ~device ~operation =
+  match System.faults system with
+  | None -> Ok ()
+  | Some inj ->
+      let site = Multics_fault.Fault.Device_transient in
+      let base = Multics_io.Device.service_cycles device in
+      let rec attempt i =
+        if not (Multics_fault.Fault.Injector.fire inj site) then Ok ()
+        else begin
+          Clock.advance (System.clock system) (base * (1 lsl (i - 1)));
+          if i >= device_transient_attempts then begin
+            Multics_fault.Fault.Injector.count_giveup inj site;
+            Error (Fault_injected { site = Multics_fault.Fault.site_name site; operation })
+          end
+          else begin
+            Multics_fault.Fault.Injector.count_retry inj site;
+            attempt (i + 1)
+          end
+        end
+      in
+      attempt 1
 
 let uid_of_segno (p : System.proc) segno = kst_result (Kst.uid_of_segno p.System.kst segno)
 
@@ -346,6 +403,11 @@ module Call = struct
     | Proc_info
     | List_processes
     | Operator_message of { message : string }
+    (* fault injection and salvage (operator/hardware surface) *)
+    | Set_fault_plan of { seed : int; spec : string }
+    | Fault_status
+    | Clear_faults
+    | Salvage
 
   type reply =
     | Done
@@ -362,6 +424,8 @@ module Call = struct
     | Process of int
     | Processes of int list
     | Info of process_info
+    | Fault_report of { plan : string; counts : (string * int) list }
+    | Salvaged of Salvager.report
 
   type response = (reply, error) result
 
@@ -414,6 +478,10 @@ module Call = struct
     | Proc_info -> "proc_info"
     | List_processes -> "list_processes"
     | Operator_message _ -> "operator_message"
+    | Set_fault_plan _ -> "fault_control"
+    | Fault_status -> "fault_status"
+    | Clear_faults -> "fault_clear"
+    | Salvage -> "salvage"
 
   let dispatch system ~handle (request : request) : response =
     match request with
@@ -437,6 +505,10 @@ module Call = struct
                 (Hierarchy.create_segment ?brackets (System.hierarchy system) ~subject ~dir
                    ~name ~acl ~label)
             in
+            let* () =
+              abort_after_mutation system ~handle ~operation:"create_segment" ~dir
+                ~entry_name:name ()
+            in
             Ok (Segno (System.install_known system p ~uid)))
     | Create_directory { dir_segno; name; acl; label } ->
         call system ~handle ~gate:"create_directory" ~target:name (fun p subject ->
@@ -445,6 +517,10 @@ module Call = struct
               fs_result
                 (Hierarchy.create_directory (System.hierarchy system) ~subject ~dir ~name ~acl
                    ~label)
+            in
+            let* () =
+              abort_after_mutation system ~handle ~operation:"create_directory" ~dir
+                ~entry_name:name ()
             in
             Ok (Segno (System.install_known system p ~uid)))
     | Delete_entry { dir_segno; name } ->
@@ -556,6 +632,10 @@ module Call = struct
             let* uid =
               fs_result (Hierarchy.create_segment ?brackets hierarchy ~subject ~dir ~name ~acl ~label)
             in
+            let* () =
+              abort_after_mutation system ~handle ~operation:"create_segment_by_path" ~dir
+                ~entry_name:name ()
+            in
             let segno = System.install_known system p ~uid in
             let* () = kst_result (Kst.record_pathname p.System.kst segno path) in
             Ok (Segno segno))
@@ -566,6 +646,10 @@ module Call = struct
             let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
             let* uid =
               fs_result (Hierarchy.create_directory hierarchy ~subject ~dir ~name ~acl ~label)
+            in
+            let* () =
+              abort_after_mutation system ~handle ~operation:"create_directory_by_path" ~dir
+                ~entry_name:name ()
             in
             Ok (Segno (System.install_known system p ~uid)))
     | Delete_by_path { path } ->
@@ -738,6 +822,7 @@ module Call = struct
         let dev = Multics_io.Device.name device in
         call system ~handle ~gate:(io_gate_for system device "io") ~target:dev
           (fun _p _subject ->
+            let* () = device_transient_guard system ~device ~operation:"device_write" in
             match Hashtbl.find_opt (System.io_buffers system) dev with
             | None -> Error (Device_not_attached dev)
             | Some (Multics_io.Network.Circular buffer) ->
@@ -750,6 +835,7 @@ module Call = struct
         let dev = Multics_io.Device.name device in
         call system ~handle ~gate:(io_gate_for system device "io") ~target:dev
           (fun _p _subject ->
+            let* () = device_transient_guard system ~device ~operation:"device_read" in
             match Hashtbl.find_opt (System.io_buffers system) dev with
             | None -> Error (Device_not_attached dev)
             | Some (Multics_io.Network.Circular buffer) ->
@@ -794,6 +880,40 @@ module Call = struct
     | Operator_message { message } ->
         login_gate_or_unified system ~handle ~gate:"operator_message" ~target:message
           (fun _p _subject -> Ok Done)
+    (* ----- Fault injection and salvage -----
+
+       Operator actions, present in every configuration (like the
+       hardware gate calls), still audited and metered.  Installing a
+       plan can only make the system slower or more refusing; salvage
+       can only remove state or re-derive descriptors — so neither
+       needs a supervisor gate of its own to stay fail-secure. *)
+    | Set_fault_plan { seed; spec } ->
+        call_hardware system ~handle ~operation:"fault_control" ~target:spec (fun _p ->
+            match Multics_fault.Fault.Plan.parse ~seed spec with
+            | Error detail -> Error (Bad_fault_plan detail)
+            | Ok plan ->
+                System.set_faults system
+                  (if Multics_fault.Fault.Plan.is_empty plan then None
+                   else Some (Multics_fault.Fault.Injector.create plan));
+                Ok Done)
+    | Fault_status ->
+        call_hardware system ~handle ~operation:"fault_status" ~target:"faults" (fun _p ->
+            match System.faults system with
+            | None -> Ok (Fault_report { plan = "none"; counts = [] })
+            | Some inj ->
+                Ok
+                  (Fault_report
+                     {
+                       plan = Multics_fault.Fault.Plan.to_string (Multics_fault.Fault.Injector.plan inj);
+                       counts = Multics_fault.Fault.Injector.counts inj;
+                     }))
+    | Clear_faults ->
+        call_hardware system ~handle ~operation:"fault_clear" ~target:"faults" (fun _p ->
+            System.set_faults system None;
+            Ok Done)
+    | Salvage ->
+        call_hardware system ~handle ~operation:"salvage" ~target:"hierarchy" (fun _p ->
+            Ok (Salvaged (Salvager.run system)))
 end
 
 (* ----- Legacy per-gate functions: thin wrappers over [Call.dispatch] -----
@@ -1026,3 +1146,23 @@ let list_processes system ~handle =
 
 let operator_message system ~handle ~message =
   expect_done "operator_message" (Call.dispatch system ~handle (Call.Operator_message { message }))
+
+(* ----- Fault injection and salvage ----- *)
+
+let set_fault_plan system ~handle ~seed ~spec =
+  expect_done "set_fault_plan" (Call.dispatch system ~handle (Call.Set_fault_plan { seed; spec }))
+
+let fault_status system ~handle =
+  match Call.dispatch system ~handle Call.Fault_status with
+  | Ok (Call.Fault_report { plan; counts }) -> Ok (plan, counts)
+  | Error e -> Error e
+  | Ok _ -> mismatch "fault_status"
+
+let clear_faults system ~handle =
+  expect_done "clear_faults" (Call.dispatch system ~handle Call.Clear_faults)
+
+let salvage system ~handle =
+  match Call.dispatch system ~handle Call.Salvage with
+  | Ok (Call.Salvaged report) -> Ok report
+  | Error e -> Error e
+  | Ok _ -> mismatch "salvage"

@@ -22,6 +22,10 @@ type error =
   | Device_not_attached of string
   | Not_in_subsystem
   | Not_authorized of string
+  | Fault_injected of { site : string; operation : string }
+      (** an injected fault denied, aborted, or gave up on the call —
+          always a refusal, never a grant *)
+  | Bad_fault_plan of string
 
 val error_to_string : error -> string
 
@@ -231,6 +235,28 @@ val list_processes : System.t -> handle:int -> (int list, error) result
 val operator_message : System.t -> handle:int -> message:string -> (unit, error) result
 (** Record a message for the operator (audited). *)
 
+(** {1 Fault injection and salvage}
+
+    Operator actions, present in every configuration (like the
+    hardware gate calls) and still audited and metered.  A plan can
+    only make the system slower or more refusing; salvage only removes
+    state or re-derives descriptors from policy. *)
+
+val set_fault_plan :
+  System.t -> handle:int -> seed:int -> spec:string -> (unit, error) result
+(** Parse and install a fault plan
+    (e.g. ["gate.deny=every:5,vm.page_read=p:1/8"]); an empty spec
+    clears it. *)
+
+val fault_status :
+  System.t -> handle:int -> (string * (string * int) list, error) result
+(** The active plan rendered as a spec string (["none"] if no plan)
+    and the injector's counters. *)
+
+val clear_faults : System.t -> handle:int -> (unit, error) result
+
+val salvage : System.t -> handle:int -> (Salvager.report, error) result
+
 (** {1 The typed gate-call surface}
 
     One request constructor per supervisor entry point; {!Call.dispatch}
@@ -297,6 +323,10 @@ module Call : sig
     | Proc_info
     | List_processes
     | Operator_message of { message : string }
+    | Set_fault_plan of { seed : int; spec : string }
+    | Fault_status
+    | Clear_faults
+    | Salvage
 
   type reply =
     | Done
@@ -313,6 +343,8 @@ module Call : sig
     | Process of int
     | Processes of int list
     | Info of process_info
+    | Fault_report of { plan : string; counts : (string * int) list }
+    | Salvaged of Salvager.report
 
   type response = (reply, error) result
 

@@ -1,0 +1,22 @@
+(** The salvager: restore hierarchy/KST/descriptor consistency after a
+    crash, using the {!System} crash journal as evidence.  Every
+    repair removes state or re-derives a descriptor from the
+    authoritative access records — a salvage can revoke, never grant. *)
+
+type report = {
+  journal_entries : int;  (** crash-journal entries consumed *)
+  rolled_back : int;  (** partially-created branches removed *)
+  dangling_dropped : int;  (** KST entries for vanished objects *)
+  descriptors_repaired : int;  (** installed SDWs that disagreed with policy *)
+  quota_ok : bool;  (** hierarchy quota invariant after salvage *)
+}
+
+val render : report -> string
+
+val run : System.t -> report
+(** Walk the crash journal (rolling back partially-created branches),
+    every process's KST (dropping entries for vanished objects), and
+    every installed descriptor (recomputing it from ACL x label x
+    brackets and repairing disagreements); verify the quota invariant;
+    clear the journal; write one audit record and the [salvage.*]
+    observability counters. *)

@@ -41,6 +41,19 @@ type proc = {
       (** entered protected subsystems: (name, ring to restore) *)
 }
 
+(* What the kernel managed to note before an injected gate abort: the
+   crash journal is deliberately minimal — operation, caller, and
+   (when the operation was mutating the hierarchy) where — because a
+   real crash preserves no more.  The salvager reconciles it against
+   the hierarchy afterwards. *)
+type journal_entry = {
+  time : int;  (** system clock at the abort *)
+  handle : int;
+  operation : string;
+  dir : Uid.t option;  (** directory holding the partially-made entry *)
+  entry_name : string option;
+}
+
 type t = {
   config : Config.t;
   cost : Cost.t;
@@ -58,6 +71,9 @@ type t = {
   mutable lib_dir : Uid.t;
   mutable udd_dir : Uid.t;
   mutable pdd_dir : Uid.t;
+  clock : Clock.t;  (** system-level time: device retries, journal stamps *)
+  mutable faults : Multics_fault.Fault.Injector.t option;
+  mutable crash_journal : journal_entry list;  (** reversed *)
 }
 
 let initializer_principal = Principal.system_daemon
@@ -82,6 +98,25 @@ let lib_dir t = t.lib_dir
 let udd_dir t = t.udd_dir
 let pdd_dir t = t.pdd_dir
 let io_buffers t = t.io_buffers
+let clock t = t.clock
+
+(* ----- Fault injection and the crash journal ----- *)
+
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+
+let fault_fires t site =
+  match t.faults with
+  | None -> false
+  | Some inj -> Multics_fault.Fault.Injector.fire inj site
+
+let journal_crash t ~handle ~operation ?dir ?entry_name () =
+  t.crash_journal <-
+    { time = Clock.now t.clock; handle; operation; dir; entry_name } :: t.crash_journal
+
+let crash_journal t = List.rev t.crash_journal
+
+let clear_crash_journal t = t.crash_journal <- []
 
 let fail_boot what = function
   | Ok v -> v
@@ -113,6 +148,9 @@ let create config =
       lib_dir = Uid.root;
       udd_dir = Uid.root;
       pdd_dir = Uid.root;
+      clock = Clock.create ();
+      faults = None;
+      crash_journal = [];
     }
   in
   let sys_acl = Acl.of_strings [ ("Initializer.*.*", "rew"); ("*.*.*", "r") ] in

@@ -44,6 +44,40 @@ val lib_dir : t -> Uid.t
 val udd_dir : t -> Uid.t
 val io_buffers : t -> (string, Multics_io.Network.strategy) Hashtbl.t
 
+val clock : t -> Clock.t
+(** System-level time: device retry backoffs and crash-journal stamps
+    are charged here. *)
+
+(** {1 Fault injection and the crash journal} *)
+
+val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
+(** Install (or clear) the active fault injector.  Fault decisions are
+    computed entirely outside the reference monitor: an injected fault
+    can add cost or force a refusal/abort, never widen access. *)
+
+val faults : t -> Multics_fault.Fault.Injector.t option
+
+val fault_fires : t -> Multics_fault.Fault.site -> bool
+(** Consult the active plan at a site (false when no plan). *)
+
+type journal_entry = {
+  time : int;
+  handle : int;
+  operation : string;
+  dir : Uid.t option;  (** directory holding the partially-made entry *)
+  entry_name : string option;
+}
+
+val journal_crash :
+  t -> handle:int -> operation:string -> ?dir:Uid.t -> ?entry_name:string -> unit -> unit
+(** Record what the kernel knew when an injected abort tore down an
+    operation mid-flight; consumed by the salvager. *)
+
+val crash_journal : t -> journal_entry list
+(** Oldest first. *)
+
+val clear_crash_journal : t -> unit
+
 val initializer_subject : Policy.subject
 (** The system administrator/daemon identity, system-high. *)
 

@@ -96,6 +96,12 @@ let all =
       render = E14_certification.render;
     };
     {
+      id = E15_fail_secure.id;
+      title = E15_fail_secure.title;
+      paper_claim = E15_fail_secure.paper_claim;
+      render = E15_fail_secure.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

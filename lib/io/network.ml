@@ -56,16 +56,58 @@ let default_workload =
     consume_cycles = 700;
   }
 
+(* A transient arrival error defers the message; retries back off
+   exponentially from this base and deliver unconditionally once the
+   retry budget is spent — transients delay, they never lose. *)
+let transient_backoff_cycles = 2_500
+
+let transient_retry_cap = 3
+
 (* Drive one strategy through the workload on its own simulator.
-   Returns delivery statistics. *)
-let run ?(seed = 1975) ?(workload = default_workload) strategy =
+   Returns delivery statistics.
+
+   [prng] (when given) overrides [seed] so the caller can hand this
+   workload a stream split from a master generator — the fault engine
+   and the traffic generator then compose under one seed instead of
+   colliding.  [faults] injects [Net_transient] arrival errors and
+   [Consumer_stall]s from a deterministic plan. *)
+let run ?(seed = 1975) ?prng ?faults ?(workload = default_workload) strategy =
   let sim = Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:2 in
-  let prng = Multics_util.Prng.create ~seed in
+  let prng =
+    match prng with Some prng -> prng | None -> Multics_util.Prng.create ~seed
+  in
   let data_ready = Sim.new_channel sim ~name:"net.data" in
   let offered = ref 0 in
   let received = ref [] in
   let peak = ref 0 in
-  (* Arrival side: interrupt-level writes into the buffer. *)
+  let fire site =
+    match faults with
+    | None -> false
+    | Some inj -> Multics_fault.Fault.Injector.fire inj site
+  in
+  let deliver message =
+    write_message strategy message;
+    (let occupancy =
+       match strategy with
+       | Circular buffer -> Circular_buffer.occupancy buffer
+       | Infinite buffer -> Infinite_buffer.occupancy buffer
+     in
+     if occupancy > !peak then peak := occupancy);
+    Sim.wakeup sim data_ready
+  in
+  (* Arrival side: interrupt-level writes into the buffer; a transient
+     error re-schedules the write with exponential backoff. *)
+  let rec arrive ~attempt message =
+    if attempt < transient_retry_cap && fire Multics_fault.Fault.Net_transient then begin
+      (match faults with
+      | Some inj -> Multics_fault.Fault.Injector.count_retry inj Multics_fault.Fault.Net_transient
+      | None -> ());
+      Sim.at sim
+        ~delay:(transient_backoff_cycles * (1 lsl attempt))
+        (fun () -> arrive ~attempt:(attempt + 1) message)
+    end
+    else deliver message
+  in
   let time = ref 0 in
   for _ = 1 to workload.bursts do
     let burst_len =
@@ -77,19 +119,13 @@ let run ?(seed = 1975) ?(workload = default_workload) strategy =
       Sim.at sim ~delay:arrival_time (fun () ->
           let message = !offered in
           incr offered;
-          write_message strategy message;
-          (let occupancy =
-             match strategy with
-             | Circular buffer -> Circular_buffer.occupancy buffer
-             | Infinite buffer -> Infinite_buffer.occupancy buffer
-           in
-           if occupancy > !peak then peak := occupancy);
-          Sim.wakeup sim data_ready)
+          arrive ~attempt:0 message)
     done;
     time := !time + workload.burst_gap
   done;
   (* Consumer process: block for data, drain one message per service
-     period. *)
+     period; an injected stall parks it for several service periods
+     mid-drain (input keeps arriving — the circular ring laps). *)
   ignore
     (Sim.spawn sim ~name:"net.consumer" (fun _ ->
          let rec serve () =
@@ -98,6 +134,8 @@ let run ?(seed = 1975) ?(workload = default_workload) strategy =
              match read_message strategy with
              | None -> ()
              | Some message ->
+                 if fire Multics_fault.Fault.Consumer_stall then
+                   Sim.compute (8 * workload.consume_cycles);
                  Sim.compute workload.consume_cycles;
                  received := message :: !received;
                  drain ()

@@ -27,5 +27,16 @@ type workload = {
 
 val default_workload : workload
 
-val run : ?seed:int -> ?workload:workload -> strategy -> result
-(** Deterministic for a given seed and workload. *)
+val run :
+  ?seed:int ->
+  ?prng:Multics_util.Prng.t ->
+  ?faults:Multics_fault.Fault.Injector.t ->
+  ?workload:workload ->
+  strategy ->
+  result
+(** Deterministic for a given seed (or caller-supplied [prng] stream,
+    which overrides [seed] so workload and fault-plan seeds compose)
+    and workload.  [faults] injects [Net_transient] arrival errors
+    (retried with exponential backoff, then delivered — transients
+    delay, never lose) and [Consumer_stall]s (the consumer parks for
+    several service periods mid-drain). *)

@@ -76,8 +76,14 @@ type t = {
   mutable next_chan : int;
   mutable trace : (int * string) list;  (** reversed *)
   mutable trace_enabled : bool;
+  mutable faults : Multics_fault.Fault.Injector.t option;
   counters : Multics_util.Stats.Counters.t;
 }
+
+exception Process_crashed
+(* An injected crash: delivered at a compute point, caught by the
+   process handler like any other body exception, so the victim is
+   terminated and its failure recorded — never silently continued. *)
 
 (* Effects understood by the scheduler.  The payload of [Block] also
    names the blocking process so the handler needn't look it up. *)
@@ -97,8 +103,11 @@ let create ~cost ~virtual_processors =
     next_chan = 1;
     trace = [];
     trace_enabled = false;
+    faults = None;
     counters = Multics_util.Stats.Counters.create ();
   }
+
+let set_faults t injector = t.faults <- injector
 
 let now t = Clock.now t.clock
 
@@ -313,8 +322,16 @@ let handler_for t p : (unit, unit) Effect.Deep.handler =
             Some
               (fun (k : (c, unit) Effect.Deep.continuation) ->
                 p.cycles_used <- p.cycles_used + cycles;
-                p.cont <- Some k;
-                Event_queue.push t.events ~time:(now t + cycles) (Resume p.pid))
+                match t.faults with
+                | Some inj
+                  when Multics_fault.Fault.Injector.fire inj Multics_fault.Fault.Proc_crash ->
+                    (* The crash lands at the compute point: the body
+                       sees Process_crashed, the handler records the
+                       failure and terminates the process. *)
+                    Effect.Deep.discontinue k Process_crashed
+                | _ ->
+                    p.cont <- Some k;
+                    Event_queue.push t.events ~time:(now t + cycles) (Resume p.pid))
         | Block_on chan ->
             Some
               (fun (k : (c, unit) Effect.Deep.continuation) ->

@@ -20,6 +20,14 @@ type chan
 val create : cost:Cost.t -> virtual_processors:int -> t
 (** Raises [Invalid_argument] if [virtual_processors <= 0]. *)
 
+exception Process_crashed
+(** What a process body observes when an injected [Proc_crash] fault
+    fires at one of its compute points; recorded via {!failure_of}. *)
+
+val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
+(** Install (or clear) a fault injector.  The only site the simulator
+    itself consults is [Proc_crash], checked at every [compute]. *)
+
 val now : t -> int
 (** Simulated time in cycles. *)
 

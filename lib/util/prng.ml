@@ -26,6 +26,21 @@ let split t =
   let seed = Int64.to_int (next_int64 t) in
   { state = Int64.of_int seed }
 
+(* Labeled derivation: FNV-1a over the label folded into the seed,
+   then one splitmix step to decorrelate.  Unlike [split], the derived
+   stream depends only on (seed, label) — never on how many draws other
+   subsystems made first — so per-site streams compose: the fault
+   engine and the traffic generators can share one master seed without
+   their draw orders colliding. *)
+let create_labeled ~seed ~label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  let t = { state = Int64.add (Int64.of_int seed) !h } in
+  ignore (next_int64 t);
+  t
+
 (* Masking to 62 bits keeps the result a non-negative OCaml [int] on
    64-bit platforms without biasing low bits. *)
 let next_nonneg t = Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL)

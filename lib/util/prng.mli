@@ -17,6 +17,11 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent
     generator; use one stream per subsystem. *)
 
+val create_labeled : seed:int -> label:string -> t
+(** A stream derived from [(seed, label)] alone — independent of any
+    other stream's draw order, so subsystem streams compose under one
+    master seed (the fault engine keys one stream per site this way). *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  Raises
     [Invalid_argument] if [bound <= 0]. *)

@@ -8,15 +8,51 @@ open Multics_proc
 
 type t
 
+type error = Bad_period of int | Bad_sweeps of int
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_json : error -> string
+(** Same rendering conventions as [Api.error_to_json]. *)
+
 val start :
-  ?tape_cost_per_page:int -> period:int -> sweeps:int -> Sim.t -> mem:Memory.t -> t
+  ?tape_cost_per_page:int ->
+  ?faults:Multics_fault.Fault.Injector.t ->
+  period:int ->
+  sweeps:int ->
+  Sim.t ->
+  mem:Memory.t ->
+  (t, error) result
 (** Spawn the daemon on a dedicated virtual processor and schedule
-    [sweeps] period wakeups.  Raises [Invalid_argument] on a
-    non-positive period or sweep count. *)
+    [sweeps] period wakeups.  Returns [Error] on a non-positive
+    period or sweep count.  [faults] injects [Backup_tape] write
+    errors: each retry doubles the tape cost, and after three failed
+    attempts the page is given up on and stays dirty (still
+    vulnerable) for the next sweep. *)
+
+val start_exn :
+  ?tape_cost_per_page:int ->
+  ?faults:Multics_fault.Fault.Injector.t ->
+  period:int ->
+  sweeps:int ->
+  Sim.t ->
+  mem:Memory.t ->
+  t
+(** [start], raising [Invalid_argument] on bad parameters — for
+    callers that have already validated them. *)
+
+val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
 
 val pid : t -> Sim.pid option
 val sweeps_done : t -> int
 val pages_backed_up : t -> int
+
+val tape_errors : t -> int
+(** Injected tape write errors observed (also [backup.tape_errors] in
+    the obs registry). *)
+
+val tape_giveups : t -> int
+(** Pages abandoned after exhausting the retry budget in one sweep. *)
 
 val sweep_trace : t -> (int * int) list
 (** (completion time, pages backed up) per sweep. *)

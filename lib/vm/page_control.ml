@@ -75,8 +75,24 @@ type t = {
   mutable faults : fault_record list;  (** reversed *)
   mutable core_freer_pid : Sim.pid option;
   mutable bulk_freer_pid : Sim.pid option;
+  mutable fault_inj : Multics_fault.Fault.Injector.t option;
   counters : Multics_util.Stats.Counters.t;
 }
+
+(* Injected storage faults follow one fail-secure rule: a fault costs a
+   wasted device attempt (charged to whoever runs the step) and is then
+   retried unconditionally — the retry never re-consults the plan, so
+   an every:1 schedule slows the system down but cannot livelock it,
+   and no fault ever changes what a process is allowed to touch. *)
+let fire t site =
+  match t.fault_inj with
+  | None -> false
+  | Some inj -> Multics_fault.Fault.Injector.fire inj site
+
+let note_retry t site =
+  match t.fault_inj with
+  | None -> ()
+  | Some inj -> Multics_fault.Fault.Injector.count_retry inj site
 
 (* ----- Victim selection (mechanism) ----- *)
 
@@ -110,7 +126,7 @@ let default_policy t : victim_policy =
     sweep 0
   end
 
-let create ?(core_target = 2) ?(bulk_target = 2) ?(zero_fill_cycles = 300) sim ~mem ~discipline =
+let create ?(core_target = 2) ?(bulk_target = 2) ?(zero_fill_cycles = 300) ?faults sim ~mem ~discipline =
   let t =
     {
       sim;
@@ -128,6 +144,7 @@ let create ?(core_target = 2) ?(bulk_target = 2) ?(zero_fill_cycles = 300) sim ~
       faults = [];
       core_freer_pid = None;
       bulk_freer_pid = None;
+      fault_inj = faults;
       counters = Multics_util.Stats.Counters.create ();
     }
   in
@@ -135,6 +152,8 @@ let create ?(core_target = 2) ?(bulk_target = 2) ?(zero_fill_cycles = 300) sim ~
   t
 
 let set_victim_policy t policy = t.victim_policy <- policy
+
+let set_faults t faults = t.fault_inj <- faults
 
 let counters t = t.counters
 
@@ -168,6 +187,15 @@ let push_bulk_page_to_disk t =
       | Ok (_, cost) ->
           Multics_util.Stats.Counters.incr t.counters "bulk_to_disk";
           Obs.Counter.incr obs_bulk_to_disk;
+          (* Write parity error on the disk copy: the page is written
+             again; the first (bad) attempt is pure wasted cost. *)
+          let cost =
+            if fire t Multics_fault.Fault.Page_write then begin
+              note_retry t Multics_fault.Fault.Page_write;
+              2 * cost
+            end
+            else cost
+          in
           cost
       | Error _ -> 0)
 
@@ -183,6 +211,15 @@ let push_core_page_to_bulk t =
       | Ok (_, cost) ->
           Multics_util.Stats.Counters.incr t.counters "core_to_bulk";
           Obs.Counter.incr obs_core_to_bulk;
+          (* Eviction failure: the bulk-store write is lost and redone
+             once, unconditionally — retries never re-consult the plan. *)
+          let cost =
+            if fire t Multics_fault.Fault.Evict then begin
+              note_retry t Multics_fault.Fault.Evict;
+              2 * cost
+            end
+            else cost
+          in
           (cascade_cost + cost, cascade_cost > 0)
       | Error _ -> (cascade_cost, cascade_cost > 0))
 
@@ -204,6 +241,12 @@ let page_in t page =
   | Some _ -> (
       match Memory.transfer t.mem page ~dest:Level.Core with
       | Ok (_, cost) ->
+          (* Read parity error on the incoming copy: the faulting
+             process pays for the bad read, then the re-read succeeds. *)
+          if fire t Multics_fault.Fault.Page_read then begin
+            note_retry t Multics_fault.Fault.Page_read;
+            Sim.compute cost
+          end;
           Sim.compute cost;
           Multics_util.Stats.Counters.incr t.counters "page_in";
           Obs.Counter.incr obs_page_ins;

@@ -17,12 +17,21 @@ val create :
   ?core_target:int ->
   ?bulk_target:int ->
   ?zero_fill_cycles:int ->
+  ?faults:Multics_fault.Fault.Injector.t ->
   Sim.t ->
   mem:Memory.t ->
   discipline:discipline ->
   t
 (** [core_target]/[bulk_target] are the free-block watermarks the
-    dedicated processes maintain (parallel discipline only). *)
+    dedicated processes maintain (parallel discipline only).
+    [faults] injects [Page_read]/[Page_write] parity errors and
+    [Evict] failures; each costs one wasted device attempt and is
+    retried unconditionally (the retry never re-consults the plan, so
+    no schedule can livelock page control or change what is
+    accessible). *)
+
+val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
+(** Install (or clear) the fault injector after creation. *)
 
 val start : t -> unit
 (** Spawn the dedicated kernel processes (parallel discipline; no-op

@@ -21,5 +21,6 @@ let () =
       ("integration", Integration_test.suite);
       ("experiments", Experiments_test.suite);
       ("properties", Property_test.suite);
+      ("fault", Fault_test.suite);
       ("misc", Misc_test.suite);
     ]

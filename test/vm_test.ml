@@ -227,7 +227,7 @@ let test_backup_sweeps_modified_pages () =
     | Ok _ -> if i < 4 then Memory.dirty mem (page 1 i)
     | Error e -> Alcotest.fail (Memory.error_to_string e)
   done;
-  let daemon = Backup.start ~period:50_000 ~sweeps:2 sim ~mem in
+  let daemon = Backup.start_exn ~period:50_000 ~sweeps:2 sim ~mem in
   Alcotest.(check int) "four vulnerable before" 4 (List.length (Backup.vulnerable_pages daemon));
   Sim.run sim;
   Alcotest.(check int) "two sweeps ran" 2 (Backup.sweeps_done daemon);
@@ -242,7 +242,7 @@ let test_backup_catches_new_dirt () =
   (match Memory.place mem (page 2 0) ~level:Level.Core with
   | Ok _ -> Memory.dirty mem (page 2 0)
   | Error e -> Alcotest.fail (Memory.error_to_string e));
-  let daemon = Backup.start ~period:10_000 ~sweeps:3 sim ~mem in
+  let daemon = Backup.start_exn ~period:10_000 ~sweeps:3 sim ~mem in
   (* Dirty a second page between the second and third sweeps. *)
   Sim.at sim ~delay:25_000 (fun () ->
       match Memory.place mem (page 2 1) ~level:Level.Core with
@@ -256,9 +256,19 @@ let test_backup_catches_new_dirt () =
 let test_backup_rejects_bad_args () =
   let sim = Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:2 in
   let mem = Memory.create ~cost:Multics_machine.Cost.h6180 ~core:2 ~bulk:2 ~disk:4 in
-  Alcotest.(check bool) "zero period rejected" true
+  (match Backup.start ~period:0 ~sweeps:1 sim ~mem with
+  | Error (Backup.Bad_period 0) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Backup.pp_error e
+  | Ok _ -> Alcotest.fail "zero period accepted");
+  (match Backup.start ~period:10 ~sweeps:0 sim ~mem with
+  | Error (Backup.Bad_sweeps 0) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Backup.pp_error e
+  | Ok _ -> Alcotest.fail "zero sweeps accepted");
+  Alcotest.(check string) "json rendering" {|{"error":"backup_bad_period","period":0}|}
+    (Backup.error_to_json (Backup.Bad_period 0));
+  Alcotest.(check bool) "start_exn still raises" true
     (try
-       ignore (Backup.start ~period:0 ~sweeps:1 sim ~mem);
+       ignore (Backup.start_exn ~period:0 ~sweeps:1 sim ~mem);
        false
      with Invalid_argument _ -> true)
 
