@@ -49,6 +49,90 @@ let bench_hardware_check =
          Multics_machine.Hardware.check sdw ~ring:Multics_machine.Ring.user
            ~operation:(Multics_machine.Hardware.Call 3)))
 
+(* ----- E16/E4: the access-decision cache and the SDW associative
+   memory on the mediation hot path -----
+
+   [avc_hit] is the hit-heavy steady state (one warm object, checked
+   repeatedly); [avc_miss_recompute] invalidates the object's
+   generation before every check, so each iteration pays the
+   stale-drop plus the full policy recomputation and re-insert;
+   [hardware_check_assoc_hit] is the 6180-style reference with the SDW
+   already in the CAM.  The [--smoke] mode below asserts the hit path
+   beats fresh recomputation by at least 5x. *)
+
+(* The fixture models the heavy end of realistic mediation: a project
+   segment carrying a 66-entry ACL and an 18-compartment label (the
+   AIM ceiling), accessed read-write by a subject cleared at the
+   object's own level — so the fresh path pays the most-specific ACL
+   scan plus both dominance subset checks on every reference, exactly
+   the work the associative memory exists to bypass. *)
+let avc_bench_compartments =
+  [
+    "crypto"; "nuclear"; "payroll"; "sigint"; "tempest"; "comsec"; "nofor"; "orcon"; "limdis";
+    "propin"; "relido"; "imcon"; "medical"; "fiscal"; "audit"; "census"; "budget"; "treaty";
+  ]
+
+let avc_bench_hierarchy, avc_bench_uid =
+  let open Multics_access in
+  let open Multics_fs in
+  let operator =
+    Policy.subject ~trusted:true
+      ~principal:(Principal.make ~person:"Initializer" ~project:"SysDaemon" ~tag:"z")
+      ~clearance:(Label.system_high []) ~ring:(Multics_machine.Ring.of_int 1) ()
+  in
+  let people =
+    [| "Jones"; "Smith"; "Quinn"; "Marley"; "Ames"; "Ortiz"; "Patel"; "Weiss" |]
+  in
+  let acl =
+    Acl.of_strings
+      (List.init 64 (fun i ->
+           (Printf.sprintf "%s%d.Perf.*" people.(i mod Array.length people) i, "rw"))
+      @ [ ("Bench.Perf.*", "rw"); ("*.SysDaemon.*", "r") ])
+  in
+  let h = Hierarchy.create () in
+  let uid =
+    match
+      Hierarchy.create_segment h ~subject:operator ~dir:Uid.root ~name:"hot" ~acl
+        ~label:(Label.make Label.Secret avc_bench_compartments)
+    with
+    | Ok uid -> uid
+    | Error e -> failwith (Hierarchy.error_to_string e)
+  in
+  (h, uid)
+
+let avc_bench_subject =
+  Multics_access.Policy.subject
+    ~principal:(Multics_access.Principal.make ~person:"Bench" ~project:"Perf" ~tag:"a")
+    ~clearance:(Multics_access.Label.make Multics_access.Label.Secret avc_bench_compartments)
+    ~ring:(Multics_machine.Ring.of_int 4) ()
+
+let bench_avc_hit =
+  (* Warm the entry once; every measured iteration is a hit. *)
+  ignore
+    (Multics_fs.Hierarchy.check_access avc_bench_hierarchy ~subject:avc_bench_subject
+       ~uid:avc_bench_uid ~requested:Multics_machine.Mode.rw);
+  Test.make ~name:"e16/avc_hit"
+    (Staged.stage (fun () ->
+         Multics_fs.Hierarchy.check_access avc_bench_hierarchy ~subject:avc_bench_subject
+           ~uid:avc_bench_uid ~requested:Multics_machine.Mode.rw))
+
+let bench_avc_miss_recompute =
+  Test.make ~name:"e16/avc_miss_recompute"
+    (Staged.stage (fun () ->
+         Multics_fs.Hierarchy.invalidate_cached_verdicts avc_bench_hierarchy;
+         Multics_fs.Hierarchy.check_access avc_bench_hierarchy ~subject:avc_bench_subject
+           ~uid:avc_bench_uid ~requested:Multics_machine.Mode.rw))
+
+let bench_hardware_check_assoc_hit =
+  let open Multics_machine in
+  let assoc = Hardware.Assoc.create () in
+  let sdw = Sdw.make ~mode:Mode.rew ~brackets:Brackets.user_data () in
+  Hardware.Assoc.install assoc ~segno:7 sdw;
+  Test.make ~name:"e4/hardware_check_assoc_hit"
+    (Staged.stage (fun () ->
+         Hardware.check_via_assoc assoc ~segno:7 ~fetch:(fun () -> Some sdw) ~ring:Ring.user
+           ~operation:Hardware.Read))
+
 (* ----- E5: the boundary sweep ----- *)
 
 let bench_boundary_sweep =
@@ -219,6 +303,9 @@ let tests =
     bench_kst_unified;
     bench_kst_split;
     bench_hardware_check;
+    bench_avc_hit;
+    bench_avc_miss_recompute;
+    bench_hardware_check_assoc_hit;
     bench_boundary_sweep;
     bench_page_storm_sequential;
     bench_page_storm_parallel;
@@ -262,13 +349,78 @@ let print_bench_table results =
   in
   output_image (eol image)
 
+(* ----- The cache smoke gate (--smoke) -----
+
+   A fast regression check for CI: on a hit-heavy workload the cached
+   decision path must beat recomputing the verdict from scratch by at
+   least 5x, and the cache must actually be hitting.  Wall-clock
+   timed, no Bechamel machinery, exits nonzero on regression. *)
+
+let smoke_required_speedup = 5.0
+
+let time_iters n f =
+  let start = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  Unix.gettimeofday () -. start
+
+let smoke () =
+  let iters = 300_000 and trials = 5 in
+  let check () =
+    Multics_fs.Hierarchy.check_access avc_bench_hierarchy ~subject:avc_bench_subject
+      ~uid:avc_bench_uid ~requested:Multics_machine.Mode.rw
+  in
+  let fresh () =
+    Multics_fs.Hierarchy.check_access_fresh avc_bench_hierarchy ~subject:avc_bench_subject
+      ~uid:avc_bench_uid ~requested:Multics_machine.Mode.rw
+  in
+  ignore (check ());
+  (* Warm-up pass for both paths, then several paired trials; the
+     median pair rides out scheduler and frequency jitter that a
+     single measurement is exposed to on shared CI machines. *)
+  ignore (time_iters 10_000 check);
+  ignore (time_iters 10_000 fresh);
+  let pairs =
+    List.init trials (fun _ ->
+        let cached = time_iters iters check in
+        let uncached = time_iters iters fresh in
+        (cached, uncached))
+  in
+  let median xs =
+    let sorted = List.sort compare xs in
+    List.nth sorted (trials / 2)
+  in
+  let cached = median (List.map fst pairs) in
+  let uncached = median (List.map snd pairs) in
+  let speedup = uncached /. cached in
+  let hit_ratio = Multics_fs.Hierarchy.cache_hit_ratio avc_bench_hierarchy in
+  Printf.printf
+    "bench smoke: %d hit-heavy decisions — cached %.1f ns/ref, fresh %.1f ns/ref, speedup %.1fx (required >= %.0fx), hit ratio %.1f%%\n"
+    iters
+    (cached *. 1e9 /. float_of_int iters)
+    (uncached *. 1e9 /. float_of_int iters)
+    speedup smoke_required_speedup (hit_ratio *. 100.0);
+  if speedup < smoke_required_speedup then begin
+    print_endline "bench smoke: FAIL — cached decision path lost its edge over recomputation";
+    exit 1
+  end;
+  if hit_ratio < 0.99 then begin
+    print_endline "bench smoke: FAIL — hit-heavy workload is not hitting the cache";
+    exit 1
+  end;
+  print_endline "bench smoke: OK"
+
 let () =
-  print_endline "=== Bechamel micro-benchmarks (one per experiment mechanism) ===";
-  let results = benchmark () in
-  Obs.set_enabled true;
-  print_bench_table results;
-  print_newline ();
-  print_endline "=== Experiment tables (E1..E14 + ablations) ===";
-  print_newline ();
-  print_string (Multics_experiments.Registry.render_all ());
-  print_newline ()
+  if Array.exists (fun a -> a = "--smoke") Sys.argv then smoke ()
+  else begin
+    print_endline "=== Bechamel micro-benchmarks (one per experiment mechanism) ===";
+    let results = benchmark () in
+    Obs.set_enabled true;
+    print_bench_table results;
+    print_newline ();
+    print_endline "=== Experiment tables (E1..E16 + ablations) ===";
+    print_newline ();
+    print_string (Multics_experiments.Registry.render_all ());
+    print_newline ()
+  end

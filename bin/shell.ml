@@ -58,7 +58,9 @@ let cmd_help () =
     \  acl PATH PATTERN MODE   (e.g. acl >udd>Dev>A>x '*.Dev.*' r)\n\
     \  quota PATH PAGES | bind NAME PATH | lookup NAME\n\
     \  stats [json|reset]      live kernel counters (gates, VM, IPC, fault.*, salvage.*,\n\
-    \                          backup.* — tape errors included when a backup daemon ran)\n\
+    \                          backup.*) plus cache hit ratios (policy/hw.assoc/vm.ptw)\n\
+    \  cache status            decision-cache and associative-memory counters\n\
+    \  cache clear             invalidate every cached access decision\n\
     \  fault plan SEED SPEC    install a fault plan, e.g. fault plan 7 gate.deny=every:5\n\
     \  fault status            active plan + injector counters\n\
     \  fault clear             remove the active plan\n\
@@ -258,9 +260,30 @@ let cmd_gates shell =
     (Gate.count_by_subsystem config);
   say "  %-16s %d gates total" "" (Gate.count config)
 
+(* Hit ratios for the three associative memories, derived from the same
+   obs counters the caches themselves register ("cache.<name>.*"). *)
+let say_cache_ratios () =
+  say "cache hit ratios:";
+  List.iter
+    (fun name ->
+      let get field =
+        Obs.Counter.get
+          (Obs.Registry.counter Obs.Registry.global (Printf.sprintf "cache.%s.%s" name field))
+      in
+      let hits = get "hits" and misses = get "misses" in
+      let total = hits + misses in
+      if total = 0 then say "  %-10s no lookups yet" name
+      else
+        say "  %-10s %5.1f%%  (%d hits / %d lookups, %d invalidations, %d flushes)" name
+          (100.0 *. float_of_int hits /. float_of_int total)
+          hits total (get "invalidations") (get "flushes"))
+    [ "policy"; "hw.assoc"; "vm.ptw" ]
+
 let cmd_stats subcommand =
   match subcommand with
-  | None -> say "%s" (Obs.Snapshot.to_text (Obs.Snapshot.capture ()))
+  | None ->
+      say "%s" (Obs.Snapshot.to_text (Obs.Snapshot.capture ()));
+      say_cache_ratios ()
   | Some "json" -> say "%s" (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
   | Some "reset" ->
       Obs.Registry.reset Obs.Registry.global;
@@ -296,6 +319,32 @@ let cmd_fault shell args =
             | Api.Call.Done -> say "fault plan cleared"
             | _ -> ())
       | _ -> say "usage: fault plan SEED SPEC | fault status | fault clear")
+
+(* The cache operator actions mirror the fault ones: through the typed
+   dispatch surface, so they are mediated, audited and metered like any
+   other gate call. *)
+let cmd_cache shell args =
+  require_login shell (fun handle ->
+      let dispatch what request k =
+        match on_api shell what (Api.Call.dispatch shell.system ~handle request) with
+        | Some reply -> k reply
+        | None -> ()
+      in
+      match args with
+      | [ "status" ] ->
+          dispatch "cache status" Api.Call.Cache_status (function
+            | Api.Call.Cache_report { policy; assoc } ->
+                say "policy verdict cache:";
+                List.iter (fun (name, v) -> say "  %-16s %d" name v) policy;
+                say "SDW associative memory (this process):";
+                List.iter (fun (name, v) -> say "  %-16s %d" name v) assoc
+            | _ -> ())
+      | [ "clear" ] ->
+          dispatch "cache clear" Api.Call.Cache_clear (function
+            | Api.Call.Done ->
+                say "caches invalidated (generations bumped, associative memories flushed)"
+            | _ -> ())
+      | _ -> say "usage: cache status | cache clear")
 
 let cmd_salvage shell =
   require_login shell (fun handle ->
@@ -341,6 +390,7 @@ let execute shell line =
   | [ "bind"; name; path ] -> cmd_bind shell name path
   | [ "lookup"; name ] -> cmd_lookup shell name
   | "fault" :: args -> cmd_fault shell args
+  | "cache" :: args -> cmd_cache shell args
   | [ "salvage" ] -> cmd_salvage shell
   | [ "gates" ] -> cmd_gates shell
   | [ "stats" ] -> cmd_stats None

@@ -15,6 +15,24 @@ type t = entry list (* kept sorted, most specific first *)
 
 let empty = []
 
+(* Mutation hook.  ACLs are pure values, so "mutation" means producing a
+   modified list — but cached access decisions derive from ACL contents,
+   and a cache that misses a revocation is a security hole.  Every entry
+   point that produces a modified ACL therefore bumps a module-level
+   generation and notifies subscribers, so observers (the AVC, audit,
+   future subscribers) cannot miss an edit even if a caller stores the
+   new list somewhere unexpected.  Callers that track *which* object
+   changed layer per-object generations on top (see Hierarchy). *)
+let generation_counter = ref 0
+let subscribers : (unit -> unit) list ref = ref []
+
+let generation () = !generation_counter
+let on_change f = subscribers := f :: !subscribers
+
+let note_mutation () =
+  incr generation_counter;
+  List.iter (fun f -> f ()) !subscribers
+
 let entry_compare a b =
   (* Most specific first; ties broken by pattern text for determinism. *)
   match
@@ -27,6 +45,7 @@ let entry_compare a b =
   | c -> c
 
 let add t ~pattern ~mode =
+  note_mutation ();
   let without =
     List.filter
       (fun e -> Principal.pattern_to_string e.pattern <> Principal.pattern_to_string pattern)
@@ -38,6 +57,7 @@ let add_string t ~pattern ~mode =
   add t ~pattern:(Principal.pattern_of_string pattern) ~mode:(Mode.of_string mode)
 
 let remove t ~pattern =
+  note_mutation ();
   List.filter
     (fun e -> Principal.pattern_to_string e.pattern <> Principal.pattern_to_string pattern)
     t

@@ -30,4 +30,16 @@ val mode_for : t -> Principal.t -> Mode.t
 
 val permits : t -> Principal.t -> requested:Mode.t -> bool
 
+val generation : unit -> int
+(** Module-level mutation generation: bumped by every entry point that
+    produces a modified ACL ([add], [add_string], [remove],
+    [of_entries], [of_strings]).  Cached access decisions derived from
+    ACL contents compare generations to detect edits they would
+    otherwise miss. *)
+
+val on_change : (unit -> unit) -> unit
+(** Register a callback fired on every ACL mutation (same coverage as
+    {!generation}).  Callbacks cannot be unregistered; intended for
+    process-lifetime subscribers such as the access-decision cache. *)
+
 val pp : Format.formatter -> t -> unit

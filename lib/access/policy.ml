@@ -123,6 +123,79 @@ let check ~subject:s ~object_label ~acl ~requested =
 
 let permitted = function Permit -> true | Refuse _ -> false
 
+(* The access-decision cache (AVC).  [check] is the recompute path; the
+   cache replays its verdicts on the mediation hot path, keyed by
+   everything the verdict depends on besides the object's own
+   attributes: the full subject identity (principal, clearance, trusted
+   flag, ring — two processes of one principal can run at different
+   session levels, so the principal alone is not enough) plus the
+   requested mode and the object id.  The object's label and ACL are
+   covered by the per-object generation stamp instead: any edit bumps
+   the generation and the entry dies (see {!Multics_cache.Avc}). *)
+module Cache = struct
+  type key = {
+    principal : Principal.t;
+    clearance : Label.t;
+    trusted : bool;
+    ring : int;
+    requested : Mode.t;
+    obj : int;
+  }
+
+  type nonrec t = (key, verdict) Multics_cache.Avc.t
+
+  (* A few integer mixes over the discriminating fields; collisions
+     (e.g. two principals probing the same object at the same ring)
+     share a bucket and are split by structural equality.  Hashing the
+     principal strings here would cost more than many of the verdicts
+     the cache serves. *)
+  let key_hash k =
+    let mode_bits =
+      (if k.requested.Mode.read then 1 else 0)
+      lor (if k.requested.Mode.execute then 2 else 0)
+      lor (if k.requested.Mode.write then 4 else 0)
+      lor if k.trusted then 8 else 0
+    in
+    (((k.obj * 31) + k.ring) * 31) + (mode_bits * 31)
+    + Label.level_rank (Label.level k.clearance)
+
+  (* Integer fields first (they discriminate almost every miss), then
+     the structured fields with a physical-equality fast path: a hot
+     caller re-presents the same subject record reference for
+     reference, so the principal and clearance comparisons are almost
+     always pointer checks, not string walks. *)
+  let key_equal a b =
+    a.obj = b.obj && a.ring = b.ring && a.trusted = b.trusted
+    && Mode.equal a.requested b.requested
+    && (a.principal == b.principal || a.principal = b.principal)
+    && (a.clearance == b.clearance || a.clearance = b.clearance)
+
+  let create ?(capacity = 1024) ?gens () =
+    Multics_cache.Avc.create ~capacity ?gens ~hash:key_hash ~equal:key_equal ~name:"policy" ()
+end
+
+let check_cached ~cache ~obj ~subject:s ~object_label ~acl ~requested =
+  let key =
+    {
+      Cache.principal = s.principal;
+      clearance = s.clearance;
+      trusted = s.trusted;
+      ring = Ring.to_int s.ring;
+      requested;
+      obj;
+    }
+  in
+  match Multics_cache.Avc.find cache key with
+  | Some verdict ->
+      (* Replay the policy counters so caching is observationally
+         transparent: audit totals are identical whether a verdict was
+         recomputed or served from the cache. *)
+      observe verdict
+  | None ->
+      let verdict = check ~subject:s ~object_label ~acl ~requested in
+      Multics_cache.Avc.add cache ~obj key verdict;
+      verdict
+
 let pp_verdict ppf = function
   | Permit -> Fmt.string ppf "permit"
   | Refuse refusals ->

@@ -49,4 +49,39 @@ val check :
 
 val permitted : verdict -> bool
 
+(** The access-decision cache: verdicts of {!check} keyed by subject
+    identity (principal, clearance, trusted, ring), requested mode and
+    object id.  Object attributes (label, ACL) are covered by per-object
+    generation stamps — see {!Multics_cache.Avc} — so an ACL edit or
+    label change invalidates immediately. *)
+module Cache : sig
+  type key = {
+    principal : Principal.t;
+    clearance : Label.t;
+    trusted : bool;
+    ring : int;
+    requested : Mode.t;
+    obj : int;
+  }
+
+  type t = (key, verdict) Multics_cache.Avc.t
+
+  val create : ?capacity:int -> ?gens:Multics_cache.Avc.Gen.t -> unit -> t
+  (** Registered under obs counters ["cache.policy.*"]. *)
+end
+
+val check_cached :
+  cache:Cache.t ->
+  obj:int ->
+  subject:subject ->
+  object_label:Label.t ->
+  acl:Acl.t ->
+  requested:Mode.t ->
+  verdict
+(** Exactly {!check}, memoized in [cache] under the stamp discipline.
+    On a hit the policy counters are replayed so audit totals are
+    independent of caching; cache-parity ([check_cached] ≡ [check] at
+    every step, including across revocation and salvage) is enforced by
+    the property tests. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,206 @@
+(* A revocation-correct decision cache — the associative memory of the
+   6180, generalised.
+
+   The 6180 the paper describes pays the full mediation cost (descriptor
+   fetch, access computation) only on an associative-memory miss; on a
+   hit the hardware replays a previously computed decision.  That
+   substitution is only sound because Multics invalidates the
+   associative memory the moment any input to the cached decision
+   changes ("setfaults" on an attribute change) — revocation is
+   immediate, never deferred to a timeout.
+
+   This module simulates that discipline with epochs instead of selective
+   search: every cached entry is stamped with the generation counters
+   current at insertion (one global, one per object).  Any mutation that
+   could change a decision bumps a counter; a lookup whose stamps no
+   longer match the live counters is treated as a miss and dropped.  A
+   stale Permit therefore cannot outlive the authority that granted it:
+   the entry dies in the same step as the ACL edit, label change,
+   deletion, branch move or salvager repair that revoked it.
+
+   The cache is deliberately generic: the same mechanism backs the
+   policy-verdict cache in the file-system hierarchy, the per-process
+   SDW associative memory, and the PTW lookaside in page control.  Each
+   instance reports hits/misses/invalidations through [lib/obs] under
+   "cache.<name>.*", and may carry a fault-injection probe that models
+   spurious full flushes (the [cache.flush] site): a flush storm may
+   cost performance, never correctness. *)
+
+module Obs = Multics_obs.Obs
+
+module Gen = struct
+  (* [of_object] sits on the hit path of every cache lookup, so the
+     common case — small non-negative object ids (uids, segnos) — reads
+     a dense array grown on first bump; anything outside that range
+     (e.g. hashed page ids) falls back to a hashtable.  An id below
+     [dense_limit] that the array has not grown to cover was never
+     bumped, hence generation 0. *)
+  type t = { mutable global : int; mutable dense : int array; sparse : (int, int) Hashtbl.t }
+
+  let dense_limit = 1 lsl 16
+
+  let create () = { global = 0; dense = Array.make 256 0; sparse = Hashtbl.create 16 }
+  let global t = t.global
+
+  let of_object t obj =
+    if obj >= 0 && obj < Array.length t.dense then Array.unsafe_get t.dense obj
+    else if obj >= 0 && obj < dense_limit then 0
+    else Option.value (Hashtbl.find_opt t.sparse obj) ~default:0
+
+  let bump_global t = t.global <- t.global + 1
+
+  let bump_object t obj =
+    if obj >= 0 && obj < dense_limit then begin
+      if obj >= Array.length t.dense then begin
+        let grown = Array.make (max (obj + 1) (2 * Array.length t.dense)) 0 in
+        Array.blit t.dense 0 grown 0 (Array.length t.dense);
+        t.dense <- grown
+      end;
+      t.dense.(obj) <- t.dense.(obj) + 1
+    end
+    else Hashtbl.replace t.sparse obj (of_object t obj + 1)
+end
+
+type ('k, 'v) entry = { value : 'v; obj : int; g_global : int; g_obj : int }
+
+(* The table is a direct-mapped slot array indexed by a caller-supplied
+   integer hash, like the set-associative memories it simulates.  On
+   the hot path this matters twice over: the polymorphic
+   [Hashtbl.hash] would traverse the whole key (principal strings,
+   label compartments) on every lookup, and a chained hashtable pays
+   bucket-walk overhead — together they can cost more than recomputing
+   a cheap decision, making the associative memory slower than the
+   thing it bypasses.  A cheap key-specific hash (a few integer
+   mixes), one array probe, and one key equality on the probable match
+   keep a hit well under the recomputation cost, which is the entire
+   point of the mechanism.
+
+   Direct mapping also settles the replacement question the hardware
+   way: a new decision whose slot is occupied by a different key
+   simply displaces it.  Displacement only ever discards a cached
+   decision, so it is always sound. *)
+type ('k, 'v) t = {
+  name : string;
+  capacity : int;  (** number of slots, rounded up to a power of two *)
+  mask : int;
+  gens : Gen.t;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  slots : ('k * ('k, 'v) entry) option array;
+  mutable population : int;
+  mutable flush_probe : (unit -> bool) option;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  invalidations : Obs.Counter.t;
+  insertions : Obs.Counter.t;
+  flushes : Obs.Counter.t;
+}
+
+let counter name field =
+  Obs.Registry.counter Obs.Registry.global (Printf.sprintf "cache.%s.%s" name field)
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(capacity = 256) ?gens ?(hash = Hashtbl.hash) ?(equal = ( = )) ~name () =
+  let gens = match gens with Some g -> g | None -> Gen.create () in
+  let capacity = pow2_at_least (max 1 capacity) 1 in
+  {
+    name;
+    capacity;
+    mask = capacity - 1;
+    gens;
+    hash;
+    equal;
+    slots = Array.make capacity None;
+    population = 0;
+    flush_probe = None;
+    hits = counter name "hits";
+    misses = counter name "misses";
+    invalidations = counter name "invalidations";
+    insertions = counter name "insertions";
+    flushes = counter name "flushes";
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+let gens t = t.gens
+let size t = t.population
+let set_flush_probe t probe = t.flush_probe <- probe
+
+let incr c = if Obs.enabled () then Obs.Counter.incr c
+
+let flush t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.population <- 0;
+  incr t.flushes
+
+(* A fault-injected flush models the hardware clearing its associative
+   memory at an arbitrary moment (power event, diagnostic, paranoid
+   kernel).  Probed on every lookup so a storm plan hits the cache as
+   often as the schedule dictates. *)
+let probe_fault t =
+  match t.flush_probe with Some fires when fires () -> flush t | _ -> ()
+
+let fresh t e = e.g_global = Gen.global t.gens && e.g_obj = Gen.of_object t.gens e.obj
+
+let slot_of t key = t.hash key land t.mask
+
+let find t key =
+  probe_fault t;
+  let i = slot_of t key in
+  match t.slots.(i) with
+  | Some (k, e) when t.equal k key ->
+      if fresh t e then begin
+        incr t.hits;
+        Some e.value
+      end
+      else begin
+        t.slots.(i) <- None;
+        t.population <- t.population - 1;
+        incr t.invalidations;
+        incr t.misses;
+        None
+      end
+  | Some _ | None ->
+      incr t.misses;
+      None
+
+let add t ~obj key value =
+  (* Direct-mapped, hardware-style: a collision displaces the resident
+     entry rather than maintain LRU bookkeeping the 6180 never had.
+     Displacement discards a decision; it can never resurrect one. *)
+  let i = slot_of t key in
+  if t.slots.(i) = None then t.population <- t.population + 1;
+  t.slots.(i) <-
+    Some (key, { value; obj; g_global = Gen.global t.gens; g_obj = Gen.of_object t.gens obj });
+  incr t.insertions
+
+let find_or_add t ~obj key compute =
+  match find t key with
+  | Some v -> (v, true)
+  | None ->
+      let v = compute () in
+      add t ~obj key v;
+      (v, false)
+
+let keys t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with Some (k, e) when fresh t e -> k :: acc | Some _ | None -> acc)
+    [] t.slots
+
+let invalidate_object t obj = Gen.bump_object t.gens obj
+let invalidate_all t = Gen.bump_global t.gens
+
+let counters t =
+  [
+    ("hits", Obs.Counter.get t.hits);
+    ("misses", Obs.Counter.get t.misses);
+    ("invalidations", Obs.Counter.get t.invalidations);
+    ("insertions", Obs.Counter.get t.insertions);
+    ("flushes", Obs.Counter.get t.flushes);
+  ]
+
+let hit_ratio t =
+  let h = Obs.Counter.get t.hits and m = Obs.Counter.get t.misses in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)

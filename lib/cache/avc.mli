@@ -1,0 +1,91 @@
+(** A generic fixed-capacity, epoch-versioned decision cache — the
+    simulated counterpart of the 6180's associative memory, generalised
+    to back the policy-verdict cache, the per-process SDW associative
+    memory and the PTW lookaside.
+
+    Revocation correctness is the design center: entries are stamped
+    with generation counters (one global, one per object id) at
+    insertion, and any mutation that could change a cached decision
+    bumps a counter.  A lookup whose stamps are stale is a miss — the
+    entry is dropped on the spot — so invalidation is immediate, never
+    TTL-based, and a stale Permit can never outlive the authority that
+    granted it. *)
+
+(** Generation counters.  A [Gen.t] may be shared by several caches so
+    one bump invalidates every decision derived from the mutated
+    object. *)
+module Gen : sig
+  type t
+
+  val create : unit -> t
+  val global : t -> int
+  val of_object : t -> int -> int
+
+  val bump_global : t -> unit
+  (** Invalidate every entry of every cache sharing this [Gen.t]. *)
+
+  val bump_object : t -> int -> unit
+  (** Invalidate entries whose decisions derive from object [obj]. *)
+end
+
+type ('k, 'v) t
+
+val create :
+  ?capacity:int ->
+  ?gens:Gen.t ->
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
+  name:string ->
+  unit ->
+  ('k, 'v) t
+(** [capacity] defaults to 256 and is rounded up to a power of two.
+    The table is a direct-mapped slot array (hardware-style): an
+    insertion whose slot is occupied by a different key displaces the
+    resident entry rather than maintain LRU bookkeeping.  Displacement
+    only ever discards a cached decision, so it is always sound.
+    Counters are registered in {!Multics_obs.Obs.Registry.global} under
+    ["cache.<name>.hits"/"misses"/"invalidations"/"insertions"/
+    "flushes"]; instances sharing a [name] share counters.
+
+    [hash]/[equal] default to the polymorphic [Hashtbl.hash] and [=].
+    Hot-path instances should supply a cheap [hash] (a few integer
+    mixes): the polymorphic hash re-traverses the whole key on every
+    lookup, which can cost more than the decision the cache was meant
+    to bypass.  [hash] need not be injective — two keys mapping to the
+    same slot simply displace one another; [equal] keeps a collision
+    from ever being mistaken for a hit. *)
+
+val name : ('k, 'v) t -> string
+val capacity : ('k, 'v) t -> int
+val gens : ('k, 'v) t -> Gen.t
+val size : ('k, 'v) t -> int
+
+val set_flush_probe : ('k, 'v) t -> (unit -> bool) option -> unit
+(** Install a fault-injection probe consulted on every lookup; when it
+    fires the cache is flushed first (the [cache.flush] storm site).
+    Flush storms cost performance, never correctness. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Stale entries (stamp mismatch) are dropped and counted as an
+    invalidation plus a miss. *)
+
+val add : ('k, 'v) t -> obj:int -> 'k -> 'v -> unit
+(** Insert a decision derived from object [obj], stamped with the
+    current generations. *)
+
+val find_or_add : ('k, 'v) t -> obj:int -> 'k -> (unit -> 'v) -> 'v * bool
+(** [find_or_add t ~obj key compute] returns [(value, was_hit)]. *)
+
+val keys : ('k, 'v) t -> 'k list
+(** Keys of the entries that would currently hit (stale entries are
+    skipped); order unspecified.  For invariant checks. *)
+
+val invalidate_object : ('k, 'v) t -> int -> unit
+val invalidate_all : ('k, 'v) t -> unit
+val flush : ('k, 'v) t -> unit
+
+val counters : ('k, 'v) t -> (string * int) list
+(** Current readings of this cache's obs counters (shared by name). *)
+
+val hit_ratio : ('k, 'v) t -> float
+(** hits / (hits + misses), 0 when no lookups yet. *)

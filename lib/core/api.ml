@@ -297,13 +297,21 @@ let login_gate_or_unified system ~handle ~gate ~target body =
 
 (* ----- Shared helpers for gate bodies ----- *)
 
+(* Every content reference goes through the process's associative
+   memory: a hit reuses the cached SDW, a miss fetches it from the KST
+   (the simulated descriptor-segment walk) and installs it.  The KST's
+   descriptor-change hook invalidates the entry on setfaults,
+   terminate, and salvage, so a revoked descriptor can never be
+   re-checked from the CAM. *)
 let check_sdw (p : System.proc) ~segno ~operation =
-  match Kst.sdw_of p.System.kst segno with
+  match
+    Hardware.check_via_assoc p.System.assoc ~segno
+      ~fetch:(fun () -> Kst.sdw_of p.System.kst segno)
+      ~ring:p.System.ring ~operation
+  with
   | None -> Error (Kst_error (Kst.Unknown_segno segno))
-  | Some sdw -> (
-      match Hardware.check sdw ~ring:p.System.ring ~operation with
-      | Hardware.Granted grant -> Ok grant
-      | Hardware.Denied denial -> Error (Hardware_denied denial))
+  | Some (Hardware.Granted grant) -> Ok grant
+  | Some (Hardware.Denied denial) -> Error (Hardware_denied denial)
 
 let parent_path path =
   match String.rindex_opt path '>' with
@@ -408,6 +416,10 @@ module Call = struct
     | Fault_status
     | Clear_faults
     | Salvage
+    (* cache inspection and control (operator/hardware surface) *)
+    | Probe_access of { segno : int; requested : Mode.t }
+    | Cache_status
+    | Cache_clear
 
   type reply =
     | Done
@@ -426,6 +438,8 @@ module Call = struct
     | Info of process_info
     | Fault_report of { plan : string; counts : (string * int) list }
     | Salvaged of Salvager.report
+    | Probed of Policy.verdict
+    | Cache_report of { policy : (string * int) list; assoc : (string * int) list }
 
   type response = (reply, error) result
 
@@ -482,6 +496,9 @@ module Call = struct
     | Fault_status -> "fault_status"
     | Clear_faults -> "fault_clear"
     | Salvage -> "salvage"
+    | Probe_access _ -> "probe_access"
+    | Cache_status -> "cache_status"
+    | Cache_clear -> "cache_clear"
 
   let dispatch system ~handle (request : request) : response =
     match request with
@@ -914,6 +931,36 @@ module Call = struct
     | Salvage ->
         call_hardware system ~handle ~operation:"salvage" ~target:"hierarchy" (fun _p ->
             Ok (Salvaged (Salvager.run system)))
+    (* ----- Cache inspection and control -----
+
+       Operator surface, like fault control.  Probing runs the cached
+       decision path for real (the AVC counters move exactly as a
+       reference would move them); clearing every cache is the
+       operator's revocation hammer — it can only make the next
+       reference slower, never change a verdict. *)
+    | Probe_access { segno; requested } ->
+        call_hardware system ~handle ~operation:"probe_access"
+          ~target:(Printf.sprintf "%d?%s" segno (Mode.to_string requested))
+          (fun p ->
+            let* uid = uid_of_segno p segno in
+            let subject = System.subject_of p in
+            match Hierarchy.check_access (System.hierarchy system) ~subject ~uid ~requested with
+            | Some verdict -> Ok (Probed verdict)
+            | None -> Error (Fs (Hierarchy.No_entry (string_of_int segno))))
+    | Cache_status ->
+        call_hardware system ~handle ~operation:"cache_status" ~target:"caches" (fun p ->
+            Ok
+              (Cache_report
+                 {
+                   policy = Hierarchy.cache_stats (System.hierarchy system);
+                   assoc =
+                     ("size", Hardware.Assoc.size p.System.assoc)
+                     :: Hardware.Assoc.counters p.System.assoc;
+                 }))
+    | Cache_clear ->
+        call_hardware system ~handle ~operation:"cache_clear" ~target:"caches" (fun _p ->
+            System.invalidate_caches system;
+            Ok Done)
 end
 
 (* ----- Legacy per-gate functions: thin wrappers over [Call.dispatch] -----
@@ -1166,3 +1213,20 @@ let salvage system ~handle =
   | Ok (Call.Salvaged report) -> Ok report
   | Error e -> Error e
   | Ok _ -> mismatch "salvage"
+
+(* ----- Cache inspection and control ----- *)
+
+let probe_access system ~handle ~segno ~requested =
+  match Call.dispatch system ~handle (Call.Probe_access { segno; requested }) with
+  | Ok (Call.Probed verdict) -> Ok verdict
+  | Error e -> Error e
+  | Ok _ -> mismatch "probe_access"
+
+let cache_status system ~handle =
+  match Call.dispatch system ~handle Call.Cache_status with
+  | Ok (Call.Cache_report { policy; assoc }) -> Ok (policy, assoc)
+  | Error e -> Error e
+  | Ok _ -> mismatch "cache_status"
+
+let cache_clear system ~handle =
+  expect_done "cache_clear" (Call.dispatch system ~handle Call.Cache_clear)

@@ -257,6 +257,25 @@ val clear_faults : System.t -> handle:int -> (unit, error) result
 
 val salvage : System.t -> handle:int -> (Salvager.report, error) result
 
+(** {1 Cache inspection and control}
+
+    Operator surface, like fault control.  [probe_access] runs the
+    cached access-decision path for real — the AVC's hit/miss counters
+    move exactly as an ordinary reference would move them — and returns
+    the verdict without touching any content.  [cache_clear] drops the
+    policy-verdict cache and every process's associative memory; it can
+    only make the next reference slower, never change a verdict. *)
+
+val probe_access :
+  System.t -> handle:int -> segno:int -> requested:Mode.t -> (Policy.verdict, error) result
+
+val cache_status :
+  System.t -> handle:int -> ((string * int) list * (string * int) list, error) result
+(** [(policy cache stats, calling process's associative-memory stats)];
+    each is [("size", _)] plus the obs counter readings. *)
+
+val cache_clear : System.t -> handle:int -> (unit, error) result
+
 (** {1 The typed gate-call surface}
 
     One request constructor per supervisor entry point; {!Call.dispatch}
@@ -327,6 +346,9 @@ module Call : sig
     | Fault_status
     | Clear_faults
     | Salvage
+    | Probe_access of { segno : int; requested : Mode.t }
+    | Cache_status
+    | Cache_clear
 
   type reply =
     | Done
@@ -345,6 +367,8 @@ module Call : sig
     | Info of process_info
     | Fault_report of { plan : string; counts : (string * int) list }
     | Salvaged of Salvager.report
+    | Probed of Policy.verdict
+    | Cache_report of { policy : (string * int) list; assoc : (string * int) list }
 
   type response = (reply, error) result
 

@@ -123,6 +123,14 @@ let run system =
   let rolled_back = roll_back_journal system in
   let dangling_dropped = drop_dangling system in
   let descriptors_repaired = repair_descriptors system in
+  (* A repair is a revocation (rolled-back entries vanish, re-derived
+     descriptors may carry less access), and revocations must reach
+     every cached decision immediately: kill the policy-verdict cache
+     and the associative memories wholesale.  Repair paths that went
+     through Kst.set_sdw / terminate already invalidated their own
+     entries; this closes the book on everything else (e.g. objects
+     the rollback deleted behind a cached Permit). *)
+  System.invalidate_caches system;
   let quota_ok = Hierarchy.check_quota_invariant (System.hierarchy system) in
   System.clear_crash_journal system;
   let report = { journal_entries; rolled_back; dangling_dropped; descriptors_repaired; quota_ok } in

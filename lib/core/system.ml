@@ -39,6 +39,9 @@ type proc = {
   login_ring : Ring.t;  (** where the authentication code executed *)
   mutable subsystem_stack : (string * Ring.t) list;
       (** entered protected subsystems: (name, ring to restore) *)
+  assoc : Hardware.Assoc.t;
+      (** the per-process SDW associative memory; invalidated through
+          the KST's descriptor-change hook, so "setfaults" reaches it *)
 }
 
 (* What the kernel managed to note before an injected gate abort: the
@@ -102,7 +105,18 @@ let clock t = t.clock
 
 (* ----- Fault injection and the crash journal ----- *)
 
-let set_faults t faults = t.faults <- faults
+let set_faults t faults =
+  t.faults <- faults;
+  (* The Cache_flush site storms the access-decision cache: the probe
+     is consulted on every cached lookup and, when it fires, the cache
+     is flushed first.  Installed here so a plan set through the fault
+     gates reaches the hierarchy without the fs layer depending on the
+     fault library. *)
+  Hierarchy.set_cache_probe t.hierarchy
+    (Option.map
+       (fun inj () -> Multics_fault.Fault.Injector.fire inj Multics_fault.Fault.Cache_flush)
+       faults)
+
 let faults t = t.faults
 
 let fault_fires t site =
@@ -228,18 +242,26 @@ let make_process t ~(account : account) ~session_level ~login_ring =
     | Rnt.In_kernel -> Kst.Unified
     | Rnt.In_user_ring -> Kst.Split
   in
+  let kst = Kst.create ~variant:kst_variant () in
+  let assoc = Hardware.Assoc.create () in
+  (* Wire "setfaults" through to the associative memory: the KST's
+     set_sdw/terminate are the only descriptor mutation points, so a
+     recomputed or dropped descriptor clears its cached copy in the
+     same step. *)
+  Kst.set_on_sdw_change kst (fun segno -> Hardware.Assoc.invalidate assoc ~segno);
   let p =
     {
       handle;
       principal = Principal.interactive ~person:account.person ~project:account.project;
       clearance = session_level;
       ring = Ring.user;
-      kst = Kst.create ~variant:kst_variant ();
+      kst;
       rnt = Rnt.create ~placement:t.config.Config.naming;
       rules = Search_rules.of_dirs [ ("home", account.home); ("system_library", t.lib_dir) ];
       working_dir = account.home;
       login_ring;
       subsystem_stack = [];
+      assoc;
     }
   in
   Hashtbl.replace t.procs handle p;
@@ -415,6 +437,20 @@ let setfaults t ~uid =
           | Some sdw -> ignore (Kst.set_sdw p.kst segno sdw)
           | None -> ()))
     t.procs
+
+(* Drop every process's SDW associative memory outright.  The KST hook
+   already invalidates entry-by-entry on descriptor changes; this is
+   the big hammer for whole-system events (salvage, cache clear). *)
+let flush_assoc_memories t =
+  Hashtbl.iter (fun _ (p : proc) -> Hardware.Assoc.flush p.assoc) t.procs
+
+(* Invalidate every cached access decision in the system: the policy
+   verdict cache and each process's associative memory.  The salvager
+   runs this after repairs — a repair is a revocation, and revocations
+   must reach caches immediately. *)
+let invalidate_caches t =
+  Hierarchy.invalidate_cached_verdicts t.hierarchy;
+  flush_assoc_memories t
 
 (* IPC channels (functional model: counted wakeups only). *)
 let new_ipc_channel t =

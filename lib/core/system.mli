@@ -27,6 +27,9 @@ type proc = {
   mutable working_dir : Uid.t;
   login_ring : Ring.t;
   mutable subsystem_stack : (string * Ring.t) list;
+  assoc : Hardware.Assoc.t;
+      (** the per-process SDW associative memory (the 6180's CAM);
+          invalidated through the KST's descriptor-change hook *)
 }
 
 val create : Config.t -> t
@@ -53,7 +56,16 @@ val clock : t -> Clock.t
 val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
 (** Install (or clear) the active fault injector.  Fault decisions are
     computed entirely outside the reference monitor: an injected fault
-    can add cost or force a refusal/abort, never widen access. *)
+    can add cost or force a refusal/abort, never widen access.  Also
+    installs (or clears) the hierarchy's [Cache_flush] storm probe. *)
+
+val flush_assoc_memories : t -> unit
+(** Drop every process's SDW associative memory. *)
+
+val invalidate_caches : t -> unit
+(** Invalidate every cached access decision: the policy verdict cache
+    plus each process's associative memory.  Run by the salvager after
+    repairs and by the [cache clear] operator command. *)
 
 val faults : t -> Multics_fault.Fault.Injector.t option
 

@@ -17,6 +17,8 @@ type row = {
   in_ring_round_trip : int;
   cross_ring_round_trip : int;
   penalty : float;
+  ref_assoc_hit : int;  (** one reference when the SDW is in the CAM *)
+  ref_assoc_miss : int;  (** ... when the descriptor must be fetched *)
 }
 
 let measure () =
@@ -27,6 +29,8 @@ let measure () =
         in_ring_round_trip = Cost.round_trip_call_cost cost ~cross_ring:false;
         cross_ring_round_trip = Cost.round_trip_call_cost cost ~cross_ring:true;
         penalty = Cost.cross_ring_penalty cost;
+        ref_assoc_hit = cost.Cost.memory_reference;
+        ref_assoc_miss = cost.Cost.memory_reference + cost.Cost.sdw_fetch;
       })
     [ Cost.h645; Cost.h6180 ]
 
@@ -41,6 +45,8 @@ let table () =
           ("in-ring call+return", Right);
           ("cross-ring call+return", Right);
           ("penalty", Right);
+          ("ref (assoc hit)", Right);
+          ("ref (assoc miss)", Right);
         ]
   in
   List.iter
@@ -51,6 +57,8 @@ let table () =
           string_of_int r.in_ring_round_trip;
           string_of_int r.cross_ring_round_trip;
           fmt_ratio r.penalty;
+          string_of_int r.ref_assoc_hit;
+          string_of_int r.ref_assoc_miss;
         ])
     (measure ());
   t

@@ -10,6 +10,8 @@ type row = {
   in_ring_round_trip : int;
   cross_ring_round_trip : int;
   penalty : float;
+  ref_assoc_hit : int;  (** one reference when the SDW is in the CAM *)
+  ref_assoc_miss : int;  (** ... when the descriptor must be fetched *)
 }
 
 val measure : unit -> row list

@@ -102,6 +102,12 @@ let all =
       render = E15_fail_secure.render;
     };
     {
+      id = E16_avc.id;
+      title = E16_avc.title;
+      paper_claim = E16_avc.paper_claim;
+      render = E16_avc.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

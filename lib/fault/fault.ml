@@ -25,6 +25,7 @@ type site =
   | Gate_abort
   | Proc_crash
   | Backup_tape
+  | Cache_flush
 
 let all_sites =
   [
@@ -38,6 +39,7 @@ let all_sites =
     Gate_abort;
     Proc_crash;
     Backup_tape;
+    Cache_flush;
   ]
 
 let site_name = function
@@ -51,6 +53,7 @@ let site_name = function
   | Gate_abort -> "gate.abort"
   | Proc_crash -> "proc.crash"
   | Backup_tape -> "backup.tape"
+  | Cache_flush -> "cache.flush"
 
 let site_of_name name = List.find_opt (fun s -> String.equal (site_name s) name) all_sites
 

@@ -27,6 +27,10 @@ type site =
   | Gate_abort  (** gate call aborted after the body ran (mid-dispatch crash) *)
   | Proc_crash  (** the running process crashes at a compute point *)
   | Backup_tape  (** tape write error in the backup daemon *)
+  | Cache_flush
+      (** the access-decision cache spontaneously flushes (storm-tests
+          that invalidation is a performance event, never a
+          correctness event) *)
 
 val all_sites : site list
 

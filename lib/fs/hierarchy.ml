@@ -20,6 +20,8 @@
 open Multics_access
 open Multics_machine
 
+module Avc = Multics_cache.Avc
+
 type kind = Segment | Directory
 
 type node = {
@@ -27,7 +29,7 @@ type node = {
   mutable name : string;
   kind : kind;
   mutable acl : Acl.t;
-  label : Label.t;
+  mutable label : Label.t;
   mutable brackets : Brackets.t;
   mutable gate_bound : int;  (** segments only: entries callable as gates *)
   parent : Uid.t option;  (** [None] only for the root *)
@@ -70,9 +72,27 @@ type t = {
   nodes : (int, node) Hashtbl.t;
   uids : Uid.generator;
   words_per_page : int;
+  (* The access-decision cache (AVC): policy verdicts keyed by subject
+     identity + object uid, stamped with [gens].  Every access-relevant
+     mutation below bumps the object's generation, so revocation is
+     immediate — the simulated analogue of "setfaults" clearing the
+     6180's associative memory on an attribute change. *)
+  gens : Avc.Gen.t;
+  avc : Policy.Cache.t;
 }
 
 let words_per_page t = t.words_per_page
+
+(* Any ACL edit, label change, deletion or branch move revokes the
+   cached verdicts derived from the object. *)
+let note_change t uid = Avc.Gen.bump_object t.gens (Uid.to_int uid)
+
+let invalidate_cached_verdicts t = Avc.Gen.bump_global t.gens
+let policy_cache t = t.avc
+let set_cache_probe t probe = Avc.set_flush_probe t.avc probe
+let cache_stats t = ("size", Avc.size t.avc) :: Avc.counters t.avc
+let cache_hit_ratio t = Avc.hit_ratio t.avc
+let flush_cached_verdicts t = Avc.flush t.avc
 
 let create ?(words_per_page = 64) () =
   let nodes = Hashtbl.create 256 in
@@ -99,7 +119,14 @@ let create ?(words_per_page = 64) () =
     }
   in
   Hashtbl.replace nodes (Uid.to_int Uid.root) root;
-  { nodes; uids = Uid.generator (); words_per_page }
+  let gens = Avc.Gen.create () in
+  (* Backstop for the cache: any ACL construction anywhere bumps the
+     global generation, so even an edit that somehow bypassed the
+     per-object bumps below could not leave a stale verdict alive.
+     Conservative (it may invalidate more than necessary), never
+     unsound. *)
+  Acl.on_change (fun () -> Avc.Gen.bump_global gens);
+  { nodes; uids = Uid.generator (); words_per_page; gens; avc = Policy.Cache.create ~gens () }
 
 let node t uid = Hashtbl.find_opt t.nodes (Uid.to_int uid)
 
@@ -145,14 +172,31 @@ let ring_refusals n ~(subject : Policy.subject) ~(requested : Mode.t) =
   in
   observe @ modify
 
-let check_node (subject : Policy.subject) n ~requested =
+(* The policy composition (lattice + ACL) is served from the AVC; the
+   ring-bracket comparison is recomputed on every reference, exactly as
+   the 6180 applies ring brackets even on an associative-memory hit —
+   it is two integer compares, and keeping it out of the cache keeps
+   the cache key independent of bracket edits. *)
+let check_node t (subject : Policy.subject) n ~requested =
+  let policy =
+    Policy.check_cached ~cache:t.avc ~obj:(Uid.to_int n.uid) ~subject ~object_label:n.label
+      ~acl:n.acl ~requested
+  in
+  match policy with
+  | Policy.Refuse refusals ->
+      Policy.verdict_of_refusals (refusals @ ring_refusals n ~subject ~requested)
+  | Policy.Permit -> Policy.verdict_of_refusals (ring_refusals n ~subject ~requested)
+
+(* The recompute path, bypassing the cache — the parity oracle the
+   property tests compare [check_node] against at every step. *)
+let check_node_fresh (subject : Policy.subject) n ~requested =
   match Policy.check ~subject ~object_label:n.label ~acl:n.acl ~requested with
   | Policy.Refuse refusals ->
       Policy.verdict_of_refusals (refusals @ ring_refusals n ~subject ~requested)
   | Policy.Permit -> Policy.verdict_of_refusals (ring_refusals n ~subject ~requested)
 
-let guard subject n ~requested k =
-  match check_node subject n ~requested with
+let guard t subject n ~requested k =
+  match check_node t subject n ~requested with
   | Policy.Permit -> k ()
   | Policy.Refuse refusals -> Error (Permission_denied refusals)
 
@@ -247,7 +291,7 @@ let lookup t ~subject ~dir ~name =
   let* d = dir_node t dir in
   (* Listing a name requires status permission on the directory; a
      refusal is reported as No_entry to hide the name space. *)
-  match check_node subject d ~requested:Mode.r with
+  match check_node t subject d ~requested:Mode.r with
   | Policy.Refuse _ -> Error (No_entry name)
   | Policy.Permit -> (
       match List.assoc_opt name d.entries with
@@ -256,7 +300,7 @@ let lookup t ~subject ~dir ~name =
 
 let list_entries t ~subject ~dir =
   let* d = dir_node t dir in
-  guard subject d ~requested:Mode.r (fun () -> Ok d.entries)
+  guard t subject d ~requested:Mode.r (fun () -> Ok d.entries)
 
 (* A subject may not mint brackets inner to its own ring of execution:
    code with an inner write bracket EXECUTES inner, so allowing it
@@ -276,7 +320,7 @@ let add_entry t ~subject ~dir ~name ~kind ~acl ~label ~brackets =
     (* Appending an entry needs the append (execute) permission, and
        creating below the directory must not move information down:
        the new object's label must dominate the directory's. *)
-    guard subject d ~requested:Mode.e (fun () ->
+    guard t subject d ~requested:Mode.e (fun () ->
         if not (Label.dominates label d.label) then
           Error
             (Permission_denied
@@ -315,7 +359,7 @@ let create_segment ?(brackets = Brackets.user_data) t ~subject ~dir ~name ~acl ~
 
 let delete_entry t ~subject ~dir ~name =
   let* d = dir_node t dir in
-  guard subject d ~requested:Mode.w (fun () ->
+  guard t subject d ~requested:Mode.w (fun () ->
       match List.assoc_opt name d.entries with
       | None -> Error (No_entry name)
       | Some uid ->
@@ -326,6 +370,7 @@ let delete_entry t ~subject ~dir ~name =
             if n.kind = Segment && n.pages > 0 then ignore (charge_pages t n (-n.pages));
             d.entries <- List.filter (fun (entry_name, _) -> entry_name <> name) d.entries;
             Hashtbl.remove t.nodes (Uid.to_int uid);
+            note_change t uid;
             Ok uid
           end)
 
@@ -333,7 +378,7 @@ let rename_entry t ~subject ~dir ~name ~new_name =
   if not (valid_entry_name new_name) then Error (Invalid_path new_name)
   else begin
     let* d = dir_node t dir in
-    guard subject d ~requested:Mode.w (fun () ->
+    guard t subject d ~requested:Mode.w (fun () ->
         match List.assoc_opt name d.entries with
         | None -> Error (No_entry name)
         | Some uid ->
@@ -343,6 +388,7 @@ let rename_entry t ~subject ~dir ~name ~new_name =
               n.name <- new_name;
               d.entries <-
                 List.map (fun (en, eu) -> if en = name then (new_name, eu) else (en, eu)) d.entries;
+              note_change t uid;
               Ok uid
             end)
   end
@@ -358,8 +404,9 @@ let set_acl t ~subject ~uid ~acl =
         | Some p -> dir_node t p
         | None -> Error (Not_a_segment n.name)
       in
-      guard subject parent ~requested:Mode.w (fun () ->
+      guard t subject parent ~requested:Mode.w (fun () ->
           n.acl <- acl;
+          note_change t uid;
           Ok ())
 
 let set_gate_bound t ~subject ~uid ~gate_bound =
@@ -369,8 +416,9 @@ let set_gate_bound t ~subject ~uid ~gate_bound =
     let* parent =
       match n.parent with Some p -> dir_node t p | None -> Error (Not_a_segment n.name)
     in
-    guard subject parent ~requested:Mode.w (fun () ->
+    guard t subject parent ~requested:Mode.w (fun () ->
         n.gate_bound <- gate_bound;
+        note_change t uid;
         Ok ())
   end
 
@@ -380,8 +428,9 @@ let set_brackets t ~subject ~uid ~brackets =
   let* parent =
     match n.parent with Some p -> dir_node t p | None -> Error (Not_a_segment n.name)
   in
-  guard subject parent ~requested:Mode.w (fun () ->
+  guard t subject parent ~requested:Mode.w (fun () ->
       n.brackets <- brackets;
+      note_change t uid;
       Ok ())
 
 (* Install (or clear) a quota cell on a directory.  Requires modify
@@ -390,7 +439,7 @@ let set_brackets t ~subject ~uid ~brackets =
    current usage is computed and must already fit. *)
 let set_quota t ~subject ~uid ~quota =
   let* d = dir_node t uid in
-  guard subject d ~requested:Mode.w (fun () ->
+  guard t subject d ~requested:Mode.w (fun () ->
       match quota with
       | None ->
           d.quota <- None;
@@ -426,7 +475,33 @@ let rec raw_delete_subtree t ~dir ~name =
           if n.kind = Segment && n.pages > 0 then ignore (charge_pages t n (-n.pages));
           d.entries <- List.filter (fun (entry_name, _) -> entry_name <> name) d.entries;
           Hashtbl.remove t.nodes (Uid.to_int uid);
+          note_change t uid;
           true)
+
+(* Kernel-internal: rewrite an object's security label (the upgrade/
+   downgrade performed by the security administrator's tools; there is
+   no mediated gate for it).  The cached verdicts derived from the old
+   label are revoked in the same step. *)
+let raw_set_label t ~uid ~label =
+  match node t uid with
+  | None -> false
+  | Some n ->
+      n.label <- label;
+      note_change t uid;
+      true
+
+(* ----- The mediated access question, exposed for gate dispatch and
+   the parity tests ----- *)
+
+let check_access t ~subject ~uid ~requested =
+  match node t uid with
+  | None -> None
+  | Some n -> Some (check_node t subject n ~requested)
+
+let check_access_fresh t ~subject ~uid ~requested =
+  match node t uid with
+  | None -> None
+  | Some n -> Some (check_node_fresh subject n ~requested)
 
 (* ----- Path resolution (the kernel-resident tree walk) ----- *)
 
@@ -485,7 +560,7 @@ let max_segment_words = 256 * 1024
 
 let read_word t ~subject ~uid ~offset =
   let* n = seg_node t uid in
-  guard subject n ~requested:Mode.r (fun () ->
+  guard t subject n ~requested:Mode.r (fun () ->
       if offset < 0 || offset >= max_segment_words then Error (Out_of_bounds offset)
       else if offset >= Array.length n.words then Ok 0
       else Ok n.words.(offset))
@@ -503,7 +578,7 @@ let charge_growth t ~uid ~offset =
 
 let write_word t ~subject ~uid ~offset ~value =
   let* n = seg_node t uid in
-  guard subject n ~requested:Mode.w (fun () ->
+  guard t subject n ~requested:Mode.w (fun () ->
       if offset < 0 || offset >= max_segment_words then Error (Out_of_bounds offset)
       else begin
         (* Growth is charged to the governing quota cell before any

@@ -132,6 +132,49 @@ val raw_delete_subtree : t -> dir:Uid.t -> name:string -> bool
 (** Kernel-internal, unmediated recursive delete (process-directory
     cleanup at logout); refunds quota.  False if the entry is absent. *)
 
+val raw_set_label : t -> uid:Uid.t -> label:Label.t -> bool
+(** Kernel-internal label rewrite (the security administrator's
+    upgrade/downgrade).  Revokes the cached verdicts derived from the
+    old label in the same step.  False if the uid is dangling. *)
+
+(** {1 The access-decision cache (AVC)}
+
+    [check_access] is the cached mediation question — the composition
+    of the mandatory lattice, the ACL and the ring brackets this
+    hierarchy's operations apply — served from a
+    {!Multics_cache.Avc}-backed cache of {!Multics_access.Policy}
+    verdicts.  Every ACL edit, label change, deletion or branch move
+    above bumps the object's generation, so revocation is immediate
+    (the "setfaults" discipline), never TTL-based.
+    [check_access_fresh] recomputes from scratch; the property tests
+    hold the two equal at every step. *)
+
+val check_access :
+  t -> subject:Policy.subject -> uid:Uid.t -> requested:Mode.t -> Policy.verdict option
+(** [None] if the uid is dangling. *)
+
+val check_access_fresh :
+  t -> subject:Policy.subject -> uid:Uid.t -> requested:Mode.t -> Policy.verdict option
+
+val policy_cache : t -> Policy.Cache.t
+(** The verdict cache itself, for gate dispatch ([Probe_access]). *)
+
+val invalidate_cached_verdicts : t -> unit
+(** Bump the global generation: every cached verdict dies.  Called by
+    the salvager after repairs and by the [cache clear] gate. *)
+
+val flush_cached_verdicts : t -> unit
+(** Drop the cached entries outright (storage, not just staleness). *)
+
+val set_cache_probe : t -> (unit -> bool) option -> unit
+(** Install the fault-injection probe ([cache.flush] storms). *)
+
+val cache_stats : t -> (string * int) list
+(** [("size", _)] plus the obs counter readings for the verdict
+    cache. *)
+
+val cache_hit_ratio : t -> float
+
 (** {1 Path resolution (the kernel-resident tree walk)} *)
 
 val resolve : t -> subject:Policy.subject -> path:string -> (Uid.t, error) result

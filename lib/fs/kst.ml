@@ -32,6 +32,9 @@ type t = {
   mutable next_segno : int;
   by_segno : (int, entry) Hashtbl.t;
   by_uid : (int, entry) Hashtbl.t;
+  mutable on_sdw_change : int -> unit;
+      (** fired with the segno on every descriptor change — the
+          "setfaults" hook the SDW associative memory hangs off *)
 }
 
 type error = Unknown_segno of int | Naming_not_in_kernel
@@ -47,9 +50,11 @@ let create ?(start_segno = 8) ~variant () =
     next_segno = start_segno;
     by_segno = Hashtbl.create 64;
     by_uid = Hashtbl.create 64;
+    on_sdw_change = (fun _ -> ());
   }
 
 let variant t = t.variant
+let set_on_sdw_change t f = t.on_sdw_change <- f
 
 (* Make a segment known: idempotent per uid; returns the segment
    number and whether it was already known. *)
@@ -78,6 +83,7 @@ let set_sdw t segno sdw =
   match Hashtbl.find_opt t.by_segno segno with
   | Some entry ->
       entry.sdw <- Some sdw;
+      t.on_sdw_change segno;
       Ok ()
   | None -> Error (Unknown_segno segno)
 
@@ -110,6 +116,7 @@ let terminate t segno =
   | Some entry ->
       Hashtbl.remove t.by_segno segno;
       Hashtbl.remove t.by_uid (Uid.to_int entry.uid);
+      t.on_sdw_change segno;
       Ok ()
 
 let entry_count t = Hashtbl.length t.by_segno

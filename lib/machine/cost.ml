@@ -24,6 +24,8 @@ type t = {
   interrupt_entry : int;  (** interceptor entry/exit on an interrupt *)
   core_transfer : int;  (** page move core <-> bulk store *)
   disk_transfer : int;  (** page move bulk store <-> disk *)
+  sdw_fetch : int;  (** descriptor fetch on an associative-memory miss *)
+  ptw_fetch : int;  (** page-table walk on a PTW lookaside miss *)
 }
 
 (* On the 645, a cross-ring call trapped to a supervisor module that
@@ -43,6 +45,11 @@ let h645 =
     interrupt_entry = 350;
     core_transfer = 8_000;
     disk_transfer = 70_000;
+    (* The 645's appending hardware was first-generation: a miss in its
+       small associative memory meant a slow descriptor reload, partly
+       assisted by supervisor software. *)
+    sdw_fetch = 24;
+    ptw_fetch = 8;
   }
 
 (* On the 6180 the appending unit checks brackets and gates on every
@@ -62,6 +69,11 @@ let h6180 =
     interrupt_entry = 250;
     core_transfer = 6_000;
     disk_transfer = 60_000;
+    (* The 6180's 16-word associative memory refills straight from the
+       descriptor/page-table words in core — a miss is cheap, and a hit
+       costs nothing beyond the reference itself. *)
+    sdw_fetch = 12;
+    ptw_fetch = 4;
   }
 
 let of_processor = function H645 -> h645 | H6180 -> h6180

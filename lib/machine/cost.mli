@@ -16,6 +16,9 @@ type t = {
   interrupt_entry : int;
   core_transfer : int;  (** cycles to move a page core <-> bulk store *)
   disk_transfer : int;  (** cycles to move a page bulk store <-> disk *)
+  sdw_fetch : int;
+      (** descriptor fetch charged on an SDW associative-memory miss *)
+  ptw_fetch : int;  (** page-table walk charged on a PTW lookaside miss *)
 }
 
 val h645 : t

@@ -25,6 +25,41 @@ val check : Sdw.t -> ring:Ring.t -> operation:operation -> decision
 
 val allowed : Sdw.t -> ring:Ring.t -> operation:operation -> bool
 
+(** The per-process SDW associative memory (the 6180's 16-entry CAM).
+    Sound only under immediate invalidation: every SDW change must reach
+    {!Assoc.invalidate} or {!Assoc.flush} — the simulation wires this
+    through the KST's on-change hook so "setfaults" semantics are
+    preserved.  Obs counters live under ["cache.hw.assoc.*"]. *)
+module Assoc : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] defaults to 16, as on the 6180. *)
+
+  val lookup : t -> segno:int -> Sdw.t option
+  val install : t -> segno:int -> Sdw.t -> unit
+  val invalidate : t -> segno:int -> unit
+  val flush : t -> unit
+  val size : t -> int
+  val hit_ratio : t -> float
+
+  val counters : t -> (string * int) list
+  (** The underlying cache's obs counter readings
+      (["cache.hw.assoc.*"]). *)
+end
+
+val check_via_assoc :
+  Assoc.t ->
+  segno:int ->
+  fetch:(unit -> Sdw.t option) ->
+  ring:Ring.t ->
+  operation:operation ->
+  decision option
+(** {!check} against the associative memory: on a hit the cached SDW is
+    used; on a miss [fetch] loads the descriptor (charged as
+    [Cost.sdw_fetch] by callers), which is installed before checking.
+    [None] when [fetch] finds no descriptor. *)
+
 val denial_to_string : denial -> string
 val pp_operation : Format.formatter -> operation -> unit
 val pp_decision : Format.formatter -> decision -> unit

@@ -25,6 +25,7 @@
 open Multics_mm
 open Multics_proc
 module Obs = Multics_obs.Obs
+module Avc = Multics_cache.Avc
 
 (* Observability: page control's live counters mirror the per-instance
    [counters] bag but land in the global registry, where the shell's
@@ -77,7 +78,14 @@ type t = {
   mutable bulk_freer_pid : Sim.pid option;
   mutable fault_inj : Multics_fault.Fault.Injector.t option;
   counters : Multics_util.Stats.Counters.t;
+  (* The PTW lookaside: pages known core-resident, so a repeat
+     reference skips the page-table walk ([Cost.ptw_fetch]).  Sound
+     because the only paths that move a page out of core — the eviction
+     pushes below — invalidate the victim's entry in the same step. *)
+  ptw : (Page_id.t, unit) Avc.t;
 }
+
+let ptw_obj page = Page_id.hash page
 
 (* Injected storage faults follow one fail-secure rule: a fault costs a
    wasted device attempt (charged to whoever runs the step) and is then
@@ -146,6 +154,7 @@ let create ?(core_target = 2) ?(bulk_target = 2) ?(zero_fill_cycles = 300) ?faul
       bulk_freer_pid = None;
       fault_inj = faults;
       counters = Multics_util.Stats.Counters.create ();
+      ptw = Avc.create ~capacity:64 ~hash:Page_id.hash ~equal:Page_id.equal ~name:"vm.ptw" ();
     }
   in
   t.victim_policy <- default_policy t;
@@ -209,6 +218,9 @@ let push_core_page_to_bulk t =
   | Some victim -> (
       match Memory.transfer t.mem victim ~dest:Level.Bulk with
       | Ok (_, cost) ->
+          (* The victim leaves core: its lookaside entry dies now, not
+             when someone notices — same discipline as the AVC. *)
+          Avc.invalidate_object t.ptw (ptw_obj victim);
           Multics_util.Stats.Counters.incr t.counters "core_to_bulk";
           Obs.Counter.incr obs_core_to_bulk;
           (* Eviction failure: the bulk-store write is lost and redone
@@ -338,8 +350,19 @@ let reference ?(write = false) t ~pid ~page =
     | Some block -> Level.equal (Block.level block) Level.Core
     | None -> false
   in
-  if resident_in_core () then begin
+  if Avc.find t.ptw page <> None then begin
+    (* PTW hit: the lookaside vouches for core residency, so the
+       reference costs only the access itself — no page-table walk. *)
     Sim.compute cost.Multics_machine.Cost.memory_reference;
+    if write then Memory.dirty t.mem page else Memory.touch t.mem page;
+    0
+  end
+  else if resident_in_core () then begin
+    (* Resident, but not in the lookaside: walk the page table and
+       install the PTW, as the 6180 does on an associative miss. *)
+    Sim.compute
+      (cost.Multics_machine.Cost.memory_reference + cost.Multics_machine.Cost.ptw_fetch);
+    Avc.add t.ptw ~obj:(ptw_obj page) page ();
     if write then Memory.dirty t.mem page else Memory.touch t.mem page;
     0
   end
@@ -372,6 +395,7 @@ let reference ?(write = false) t ~pid ~page =
       else settle () (* lost the free frame to a racing faulter *)
     in
     settle ();
+    Avc.add t.ptw ~obj:(ptw_obj page) page ();
     if write then Memory.dirty t.mem page else Memory.touch t.mem page;
     (* Keep the freer running ahead of demand. *)
     (match t.discipline with
@@ -393,6 +417,22 @@ let reference ?(write = false) t ~pid ~page =
       };
     !steps
   end
+
+(* ----- The PTW lookaside, exposed ----- *)
+
+let flush_ptw t = Avc.flush t.ptw
+let ptw_stats t = ("size", Avc.size t.ptw) :: Avc.counters t.ptw
+let ptw_hit_ratio t = Avc.hit_ratio t.ptw
+
+(* Soundness of the lookaside: every page it would vouch for really is
+   core-resident.  Checked by tests after eviction storms. *)
+let check_ptw_invariant t =
+  List.for_all
+    (fun page ->
+      match Memory.location t.mem page with
+      | Some block -> Level.equal (Block.level block) Level.Core
+      | None -> false)
+    (Avc.keys t.ptw)
 
 (* ----- Reporting ----- *)
 

@@ -56,6 +56,23 @@ val set_victim_policy : t -> victim_policy -> unit
 val memory : t -> Memory.t
 val counters : t -> Multics_util.Stats.Counters.t
 
+(** {1 The PTW lookaside}
+
+    A {!Multics_cache.Avc}-backed cache of pages known core-resident,
+    keyed by {!Page_id.t}.  A hit skips the page-table walk
+    ([Cost.ptw_fetch]); eviction invalidates the victim's entry in the
+    same step it leaves core.  Obs counters under ["cache.vm.ptw.*"]. *)
+
+val flush_ptw : t -> unit
+
+val ptw_stats : t -> (string * int) list
+(** [("size", _)] plus the obs counter readings. *)
+
+val ptw_hit_ratio : t -> float
+
+val check_ptw_invariant : t -> bool
+(** Every page the lookaside would vouch for is core-resident. *)
+
 (** {1 Fault accounting} *)
 
 type fault_record = {

@@ -1,0 +1,402 @@
+(* The access-decision cache (AVC): unit tests for the generic
+   associative memory, revocation coverage for every mutating entry
+   point of the hierarchy, the salvager's cache invalidation, and the
+   100-seed parity property — the cached mediation path must agree with
+   fresh recomputation at every step, including under flush storms. *)
+
+open Multics_access
+open Multics_machine
+open Multics_kernel
+module Avc = Multics_cache.Avc
+module Hierarchy = Multics_fs.Hierarchy
+module Uid = Multics_fs.Uid
+module Obs = Multics_obs.Obs
+
+(* Counter names are shared per cache [name], so every test uses its
+   own name to keep readings isolated. *)
+let counter_of t field = List.assoc field (Avc.counters t)
+
+let test_avc_basics () =
+  Obs.set_enabled true;
+  let c = Avc.create ~capacity:8 ~name:"t.basics" () in
+  Alcotest.(check (option int)) "miss before add" None (Avc.find c 1);
+  Avc.add c ~obj:1 1 10;
+  Alcotest.(check (option int)) "hit after add" (Some 10) (Avc.find c 1);
+  Alcotest.(check int) "size" 1 (Avc.size c);
+  Alcotest.(check int) "one hit" 1 (counter_of c "hits");
+  Alcotest.(check int) "one miss" 1 (counter_of c "misses")
+
+let test_avc_invalidate_object () =
+  Obs.set_enabled true;
+  let c = Avc.create ~capacity:8 ~name:"t.inv_obj" () in
+  Avc.add c ~obj:1 1 10;
+  Avc.add c ~obj:2 2 20;
+  Avc.invalidate_object c 1;
+  Alcotest.(check (option int)) "stale entry dropped" None (Avc.find c 1);
+  Alcotest.(check (option int)) "other object unaffected" (Some 20) (Avc.find c 2);
+  Alcotest.(check int) "invalidation counted" 1 (counter_of c "invalidations");
+  Avc.add c ~obj:1 1 11;
+  Alcotest.(check (option int)) "re-add after invalidation hits" (Some 11) (Avc.find c 1)
+
+let test_avc_invalidate_all () =
+  Obs.set_enabled true;
+  let c = Avc.create ~capacity:8 ~name:"t.inv_all" () in
+  Avc.add c ~obj:1 1 10;
+  Avc.add c ~obj:2 2 20;
+  Avc.invalidate_all c;
+  Alcotest.(check (option int)) "entry 1 dead" None (Avc.find c 1);
+  Alcotest.(check (option int)) "entry 2 dead" None (Avc.find c 2)
+
+let test_avc_flush_probe () =
+  Obs.set_enabled true;
+  let c = Avc.create ~capacity:8 ~name:"t.probe" () in
+  Avc.add c ~obj:1 1 10;
+  let armed = ref false in
+  Avc.set_flush_probe c (Some (fun () -> !armed));
+  Alcotest.(check (option int)) "probe quiet: hit" (Some 10) (Avc.find c 1);
+  armed := true;
+  Alcotest.(check (option int)) "probe fires: flushed before lookup" None (Avc.find c 1);
+  Alcotest.(check int) "flush counted" 1 (counter_of c "flushes");
+  Alcotest.(check int) "emptied" 0 (Avc.size c)
+
+let test_avc_direct_mapped_displacement () =
+  Obs.set_enabled true;
+  (* Force every key into one slot: displacement must evict the
+     resident entry, and equality must keep a collision from ever
+     being served as a hit. *)
+  let c = Avc.create ~capacity:4 ~hash:(fun _ -> 0) ~equal:Int.equal ~name:"t.collide" () in
+  Avc.add c ~obj:1 1 10;
+  Avc.add c ~obj:2 2 20;
+  Alcotest.(check (option int)) "displaced entry is a miss" None (Avc.find c 1);
+  Alcotest.(check (option int)) "resident entry hits" (Some 20) (Avc.find c 2);
+  Alcotest.(check int) "population stays 1" 1 (Avc.size c)
+
+let test_avc_capacity_rounding () =
+  let c = Avc.create ~capacity:10 ~name:"t.cap" () in
+  Alcotest.(check int) "rounded to power of two" 16 (Avc.capacity c)
+
+let test_avc_find_or_add () =
+  Obs.set_enabled true;
+  let c = Avc.create ~capacity:8 ~name:"t.foa" () in
+  let computes = ref 0 in
+  let compute () = incr computes; 42 in
+  Alcotest.(check (pair int bool)) "first computes" (42, false) (Avc.find_or_add c ~obj:1 1 compute);
+  Alcotest.(check (pair int bool)) "second hits" (42, true) (Avc.find_or_add c ~obj:1 1 compute);
+  Alcotest.(check int) "computed once" 1 !computes
+
+let test_avc_keys_skip_stale () =
+  let c = Avc.create ~capacity:8 ~name:"t.keys" () in
+  Avc.add c ~obj:1 1 10;
+  Avc.add c ~obj:2 2 20;
+  Avc.invalidate_object c 2;
+  Alcotest.(check (list int)) "only fresh keys" [ 1 ] (List.sort compare (Avc.keys c))
+
+let test_gen_sparse_and_dense_ids () =
+  (* Small non-negative ids take the dense-array path; huge or negative
+     ids (hashed page ids) take the hashtable fallback.  Both must
+     count bumps correctly. *)
+  let g = Avc.Gen.create () in
+  Alcotest.(check int) "unbumped dense id" 0 (Avc.Gen.of_object g 3);
+  Avc.Gen.bump_object g 3;
+  Avc.Gen.bump_object g 3;
+  Alcotest.(check int) "dense id bumped twice" 2 (Avc.Gen.of_object g 3);
+  Alcotest.(check int) "dense id beyond initial array" 0 (Avc.Gen.of_object g 5_000);
+  Avc.Gen.bump_object g 5_000;
+  Alcotest.(check int) "grown dense id" 1 (Avc.Gen.of_object g 5_000);
+  Avc.Gen.bump_object g (-7);
+  Alcotest.(check int) "negative id via fallback" 1 (Avc.Gen.of_object g (-7));
+  Avc.Gen.bump_object g max_int;
+  Alcotest.(check int) "huge id via fallback" 1 (Avc.Gen.of_object g max_int);
+  Avc.Gen.bump_global g;
+  Alcotest.(check int) "global independent" 1 (Avc.Gen.global g)
+
+(* ----- Revocation through every mutating entry point ----- *)
+
+let operator =
+  Policy.subject ~trusted:true
+    ~principal:(Principal.make ~person:"Initializer" ~project:"SysDaemon" ~tag:"z")
+    ~clearance:(Label.system_high []) ~ring:(Ring.of_int 1) ()
+
+let alice =
+  Policy.subject
+    ~principal:(Principal.make ~person:"Alice" ~project:"Dev" ~tag:"a")
+    ~clearance:Label.unclassified ~ring:(Ring.of_int 4) ()
+
+let fs_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (what ^ ": " ^ Hierarchy.error_to_string e)
+
+let permissive_acl = Acl.of_strings [ ("*.*.*", "rw"); ("Initializer.*.*", "rew") ]
+
+let make_segment h name =
+  fs_ok ("create " ^ name)
+    (Hierarchy.create_segment h ~subject:operator ~dir:Uid.root ~name ~acl:permissive_acl
+       ~label:Label.unclassified)
+
+let verdict = Alcotest.testable Policy.pp_verdict ( = )
+
+let check_both h ~subject ~uid ~requested =
+  let fresh = Hierarchy.check_access_fresh h ~subject ~uid ~requested in
+  let cached = Hierarchy.check_access h ~subject ~uid ~requested in
+  Alcotest.(check (option verdict)) "cached = fresh" fresh cached;
+  cached
+
+let test_set_acl_revokes () =
+  let h = Hierarchy.create () in
+  let uid = make_segment h "s" in
+  (match check_both h ~subject:alice ~uid ~requested:Mode.rw with
+  | Some Policy.Permit -> ()
+  | _ -> Alcotest.fail "expected initial permit");
+  fs_ok "set_acl"
+    (Hierarchy.set_acl h ~subject:operator ~uid ~acl:(Acl.of_strings [ ("Initializer.*.*", "rew") ]));
+  match check_both h ~subject:alice ~uid ~requested:Mode.rw with
+  | Some (Policy.Refuse _) -> ()
+  | _ -> Alcotest.fail "ACL edit did not revoke the cached grant"
+
+let test_raw_set_label_revokes () =
+  let h = Hierarchy.create () in
+  let uid = make_segment h "s" in
+  ignore (check_both h ~subject:alice ~uid ~requested:Mode.r);
+  Alcotest.(check bool) "raw_set_label applies" true
+    (Hierarchy.raw_set_label h ~uid ~label:(Label.make Label.Top_secret [ "crypto" ]));
+  match check_both h ~subject:alice ~uid ~requested:Mode.r with
+  | Some (Policy.Refuse _) -> ()
+  | _ -> Alcotest.fail "label change did not revoke the cached grant"
+
+let test_delete_revokes () =
+  let h = Hierarchy.create () in
+  let uid = make_segment h "s" in
+  ignore (check_both h ~subject:alice ~uid ~requested:Mode.r);
+  ignore (fs_ok "delete" (Hierarchy.delete_entry h ~subject:operator ~dir:Uid.root ~name:"s"));
+  Alcotest.(check (option verdict)) "deleted object unanswerable" None
+    (Hierarchy.check_access h ~subject:alice ~uid ~requested:Mode.r)
+
+let test_set_brackets_applies_on_cached_path () =
+  (* Ring brackets are recomputed on every reference (as on the 6180),
+     so a bracket edit takes effect even while the policy verdict is
+     served from the cache. *)
+  let h = Hierarchy.create () in
+  let uid = make_segment h "s" in
+  (match check_both h ~subject:alice ~uid ~requested:Mode.r with
+  | Some Policy.Permit -> ()
+  | _ -> Alcotest.fail "expected initial permit");
+  fs_ok "set_brackets"
+    (Hierarchy.set_brackets h ~subject:operator ~uid ~brackets:(Brackets.make ~r1:1 ~r2:1 ~r3:1));
+  match check_both h ~subject:alice ~uid ~requested:Mode.r with
+  | Some (Policy.Refuse refusals) ->
+      Alcotest.(check bool) "refused by the ring check" true
+        (List.exists (function Policy.Ring_hardware _ -> true | _ -> false) refusals)
+  | _ -> Alcotest.fail "bracket edit did not take effect"
+
+let test_rename_keeps_parity () =
+  let h = Hierarchy.create () in
+  let uid = make_segment h "s" in
+  ignore (check_both h ~subject:alice ~uid ~requested:Mode.r);
+  ignore (fs_ok "rename" (Hierarchy.rename_entry h ~subject:operator ~dir:Uid.root ~name:"s" ~new_name:"t"));
+  ignore (check_both h ~subject:alice ~uid ~requested:Mode.r)
+
+(* ----- The salvager must invalidate cached verdicts ----- *)
+
+let test_salvage_invalidates_caches () =
+  Obs.set_enabled true;
+  let system = System.create Config.kernel_6180 in
+  ignore
+    (System.add_account system ~person:"Alice" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  let handle =
+    match System.login system ~person:"Alice" ~project:"Dev" ~password:"pw" with
+    | Ok h -> h
+    | Error e -> Alcotest.fail (System.login_error_to_string e)
+  in
+  let segno =
+    match
+      User_env.create_segment_at system ~handle ~path:">udd>Dev>Alice>scratch"
+        ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ])
+        ~label:Label.unclassified
+    with
+    | Ok segno -> segno
+    | Error e -> Alcotest.fail (User_env.error_to_string e)
+  in
+  (* Warm the per-process SDW associative memory and the policy cache. *)
+  (match Api.write_word system ~handle ~segno ~offset:0 ~value:7 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Api.error_to_string e));
+  (match Api.read_word system ~handle ~segno ~offset:0 with
+  | Ok 7 -> ()
+  | Ok v -> Alcotest.failf "unexpected word %d" v
+  | Error e -> Alcotest.fail (Api.error_to_string e));
+  let p = Option.get (System.proc system handle) in
+  Alcotest.(check bool) "assoc memory warmed" true (Hardware.Assoc.size p.System.assoc > 0);
+  let h = System.hierarchy system in
+  let subject = System.subject_of p in
+  let uid = fs_ok "resolve" (Hierarchy.resolve h ~subject ~path:">udd>Dev>Alice>scratch") in
+  (* Warm the policy cache: the second check is served from it. *)
+  ignore (Hierarchy.check_access h ~subject ~uid ~requested:Mode.r);
+  ignore (Hierarchy.check_access h ~subject ~uid ~requested:Mode.r);
+  let insertions_before = List.assoc "insertions" (Hierarchy.cache_stats h) in
+  ignore (Hierarchy.check_access h ~subject ~uid ~requested:Mode.r);
+  Alcotest.(check int) "warm check does not re-insert" insertions_before
+    (List.assoc "insertions" (Hierarchy.cache_stats h));
+  (match Api.Call.dispatch system ~handle Api.Call.Salvage with
+  | Ok (Api.Call.Salvaged _) -> ()
+  | Ok _ -> Alcotest.fail "unexpected salvage reply"
+  | Error e -> Alcotest.fail (Api.error_to_string e));
+  Alcotest.(check int) "assoc memory flushed by salvage" 0 (Hardware.Assoc.size p.System.assoc);
+  (* Every previously cached policy verdict is stale: the next check
+     must recompute and re-insert rather than replay a pre-salvage
+     grant. *)
+  (match Hierarchy.check_access h ~subject ~uid ~requested:Mode.r with
+  | Some Policy.Permit -> ()
+  | _ -> Alcotest.fail "expected permit after salvage");
+  let insertions_after = List.assoc "insertions" (Hierarchy.cache_stats h) in
+  Alcotest.(check bool) "post-salvage check re-derived its verdict" true
+    (insertions_after > insertions_before)
+
+(* ----- The 100-seed parity property -----
+
+   Random interleavings of mutations, revocations and flush storms;
+   after every step the cached path must agree with fresh
+   recomputation for sampled (subject, object, mode) triples. *)
+
+let lcg seed =
+  let state = ref (if seed <= 0 then 1 else seed) in
+  fun bound ->
+    state := !state * 48271 mod 0x7fffffff;
+    !state mod bound
+
+let parity_subjects =
+  [|
+    operator;
+    alice;
+    Policy.subject
+      ~principal:(Principal.make ~person:"Bob" ~project:"Ops" ~tag:"b")
+      ~clearance:(Label.make Label.Secret [ "crypto" ])
+      ~ring:(Ring.of_int 4) ();
+  |]
+
+let parity_acls =
+  [|
+    permissive_acl;
+    Acl.of_strings [ ("Alice.Dev.*", "rw"); ("Initializer.*.*", "rew") ];
+    Acl.of_strings [ ("*.*.*", "r"); ("Initializer.*.*", "rew") ];
+    Acl.of_strings [ ("Initializer.*.*", "rew") ];
+  |]
+
+let parity_labels =
+  [|
+    Label.unclassified;
+    Label.make Label.Confidential [];
+    Label.make Label.Secret [ "crypto" ];
+    Label.make Label.Top_secret [ "crypto"; "nuclear" ];
+  |]
+
+let parity_modes = [| Mode.r; Mode.rw; Mode.w; Mode.re |]
+
+let run_parity_seed seed =
+  let rand = lcg (seed + 1) in
+  let h = Hierarchy.create () in
+  let live = ref [] in
+  let fresh_name =
+    let n = ref 0 in
+    fun () -> incr n; Printf.sprintf "s%d_%d" seed !n
+  in
+  let storm = ref false in
+  (* The flush storm fires through the same probe the fault injector
+     uses; roughly one lookup in three while armed. *)
+  Hierarchy.set_cache_probe h (Some (fun () -> !storm && rand 3 = 0));
+  let create () =
+    if List.length !live < 10 then begin
+      let name = fresh_name () in
+      let uid =
+        fs_ok "create"
+          (Hierarchy.create_segment h ~subject:operator ~dir:Uid.root ~name
+             ~acl:parity_acls.(rand (Array.length parity_acls))
+             ~label:parity_labels.(rand (Array.length parity_labels)))
+      in
+      live := (name, uid) :: !live
+    end
+  in
+  create ();
+  let pick_live () = List.nth !live (rand (List.length !live)) in
+  let assert_parity () =
+    for _ = 1 to 4 do
+      let subject = parity_subjects.(rand (Array.length parity_subjects)) in
+      let _, uid = pick_live () in
+      let requested = parity_modes.(rand (Array.length parity_modes)) in
+      let fresh = Hierarchy.check_access_fresh h ~subject ~uid ~requested in
+      let cached = Hierarchy.check_access h ~subject ~uid ~requested in
+      if cached <> fresh then
+        Alcotest.failf "seed %d: cached verdict diverged from fresh recomputation" seed
+    done
+  in
+  for _step = 1 to 40 do
+    (match rand 10 with
+    | 0 | 1 -> create ()
+    | 2 ->
+        if List.length !live > 1 then begin
+          let name, _ = pick_live () in
+          ignore (fs_ok "delete" (Hierarchy.delete_entry h ~subject:operator ~dir:Uid.root ~name));
+          live := List.remove_assoc name !live
+        end
+    | 3 | 4 ->
+        let _, uid = pick_live () in
+        fs_ok "set_acl"
+          (Hierarchy.set_acl h ~subject:operator ~uid
+             ~acl:parity_acls.(rand (Array.length parity_acls)))
+    | 5 ->
+        let _, uid = pick_live () in
+        ignore
+          (Hierarchy.raw_set_label h ~uid ~label:parity_labels.(rand (Array.length parity_labels)))
+    | 6 ->
+        let name, uid = pick_live () in
+        let new_name = fresh_name () in
+        ignore
+          (fs_ok "rename"
+             (Hierarchy.rename_entry h ~subject:operator ~dir:Uid.root ~name ~new_name));
+        live := (new_name, uid) :: List.remove_assoc name !live
+    | 7 -> Hierarchy.invalidate_cached_verdicts h
+    | 8 -> Hierarchy.flush_cached_verdicts h
+    | _ -> storm := not !storm);
+    assert_parity ()
+  done;
+  (* Final full sweep, storm armed. *)
+  storm := true;
+  List.iter
+    (fun (_, uid) ->
+      Array.iter
+        (fun subject ->
+          Array.iter
+            (fun requested ->
+              let fresh = Hierarchy.check_access_fresh h ~subject ~uid ~requested in
+              let cached = Hierarchy.check_access h ~subject ~uid ~requested in
+              if cached <> fresh then
+                Alcotest.failf "seed %d: final sweep diverged" seed)
+            parity_modes)
+        parity_subjects)
+    !live
+
+let test_parity_100_seeds () =
+  for seed = 0 to 99 do
+    run_parity_seed seed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "avc: find/add basics" `Quick test_avc_basics;
+    Alcotest.test_case "avc: invalidate object" `Quick test_avc_invalidate_object;
+    Alcotest.test_case "avc: invalidate all" `Quick test_avc_invalidate_all;
+    Alcotest.test_case "avc: flush probe storms" `Quick test_avc_flush_probe;
+    Alcotest.test_case "avc: direct-mapped displacement" `Quick test_avc_direct_mapped_displacement;
+    Alcotest.test_case "avc: capacity rounds to power of two" `Quick test_avc_capacity_rounding;
+    Alcotest.test_case "avc: find_or_add computes once" `Quick test_avc_find_or_add;
+    Alcotest.test_case "avc: keys skip stale entries" `Quick test_avc_keys_skip_stale;
+    Alcotest.test_case "gen: dense and sparse object ids" `Quick test_gen_sparse_and_dense_ids;
+    Alcotest.test_case "revocation: set_acl" `Quick test_set_acl_revokes;
+    Alcotest.test_case "revocation: raw_set_label" `Quick test_raw_set_label_revokes;
+    Alcotest.test_case "revocation: delete" `Quick test_delete_revokes;
+    Alcotest.test_case "revocation: set_brackets on cached path" `Quick
+      test_set_brackets_applies_on_cached_path;
+    Alcotest.test_case "revocation: rename keeps parity" `Quick test_rename_keeps_parity;
+    Alcotest.test_case "salvage invalidates cached verdicts" `Quick test_salvage_invalidates_caches;
+    Alcotest.test_case "parity: 100 seeds incl. flush storms" `Quick test_parity_100_seeds;
+  ]

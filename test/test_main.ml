@@ -23,4 +23,5 @@ let () =
       ("properties", Property_test.suite);
       ("fault", Fault_test.suite);
       ("misc", Misc_test.suite);
+      ("cache", Cache_test.suite);
     ]
