@@ -222,6 +222,34 @@ let bench_verifier =
   Test.make ~name:"e14/exhaustive_verifier"
     (Staged.stage (fun () -> Multics_audit.Verifier.run_all ()))
 
+(* ----- E17: the traffic controller's dispatch path -----
+
+   One full MLF scheduling decision — select (with its aging pass),
+   quantum lookup, expiry demotion, re-enqueue — against a deep ready
+   backlog.  The [--smoke] gate below checks the same cycle stays
+   near-constant as the backlog grows 1000x: the dispatch path must be
+   O(1) in the number of ready processes. *)
+
+let sched_mlf_with_backlog n =
+  let m = Multics_sched.Sched.Mlf.create ~levels:4 ~base_quantum:4_000 ~age_after:1_000_000 in
+  for pid = 1 to n do
+    Multics_sched.Sched.Mlf.enqueue m ~now:0 pid
+  done;
+  m
+
+let sched_dispatch_cycle m =
+  match Multics_sched.Sched.Mlf.select m ~now:0 with
+  | None -> ()
+  | Some pid ->
+      ignore (Multics_sched.Sched.Mlf.quantum m pid);
+      Multics_sched.Sched.Mlf.expired m pid;
+      Multics_sched.Sched.Mlf.enqueue m ~now:0 pid
+
+let bench_sched_dispatch =
+  let m = sched_mlf_with_backlog 10_000 in
+  Test.make ~name:"e17/dispatch_10k_ready"
+    (Staged.stage (fun () -> sched_dispatch_cycle m))
+
 (* ----- Observability overhead -----
 
    The same full gate call ([Api.read_word]: process lookup, gate
@@ -319,6 +347,7 @@ let tests =
     bench_inventory_stages;
     bench_session_kernel;
     bench_verifier;
+    bench_sched_dispatch;
     bench_obs_gate_call_on;
     bench_obs_gate_call_off;
     bench_obs_counter_incr;
@@ -409,6 +438,34 @@ let smoke () =
     print_endline "bench smoke: FAIL — hit-heavy workload is not hitting the cache";
     exit 1
   end;
+  (* The dispatch path must not scale with the ready backlog: a full
+     MLF decision against 10,000 ready processes may cost at most a
+     small constant factor over the same decision against 10.  The
+     seed's O(P) dedicated-process scan would fail this gate. *)
+  let dispatch_iters = 200_000 in
+  let shallow = sched_mlf_with_backlog 10 in
+  let deep = sched_mlf_with_backlog 10_000 in
+  ignore (time_iters 10_000 (fun () -> sched_dispatch_cycle shallow));
+  ignore (time_iters 10_000 (fun () -> sched_dispatch_cycle deep));
+  let dispatch_pairs =
+    List.init trials (fun _ ->
+        let s = time_iters dispatch_iters (fun () -> sched_dispatch_cycle shallow) in
+        let d = time_iters dispatch_iters (fun () -> sched_dispatch_cycle deep) in
+        (s, d))
+  in
+  let shallow_t = median (List.map fst dispatch_pairs) in
+  let deep_t = median (List.map snd dispatch_pairs) in
+  let blowup = deep_t /. shallow_t in
+  let max_blowup = 20.0 in
+  Printf.printf
+    "bench smoke: dispatch with 10k ready %.1f ns/op vs 10 ready %.1f ns/op — x%.1f (allowed <= x%.0f)\n"
+    (deep_t *. 1e9 /. float_of_int dispatch_iters)
+    (shallow_t *. 1e9 /. float_of_int dispatch_iters)
+    blowup max_blowup;
+  if blowup > max_blowup then begin
+    print_endline "bench smoke: FAIL — scheduler dispatch is scaling with the ready backlog";
+    exit 1
+  end;
   print_endline "bench smoke: OK"
 
 let () =
@@ -419,7 +476,7 @@ let () =
     Obs.set_enabled true;
     print_bench_table results;
     print_newline ();
-    print_endline "=== Experiment tables (E1..E16 + ablations) ===";
+    print_endline "=== Experiment tables (E1..E17 + ablations) ===";
     print_newline ();
     print_string (Multics_experiments.Registry.render_all ());
     print_newline ()

@@ -59,6 +59,11 @@ let cmd_help () =
     \  quota PATH PAGES | bind NAME PATH | lookup NAME\n\
     \  stats [json|reset]      live kernel counters (gates, VM, IPC, fault.*, salvage.*,\n\
     \                          backup.*) plus cache hit ratios (policy/hw.assoc/vm.ptw)\n\
+    \                          and the traffic-controller section (queues, preemptions,\n\
+    \                          response-time p50/p99)\n\
+    \  sched status            traffic-controller policy + counters (via the Sched_status gate)\n\
+    \  sched tune PARAM VALUE  adjust cap | quantum | age_after (via the Sched_tune gate)\n\
+    \  sched demo [USERS]      run the deterministic timesharing workload, print latencies\n\
     \  cache status            decision-cache and associative-memory counters\n\
     \  cache clear             invalidate every cached access decision\n\
     \  fault plan SEED SPEC    install a fault plan, e.g. fault plan 7 gate.deny=every:5\n\
@@ -279,11 +284,34 @@ let say_cache_ratios () =
           hits total (get "invalidations") (get "flushes"))
     [ "policy"; "hw.assoc"; "vm.ptw" ]
 
+(* The scheduler section of [stats]: the traffic controller's live
+   counters and the response-time histogram the workload driver fills,
+   all out of the same global obs registry the section above uses. *)
+let say_sched_section () =
+  let get name = Obs.Counter.get (Obs.Registry.counter Obs.Registry.global ("sched." ^ name)) in
+  let dispatches = get "dispatches" in
+  say "traffic controller:";
+  if dispatches = 0 then say "  no dispatches yet (try: sched demo)"
+  else begin
+    say "  %-22s %d" "dispatches" dispatches;
+    say "  %-22s %d" "preemptions" (get "preemptions");
+    say "  %-22s %d" "quantum expiries" (get "quantum_expiries");
+    say "  %-22s %d" "eligibility stalls" (get "eligibility.stalls");
+    say "  %-22s %d" "aging promotions" (get "aging.promotions");
+    say "  %-22s %d ready / %d awaiting admission" "queue depths" (get "queue.ready")
+      (get "queue.admission");
+    let h = Obs.Registry.histogram Obs.Registry.global "sched.response.cycles" in
+    if Obs.Histogram.count h > 0 then
+      say "  %-22s p50 %d / p99 %d cycles (%d interactions)" "response time"
+        (Obs.Histogram.quantile h 0.5) (Obs.Histogram.quantile h 0.99) (Obs.Histogram.count h)
+  end
+
 let cmd_stats subcommand =
   match subcommand with
   | None ->
       say "%s" (Obs.Snapshot.to_text (Obs.Snapshot.capture ()));
-      say_cache_ratios ()
+      say_cache_ratios ();
+      say_sched_section ()
   | Some "json" -> say "%s" (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
   | Some "reset" ->
       Obs.Registry.reset Obs.Registry.global;
@@ -346,6 +374,53 @@ let cmd_cache shell args =
             | _ -> ())
       | _ -> say "usage: cache status | cache clear")
 
+(* The traffic-controller operator surface: status and tuning go
+   through the typed [Sched_status]/[Sched_tune] gates (mediated,
+   audited, metered); [sched demo] runs the deterministic timesharing
+   workload, prints its latency table, and registers the demo's
+   controller on this system so status/tune have a live target. *)
+let cmd_sched shell args =
+  let module Sched = Multics_sched.Sched in
+  let module Workload = Multics_sched.Workload in
+  match args with
+  | [ "status" ] ->
+      require_login shell (fun handle ->
+          match on_api shell "sched status" (Api.sched_status shell.system ~handle) with
+          | Some (policy, counters) ->
+              say "policy: %s" policy;
+              List.iter (fun (name, v) -> say "  %-22s %d" name v) counters
+          | None -> ())
+  | [ "tune"; param; value ] ->
+      require_login shell (fun handle ->
+          match int_of_string_opt value with
+          | None -> say "sched tune: not a number: %s" value
+          | Some value -> (
+              match
+                on_api shell "sched tune" (Api.sched_tune shell.system ~handle ~param ~value)
+              with
+              | Some () -> say "scheduler %s set to %d" param value
+              | None -> ()))
+  | "demo" :: rest -> (
+      let users = match rest with [ u ] -> int_of_string_opt u | _ -> Some 8 in
+      match users with
+      | None -> say "sched demo: not a number: %s" (List.hd rest)
+      | Some users ->
+          let spec = { Workload.default with users; policy = Workload.Use_mlf } in
+          let r = Workload.run spec in
+          say "timesharing demo: %d users, %s policy — %d interactions in %d cycles" users
+            r.Workload.r_policy r.Workload.r_completed r.Workload.r_cycles;
+          say "  %-22s %.2f interactions/Mcycle" "throughput" r.Workload.r_throughput;
+          say "  %-22s p50 %.0f / p99 %.0f cycles" "response time"
+            r.Workload.r_response.Multics_util.Stats.p50 r.Workload.r_response.Multics_util.Stats.p99;
+          say "  %-22s %d" "page faults" r.Workload.r_page_faults;
+          List.iter (fun (name, v) -> say "  %-22s %d" ("sched." ^ name) v) r.Workload.r_sched;
+          (* Leave a live controller registered so sched status/tune
+             against THIS system's gates have a target. *)
+          let sim = Multics_proc.Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:2 in
+          Sched.register (Sched.create sim) shell.system;
+          say "controller registered (try: sched status, sched tune cap 4)")
+  | _ -> say "usage: sched status | sched tune PARAM VALUE | sched demo [USERS]"
+
 let cmd_salvage shell =
   require_login shell (fun handle ->
       match
@@ -390,6 +465,7 @@ let execute shell line =
   | [ "bind"; name; path ] -> cmd_bind shell name path
   | [ "lookup"; name ] -> cmd_lookup shell name
   | "fault" :: args -> cmd_fault shell args
+  | "sched" :: args -> cmd_sched shell args
   | "cache" :: args -> cmd_cache shell args
   | [ "salvage" ] -> cmd_salvage shell
   | [ "gates" ] -> cmd_gates shell

@@ -87,6 +87,64 @@ let run config =
     perturbations;
   r
 
+(* --- Act two: the traffic controller ---
+
+   The same timesharing idea, now driven through lib/sched: interactive
+   sessions thinking at terminals, absentee jobs, and daemons,
+   multiplexed by the Multics multi-level-feedback controller under a
+   working-set eligibility cap.  Prints the E17-style latency table. *)
+
+let scheduled_run users =
+  let open Multics_sched in
+  Workload.run
+    {
+      Workload.default with
+      seed = 1965;
+      users;
+      interactions = 3;
+      think = 25_000;
+      service = 1_500;
+      working_set = 3;
+      batch = 2;
+      daemons = 1;
+      vps = 2;
+    }
+
+let traffic_controller_act () =
+  print_endline "\n--- The traffic controller: response time vs load (MLF, H6180) ---";
+  let open Multics_sched in
+  let t =
+    Multics_util.Table.create ~title:"interactive response time by user count"
+      ~columns:
+        [
+          ("users", Multics_util.Table.Right);
+          ("done", Multics_util.Table.Right);
+          ("inter/Mcyc", Multics_util.Table.Right);
+          ("resp p50", Multics_util.Table.Right);
+          ("resp p90", Multics_util.Table.Right);
+          ("resp p99", Multics_util.Table.Right);
+          ("preempt", Multics_util.Table.Right);
+          ("faults", Multics_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun users ->
+      let r = scheduled_run users in
+      let stat name = try List.assoc name r.Workload.r_sched with Not_found -> 0 in
+      Multics_util.Table.add_row t
+        [
+          string_of_int users;
+          string_of_int r.Workload.r_completed;
+          Multics_util.Table.fmt_float ~decimals:2 r.Workload.r_throughput;
+          Multics_util.Table.fmt_float ~decimals:0 r.Workload.r_response.Multics_util.Stats.p50;
+          Multics_util.Table.fmt_float ~decimals:0 r.Workload.r_response.Multics_util.Stats.p90;
+          Multics_util.Table.fmt_float ~decimals:0 r.Workload.r_response.Multics_util.Stats.p99;
+          string_of_int (stat "preemptions");
+          string_of_int r.Workload.r_page_faults;
+        ])
+    [ 2; 8; 32 ];
+  print_endline (Multics_util.Table.render t)
+
 let () =
   print_endline "Four MIT users timesharing the simulated system, on three kernels.";
   let baseline = run Config.baseline_645 in
@@ -103,4 +161,5 @@ let () =
     (100.0 *. baseline.Session.security_overhead)
     (100.0 *. reviewed.Session.security_overhead)
     (100.0 *. kernel.Session.security_overhead)
-    kernel.Session.total_gate_calls reviewed.Session.total_gate_calls
+    kernel.Session.total_gate_calls reviewed.Session.total_gate_calls;
+  traffic_controller_act ()

@@ -50,6 +50,8 @@ type error =
   | Not_authorized of string
   | Fault_injected of { site : string; operation : string }
   | Bad_fault_plan of string
+  | No_scheduler
+  | Bad_tune of string
 
 (* ----- Structured error rendering -----
 
@@ -74,6 +76,8 @@ let pp ppf = function
   | Fault_injected { site; operation } ->
       Fmt.pf ppf "injected fault at %s aborted %s" site operation
   | Bad_fault_plan detail -> Fmt.pf ppf "bad fault plan: %s" detail
+  | No_scheduler -> Fmt.string ppf "no traffic controller is registered"
+  | Bad_tune detail -> Fmt.pf ppf "bad scheduler tuning: %s" detail
 
 let error_to_string e = Fmt.str "%a" pp e
 
@@ -114,6 +118,8 @@ let error_to_json e =
   | Fault_injected { site; operation } ->
       kind "fault-injected" [ ("site", json_str site); ("operation", json_str operation) ]
   | Bad_fault_plan detail -> kind "bad-fault-plan" [ ("detail", json_str detail) ]
+  | No_scheduler -> kind "no-scheduler" []
+  | Bad_tune detail -> kind "bad-tune" [ ("detail", json_str detail) ]
 
 let ( let* ) r f = Result.bind r f
 
@@ -420,6 +426,9 @@ module Call = struct
     | Probe_access of { segno : int; requested : Mode.t }
     | Cache_status
     | Cache_clear
+    (* traffic controller (operator/hardware surface) *)
+    | Sched_status
+    | Sched_tune of { param : string; value : int }
 
   type reply =
     | Done
@@ -440,6 +449,7 @@ module Call = struct
     | Salvaged of Salvager.report
     | Probed of Policy.verdict
     | Cache_report of { policy : (string * int) list; assoc : (string * int) list }
+    | Sched_report of { policy : string; counters : (string * int) list }
 
   type response = (reply, error) result
 
@@ -499,6 +509,8 @@ module Call = struct
     | Probe_access _ -> "probe_access"
     | Cache_status -> "cache_status"
     | Cache_clear -> "cache_clear"
+    | Sched_status -> "sched_status"
+    | Sched_tune _ -> "sched_tune"
 
   let dispatch system ~handle (request : request) : response =
     match request with
@@ -961,6 +973,28 @@ module Call = struct
         call_hardware system ~handle ~operation:"cache_clear" ~target:"caches" (fun _p ->
             System.invalidate_caches system;
             Ok Done)
+    (* ----- Traffic controller -----
+
+       Operator surface, like fault and cache control.  Tuning moves
+       mechanism parameters (quantum, eligibility cap) and can only
+       change WHEN work runs, never what it is allowed to touch —
+       mediation stays schedule-invariant (experiment E17's oracle). *)
+    | Sched_status ->
+        call_hardware system ~handle ~operation:"sched_status" ~target:"scheduler" (fun _p ->
+            match System.scheduler system with
+            | None -> Error No_scheduler
+            | Some sc ->
+                Ok (Sched_report { policy = sc.System.sc_policy (); counters = sc.System.sc_counters () }))
+    | Sched_tune { param; value } ->
+        call_hardware system ~handle ~operation:"sched_tune"
+          ~target:(Printf.sprintf "%s=%d" param value)
+          (fun _p ->
+            match System.scheduler system with
+            | None -> Error No_scheduler
+            | Some sc -> (
+                match sc.System.sc_tune ~param ~value with
+                | Ok () -> Ok Done
+                | Error detail -> Error (Bad_tune detail)))
 end
 
 (* ----- Legacy per-gate functions: thin wrappers over [Call.dispatch] -----
@@ -1230,3 +1264,14 @@ let cache_status system ~handle =
 
 let cache_clear system ~handle =
   expect_done "cache_clear" (Call.dispatch system ~handle Call.Cache_clear)
+
+(* ----- Traffic controller ----- *)
+
+let sched_status system ~handle =
+  match Call.dispatch system ~handle Call.Sched_status with
+  | Ok (Call.Sched_report { policy; counters }) -> Ok (policy, counters)
+  | Error e -> Error e
+  | Ok _ -> mismatch "sched_status"
+
+let sched_tune system ~handle ~param ~value =
+  expect_done "sched_tune" (Call.dispatch system ~handle (Call.Sched_tune { param; value }))

@@ -26,6 +26,8 @@ type error =
       (** an injected fault denied, aborted, or gave up on the call —
           always a refusal, never a grant *)
   | Bad_fault_plan of string
+  | No_scheduler  (** no traffic controller registered with the system *)
+  | Bad_tune of string  (** the scheduler rejected a tuning parameter or value *)
 
 val error_to_string : error -> string
 
@@ -276,6 +278,24 @@ val cache_status :
 
 val cache_clear : System.t -> handle:int -> (unit, error) result
 
+(** {1 Traffic-controller inspection and tuning}
+
+    Operator surface, like fault and cache control.  Tuning moves
+    mechanism parameters (quantum, eligibility cap) and can only change
+    {e when} work runs, never what it may touch — reference-monitor
+    decisions and audit totals are schedule-invariant (experiment E17's
+    parity oracle).  Refused with {!No_scheduler} until a traffic
+    controller registers via {!System.register_scheduler}. *)
+
+val sched_status :
+  System.t -> handle:int -> (string * (string * int) list, error) result
+(** [(active policy name, live scheduler counters)]. *)
+
+val sched_tune :
+  System.t -> handle:int -> param:string -> value:int -> (unit, error) result
+(** Set a mechanism parameter (["cap"], ["quantum"], ["age_after"]);
+    {!Bad_tune} explains a rejected parameter or value. *)
+
 (** {1 The typed gate-call surface}
 
     One request constructor per supervisor entry point; {!Call.dispatch}
@@ -349,6 +369,8 @@ module Call : sig
     | Probe_access of { segno : int; requested : Mode.t }
     | Cache_status
     | Cache_clear
+    | Sched_status
+    | Sched_tune of { param : string; value : int }
 
   type reply =
     | Done
@@ -369,6 +391,7 @@ module Call : sig
     | Salvaged of Salvager.report
     | Probed of Policy.verdict
     | Cache_report of { policy : (string * int) list; assoc : (string * int) list }
+    | Sched_report of { policy : string; counters : (string * int) list }
 
   type response = (reply, error) result
 

@@ -77,6 +77,17 @@ type t = {
   clock : Clock.t;  (** system-level time: device retries, journal stamps *)
   mutable faults : Multics_fault.Fault.Injector.t option;
   mutable crash_journal : journal_entry list;  (** reversed *)
+  mutable scheduler : scheduler_control option;
+}
+
+(* The traffic controller registers itself through a neutral record of
+   closures — lib/sched sits above this library, so the Sched_status /
+   Sched_tune gates reach it without a layering inversion (the same
+   trick Sim uses for dispatch). *)
+and scheduler_control = {
+  sc_policy : unit -> string;
+  sc_counters : unit -> (string * int) list;
+  sc_tune : param:string -> value:int -> (unit, string) result;
 }
 
 let initializer_principal = Principal.system_daemon
@@ -118,6 +129,10 @@ let set_faults t faults =
        faults)
 
 let faults t = t.faults
+
+let register_scheduler t control = t.scheduler <- control
+
+let scheduler t = t.scheduler
 
 let fault_fires t site =
   match t.faults with
@@ -165,6 +180,7 @@ let create config =
       clock = Clock.create ();
       faults = None;
       crash_journal = [];
+      scheduler = None;
     }
   in
   let sys_acl = Acl.of_strings [ ("Initializer.*.*", "rew"); ("*.*.*", "r") ] in

@@ -72,6 +72,24 @@ val faults : t -> Multics_fault.Fault.Injector.t option
 val fault_fires : t -> Multics_fault.Fault.site -> bool
 (** Consult the active plan at a site (false when no plan). *)
 
+(** {1 The traffic controller}
+
+    [lib/sched] sits above this library, so the scheduler registers
+    itself through a neutral record of closures — the [Sched_status]
+    and [Sched_tune] gates reach it without a layering inversion. *)
+
+type scheduler_control = {
+  sc_policy : unit -> string;  (** active policy name (["mlf"], ["fifo"], ...) *)
+  sc_counters : unit -> (string * int) list;  (** live counters, sorted by name *)
+  sc_tune : param:string -> value:int -> (unit, string) result;
+      (** adjust a mechanism parameter (["cap"], ["quantum"], ["age_after"]);
+          [Error] explains a rejected parameter or value *)
+}
+
+val register_scheduler : t -> scheduler_control option -> unit
+
+val scheduler : t -> scheduler_control option
+
 type journal_entry = {
   time : int;
   handle : int;

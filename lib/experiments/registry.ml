@@ -108,6 +108,12 @@ let all =
       render = E16_avc.render;
     };
     {
+      id = E17_timesharing.id;
+      title = E17_timesharing.title;
+      paper_claim = E17_timesharing.paper_claim;
+      render = E17_timesharing.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

@@ -26,6 +26,7 @@ type site =
   | Proc_crash
   | Backup_tape
   | Cache_flush
+  | Sched_preempt
 
 let all_sites =
   [
@@ -40,6 +41,7 @@ let all_sites =
     Proc_crash;
     Backup_tape;
     Cache_flush;
+    Sched_preempt;
   ]
 
 let site_name = function
@@ -54,6 +56,7 @@ let site_name = function
   | Proc_crash -> "proc.crash"
   | Backup_tape -> "backup.tape"
   | Cache_flush -> "cache.flush"
+  | Sched_preempt -> "sched.preempt_storm"
 
 let site_of_name name = List.find_opt (fun s -> String.equal (site_name s) name) all_sites
 

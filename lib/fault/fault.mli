@@ -31,6 +31,10 @@ type site =
       (** the access-decision cache spontaneously flushes (storm-tests
           that invalidation is a performance event, never a
           correctness event) *)
+  | Sched_preempt
+      (** the traffic controller clamps the running quantum to a sliver,
+          forcing a preemption storm — pure extra process-switch cost;
+          dispatch order may churn but mediation is schedule-invariant *)
 
 val all_sites : site list
 

@@ -1,5 +1,12 @@
-(** Deterministic time-ordered event queue (min-heap; ties fire in
-    insertion order). *)
+(** Deterministic time-ordered event queue.
+
+    A binary min-heap keyed on [(time, insertion sequence)]: events at
+    equal timestamps fire in exactly the order they were pushed.  This
+    stability is load-bearing, not cosmetic — the traffic controller's
+    schedule-invariance oracle (experiment E17) compares audit trails
+    bit-for-bit across scheduling policies, which is only meaningful if
+    the substrate never reorders simultaneous events on its own.
+    Checked by the 100-seed stability property in [test/sched_test]. *)
 
 type 'a t
 
@@ -13,4 +20,4 @@ val push : 'a t -> time:int -> 'a -> unit
 val peek_time : 'a t -> int option
 
 val pop : 'a t -> (int * 'a) option
-(** Earliest event; ties in insertion order. *)
+(** Earliest event; ties fire strictly in insertion order (stable). *)

@@ -58,11 +58,33 @@ type process = {
   mutable extra_delay : int;  (** cycles stolen by inline interrupt handling *)
   mutable perturbation_count : int;
   mutable failure : string option;
+  mutable compute_left : int;  (** cycles still owed on the current [compute] *)
+  mutable slice : int;  (** length of the slice currently on the event queue *)
+  mutable quantum_left : int option;  (** remaining quantum this dispatch; None = unlimited *)
 }
 
 type vp = { vp_id : int; mutable current : pid option; mutable reserved : bool }
 
-type event = Start of pid | Resume of pid | Thunk of (unit -> unit)
+type event = Start of pid | Resume of pid | Slice of pid | Thunk of (unit -> unit)
+
+(* The traffic controller lives ABOVE this library (lib/sched), so
+   layer 2 consults it through a neutral record of closures.  With no
+   scheduler installed, layer 2 falls back to the original FIFO ready
+   queue with unlimited quanta — byte-for-byte the seed behaviour.
+   Dedicated processes (reserved VPs) never pass through the scheduler:
+   they are the kernel mechanisms the traffic controller itself relies
+   on, and preempting them could deadlock page control. *)
+type scheduler = {
+  sched_name : string;
+  sched_enqueue : pid -> unit;  (** a process became ready (spawn or counted wakeup) *)
+  sched_select : unit -> pid option;  (** pick the next process for a free VP *)
+  sched_quantum : pid -> int option;  (** quantum for this dispatch; None = run to block *)
+  sched_quantum_expired : pid -> preempted:bool -> unit;
+      (** the quantum ran out; [preempted] iff compute was still owed *)
+  sched_blocked : pid -> unit;  (** the process surrendered its VP to wait *)
+  sched_retired : pid -> unit;  (** the process terminated *)
+  sched_backlog : unit -> int;  (** ready + admission-stalled processes it holds *)
+}
 
 type t = {
   clock : Clock.t;
@@ -70,6 +92,9 @@ type t = {
   events : event Event_queue.t;
   procs : (pid, process) Hashtbl.t;
   mutable ready : pid Multics_util.Fqueue.t;
+  mutable ready_dedicated : pid Multics_util.Fqueue.t;
+      (** dedicated processes awaiting their reserved VP; kept apart so
+          finding one is O(1), not a scan of the whole process table *)
   vps : vp array;
   mutable free_vps : int list;  (** shared idle VPs, lowest id first *)
   mutable next_pid : int;
@@ -77,6 +102,7 @@ type t = {
   mutable trace : (int * string) list;  (** reversed *)
   mutable trace_enabled : bool;
   mutable faults : Multics_fault.Fault.Injector.t option;
+  mutable scheduler : scheduler option;
   counters : Multics_util.Stats.Counters.t;
 }
 
@@ -97,6 +123,7 @@ let create ~cost ~virtual_processors =
     events = Event_queue.create ();
     procs = Hashtbl.create 64;
     ready = Multics_util.Fqueue.empty;
+    ready_dedicated = Multics_util.Fqueue.empty;
     vps = Array.init virtual_processors (fun vp_id -> { vp_id; current = None; reserved = false });
     free_vps = List.init virtual_processors (fun i -> i);
     next_pid = 1;
@@ -104,10 +131,17 @@ let create ~cost ~virtual_processors =
     trace = [];
     trace_enabled = false;
     faults = None;
+    scheduler = None;
     counters = Multics_util.Stats.Counters.create ();
   }
 
 let set_faults t injector = t.faults <- injector
+
+let fault_injector t = t.faults
+
+let set_scheduler t scheduler = t.scheduler <- scheduler
+
+let scheduler_installed t = Option.map (fun s -> s.sched_name) t.scheduler
 
 let now t = Clock.now t.clock
 
@@ -163,9 +197,27 @@ let bind_to_vp t p vp =
   vp.current <- Some p.pid;
   p.state <- Running;
   Multics_util.Stats.Counters.incr t.counters "dispatches";
+  (* A fresh quantum per dispatch; dedicated kernel processes run
+     unclocked even under a traffic controller. *)
+  (match t.scheduler with
+  | Some s when p.dedicated_vp = None -> p.quantum_left <- s.sched_quantum p.pid
+  | _ -> p.quantum_left <- None);
   let start_time = now t + t.cost.Cost.process_switch in
   let event = match p.cont with None -> Start p.pid | Some _ -> Resume p.pid in
   Event_queue.push t.events ~time:start_time event
+
+(* The next runnable process: the traffic controller's choice when one
+   is installed, the plain FIFO ready queue otherwise.  Only called
+   with a VP in hand — selection removes the pid from its queue. *)
+let next_ready t =
+  match t.scheduler with
+  | Some s -> s.sched_select ()
+  | None -> (
+      match Multics_util.Fqueue.pop t.ready with
+      | Some (pid, rest) ->
+          t.ready <- rest;
+          Some pid
+      | None -> None)
 
 let rec dispatch t =
   match p_dedicated_waiting t with
@@ -173,45 +225,43 @@ let rec dispatch t =
       bind_to_vp t p vp;
       dispatch t
   | None -> (
-      match (Multics_util.Fqueue.pop t.ready, t.free_vps) with
-      | Some (pid, rest), vp_id :: vps ->
-          let p = proc t pid in
-          t.ready <- rest;
-          (* A woken process may have terminated meanwhile only via
-             simulator misuse; states here are Ready by construction. *)
-          t.free_vps <- vps;
-          bind_to_vp t p t.vps.(vp_id);
-          dispatch t
-      | _, _ -> ())
+      match t.free_vps with
+      | [] -> ()
+      | vp_id :: vps -> (
+          match next_ready t with
+          | None -> ()
+          | Some pid ->
+              let p = proc t pid in
+              (* A woken process may have terminated meanwhile only via
+                 simulator misuse; states here are Ready by construction. *)
+              t.free_vps <- vps;
+              bind_to_vp t p t.vps.(vp_id);
+              dispatch t))
 
 (* Dedicated processes bypass the shared ready queue: their VP is
-   reserved, so a ready dedicated process binds immediately. *)
+   reserved for them alone, so a ready dedicated process binds
+   immediately — its VP cannot be held by anyone else. *)
 and p_dedicated_waiting t =
-  let ready_on_reserved acc vp =
-    match acc with
-    | Some _ -> acc
-    | None -> (
-        match vp.current with
-        | Some _ -> None
-        | None ->
-            if not vp.reserved then None
-            else
-              Hashtbl.fold
-                (fun _ p acc ->
-                  match acc with
-                  | Some _ -> acc
-                  | None ->
-                      if p.dedicated_vp = Some vp.vp_id && p.state = Ready then Some (p, vp)
-                      else None)
-                t.procs None)
-  in
-  Array.fold_left ready_on_reserved None t.vps
+  match Multics_util.Fqueue.pop t.ready_dedicated with
+  | None -> None
+  | Some (pid, rest) -> (
+      t.ready_dedicated <- rest;
+      let p = proc t pid in
+      match p.dedicated_vp with
+      | Some vp_id when p.state = Ready && t.vps.(vp_id).current = None ->
+          Some (p, t.vps.(vp_id))
+      | _ -> p_dedicated_waiting t (* stale entry *))
+
+let enqueue_ready t p =
+  match t.scheduler with
+  | Some s -> s.sched_enqueue p.pid
+  | None -> t.ready <- Multics_util.Fqueue.push t.ready p.pid
 
 let make_ready t p =
   p.state <- Ready;
   (match p.dedicated_vp with
-  | Some _ -> ()
-  | None -> t.ready <- Multics_util.Fqueue.push t.ready p.pid);
+  | Some _ -> t.ready_dedicated <- Multics_util.Fqueue.push t.ready_dedicated p.pid
+  | None -> enqueue_ready t p);
   dispatch t
 
 let release_vp t p =
@@ -255,6 +305,9 @@ let spawn ?(ring = Ring.user) ?(dedicated = false) t ~name body =
       extra_delay = 0;
       perturbation_count = 0;
       failure = None;
+      compute_left = 0;
+      slice = 0;
+      quantum_left = None;
     }
   in
   Hashtbl.replace t.procs pid p;
@@ -298,11 +351,27 @@ let yield () = Effect.perform (Compute 1)
 
 (* ----- Execution engine ----- *)
 
+(* Cut the owed compute into slices no longer than the remaining
+   quantum.  The continuation stays parked in [cont] until the final
+   slice lands with the quantum intact. *)
+let schedule_slice t p =
+  let chunk =
+    match p.quantum_left with
+    | Some q when q < p.compute_left -> max 1 q
+    | _ -> p.compute_left
+  in
+  p.slice <- chunk;
+  Event_queue.push t.events ~time:(now t + chunk) (Slice p.pid)
+
 let terminate t p =
   p.state <- Terminated;
   p.cont <- None;
+  p.compute_left <- 0;
   Multics_util.Stats.Counters.incr t.counters "terminations";
   tracef t "exit %s" p.pname;
+  (match t.scheduler with
+  | Some s when p.dedicated_vp = None -> s.sched_retired p.pid
+  | _ -> ());
   broadcast t p.exit_chan;
   release_vp t p
 
@@ -331,7 +400,8 @@ let handler_for t p : (unit, unit) Effect.Deep.handler =
                     Effect.Deep.discontinue k Process_crashed
                 | _ ->
                     p.cont <- Some k;
-                    Event_queue.push t.events ~time:(now t + cycles) (Resume p.pid))
+                    p.compute_left <- cycles;
+                    schedule_slice t p)
         | Block_on chan ->
             Some
               (fun (k : (c, unit) Effect.Deep.continuation) ->
@@ -349,6 +419,9 @@ let handler_for t p : (unit, unit) Effect.Deep.handler =
                   p.cont <- Some k;
                   chan.waiters <- Multics_util.Fqueue.push chan.waiters p.pid;
                   tracef t "%s blocks on %s" p.pname chan.chan_name;
+                  (match t.scheduler with
+                  | Some s when p.dedicated_vp = None -> s.sched_blocked p.pid
+                  | _ -> ());
                   release_vp t p
                 end)
         | _ -> None);
@@ -360,17 +433,49 @@ let resume_process t p =
   match p.cont with
   | None -> ()
   | Some k ->
-      p.cont <- None;
       (* Inline interrupt handling steals victim cycles: consume any
          accumulated perturbation before the process continues. *)
       if p.extra_delay > 0 then begin
         let delay = p.extra_delay in
         p.extra_delay <- 0;
         p.cycles_used <- p.cycles_used + delay;
-        p.cont <- Some k;
         Event_queue.push t.events ~time:(now t + delay) (Resume p.pid)
       end
-      else Effect.Deep.continue k ()
+      else if p.compute_left > 0 then
+        (* Rebound after a preemption: burn the owed cycles in fresh
+           quantum slices before the body continues. *)
+        schedule_slice t p
+      else begin
+        p.cont <- None;
+        Effect.Deep.continue k ()
+      end
+
+(* The quantum ran out with compute still owed: unbind the processor
+   and hand the process back to the traffic controller.  The
+   continuation stays parked; only timing changes, never results. *)
+let preempt t p =
+  Multics_util.Stats.Counters.incr t.counters "preemptions";
+  tracef t "preempt %s (%d cycles owed)" p.pname p.compute_left;
+  p.state <- Ready;
+  (match p.dedicated_vp with Some _ -> () | None -> enqueue_ready t p);
+  release_vp t p
+
+let slice_done t p =
+  if p.state = Running then begin
+    p.compute_left <- p.compute_left - p.slice;
+    (match p.quantum_left with
+    | Some q -> p.quantum_left <- Some (q - p.slice)
+    | None -> ());
+    let expired = match p.quantum_left with Some q -> q <= 0 | None -> false in
+    if expired then begin
+      Multics_util.Stats.Counters.incr t.counters "quantum_expiries";
+      match t.scheduler with
+      | Some s when p.dedicated_vp = None ->
+          s.sched_quantum_expired p.pid ~preempted:(p.compute_left > 0)
+      | _ -> ()
+    end;
+    if p.compute_left > 0 then preempt t p else resume_process t p
+  end
 
 (* Charge [cycles] to a process from outside (inline interrupt
    discipline).  Takes effect when the process next resumes. *)
@@ -402,6 +507,7 @@ let step t =
       (match event with
       | Start pid -> start_process t (proc t pid)
       | Resume pid -> resume_process t (proc t pid)
+      | Slice pid -> slice_done t (proc t pid)
       | Thunk thunk -> thunk ());
       true
 
@@ -428,4 +534,9 @@ let blocked_pids t =
     t.procs []
   |> List.sort Int.compare
 
-let quiescent t = Event_queue.is_empty t.events && Multics_util.Fqueue.is_empty t.ready
+let reschedule t = dispatch t
+
+let quiescent t =
+  Event_queue.is_empty t.events
+  && Multics_util.Fqueue.is_empty t.ready
+  && match t.scheduler with None -> true | Some s -> s.sched_backlog () = 0

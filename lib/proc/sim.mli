@@ -28,6 +28,55 @@ val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
 (** Install (or clear) a fault injector.  The only site the simulator
     itself consults is [Proc_crash], checked at every [compute]. *)
 
+val fault_injector : t -> Multics_fault.Fault.Injector.t option
+(** The installed injector, so subsystems riding on the simulator (the
+    traffic controller's [sched.preempt_storm] site) share one plan. *)
+
+(** {1 The traffic controller hook}
+
+    [lib/sched] lives above this library, so layer 2 consults the
+    traffic controller through a neutral record of closures.  With no
+    scheduler installed, dispatch falls back to the original FIFO ready
+    queue with unlimited quanta — exactly the seed behaviour.
+    Dedicated processes (reserved VPs) never pass through the
+    scheduler: they are the kernel mechanisms the controller itself
+    relies on, and preempting them could deadlock page control.
+
+    Preemption only reorders and delays work; a preempted process keeps
+    its parked continuation and owed cycles, and continues unchanged
+    when next dispatched.  The scheduler therefore cannot perturb any
+    computed result — only timing. *)
+
+type scheduler = {
+  sched_name : string;
+  sched_enqueue : pid -> unit;
+      (** a process became ready (spawn or counted wakeup) *)
+  sched_select : unit -> pid option;
+      (** pick (and dequeue) the next process for a free VP *)
+  sched_quantum : pid -> int option;
+      (** quantum for this dispatch; [None] = run until block *)
+  sched_quantum_expired : pid -> preempted:bool -> unit;
+      (** the quantum ran out; [preempted] iff compute was still owed *)
+  sched_blocked : pid -> unit;  (** the process surrendered its VP to wait *)
+  sched_retired : pid -> unit;  (** the process terminated *)
+  sched_backlog : unit -> int;
+      (** ready + admission-stalled processes held by the scheduler;
+          consulted by {!quiescent} *)
+}
+
+val set_scheduler : t -> scheduler option -> unit
+(** Install (or remove) a traffic controller.  Install it before
+    spawning the processes it is to manage: already-queued processes
+    stay in the fallback FIFO queue. *)
+
+val scheduler_installed : t -> string option
+(** [sched_name] of the installed controller, if any. *)
+
+val reschedule : t -> unit
+(** Re-run dispatch: bind ready processes to free VPs.  Call after an
+    external change makes new processes selectable (e.g. the traffic
+    controller admitted a stalled process when eligibility freed up). *)
+
 val now : t -> int
 (** Simulated time in cycles. *)
 

@@ -1,0 +1,280 @@
+(* The multi-user timesharing workload driver.
+
+   Everything a session does — think times, page touches, which gate
+   it calls, whether that call is one the monitor will refuse — is
+   drawn from a Prng stream keyed by (seed, role.index) or derived
+   from the interaction number.  The schedule decides only WHEN those
+   demands execute.  E17 leans on exactly that split: the audit-trail
+   digest must come out identical under every scheduling policy. *)
+
+module Sim = Multics_proc.Sim
+module Obs = Multics_obs.Obs
+module Fault = Multics_fault.Fault
+module Memory = Multics_mm.Memory
+module Page_id = Multics_mm.Page_id
+module Page_control = Multics_vm.Page_control
+module System = Multics_kernel.System
+module Api = Multics_kernel.Api
+module Config = Multics_kernel.Config
+module Audit_log = Multics_kernel.Audit_log
+module Prng = Multics_util.Prng
+module Stats = Multics_util.Stats
+module Cost = Multics_machine.Cost
+module Label = Multics_access.Label
+
+let obs_response = Obs.Registry.histogram Obs.Registry.global "sched.response.cycles"
+
+type policy_choice = Use_mlf | Use_fifo | Use_external
+
+let policy_choice_name = function
+  | Use_mlf -> "mlf"
+  | Use_fifo -> "fifo"
+  | Use_external -> "external"
+
+let policy_choice_of_string = function
+  | "mlf" -> Some Use_mlf
+  | "fifo" -> Some Use_fifo
+  | "external" -> Some Use_external
+  | _ -> None
+
+type spec = {
+  seed : int;
+  users : int;
+  interactions : int;
+  think : int;
+  service : int;
+  working_set : int;
+  passes : int;
+  batch : int;
+  batch_chunks : int;
+  batch_chunk : int;
+  daemons : int;
+  gate_calls : bool;
+  vps : int;
+  core : int;
+  bulk : int;
+  disk : int;
+  cap : int;
+  policy : policy_choice;
+  fault_spec : string;
+  cost : Cost.t;
+}
+
+let default =
+  {
+    seed = 42;
+    users = 8;
+    interactions = 4;
+    think = 20_000;
+    service = 2_000;
+    working_set = 4;
+    passes = 3;
+    batch = 2;
+    batch_chunks = 6;
+    batch_chunk = 4_000;
+    daemons = 1;
+    gate_calls = true;
+    vps = 2;
+    core = 0;
+    bulk = 0;
+    disk = 0;
+    cap = 0;
+    policy = Use_mlf;
+    fault_spec = "";
+    cost = Cost.h6180;
+  }
+
+type result = {
+  r_policy : string;
+  r_users : int;
+  r_completed : int;
+  r_response : Stats.summary;
+  r_batch_turnaround : Stats.summary;
+  r_cycles : int;
+  r_throughput : float;
+  r_page_faults : int;
+  r_sched : (string * int) list;
+  r_audit_granted : int;
+  r_audit_refused : int;
+  r_signature : int;
+}
+
+let make_policy = function
+  | Use_mlf -> Sched.default_mlf
+  | Use_fifo -> Sched.Fifo
+  | Use_external -> Sched.External (Sched.user_ring_mlf ())
+
+(* Order-independent digest of the audit trail: the record multiset
+   (seq numbers excluded — assignment order IS the schedule), sorted
+   and folded through djb2.  Equal digests <=> mediation emitted the
+   same decisions, whatever order the scheduler ran things in. *)
+let mediation_signature system =
+  let verdict_str = function
+    | Audit_log.Granted -> "granted"
+    | Audit_log.Refused why -> "refused:" ^ why
+  in
+  Audit_log.records (System.audit system)
+  |> List.map (fun (r : Audit_log.record) ->
+         Printf.sprintf "%s|%d|%s|%s|%s" r.subject r.ring r.operation r.target
+           (verdict_str r.verdict))
+  |> List.sort String.compare
+  |> List.fold_left
+       (fun h s ->
+         let h = ref h in
+         String.iter (fun c -> h := ((!h * 33) + Char.code c) land 0x3FFF_FFFF) s;
+         (!h * 33) land 0x3FFF_FFFF)
+       5381
+
+let run spec =
+  if spec.users < 0 || spec.batch < 0 || spec.daemons < 0 then
+    invalid_arg "Workload.run: negative population";
+  let sim = Sim.create ~cost:spec.cost ~virtual_processors:(spec.vps + 2) in
+  (* Auto-size memory so the DEFAULT fits every working set (scheduling
+     measurements undisturbed by paging); an explicit ~core below the
+     demand is how E17 turns the thrashing knee on. *)
+  let distinct = (spec.users + spec.batch) * spec.working_set in
+  let core = if spec.core > 0 then spec.core else distinct + 8 in
+  let bulk = if spec.bulk > 0 then spec.bulk else max 8 distinct in
+  let disk = if spec.disk > 0 then spec.disk else distinct + 16 in
+  let mem = Memory.create ~cost:spec.cost ~core ~bulk ~disk in
+  let injector =
+    if String.equal spec.fault_spec "" then None
+    else
+      match Fault.Plan.parse ~seed:spec.seed spec.fault_spec with
+      | Ok plan -> Some (Fault.Injector.create plan)
+      | Error why -> invalid_arg ("Workload.run: " ^ why)
+  in
+  Sim.set_faults sim injector;
+  let pc = Page_control.create ?faults:injector sim ~mem ~discipline:Page_control.Parallel_processes in
+  Page_control.start pc;
+  let sched = Sched.create ~eligibility_cap:spec.cap ~policy:(make_policy spec.policy) sim in
+  (* Gate traffic runs against a booted kernel through a small pool of
+     logged-in principals — the audit subject for session i is a pure
+     function of i, never of the schedule. *)
+  let system, handles =
+    if not spec.gate_calls then (None, [||])
+    else begin
+      let system = System.create Config.kernel_6180 in
+      let pool = min 4 (max 1 spec.users) in
+      let handles =
+        Array.init pool (fun i ->
+            let person = Printf.sprintf "User%d" i in
+            ignore
+              (System.add_account system ~person ~project:"Load" ~password:"pw"
+                 ~clearance:Label.unclassified);
+            let handle =
+              match System.login system ~person ~project:"Load" ~password:"pw" with
+              | Ok handle -> handle
+              | Error e -> failwith (System.login_error_to_string e)
+            in
+            (* One IPC channel per principal: the granted call below is
+               a wakeup on it — IPC gates exist in every kernel
+               configuration, unlike the naming gates. *)
+            match Api.create_channel system ~handle with
+            | Ok channel -> (handle, channel)
+            | Error e -> failwith (Api.error_to_string e))
+      in
+      (Some system, handles)
+    end
+  in
+  let responses = ref [] in
+  let completed = ref 0 in
+  let turnarounds = ref [] in
+  let live_sessions = ref spec.users in
+  let live_batch = ref spec.batch in
+  (* Interactive sessions: think at the terminal (eligibility
+     surrendered), wake, make [passes] demand passes over the working
+     set, call a gate, answer. *)
+  for i = 0 to spec.users - 1 do
+    let prng = Prng.create_labeled ~seed:spec.seed ~label:(Printf.sprintf "session.%d" i) in
+    let pages =
+      Array.init (max 1 spec.working_set) (fun p -> Page_id.make ~seg_uid:(1000 + i) ~page_no:p)
+    in
+    let tty = Sim.new_channel sim ~name:(Printf.sprintf "tty.%d" i) in
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "user.%d" i) (fun pid ->
+           for n = 1 to spec.interactions do
+             (* Terminal wait: the controller strips eligibility here,
+                not at page waits. *)
+             Sched.release_eligibility sched pid;
+             let think = (spec.think / 2) + Prng.int prng (max 1 spec.think) in
+             Sim.at sim ~delay:think (fun () -> Sim.wakeup sim tty);
+             Sim.block tty;
+             let t0 = Sim.now sim in
+             for _pass = 1 to spec.passes do
+               Array.iter (fun page -> ignore (Page_control.reference pc ~pid ~page)) pages;
+               Sim.compute spec.service
+             done;
+             (match system with
+             | None -> ()
+             | Some sys ->
+                 let handle, channel = handles.(i mod Array.length handles) in
+                 Sim.compute (Cost.round_trip_call_cost spec.cost ~cross_ring:true);
+                 (* Every third call is one the monitor refuses (a read
+                    through a segment number the process never had), so
+                    the parity digest covers refusals too. *)
+                 if n mod 3 = 0 then
+                   ignore (Api.Call.dispatch sys ~handle (Api.Call.Read_word { segno = 9999; offset = 0 }))
+                 else ignore (Api.Call.dispatch sys ~handle (Api.Call.Send_wakeup { channel })));
+             let rt = Sim.now sim - t0 in
+             responses := rt :: !responses;
+             Obs.Histogram.observe obs_response rt;
+             incr completed
+           done;
+           decr live_sessions))
+  done;
+  (* Absentee jobs: no terminal, no thinking — grind chunks, keep
+     eligibility until the job ends.  Under MLF they sink to the long
+     quanta; aging keeps them from starving. *)
+  for b = 0 to spec.batch - 1 do
+    let prng = Prng.create_labeled ~seed:spec.seed ~label:(Printf.sprintf "batch.%d" b) in
+    let pages =
+      Array.init (max 1 spec.working_set) (fun p ->
+          Page_id.make ~seg_uid:(5000 + b) ~page_no:p)
+    in
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "batch.%d" b) (fun pid ->
+           let t0 = Sim.now sim in
+           for _chunk = 1 to spec.batch_chunks do
+             Array.iter (fun page -> ignore (Page_control.reference pc ~pid ~page)) pages;
+             Sim.compute (spec.batch_chunk + Prng.int prng 64)
+           done;
+           turnarounds := (Sim.now sim - t0) :: !turnarounds;
+           decr live_batch))
+  done;
+  (* Daemons: tick in the background while any load remains, giving up
+     eligibility at every sleep. *)
+  for d = 0 to spec.daemons - 1 do
+    let bell = Sim.new_channel sim ~name:(Printf.sprintf "daemon.%d" d) in
+    ignore
+      (Sim.spawn sim ~name:(Printf.sprintf "daemon.%d" d) (fun pid ->
+           while !live_sessions > 0 || !live_batch > 0 do
+             Sim.compute 500;
+             Sched.release_eligibility sched pid;
+             Sim.at sim ~delay:2_000 (fun () -> Sim.wakeup sim bell);
+             Sim.block bell
+           done))
+  done;
+  Sim.run sim;
+  let cycles = Sim.now sim in
+  let granted, refused =
+    match system with
+    | None -> (0, 0)
+    | Some sys ->
+        let audit = System.audit sys in
+        (Audit_log.length audit - Audit_log.refusal_count audit, Audit_log.refusal_count audit)
+  in
+  {
+    r_policy = policy_choice_name spec.policy;
+    r_users = spec.users;
+    r_completed = !completed;
+    r_response = Stats.summarize_ints !responses;
+    r_batch_turnaround = Stats.summarize_ints !turnarounds;
+    r_cycles = cycles;
+    r_throughput = (if cycles = 0 then 0. else float_of_int !completed *. 1_000_000. /. float_of_int cycles);
+    r_page_faults = Page_control.fault_count pc;
+    r_sched = Sched.status sched;
+    r_audit_granted = granted;
+    r_audit_refused = refused;
+    r_signature = (match system with None -> 0 | Some sys -> mediation_signature sys);
+  }

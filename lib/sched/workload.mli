@@ -1,0 +1,74 @@
+(** Deterministic multi-user timesharing workload driver.
+
+    Builds a full stack — simulator, three-level memory, page control
+    in the parallel discipline, the traffic controller, and (for gate
+    traffic) a booted kernel — and drives it with the classic Multics
+    population: interactive sessions that think at a terminal and then
+    demand their working set, absentee (batch) jobs that grind without
+    thinking, and daemons that tick in the background.  All randomness
+    comes from {!Multics_util.Prng.create_labeled} streams keyed by
+    [(seed, role.index)], so a session's demands are a function of the
+    spec alone, never of the schedule — which is what makes the
+    schedule-invariance oracle (E17) meaningful.
+
+    Per-interaction response times are recorded through [lib/obs]
+    (histogram ["sched.response.cycles"]) and returned as a summary. *)
+
+module Sim = Multics_proc.Sim
+
+(** Which policy to build for a run (fresh state per run, so a [spec]
+    stays pure data). *)
+type policy_choice = Use_mlf | Use_fifo | Use_external
+
+val policy_choice_name : policy_choice -> string
+
+val policy_choice_of_string : string -> policy_choice option
+(** ["mlf"], ["fifo"], ["external"]. *)
+
+type spec = {
+  seed : int;
+  users : int;  (** interactive sessions *)
+  interactions : int;  (** per session *)
+  think : int;  (** mean think time, cycles; jittered per session *)
+  service : int;  (** compute per working-set pass *)
+  working_set : int;  (** pages per session *)
+  passes : int;  (** working-set passes per interaction *)
+  batch : int;  (** absentee jobs *)
+  batch_chunks : int;  (** compute chunks per batch job *)
+  batch_chunk : int;  (** cycles per chunk *)
+  daemons : int;  (** background daemons ticking until the load drains *)
+  gate_calls : bool;  (** make audited kernel gate calls per interaction *)
+  vps : int;  (** shared virtual processors (page control adds 2 dedicated) *)
+  core : int;  (** core frames; 0 = auto-size to fit every working set *)
+  bulk : int;  (** bulk-store blocks; 0 = auto *)
+  disk : int;  (** disk blocks; 0 = auto *)
+  cap : int;  (** eligibility cap; 0 = unlimited *)
+  policy : policy_choice;
+  fault_spec : string;  (** fault plan spec, [""] = none (e.g. ["sched.preempt_storm=every:3"]) *)
+  cost : Multics_machine.Cost.t;
+}
+
+val default : spec
+(** 8 users, 4 interactions, small working sets, MLF, no cap, H6180. *)
+
+type result = {
+  r_policy : string;
+  r_users : int;
+  r_completed : int;  (** interactive interactions completed *)
+  r_response : Multics_util.Stats.summary;  (** response time, cycles *)
+  r_batch_turnaround : Multics_util.Stats.summary;
+  r_cycles : int;  (** simulated time at quiescence *)
+  r_throughput : float;  (** interactions per million cycles *)
+  r_page_faults : int;
+  r_sched : (string * int) list;  (** {!Sched.status} at the end of the run *)
+  r_audit_granted : int;
+  r_audit_refused : int;
+  r_signature : int;
+      (** order-independent digest of the audit trail (subject,
+          ring, operation, target, verdict multiset) — equal across
+          runs iff mediation was schedule-invariant *)
+}
+
+val run : spec -> result
+(** Build the stack, run to quiescence, and summarize.  Deterministic:
+    the same spec always yields the identical result. *)

@@ -24,4 +24,5 @@ let () =
       ("fault", Fault_test.suite);
       ("misc", Misc_test.suite);
       ("cache", Cache_test.suite);
+      ("sched", Sched_test.suite);
     ]
