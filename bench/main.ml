@@ -250,6 +250,48 @@ let bench_sched_dispatch =
   Test.make ~name:"e17/dispatch_10k_ready"
     (Staged.stage (fun () -> sched_dispatch_cycle m))
 
+(* ----- E18: the multiprocessor plant's hot paths -----
+
+   The connect broadcast (one descriptor mutation's synchronous
+   coherence round over 3 remote CPUs), the per-CPU CAM front of the
+   SDW check, and one dispatcher-lock acquisition.  All three sit on
+   mediation or dispatch hot paths, so their cost is the price of
+   running the kernel on more than one processor. *)
+
+module Smp = Multics_smp.Smp
+
+let smp_bench_plant =
+  let plant = Smp.create ~ncpus:4 ~cost:Multics_machine.Cost.h6180 () in
+  Smp.set_current plant 0;
+  plant
+
+let bench_smp_connect_broadcast =
+  Test.make ~name:"e18/connect_broadcast_4cpu"
+    (Staged.stage (fun () -> Smp.connect_invalidate smp_bench_plant ~handle:1 ~segno:8))
+
+let smp_bench_sdw =
+  Multics_machine.Sdw.make ~mode:Multics_machine.Mode.rw
+    ~brackets:(Multics_machine.Brackets.make ~r1:4 ~r2:4 ~r3:4)
+    ()
+
+let smp_bench_assoc = Multics_machine.Hardware.Assoc.create ~name:"bench.smp.assoc" ()
+
+let bench_smp_check_sdw_hit =
+  (* Warm the CAM once; every iteration is then the per-CPU hit path. *)
+  ignore
+    (Smp.check_sdw smp_bench_plant ~handle:1 ~segno:8 ~assoc:smp_bench_assoc
+       ~fetch:(fun () -> Some smp_bench_sdw)
+       ~ring:Multics_machine.Ring.user ~operation:Multics_machine.Hardware.Read);
+  Test.make ~name:"e18/check_sdw_cam_hit"
+    (Staged.stage (fun () ->
+         Smp.check_sdw smp_bench_plant ~handle:1 ~segno:8 ~assoc:smp_bench_assoc
+           ~fetch:(fun () -> Some smp_bench_sdw)
+           ~ring:Multics_machine.Ring.user ~operation:Multics_machine.Hardware.Read))
+
+let bench_smp_dispatch_lock =
+  Test.make ~name:"e18/dispatch_lock_4cpu"
+    (Staged.stage (fun () -> Smp.dispatch_lock smp_bench_plant ~now:0))
+
 (* ----- Observability overhead -----
 
    The same full gate call ([Api.read_word]: process lookup, gate
@@ -348,6 +390,9 @@ let tests =
     bench_session_kernel;
     bench_verifier;
     bench_sched_dispatch;
+    bench_smp_connect_broadcast;
+    bench_smp_check_sdw_hit;
+    bench_smp_dispatch_lock;
     bench_obs_gate_call_on;
     bench_obs_gate_call_off;
     bench_obs_counter_incr;
@@ -476,7 +521,7 @@ let () =
     Obs.set_enabled true;
     print_bench_table results;
     print_newline ();
-    print_endline "=== Experiment tables (E1..E17 + ablations) ===";
+    print_endline "=== Experiment tables (E1..E18 + ablations) ===";
     print_newline ();
     print_string (Multics_experiments.Registry.render_all ());
     print_newline ()

@@ -12,6 +12,8 @@
 open Multics_access
 open Multics_kernel
 module Obs = Multics_obs.Obs
+module Smp = Multics_smp.Smp
+module Cmd = Multics_shellcmd.Shellcmd.Command
 
 type shell = { system : System.t; mutable handle : int option }
 
@@ -66,6 +68,7 @@ let cmd_help () =
     \  sched demo [USERS]      run the deterministic timesharing workload, print latencies\n\
     \  cache status            decision-cache and associative-memory counters\n\
     \  cache clear             invalidate every cached access decision\n\
+    \  smp status              multiprocessor plant: CPUs, connects, lock (set MULTICS_NCPU)\n\
     \  fault plan SEED SPEC    install a fault plan, e.g. fault plan 7 gate.deny=every:5\n\
     \  fault status            active plan + injector counters\n\
     \  fault clear             remove the active plan\n\
@@ -306,120 +309,112 @@ let say_sched_section () =
         (Obs.Histogram.quantile h 0.5) (Obs.Histogram.quantile h 0.99) (Obs.Histogram.count h)
   end
 
-let cmd_stats subcommand =
-  match subcommand with
-  | None ->
+let cmd_stats mode =
+  match mode with
+  | Cmd.Stats_text ->
       say "%s" (Obs.Snapshot.to_text (Obs.Snapshot.capture ()));
       say_cache_ratios ();
       say_sched_section ()
-  | Some "json" -> say "%s" (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
-  | Some "reset" ->
+  | Cmd.Stats_json -> say "%s" (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
+  | Cmd.Stats_reset ->
       Obs.Registry.reset Obs.Registry.global;
       say "observability counters reset"
-  | Some other -> say "stats: unknown subcommand %S (try: stats | stats json | stats reset)" other
 
-(* The fault/salvage operator actions go through the typed dispatch
-   surface directly — same mediation, audit and metering as every
-   other gate call. *)
-let cmd_fault shell args =
+(* The operator actions (fault, cache, smp) go through the typed
+   dispatch surface directly — same mediation, audit and metering as
+   every other gate call. *)
+let operator_dispatch shell what request k =
   require_login shell (fun handle ->
-      let dispatch what request k =
-        match on_api shell what (Api.Call.dispatch shell.system ~handle request) with
-        | Some reply -> k reply
-        | None -> ()
-      in
-      match args with
-      | [ "plan"; seed; spec ] -> (
-          match int_of_string_opt seed with
-          | None -> say "fault plan: seed not a number: %s" seed
-          | Some seed ->
-              dispatch "fault plan" (Api.Call.Set_fault_plan { seed; spec }) (function
-                | Api.Call.Done -> say "fault plan installed: %s (seed %d)" spec seed
-                | _ -> ()))
-      | [ "status" ] ->
-          dispatch "fault status" Api.Call.Fault_status (function
-            | Api.Call.Fault_report { plan; counts } ->
-                say "plan: %s" plan;
-                List.iter (fun (name, v) -> say "  %-28s %d" name v) counts
-            | _ -> ())
-      | [ "clear" ] ->
-          dispatch "fault clear" Api.Call.Clear_faults (function
-            | Api.Call.Done -> say "fault plan cleared"
-            | _ -> ())
-      | _ -> say "usage: fault plan SEED SPEC | fault status | fault clear")
+      match on_api shell what (Api.Call.dispatch shell.system ~handle request) with
+      | Some reply -> k reply
+      | None -> ())
 
-(* The cache operator actions mirror the fault ones: through the typed
-   dispatch surface, so they are mediated, audited and metered like any
-   other gate call. *)
-let cmd_cache shell args =
-  require_login shell (fun handle ->
-      let dispatch what request k =
-        match on_api shell what (Api.Call.dispatch shell.system ~handle request) with
-        | Some reply -> k reply
-        | None -> ()
-      in
-      match args with
-      | [ "status" ] ->
-          dispatch "cache status" Api.Call.Cache_status (function
-            | Api.Call.Cache_report { policy; assoc } ->
-                say "policy verdict cache:";
-                List.iter (fun (name, v) -> say "  %-16s %d" name v) policy;
-                say "SDW associative memory (this process):";
-                List.iter (fun (name, v) -> say "  %-16s %d" name v) assoc
-            | _ -> ())
-      | [ "clear" ] ->
-          dispatch "cache clear" Api.Call.Cache_clear (function
-            | Api.Call.Done ->
-                say "caches invalidated (generations bumped, associative memories flushed)"
-            | _ -> ())
-      | _ -> say "usage: cache status | cache clear")
+let cmd_fault_plan shell ~seed ~spec =
+  operator_dispatch shell "fault plan" (Api.Call.Set_fault_plan { seed; spec }) (function
+    | Api.Call.Done -> say "fault plan installed: %s (seed %d)" spec seed
+    | _ -> ())
+
+let cmd_fault_status shell =
+  operator_dispatch shell "fault status" Api.Call.Fault_status (function
+    | Api.Call.Fault_report { plan; counts } ->
+        say "plan: %s" plan;
+        List.iter (fun (name, v) -> say "  %-28s %d" name v) counts
+    | _ -> ())
+
+let cmd_fault_clear shell =
+  operator_dispatch shell "fault clear" Api.Call.Clear_faults (function
+    | Api.Call.Done -> say "fault plan cleared"
+    | _ -> ())
+
+let cmd_cache_status shell =
+  operator_dispatch shell "cache status" Api.Call.Cache_status (function
+    | Api.Call.Cache_report { policy; assoc } ->
+        say "policy verdict cache:";
+        List.iter (fun (name, v) -> say "  %-16s %d" name v) policy;
+        say "SDW associative memory (this process):";
+        List.iter (fun (name, v) -> say "  %-16s %d" name v) assoc
+    | _ -> ())
+
+let cmd_cache_clear shell =
+  operator_dispatch shell "cache clear" Api.Call.Cache_clear (function
+    | Api.Call.Done ->
+        say "caches invalidated (generations bumped, associative memories flushed)"
+    | _ -> ())
+
+let cmd_smp_status shell =
+  operator_dispatch shell "smp status" Api.Call.Smp_status (function
+    | Api.Call.Smp_report { ncpus; plant; cpus } ->
+        say "multiprocessor plant: %d CPU%s" ncpus (if ncpus = 1 then "" else "s");
+        List.iter (fun (name, v) -> say "  %-22s %d" name v) plant;
+        List.iter
+          (fun (id, readings) ->
+            say "  cpu %d:" id;
+            List.iter (fun (name, v) -> say "    %-20s %d" name v) readings)
+          cpus
+    | _ -> ())
 
 (* The traffic-controller operator surface: status and tuning go
    through the typed [Sched_status]/[Sched_tune] gates (mediated,
    audited, metered); [sched demo] runs the deterministic timesharing
    workload, prints its latency table, and registers the demo's
    controller on this system so status/tune have a live target. *)
-let cmd_sched shell args =
+let cmd_sched_status shell =
+  require_login shell (fun handle ->
+      match on_api shell "sched status" (Api.sched_status shell.system ~handle) with
+      | Some (policy, counters) ->
+          say "policy: %s" policy;
+          List.iter (fun (name, v) -> say "  %-22s %d" name v) counters
+      | None -> ())
+
+let cmd_sched_tune shell ~param ~value =
+  require_login shell (fun handle ->
+      match on_api shell "sched tune" (Api.sched_tune shell.system ~handle ~param ~value) with
+      | Some () -> say "scheduler %s set to %d" param value
+      | None -> ())
+
+let cmd_sched_demo shell ~users =
   let module Sched = Multics_sched.Sched in
   let module Workload = Multics_sched.Workload in
-  match args with
-  | [ "status" ] ->
-      require_login shell (fun handle ->
-          match on_api shell "sched status" (Api.sched_status shell.system ~handle) with
-          | Some (policy, counters) ->
-              say "policy: %s" policy;
-              List.iter (fun (name, v) -> say "  %-22s %d" name v) counters
-          | None -> ())
-  | [ "tune"; param; value ] ->
-      require_login shell (fun handle ->
-          match int_of_string_opt value with
-          | None -> say "sched tune: not a number: %s" value
-          | Some value -> (
-              match
-                on_api shell "sched tune" (Api.sched_tune shell.system ~handle ~param ~value)
-              with
-              | Some () -> say "scheduler %s set to %d" param value
-              | None -> ()))
-  | "demo" :: rest -> (
-      let users = match rest with [ u ] -> int_of_string_opt u | _ -> Some 8 in
-      match users with
-      | None -> say "sched demo: not a number: %s" (List.hd rest)
-      | Some users ->
-          let spec = { Workload.default with users; policy = Workload.Use_mlf } in
-          let r = Workload.run spec in
-          say "timesharing demo: %d users, %s policy — %d interactions in %d cycles" users
-            r.Workload.r_policy r.Workload.r_completed r.Workload.r_cycles;
-          say "  %-22s %.2f interactions/Mcycle" "throughput" r.Workload.r_throughput;
-          say "  %-22s p50 %.0f / p99 %.0f cycles" "response time"
-            r.Workload.r_response.Multics_util.Stats.p50 r.Workload.r_response.Multics_util.Stats.p99;
-          say "  %-22s %d" "page faults" r.Workload.r_page_faults;
-          List.iter (fun (name, v) -> say "  %-22s %d" ("sched." ^ name) v) r.Workload.r_sched;
-          (* Leave a live controller registered so sched status/tune
-             against THIS system's gates have a target. *)
-          let sim = Multics_proc.Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:2 in
-          Sched.register (Sched.create sim) shell.system;
-          say "controller registered (try: sched status, sched tune cap 4)")
-  | _ -> say "usage: sched status | sched tune PARAM VALUE | sched demo [USERS]"
+  (* The demo runs at the plant's CPU count (MULTICS_NCPU), so a
+     multiprocessor shell demos the multiprocessor schedule. *)
+  let cpus = match System.plant shell.system with Some p -> Smp.ncpus p | None -> 1 in
+  let spec = { Workload.default with users; cpus; policy = Workload.Use_mlf } in
+  let r = Workload.run spec in
+  say "timesharing demo: %d users, %d CPU%s, %s policy — %d interactions in %d cycles" users
+    cpus
+    (if cpus = 1 then "" else "s")
+    r.Workload.r_policy r.Workload.r_completed r.Workload.r_cycles;
+  say "  %-22s %.2f interactions/Mcycle" "throughput" r.Workload.r_throughput;
+  say "  %-22s p50 %.0f / p99 %.0f cycles" "response time"
+    r.Workload.r_response.Multics_util.Stats.p50 r.Workload.r_response.Multics_util.Stats.p99;
+  say "  %-22s %d" "page faults" r.Workload.r_page_faults;
+  List.iter (fun (name, v) -> say "  %-22s %d" ("sched." ^ name) v) r.Workload.r_sched;
+  List.iter (fun (name, v) -> say "  %-22s %d" ("smp." ^ name) v) r.Workload.r_smp;
+  (* Leave a live controller registered so sched status/tune
+     against THIS system's gates have a target. *)
+  let sim = Multics_proc.Sim.create ~cost:Multics_machine.Cost.h6180 ~virtual_processors:2 in
+  Sched.register (Sched.create sim) shell.system;
+  say "controller registered (try: sched status, sched tune cap 4)"
 
 let cmd_salvage shell =
   require_login shell (fun handle ->
@@ -437,6 +432,22 @@ let cmd_audit shell n =
   in
   List.iter (fun r -> say "%s" (Fmt.str "%a" Audit_log.pp_record r)) tail
 
+(* The operator-command families parse through [Multics_shellcmd]: a
+   typed command or a typed error, never an unmatched arm or an
+   exception out of the read loop. *)
+let run_operator shell = function
+  | Cmd.Fault_plan { seed; spec } -> cmd_fault_plan shell ~seed ~spec
+  | Cmd.Fault_status -> cmd_fault_status shell
+  | Cmd.Fault_clear -> cmd_fault_clear shell
+  | Cmd.Cache_status -> cmd_cache_status shell
+  | Cmd.Cache_clear -> cmd_cache_clear shell
+  | Cmd.Sched_status -> cmd_sched_status shell
+  | Cmd.Sched_tune { param; value } -> cmd_sched_tune shell ~param ~value
+  | Cmd.Sched_demo { users } -> cmd_sched_demo shell ~users
+  | Cmd.Smp_status -> cmd_smp_status shell
+  | Cmd.Stats mode -> cmd_stats mode
+  | Cmd.Audit_tail { count } -> cmd_audit shell count
+
 let execute shell line =
   let words =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
@@ -444,36 +455,34 @@ let execute shell line =
   let int_arg what s k =
     match int_of_string_opt s with Some n -> k n | None -> say "%s: not a number: %s" what s
   in
-  match words with
-  | [] -> ()
-  | [ "help" ] -> cmd_help ()
-  | [ "exit" ] | [ "quit" ] -> raise Exit
-  | "adduser" :: args -> cmd_adduser shell args
-  | "login" :: args -> cmd_login shell args
-  | [ "logout" ] -> cmd_logout shell
-  | [ "whoami" ] -> cmd_whoami shell
-  | [ "ls"; path ] -> cmd_ls shell path
-  | [ "mkdir"; path ] -> cmd_mkdir shell path
-  | [ "create"; path ] -> cmd_create shell path
-  | [ "delete"; path ] -> cmd_delete shell path
-  | [ "write"; path; offset; value ] ->
-      int_arg "offset" offset (fun o -> int_arg "value" value (fun v -> cmd_write shell path o v))
-  | [ "read"; path; offset ] -> int_arg "offset" offset (fun o -> cmd_read shell path o)
-  | [ "status"; dir_path; name ] -> cmd_status shell dir_path name
-  | [ "acl"; path; pattern; mode ] -> cmd_acl shell path pattern mode
-  | [ "quota"; path; pages ] -> int_arg "pages" pages (fun n -> cmd_quota shell path n)
-  | [ "bind"; name; path ] -> cmd_bind shell name path
-  | [ "lookup"; name ] -> cmd_lookup shell name
-  | "fault" :: args -> cmd_fault shell args
-  | "sched" :: args -> cmd_sched shell args
-  | "cache" :: args -> cmd_cache shell args
-  | [ "salvage" ] -> cmd_salvage shell
-  | [ "gates" ] -> cmd_gates shell
-  | [ "stats" ] -> cmd_stats None
-  | [ "stats"; sub ] -> cmd_stats (Some sub)
-  | [ "audit" ] -> cmd_audit shell 10
-  | [ "audit"; n ] -> int_arg "n" n (fun n -> cmd_audit shell n)
-  | cmd :: _ -> say "unknown command %S (try: help)" cmd
+  match Cmd.parse words with
+  | Some (Ok cmd) -> run_operator shell cmd
+  | Some (Error e) -> say "%s" (Cmd.error_to_string e)
+  | None -> (
+      match words with
+      | [] -> ()
+      | [ "help" ] -> cmd_help ()
+      | [ "exit" ] | [ "quit" ] -> raise Exit
+      | "adduser" :: args -> cmd_adduser shell args
+      | "login" :: args -> cmd_login shell args
+      | [ "logout" ] -> cmd_logout shell
+      | [ "whoami" ] -> cmd_whoami shell
+      | [ "ls"; path ] -> cmd_ls shell path
+      | [ "mkdir"; path ] -> cmd_mkdir shell path
+      | [ "create"; path ] -> cmd_create shell path
+      | [ "delete"; path ] -> cmd_delete shell path
+      | [ "write"; path; offset; value ] ->
+          int_arg "offset" offset (fun o ->
+              int_arg "value" value (fun v -> cmd_write shell path o v))
+      | [ "read"; path; offset ] -> int_arg "offset" offset (fun o -> cmd_read shell path o)
+      | [ "status"; dir_path; name ] -> cmd_status shell dir_path name
+      | [ "acl"; path; pattern; mode ] -> cmd_acl shell path pattern mode
+      | [ "quota"; path; pages ] -> int_arg "pages" pages (fun n -> cmd_quota shell path n)
+      | [ "bind"; name; path ] -> cmd_bind shell name path
+      | [ "lookup"; name ] -> cmd_lookup shell name
+      | [ "salvage" ] -> cmd_salvage shell
+      | [ "gates" ] -> cmd_gates shell
+      | cmd :: _ -> say "unknown command %S (try: help)" cmd)
 
 let config_of_name = function
   | "baseline" | "645" -> Config.baseline_645
@@ -498,8 +507,18 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let config = config_of_name !config_name in
   let shell = { system = System.create config; handle = None } in
-  say "multics_sk shell — configuration: %s (%d gates).  Type 'help'." config.Config.name
-    (Gate.count config);
+  (* MULTICS_NCPU > 1 boots the multiprocessor plant: per-CPU
+     associative memories, connect coherence on every descriptor
+     mutation, [smp status] live.  At 1 CPU no plant is attached and
+     the shell is the uniprocessor seed, byte for byte. *)
+  let ncpus = Smp.default_ncpus () in
+  if ncpus > 1 then begin
+    let plant = Smp.create ~ncpus ~cost:(System.cost shell.system) () in
+    System.attach_plant shell.system (Some plant)
+  end;
+  say "multics_sk shell — configuration: %s (%d gates%s).  Type 'help'." config.Config.name
+    (Gate.count config)
+    (if ncpus > 1 then Printf.sprintf ", %d CPUs" ncpus else "");
   match !script with
   | Some commands ->
       List.iter

@@ -35,11 +35,27 @@ module Gen = struct
      (e.g. hashed page ids) falls back to a hashtable.  An id below
      [dense_limit] that the array has not grown to cover was never
      bumped, hence generation 0. *)
-  type t = { mutable global : int; mutable dense : int array; sparse : (int, int) Hashtbl.t }
+  type t = {
+    mutable global : int;
+    mutable dense : int array;
+    sparse : (int, int) Hashtbl.t;
+    mutable compactions : int;
+  }
 
   let dense_limit = 1 lsl 16
 
-  let create () = { global = 0; dense = Array.make 256 0; sparse = Hashtbl.create 16 }
+  (* The sparse table's size bound.  Hashed ids (page ids) churn
+     forever on a long run — objects are deleted, their ids never
+     reused — so without pruning the table grows without bound.  When
+     a bump would push it past this limit the whole table is folded
+     into the global epoch instead (see [compact]). *)
+  let sparse_limit = 1 lsl 12
+
+  let obs_compactions = Obs.Registry.counter Obs.Registry.global "cache.gen.compactions"
+
+  let create () =
+    { global = 0; dense = Array.make 256 0; sparse = Hashtbl.create 16; compactions = 0 }
+
   let global t = t.global
 
   let of_object t obj =
@@ -48,6 +64,23 @@ module Gen = struct
     else Option.value (Hashtbl.find_opt t.sparse obj) ~default:0
 
   let bump_global t = t.global <- t.global + 1
+
+  (* Epoch compaction — the pruning rule for sparse per-object entries.
+     Dropping one object's entry in isolation would be UNSOUND: an
+     entry stamped with generation 0 before the object was ever bumped
+     would read as fresh again once [of_object] falls back to 0 — a
+     revoked Permit resurrected.  Folding the table into the global
+     epoch first makes the drop sound: after [bump_global] no existing
+     entry in any cache sharing this [Gen.t] can match, so every
+     per-object counter is dead weight and the table can be cleared
+     wholesale.  Cost: one full-flush-equivalent miss storm, bounded to
+     once per [sparse_limit] distinct hashed objects — performance,
+     never correctness. *)
+  let compact t =
+    bump_global t;
+    Hashtbl.reset t.sparse;
+    t.compactions <- t.compactions + 1;
+    if Obs.enabled () then Obs.Counter.incr obs_compactions
 
   let bump_object t obj =
     if obj >= 0 && obj < dense_limit then begin
@@ -58,7 +91,14 @@ module Gen = struct
       end;
       t.dense.(obj) <- t.dense.(obj) + 1
     end
-    else Hashtbl.replace t.sparse obj (of_object t obj + 1)
+    else begin
+      if Hashtbl.length t.sparse >= sparse_limit && not (Hashtbl.mem t.sparse obj) then
+        compact t;
+      Hashtbl.replace t.sparse obj (of_object t obj + 1)
+    end
+
+  let sparse_size t = Hashtbl.length t.sparse
+  let compactions t = t.compactions
 end
 
 type ('k, 'v) entry = { value : 'v; obj : int; g_global : int; g_obj : int }

@@ -13,7 +13,21 @@
 
 (** Generation counters.  A [Gen.t] may be shared by several caches so
     one bump invalidates every decision derived from the mutated
-    object. *)
+    object.
+
+    {b Sparse-table pruning rule.}  Per-object counters for hashed ids
+    (page ids and the like) live in a sparse hashtable; on a long run
+    those ids churn forever and the table would grow without bound.
+    When a bump would push the table past an internal limit it is
+    {e epoch-compacted}: the global generation is bumped first — staling
+    every entry of every cache sharing the [Gen.t] — and only then is
+    the table cleared.  Dropping a single object's counter in isolation
+    would be unsound (an entry stamped with the pre-bump counter would
+    read as fresh again once the counter resets to 0 — a revoked Permit
+    resurrected); compaction after a global bump cannot resurrect
+    anything because no pre-compaction stamp can match the new global
+    epoch.  The cost is one full-flush-equivalent miss storm per
+    [2^12] distinct hashed objects — performance, never correctness. *)
 module Gen : sig
   type t
 
@@ -25,7 +39,23 @@ module Gen : sig
   (** Invalidate every entry of every cache sharing this [Gen.t]. *)
 
   val bump_object : t -> int -> unit
-  (** Invalidate entries whose decisions derive from object [obj]. *)
+  (** Invalidate entries whose decisions derive from object [obj].
+      May trigger an epoch compaction (see the pruning rule above). *)
+
+  val sparse_limit : int
+  (** Size bound on the sparse per-object table; reaching it triggers
+      compaction. *)
+
+  val compact : t -> unit
+  (** Force an epoch compaction: bump the global generation, then clear
+      the sparse table.  Sound by the pruning rule above. *)
+
+  val sparse_size : t -> int
+  (** Current sparse-table population (for tests and gauges). *)
+
+  val compactions : t -> int
+  (** Number of compactions performed on this [Gen.t]; also counted
+      globally under ["cache.gen.compactions"]. *)
 end
 
 type ('k, 'v) t

@@ -52,6 +52,7 @@ type error =
   | Bad_fault_plan of string
   | No_scheduler
   | Bad_tune of string
+  | No_smp_plant
 
 (* ----- Structured error rendering -----
 
@@ -78,6 +79,7 @@ let pp ppf = function
   | Bad_fault_plan detail -> Fmt.pf ppf "bad fault plan: %s" detail
   | No_scheduler -> Fmt.string ppf "no traffic controller is registered"
   | Bad_tune detail -> Fmt.pf ppf "bad scheduler tuning: %s" detail
+  | No_smp_plant -> Fmt.string ppf "no multiprocessor plant is attached"
 
 let error_to_string e = Fmt.str "%a" pp e
 
@@ -120,6 +122,7 @@ let error_to_json e =
   | Bad_fault_plan detail -> kind "bad-fault-plan" [ ("detail", json_str detail) ]
   | No_scheduler -> kind "no-scheduler" []
   | Bad_tune detail -> kind "bad-tune" [ ("detail", json_str detail) ]
+  | No_smp_plant -> kind "no-smp-plant" []
 
 let ( let* ) r f = Result.bind r f
 
@@ -308,13 +311,20 @@ let login_gate_or_unified system ~handle ~gate ~target body =
    (the simulated descriptor-segment walk) and installs it.  The KST's
    descriptor-change hook invalidates the entry on setfaults,
    terminate, and salvage, so a revoked descriptor can never be
-   re-checked from the CAM. *)
-let check_sdw (p : System.proc) ~segno ~operation =
-  match
-    Hardware.check_via_assoc p.System.assoc ~segno
-      ~fetch:(fun () -> Kst.sdw_of p.System.kst segno)
-      ~ring:p.System.ring ~operation
-  with
+   re-checked from the CAM.  Under a multiprocessor plant the
+   reference runs through the current CPU's own associative memory
+   first — kept coherent by the connect protocol, so the routing can
+   change which cache answers, never what it answers. *)
+let check_sdw system (p : System.proc) ~segno ~operation =
+  let fetch () = Kst.sdw_of p.System.kst segno in
+  let decision =
+    match System.plant system with
+    | Some plant ->
+        Multics_smp.Smp.check_sdw plant ~handle:p.System.handle ~segno ~assoc:p.System.assoc
+          ~fetch ~ring:p.System.ring ~operation
+    | None -> Hardware.check_via_assoc p.System.assoc ~segno ~fetch ~ring:p.System.ring ~operation
+  in
+  match decision with
   | None -> Error (Kst_error (Kst.Unknown_segno segno))
   | Some (Hardware.Granted grant) -> Ok grant
   | Some (Hardware.Denied denial) -> Error (Hardware_denied denial)
@@ -429,6 +439,8 @@ module Call = struct
     (* traffic controller (operator/hardware surface) *)
     | Sched_status
     | Sched_tune of { param : string; value : int }
+    (* multiprocessor plant (operator/hardware surface) *)
+    | Smp_status
 
   type reply =
     | Done
@@ -450,6 +462,11 @@ module Call = struct
     | Probed of Policy.verdict
     | Cache_report of { policy : (string * int) list; assoc : (string * int) list }
     | Sched_report of { policy : string; counters : (string * int) list }
+    | Smp_report of {
+        ncpus : int;
+        plant : (string * int) list;  (** plant-wide readings, sorted *)
+        cpus : (int * (string * int) list) list;  (** per-CPU readings *)
+      }
 
   type response = (reply, error) result
 
@@ -511,6 +528,7 @@ module Call = struct
     | Cache_clear -> "cache_clear"
     | Sched_status -> "sched_status"
     | Sched_tune _ -> "sched_tune"
+    | Smp_status -> "smp_status"
 
   let dispatch system ~handle (request : request) : response =
     match request with
@@ -629,7 +647,7 @@ module Call = struct
         call system ~handle ~gate:"read_word"
           ~target:(Printf.sprintf "%d|%d" segno offset)
           (fun p _subject ->
-            let* _grant = check_sdw p ~segno ~operation:Hardware.Read in
+            let* _grant = check_sdw system p ~segno ~operation:Hardware.Read in
             let* uid = uid_of_segno p segno in
             match Hierarchy.raw_read_word (System.hierarchy system) ~uid ~offset with
             | Some value -> Ok (Word value)
@@ -638,7 +656,7 @@ module Call = struct
         call system ~handle ~gate:"write_word"
           ~target:(Printf.sprintf "%d|%d" segno offset)
           (fun p _subject ->
-            let* _grant = check_sdw p ~segno ~operation:Hardware.Write in
+            let* _grant = check_sdw system p ~segno ~operation:Hardware.Write in
             let* uid = uid_of_segno p segno in
             (* Segment control charges the quota cell for any growth
                before the page materializes, whichever path the write
@@ -790,7 +808,7 @@ module Call = struct
        mechanism also performs login.)  The call is still audited. *)
     | Enter_subsystem { segno; entry_offset; name } ->
         call_hardware system ~handle ~operation:"subsystem_entry" ~target:name (fun p ->
-            let* grant = check_sdw p ~segno ~operation:(Hardware.Call entry_offset) in
+            let* grant = check_sdw system p ~segno ~operation:(Hardware.Call entry_offset) in
             match grant with
             | Hardware.Gate_entry target_ring ->
                 p.System.subsystem_stack <- (name, p.System.ring) :: p.System.subsystem_stack;
@@ -995,6 +1013,18 @@ module Call = struct
                 match sc.System.sc_tune ~param ~value with
                 | Ok () -> Ok Done
                 | Error detail -> Error (Bad_tune detail)))
+    (* ----- Multiprocessor plant -----
+
+       Operator surface: CPU count, connect/lock counters, per-CPU
+       associative-memory populations.  Pure inspection — it can move
+       no descriptor and flush no cache. *)
+    | Smp_status ->
+        call_hardware system ~handle ~operation:"smp_status" ~target:"plant" (fun _p ->
+            match System.plant system with
+            | None -> Error No_smp_plant
+            | Some plant ->
+                let readings, cpus = Multics_smp.Smp.status plant in
+                Ok (Smp_report { ncpus = Multics_smp.Smp.ncpus plant; plant = readings; cpus }))
 end
 
 (* ----- Legacy per-gate functions: thin wrappers over [Call.dispatch] -----

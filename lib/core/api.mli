@@ -28,6 +28,7 @@ type error =
   | Bad_fault_plan of string
   | No_scheduler  (** no traffic controller registered with the system *)
   | Bad_tune of string  (** the scheduler rejected a tuning parameter or value *)
+  | No_smp_plant  (** no multiprocessor plant attached to the system *)
 
 val error_to_string : error -> string
 
@@ -371,6 +372,7 @@ module Call : sig
     | Cache_clear
     | Sched_status
     | Sched_tune of { param : string; value : int }
+    | Smp_status
 
   type reply =
     | Done
@@ -392,6 +394,11 @@ module Call : sig
     | Probed of Policy.verdict
     | Cache_report of { policy : (string * int) list; assoc : (string * int) list }
     | Sched_report of { policy : string; counters : (string * int) list }
+    | Smp_report of {
+        ncpus : int;
+        plant : (string * int) list;  (** plant-wide readings *)
+        cpus : (int * (string * int) list) list;  (** per-CPU readings *)
+      }
 
   type response = (reply, error) result
 

@@ -78,6 +78,10 @@ type t = {
   mutable faults : Multics_fault.Fault.Injector.t option;
   mutable crash_journal : journal_entry list;  (** reversed *)
   mutable scheduler : scheduler_control option;
+  mutable plant : Multics_smp.Smp.t option;
+      (** the multiprocessor plant, when attached: every descriptor
+          mutation then broadcasts connects so no CPU's associative
+          memory can outlive the descriptor it caches *)
 }
 
 (* The traffic controller registers itself through a neutral record of
@@ -134,6 +138,14 @@ let register_scheduler t control = t.scheduler <- control
 
 let scheduler t = t.scheduler
 
+(* The plant attaches after boot (the workload driver or the shell
+   decides the CPU count); with none attached every coherence hook is
+   a no-op and the system behaves byte-for-byte as the uniprocessor
+   seed. *)
+let attach_plant t plant = t.plant <- plant
+
+let plant t = t.plant
+
 let fault_fires t site =
   match t.faults with
   | None -> false
@@ -181,6 +193,7 @@ let create config =
       faults = None;
       crash_journal = [];
       scheduler = None;
+      plant = None;
     }
   in
   let sys_acl = Acl.of_strings [ ("Initializer.*.*", "rew"); ("*.*.*", "r") ] in
@@ -263,8 +276,14 @@ let make_process t ~(account : account) ~session_level ~login_ring =
   (* Wire "setfaults" through to the associative memory: the KST's
      set_sdw/terminate are the only descriptor mutation points, so a
      recomputed or dropped descriptor clears its cached copy in the
-     same step. *)
-  Kst.set_on_sdw_change kst (fun segno -> Hardware.Assoc.invalidate assoc ~segno);
+     same step.  Under a multiprocessor plant the same hook broadcasts
+     a connect, so every other CPU's associative memory drops its copy
+     before the mutating call returns. *)
+  Kst.set_on_sdw_change kst (fun segno ->
+      Hardware.Assoc.invalidate assoc ~segno;
+      match t.plant with
+      | Some plant -> Multics_smp.Smp.connect_invalidate plant ~handle ~segno
+      | None -> ());
   let p =
     {
       handle;
@@ -458,7 +477,8 @@ let setfaults t ~uid =
    already invalidates entry-by-entry on descriptor changes; this is
    the big hammer for whole-system events (salvage, cache clear). *)
 let flush_assoc_memories t =
-  Hashtbl.iter (fun _ (p : proc) -> Hardware.Assoc.flush p.assoc) t.procs
+  Hashtbl.iter (fun _ (p : proc) -> Hardware.Assoc.flush p.assoc) t.procs;
+  match t.plant with Some plant -> Multics_smp.Smp.connect_flush_all plant | None -> ()
 
 (* Invalidate every cached access decision in the system: the policy
    verdict cache and each process's associative memory.  The salvager

@@ -90,6 +90,20 @@ val register_scheduler : t -> scheduler_control option -> unit
 
 val scheduler : t -> scheduler_control option
 
+(** {1 The multiprocessor plant}
+
+    With a plant attached, every descriptor mutation (the KST's
+    on-change hook) broadcasts a connect so no CPU's associative
+    memory can outlive the descriptor it caches, and whole-system
+    revocation ({!flush_assoc_memories}, {!invalidate_caches})
+    flushes every CPU.  With none attached (the default) all
+    coherence hooks are no-ops — the uniprocessor seed behaviour,
+    byte for byte. *)
+
+val attach_plant : t -> Multics_smp.Smp.t option -> unit
+
+val plant : t -> Multics_smp.Smp.t option
+
 type journal_entry = {
   time : int;
   handle : int;

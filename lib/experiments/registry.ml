@@ -114,6 +114,12 @@ let all =
       render = E17_timesharing.render;
     };
     {
+      id = E18_smp.id;
+      title = E18_smp.title;
+      paper_claim = E18_smp.paper_claim;
+      render = E18_smp.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

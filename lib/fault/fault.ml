@@ -27,6 +27,7 @@ type site =
   | Backup_tape
   | Cache_flush
   | Sched_preempt
+  | Smp_lost_connect
 
 let all_sites =
   [
@@ -42,6 +43,7 @@ let all_sites =
     Backup_tape;
     Cache_flush;
     Sched_preempt;
+    Smp_lost_connect;
   ]
 
 let site_name = function
@@ -57,6 +59,7 @@ let site_name = function
   | Backup_tape -> "backup.tape"
   | Cache_flush -> "cache.flush"
   | Sched_preempt -> "sched.preempt_storm"
+  | Smp_lost_connect -> "smp.lost_connect"
 
 let site_of_name name = List.find_opt (fun s -> String.equal (site_name s) name) all_sites
 

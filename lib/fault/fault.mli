@@ -35,6 +35,11 @@ type site =
       (** the traffic controller clamps the running quantum to a sliver,
           forcing a preemption storm — pure extra process-switch cost;
           dispatch order may churn but mediation is schedule-invariant *)
+  | Smp_lost_connect
+      (** a connect (inter-processor interrupt) is dropped on the wire;
+          the sender must detect the missing acknowledgement and fail
+          secure — stall and re-signal, never proceed on a possibly
+          stale remote associative memory *)
 
 val all_sites : site list
 

@@ -26,6 +26,9 @@ type t = {
   disk_transfer : int;  (** page move bulk store <-> disk *)
   sdw_fetch : int;  (** descriptor fetch on an associative-memory miss *)
   ptw_fetch : int;  (** page-table walk on a PTW lookaside miss *)
+  connect_ipi : int;
+      (** signal a connect (inter-processor interrupt) to one other CPU
+          and wait for its associative-memory-cleared acknowledgement *)
 }
 
 (* On the 645, a cross-ring call trapped to a supervisor module that
@@ -50,6 +53,10 @@ let h645 =
        assisted by supervisor software. *)
     sdw_fetch = 24;
     ptw_fetch = 8;
+    (* The 645 had no connect instruction; a cross-processor signal
+       went through a mailbox poll plus the full software interrupt
+       path on the receiver. *)
+    connect_ipi = 700;
   }
 
 (* On the 6180 the appending unit checks brackets and gates on every
@@ -74,6 +81,10 @@ let h6180 =
        costs nothing beyond the reference itself. *)
     sdw_fetch = 12;
     ptw_fetch = 4;
+    (* The 6180's cioc ("connect i/o channel") raises a connect fault
+       directly on the target processor; the receiver's handler only
+       has to clear its associative memory and acknowledge. *)
+    connect_ipi = 300;
   }
 
 let of_processor = function H645 -> h645 | H6180 -> h6180

@@ -19,6 +19,9 @@ type t = {
   sdw_fetch : int;
       (** descriptor fetch charged on an SDW associative-memory miss *)
   ptw_fetch : int;  (** page-table walk charged on a PTW lookaside miss *)
+  connect_ipi : int;
+      (** signal a connect (inter-processor interrupt) to one other CPU
+          and wait for its associative-memory-cleared acknowledgement *)
 }
 
 val h645 : t

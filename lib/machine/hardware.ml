@@ -108,9 +108,8 @@ module Assoc = struct
   type t = (int, Sdw.t) Multics_cache.Avc.t
 
   (* 16 entries, as on the 6180 appending unit. *)
-  let create ?(capacity = 16) () =
-    Multics_cache.Avc.create ~capacity ~hash:(fun segno -> segno) ~equal:Int.equal
-      ~name:"hw.assoc" ()
+  let create ?(capacity = 16) ?(name = "hw.assoc") () =
+    Multics_cache.Avc.create ~capacity ~hash:(fun segno -> segno) ~equal:Int.equal ~name ()
   let lookup t ~segno = Multics_cache.Avc.find t segno
   let install t ~segno sdw = Multics_cache.Avc.add t ~obj:segno segno sdw
   let invalidate t ~segno = Multics_cache.Avc.invalidate_object t segno

@@ -33,8 +33,10 @@ val allowed : Sdw.t -> ring:Ring.t -> operation:operation -> bool
 module Assoc : sig
   type t
 
-  val create : ?capacity:int -> unit -> t
-  (** [capacity] defaults to 16, as on the 6180. *)
+  val create : ?capacity:int -> ?name:string -> unit -> t
+  (** [capacity] defaults to 16, as on the 6180.  [name] (default
+      ["hw.assoc"]) selects the obs counter family, so a per-CPU CAM
+      can report under ["cache.smp.assoc.*"] instead. *)
 
   val lookup : t -> segno:int -> Sdw.t option
   val install : t -> segno:int -> Sdw.t -> unit

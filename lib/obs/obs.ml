@@ -49,6 +49,7 @@ module Histogram = struct
     mutable sum : int;
     mutable min_value : int;
     mutable max_value : int;
+    mutable saturated : bool;
   }
 
   let make name =
@@ -59,6 +60,7 @@ module Histogram = struct
       sum = 0;
       min_value = max_int;
       max_value = 0;
+      saturated = false;
     }
 
   let name h = h.name
@@ -77,13 +79,23 @@ module Histogram = struct
       let v = if v < 0 then 0 else v in
       h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
       h.count <- h.count + 1;
-      h.sum <- h.sum + v;
+      (* The running sum saturates at [max_int] instead of wrapping: a
+         multi-billion-cycle run (an SMP sweep observing per-connect
+         costs forever) must degrade to a pinned ceiling, never to a
+         silently negative total.  [saturated] records that the ceiling
+         was hit so snapshots can flag the sum as a lower bound. *)
+      if v > max_int - h.sum then begin
+        h.sum <- max_int;
+        h.saturated <- true
+      end
+      else h.sum <- h.sum + v;
       if v < h.min_value then h.min_value <- v;
       if v > h.max_value then h.max_value <- v
     end
 
   let count h = h.count
   let sum h = h.sum
+  let saturated h = h.saturated
   let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
   let min_value h = if h.count = 0 then 0 else h.min_value
   let max_value h = h.max_value
@@ -123,7 +135,8 @@ module Histogram = struct
     h.count <- 0;
     h.sum <- 0;
     h.min_value <- max_int;
-    h.max_value <- 0
+    h.max_value <- 0;
+    h.saturated <- false
 end
 
 (* ----- Spans ----- *)
@@ -224,6 +237,7 @@ module Snapshot = struct
     sum : int;
     min_value : int;
     max_value : int;
+    saturated : bool;
     buckets : (int * int) list;
   }
 
@@ -242,6 +256,7 @@ module Snapshot = struct
       sum = Histogram.sum h;
       min_value = Histogram.min_value h;
       max_value = Histogram.max_value h;
+      saturated = Histogram.saturated h;
       buckets = Histogram.buckets h;
     }
 
@@ -279,16 +294,21 @@ module Snapshot = struct
     else
       {
         count = a.count - b.count;
-        sum = a.sum - b.sum;
+        sum = (if a.saturated then a.sum else a.sum - b.sum);
         (* min/max cannot be differenced; report the after-side values,
-           which bound the phase's samples. *)
+           which bound the phase's samples.  A saturated sum likewise
+           cannot be differenced — the ceiling is reported as-is, still
+           flagged. *)
         min_value = a.min_value;
         max_value = a.max_value;
+        saturated = a.saturated;
         buckets = diff_buckets b.buckets a.buckets;
       }
 
   let diff ~before ~after =
-    let empty_hist = { count = 0; sum = 0; min_value = 0; max_value = 0; buckets = [] } in
+    let empty_hist =
+      { count = 0; sum = 0; min_value = 0; max_value = 0; saturated = false; buckets = [] }
+    in
     {
       registry = after.registry;
       counters = diff_alist ~zero:0 ~sub:( - ) before.counters after.counters;
@@ -336,7 +356,8 @@ module Snapshot = struct
   let describe_histogram h =
     if h.count = 0 then "(empty)"
     else
-      Printf.sprintf "n=%d sum=%d mean=%.1f min=%d max=%d" h.count h.sum
+      Printf.sprintf "n=%d sum=%d%s mean=%.1f min=%d max=%d" h.count h.sum
+        (if h.saturated then " (saturated)" else "")
         (float_of_int h.sum /. float_of_int h.count)
         h.min_value h.max_value
 
@@ -384,6 +405,7 @@ module Snapshot = struct
       [
         ("count", string_of_int h.count);
         ("sum", string_of_int h.sum);
+        ("saturated", if h.saturated then "true" else "false");
         ("min", string_of_int h.min_value);
         ("max", string_of_int h.max_value);
         ( "buckets",

@@ -43,7 +43,16 @@ module Histogram : sig
   val name : t -> string
   val observe : t -> int -> unit
   val count : t -> int
+
   val sum : t -> int
+  (** Sum of all observed samples.  Saturates at [max_int] instead of
+      wrapping (multi-billion-cycle SMP runs overflow a naive running
+      total); once pinned, {!saturated} reports true and the sum is a
+      lower bound. *)
+
+  val saturated : t -> bool
+  (** Whether {!sum} hit the [max_int] ceiling. *)
+
   val mean : t -> float
   val min_value : t -> int
   (** Smallest observed sample; 0 when empty. *)
@@ -120,6 +129,7 @@ module Snapshot : sig
     sum : int;
     min_value : int;
     max_value : int;
+    saturated : bool;  (** sum hit the [max_int] ceiling; it is a lower bound *)
     buckets : (int * int) list;  (** (bucket lower bound, count) *)
   }
 

@@ -77,7 +77,11 @@ type event = Start of pid | Resume of pid | Slice of pid | Thunk of (unit -> uni
 type scheduler = {
   sched_name : string;
   sched_enqueue : pid -> unit;  (** a process became ready (spawn or counted wakeup) *)
-  sched_select : unit -> pid option;  (** pick the next process for a free VP *)
+  sched_select : vp:int -> pid option;
+      (** pick the next process for the given free VP; under a
+          multiprocessor plant the VP index identifies the simulated
+          CPU doing the selecting, so lock contention can be charged
+          to the right dispatcher *)
   sched_quantum : pid -> int option;  (** quantum for this dispatch; None = run to block *)
   sched_quantum_expired : pid -> preempted:bool -> unit;
       (** the quantum ran out; [preempted] iff compute was still owed *)
@@ -209,9 +213,9 @@ let bind_to_vp t p vp =
 (* The next runnable process: the traffic controller's choice when one
    is installed, the plain FIFO ready queue otherwise.  Only called
    with a VP in hand — selection removes the pid from its queue. *)
-let next_ready t =
+let next_ready t ~vp =
   match t.scheduler with
-  | Some s -> s.sched_select ()
+  | Some s -> s.sched_select ~vp
   | None -> (
       match Multics_util.Fqueue.pop t.ready with
       | Some (pid, rest) ->
@@ -228,7 +232,7 @@ let rec dispatch t =
       match t.free_vps with
       | [] -> ()
       | vp_id :: vps -> (
-          match next_ready t with
+          match next_ready t ~vp:vp_id with
           | None -> ()
           | Some pid ->
               let p = proc t pid in

@@ -51,8 +51,11 @@ type scheduler = {
   sched_name : string;
   sched_enqueue : pid -> unit;
       (** a process became ready (spawn or counted wakeup) *)
-  sched_select : unit -> pid option;
-      (** pick (and dequeue) the next process for a free VP *)
+  sched_select : vp:int -> pid option;
+      (** pick (and dequeue) the next process for the given free VP;
+          the VP index identifies the simulated CPU doing the
+          selecting, so a multiprocessor plant can charge ready-queue
+          lock contention to the right dispatcher *)
   sched_quantum : pid -> int option;
       (** quantum for this dispatch; [None] = run until block *)
   sched_quantum_expired : pid -> preempted:bool -> unit;

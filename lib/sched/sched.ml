@@ -184,6 +184,9 @@ type t = {
   sim : Sim.t;
   pol : policy;
   impl : impl;
+  plant : Multics_smp.Smp.t option;
+      (** multiprocessor plant: per-CPU run selection contends for its
+          global lock, charged to the dispatched process *)
   mutable cap : int;  (** 0 = unlimited *)
   eligible : (Sim.pid, unit) Hashtbl.t;
   mutable admission : Sim.pid Fqueue.t;  (** ready but awaiting eligibility *)
@@ -314,12 +317,24 @@ let set_eligibility_cap t cap =
 
 let storm_quantum = 64
 
-let select t =
+let select t ~vp =
   match p_select t with
   | None -> None
   | Some pid ->
       t.dispatches <- t.dispatches + 1;
       Obs.Counter.incr obs_dispatches;
+      (* Under a multiprocessor plant, this selection ran on the CPU
+         the free VP maps to: it takes the global lock to pop the
+         shared ready structure, and any wait for a peer CPU's
+         dispatcher (or an in-flight connect broadcast) is charged to
+         the process being dispatched.  Contention moves timing only —
+         which pid was selected is already fixed. *)
+      (match t.plant with
+      | Some plant when Multics_smp.Smp.ncpus plant > 1 ->
+          Multics_smp.Smp.set_current plant (vp mod Multics_smp.Smp.ncpus plant);
+          let wait = Multics_smp.Smp.dispatch_lock plant ~now:(Sim.now t.sim) in
+          if wait > 0 then Sim.perturb t.sim pid wait
+      | Some _ | None -> ());
       Some pid
 
 let quantum t pid =
@@ -352,7 +367,7 @@ let retired t pid =
 
 let backlog t = p_backlog t + Fqueue.length t.admission
 
-let create ?(eligibility_cap = 0) ?(policy = default_mlf) sim =
+let create ?(eligibility_cap = 0) ?(policy = default_mlf) ?plant sim =
   if eligibility_cap < 0 then invalid_arg "Sched.create: eligibility_cap must be >= 0";
   let impl =
     match policy with
@@ -365,6 +380,7 @@ let create ?(eligibility_cap = 0) ?(policy = default_mlf) sim =
       sim;
       pol = policy;
       impl;
+      plant;
       cap = eligibility_cap;
       eligible = Hashtbl.create 64;
       admission = Fqueue.empty;
@@ -382,7 +398,7 @@ let create ?(eligibility_cap = 0) ?(policy = default_mlf) sim =
        {
          Sim.sched_name = policy_name policy;
          sched_enqueue = enqueue t;
-         sched_select = (fun () -> select t);
+         sched_select = (fun ~vp -> select t ~vp);
          sched_quantum = quantum t;
          sched_quantum_expired = quantum_expired t;
          sched_blocked = p_blocked t;

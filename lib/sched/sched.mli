@@ -108,11 +108,19 @@ val user_ring_mlf :
 
 type t
 
-val create : ?eligibility_cap:int -> ?policy:policy -> Sim.t -> t
+val create :
+  ?eligibility_cap:int -> ?policy:policy -> ?plant:Multics_smp.Smp.t -> Sim.t -> t
 (** Create the traffic controller and install it on the simulator
     ({!Sim.set_scheduler}).  Install before spawning the processes it
     is to manage.  [eligibility_cap] of [0] (the default) means
     unlimited admission; the policy defaults to {!default_mlf}.
+
+    With [plant] attached (and more than one CPU) every run selection
+    maps its VP to a CPU, takes the plant's global lock to pop the
+    shared ready structure, and charges the lock wait to the
+    dispatched process — the deterministic contention model of the
+    multiprocessor traffic controller.  Contention moves timing only;
+    selection order is decided before the lock is consulted.
 
     If a fault injector is installed on the simulator, the
     [sched.preempt_storm] site is consulted at every quantum grant:

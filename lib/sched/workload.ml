@@ -21,6 +21,7 @@ module Prng = Multics_util.Prng
 module Stats = Multics_util.Stats
 module Cost = Multics_machine.Cost
 module Label = Multics_access.Label
+module Smp = Multics_smp.Smp
 
 let obs_response = Obs.Registry.histogram Obs.Registry.global "sched.response.cycles"
 
@@ -58,6 +59,10 @@ type spec = {
   policy : policy_choice;
   fault_spec : string;
   cost : Cost.t;
+  cpus : int;
+      (** simulated CPUs; above 1 a multiprocessor plant is built
+          (per-CPU associative memories, connect coherence, lock
+          contention) — timing changes, mediation results never *)
 }
 
 let default =
@@ -82,6 +87,10 @@ let default =
     policy = Use_mlf;
     fault_spec = "";
     cost = Cost.h6180;
+    (* 1, not [Smp.default_ncpus ()]: the seed workloads (and the CI
+       matrix's MULTICS_NCPU sweep) must stay deterministic; tests opt
+       into multi-CPU explicitly. *)
+    cpus = 1;
   }
 
 type result = {
@@ -97,6 +106,9 @@ type result = {
   r_audit_granted : int;
   r_audit_refused : int;
   r_signature : int;
+  r_smp : (string * int) list;
+      (** plant-wide readings (connects sent/lost/retries, lock state);
+          empty on a uniprocessor run *)
 }
 
 let make_policy = function
@@ -147,7 +159,46 @@ let run spec =
   Sim.set_faults sim injector;
   let pc = Page_control.create ?faults:injector sim ~mem ~discipline:Page_control.Parallel_processes in
   Page_control.start pc;
-  let sched = Sched.create ~eligibility_cap:spec.cap ~policy:(make_policy spec.policy) sim in
+  (* The multiprocessor plant, when asked for.  At [cpus = 1] no plant
+     exists and every coherence hook is a no-op — the uniprocessor
+     seed behaviour, byte for byte. *)
+  let plant =
+    if spec.cpus <= 1 then None
+    else begin
+      let p = Smp.create ~ncpus:spec.cpus ~ptw_gens:(Page_control.ptw_gens pc) ~cost:spec.cost () in
+      Smp.set_now p (fun () -> Sim.now sim);
+      Smp.set_faults p injector;
+      Some p
+    end
+  in
+  let sched =
+    Sched.create ~eligibility_cap:spec.cap ~policy:(make_policy spec.policy) ?plant sim
+  in
+  (* Route this process's next mediated work through its home CPU, and
+     bill connect/lock cycles to it.  Deterministic: the home CPU is a
+     pure function of the pid. *)
+  let on_cpu pid =
+    match plant with
+    | None -> ()
+    | Some pl ->
+        Smp.set_current pl (Smp.cpu_for pl ~key:pid);
+        Smp.set_charge pl (fun cycles -> Sim.perturb sim pid cycles)
+  in
+  (* A page touch also walks the home CPU's own PTW lookaside front: a
+     front miss costs this CPU the page-table walk even when page
+     control's shared lookaside is warm — each processor has its own. *)
+  let touch_pages pid pages =
+    (match plant with
+    | None -> ()
+    | Some pl ->
+        on_cpu pid;
+        Array.iter
+          (fun page ->
+            if not (Smp.ptw_touch pl ~page:(Page_id.hash page)) then
+              Sim.compute spec.cost.Cost.ptw_fetch)
+          pages);
+    Array.iter (fun page -> ignore (Page_control.reference pc ~pid ~page)) pages
+  in
   (* Gate traffic runs against a booted kernel through a small pool of
      logged-in principals — the audit subject for session i is a pure
      function of i, never of the schedule. *)
@@ -155,6 +206,14 @@ let run spec =
     if not spec.gate_calls then (None, [||])
     else begin
       let system = System.create Config.kernel_6180 in
+      (* With the plant attached, every descriptor mutation from here
+         on broadcasts connects before returning. *)
+      System.attach_plant system plant;
+      (* The same plan storms the kernel's own sites (cache.flush and
+         the gate sites): parity must hold under flush storms too.  Sites
+         without a rule never fire, so an empty or unrelated plan
+         leaves gate traffic untouched. *)
+      if Option.is_some injector then System.set_faults system injector;
       let pool = min 4 (max 1 spec.users) in
       let handles =
         Array.init pool (fun i ->
@@ -202,13 +261,14 @@ let run spec =
              Sim.block tty;
              let t0 = Sim.now sim in
              for _pass = 1 to spec.passes do
-               Array.iter (fun page -> ignore (Page_control.reference pc ~pid ~page)) pages;
+               touch_pages pid pages;
                Sim.compute spec.service
              done;
              (match system with
              | None -> ()
              | Some sys ->
                  let handle, channel = handles.(i mod Array.length handles) in
+                 on_cpu pid;
                  Sim.compute (Cost.round_trip_call_cost spec.cost ~cross_ring:true);
                  (* Every third call is one the monitor refuses (a read
                     through a segment number the process never had), so
@@ -236,7 +296,7 @@ let run spec =
       (Sim.spawn sim ~name:(Printf.sprintf "batch.%d" b) (fun pid ->
            let t0 = Sim.now sim in
            for _chunk = 1 to spec.batch_chunks do
-             Array.iter (fun page -> ignore (Page_control.reference pc ~pid ~page)) pages;
+             touch_pages pid pages;
              Sim.compute (spec.batch_chunk + Prng.int prng 64)
            done;
            turnarounds := (Sim.now sim - t0) :: !turnarounds;
@@ -277,4 +337,5 @@ let run spec =
     r_audit_granted = granted;
     r_audit_refused = refused;
     r_signature = (match system with None -> 0 | Some sys -> mediation_signature sys);
+    r_smp = (match plant with None -> [] | Some pl -> fst (Smp.status pl));
   }

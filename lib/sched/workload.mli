@@ -46,6 +46,11 @@ type spec = {
   policy : policy_choice;
   fault_spec : string;  (** fault plan spec, [""] = none (e.g. ["sched.preempt_storm=every:3"]) *)
   cost : Multics_machine.Cost.t;
+  cpus : int;
+      (** simulated CPUs (1..{!Multics_smp.Smp.max_cpus}); above 1 a
+          multiprocessor plant is built — per-CPU associative
+          memories, connect coherence, global-lock contention.
+          Timing changes, mediation results never (E18's oracle). *)
 }
 
 val default : spec
@@ -67,6 +72,9 @@ type result = {
       (** order-independent digest of the audit trail (subject,
           ring, operation, target, verdict multiset) — equal across
           runs iff mediation was schedule-invariant *)
+  r_smp : (string * int) list;
+      (** plant-wide readings (connects sent/lost/retries/rescues,
+          lock state); empty on a uniprocessor run *)
 }
 
 val run : spec -> result

@@ -1,0 +1,143 @@
+(* Typed parsers for the shell's operator-command families.
+
+   The shell's original parsers grew ad hoc: each family matched its
+   own word list and called [int_of_string_opt] (or didn't), so a
+   malformed line could take an arm that silently fell through — or,
+   for inputs nobody had tried, raise straight out of [execute].  This
+   module makes the operator families total functions from a word list
+   to either a typed command or a typed error: every malformed input
+   has a specific, named rejection with the usage line attached, in
+   the style of the kernel's own [Bad_tune].  Validation happens at
+   the parser, before any gate is consulted — a bad fault-plan spec or
+   an unknown tuning parameter is refused with a reason instead of
+   travelling into the kernel as a string. *)
+
+module Fault = Multics_fault.Fault
+
+module Command = struct
+  type stats_mode = Stats_text | Stats_json | Stats_reset
+
+  type t =
+    | Fault_plan of { seed : int; spec : string }
+    | Fault_status
+    | Fault_clear
+    | Cache_status
+    | Cache_clear
+    | Sched_status
+    | Sched_tune of { param : string; value : int }
+    | Sched_demo of { users : int }
+    | Smp_status
+    | Stats of stats_mode
+    | Audit_tail of { count : int }
+
+  type error =
+    | Bad_int of { what : string; got : string; usage : string }
+    | Bad_subcommand of { family : string; got : string; usage : string }
+    | Bad_arity of { family : string; usage : string }
+    | Bad_param of { param : string; known : string list; usage : string }
+    | Bad_plan of { spec : string; reason : string }
+    | Bad_count of { what : string; got : int; usage : string }
+
+  let error_to_string = function
+    | Bad_int { what; got; usage } ->
+        Printf.sprintf "%s: not a number: %s (usage: %s)" what got usage
+    | Bad_subcommand { family; got; usage } ->
+        Printf.sprintf "%s: unknown subcommand %S (usage: %s)" family got usage
+    | Bad_arity { family; usage } -> Printf.sprintf "%s: usage: %s" family usage
+    | Bad_param { param; known; usage } ->
+        Printf.sprintf "unknown parameter %S (known: %s; usage: %s)" param
+          (String.concat " | " known) usage
+    | Bad_plan { spec; reason } -> Printf.sprintf "bad fault plan %S: %s" spec reason
+    | Bad_count { what; got; usage } ->
+        Printf.sprintf "%s: must be positive, got %d (usage: %s)" what got usage
+
+  let usage_fault = "fault plan SEED SPEC | fault status | fault clear"
+  let usage_cache = "cache status | cache clear"
+  let usage_sched = "sched status | sched tune PARAM VALUE | sched demo [USERS]"
+  let usage_smp = "smp status"
+  let usage_stats = "stats [json|reset]"
+  let usage_audit = "audit [N]"
+
+  (* The tuning parameters the traffic controller accepts; kept here so
+     a typo is refused with the list instead of a round trip through
+     the gate. *)
+  let tune_params = [ "cap"; "quantum"; "age_after" ]
+
+  let int_arg ~what ~usage s k =
+    match int_of_string_opt s with
+    | Some n -> k n
+    | None -> Error (Bad_int { what; got = s; usage })
+
+  let positive ~what ~usage n k =
+    if n > 0 then k n else Error (Bad_count { what; got = n; usage })
+
+  let parse_fault = function
+    | [ "plan"; seed; spec ] ->
+        int_arg ~what:"fault plan seed" ~usage:usage_fault seed (fun seed ->
+            (* Validate the spec before it travels anywhere: a bad site
+               name or schedule is a parse error, not a gate call. *)
+            match Fault.Plan.parse ~seed spec with
+            | Ok _ -> Ok (Fault_plan { seed; spec })
+            | Error reason -> Error (Bad_plan { spec; reason }))
+    | [ "status" ] -> Ok Fault_status
+    | [ "clear" ] -> Ok Fault_clear
+    | sub :: _ when sub <> "plan" ->
+        Error (Bad_subcommand { family = "fault"; got = sub; usage = usage_fault })
+    | _ -> Error (Bad_arity { family = "fault"; usage = usage_fault })
+
+  let parse_cache = function
+    | [ "status" ] -> Ok Cache_status
+    | [ "clear" ] -> Ok Cache_clear
+    | sub :: _ -> Error (Bad_subcommand { family = "cache"; got = sub; usage = usage_cache })
+    | [] -> Error (Bad_arity { family = "cache"; usage = usage_cache })
+
+  let parse_sched = function
+    | [ "status" ] -> Ok Sched_status
+    | [ "tune"; param; value ] ->
+        if not (List.mem param tune_params) then
+          Error (Bad_param { param; known = tune_params; usage = usage_sched })
+        else
+          int_arg ~what:"sched tune value" ~usage:usage_sched value (fun value ->
+              Ok (Sched_tune { param; value }))
+    | [ "demo" ] -> Ok (Sched_demo { users = 8 })
+    | [ "demo"; users ] ->
+        int_arg ~what:"sched demo users" ~usage:usage_sched users (fun users ->
+            positive ~what:"sched demo users" ~usage:usage_sched users (fun users ->
+                Ok (Sched_demo { users })))
+    | sub :: _ when sub <> "tune" && sub <> "demo" ->
+        Error (Bad_subcommand { family = "sched"; got = sub; usage = usage_sched })
+    | _ -> Error (Bad_arity { family = "sched"; usage = usage_sched })
+
+  let parse_smp = function
+    | [ "status" ] -> Ok Smp_status
+    | sub :: _ -> Error (Bad_subcommand { family = "smp"; got = sub; usage = usage_smp })
+    | [] -> Error (Bad_arity { family = "smp"; usage = usage_smp })
+
+  let parse_stats = function
+    | [] -> Ok (Stats Stats_text)
+    | [ "json" ] -> Ok (Stats Stats_json)
+    | [ "reset" ] -> Ok (Stats Stats_reset)
+    | sub :: _ -> Error (Bad_subcommand { family = "stats"; got = sub; usage = usage_stats })
+
+  let parse_audit = function
+    | [] -> Ok (Audit_tail { count = 10 })
+    | [ n ] ->
+        int_arg ~what:"audit count" ~usage:usage_audit n (fun count ->
+            positive ~what:"audit count" ~usage:usage_audit count (fun count ->
+                Ok (Audit_tail { count })))
+    | _ -> Error (Bad_arity { family = "audit"; usage = usage_audit })
+
+  (* [None]: the word list is not an operator-family command (the
+     shell's other parsers own it). *)
+  let parse = function
+    | "fault" :: rest -> Some (parse_fault rest)
+    | "cache" :: rest -> Some (parse_cache rest)
+    | "sched" :: rest -> Some (parse_sched rest)
+    | "smp" :: rest -> Some (parse_smp rest)
+    | "stats" :: rest -> Some (parse_stats rest)
+    | "audit" :: rest -> Some (parse_audit rest)
+    | _ -> None
+
+  let of_line line =
+    parse (String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> ""))
+end

@@ -1,0 +1,126 @@
+(** The multiprocessor plant: N simulated CPUs, each with its own SDW
+    associative memory and PTW lookaside front, a shared global lock
+    with a deterministic cycle-accounted contention model, and the
+    connect (inter-processor interrupt) protocol that keeps every
+    CPU's cached descriptors coherent with the live ones.
+
+    The design contract, matching the paper's multiprocessor 6180:
+
+    - coherence is synchronous — a descriptor mutation does not return
+      until every CPU's associative memories have been invalidated;
+    - a lost connect ([smp.lost_connect] fault site) is detected by
+      acknowledgement timeout and fails secure: the sender stalls and
+      re-signals (then fences the target through the system controller
+      after repeated losses) — cycles are lost, a stale Permit never;
+    - everything here is timing, not results: an N-CPU run produces
+      the same mediation verdicts and audit digest as the 1-CPU run
+      (experiment E18's coherence-parity oracle). *)
+
+open Multics_machine
+
+val max_cpus : int
+
+val default_ncpus : unit -> int
+(** [MULTICS_NCPU] from the environment when it parses as 1..{!max_cpus};
+    1 otherwise. *)
+
+(** The shared global lock: deterministic contention.  The lock
+    remembers when it next falls free; an acquirer waits out the
+    remainder, then holds it.  Obs instruments live under
+    ["<name>.acquisitions"/".contended"/".wait"]. *)
+module Lock : sig
+  type t
+
+  val create : name:string -> t
+  val name : t -> string
+  val free_at : t -> int
+
+  val acquire : t -> now:int -> hold:int -> int
+  (** Acquire at simulated time [now], holding for [hold] cycles;
+      returns the wait in cycles, for the caller to charge to whoever
+      was acquiring. *)
+end
+
+type t
+
+val create : ?ncpus:int -> ?ptw_gens:Multics_cache.Avc.Gen.t -> cost:Cost.t -> unit -> t
+(** [ncpus] defaults to {!default_ncpus}[ ()]; raises
+    [Invalid_argument] outside 1..{!max_cpus}.  [ptw_gens] shares the
+    per-CPU PTW fronts' generations with page control's [vm.ptw]
+    cache, so an eviction there stales every CPU's front in the same
+    step.  Obs instruments: ["smp.connects.sent"/".lost"/".retries"/
+    ".rescues"], the ["smp.connect.cycles"] histogram, ["smp.lock.*"]
+    and the ["cache.smp.assoc.*"]/["cache.smp.ptw.*"] families. *)
+
+val ncpus : t -> int
+val cost : t -> Cost.t
+val lock : t -> Lock.t
+
+val set_now : t -> (unit -> int) -> unit
+(** Supply the simulated clock (e.g. [fun () -> Sim.now sim]); the
+    plant never reads a wall clock. *)
+
+val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
+(** The only site consulted is [Smp_lost_connect]. *)
+
+val set_charge : t -> (int -> unit) -> unit
+(** Where connect/lock cycle bills go (e.g. [Sim.perturb] against the
+    calling process).  Default: dropped (obs still records them). *)
+
+val set_current : t -> int -> unit
+(** Which CPU the currently running work executes on; raises
+    [Invalid_argument] for an unknown CPU. *)
+
+val current : t -> int
+
+val cpu_for : t -> key:int -> int
+(** Deterministic home CPU for an integer key (a pid, a handle). *)
+
+(** {1 The connect protocol}
+
+    Both calls return only after every CPU has been cleared. *)
+
+val connect_invalidate : t -> handle:int -> segno:int -> unit
+(** "setfaults" for one process's descriptor: bump its entry on every
+    CPU (the originator inline, the rest via connects). *)
+
+val connect_flush_all : t -> unit
+(** Whole-system revocation (salvage, cache clear): flush every CPU's
+    CAM and PTW front. *)
+
+(** {1 Per-CPU mediation fronts} *)
+
+val check_sdw :
+  t ->
+  handle:int ->
+  segno:int ->
+  assoc:Hardware.Assoc.t ->
+  fetch:(unit -> Sdw.t option) ->
+  ring:Ring.t ->
+  operation:Hardware.operation ->
+  Hardware.decision option
+(** The current CPU's CAM in front of the per-process associative
+    memory and the KST fetch.  Brackets and mode are still checked per
+    reference; only the descriptor fetch is skipped on a hit. *)
+
+val ptw_touch : t -> page:int -> bool
+(** Touch the current CPU's PTW front for a hashed page id; [false]
+    (miss) means this CPU must walk the page table — callers charge
+    [Cost.ptw_fetch]. *)
+
+(** {1 Dispatcher lock} *)
+
+val dispatch_lock : t -> now:int -> int
+(** Acquire the global lock for one run-selection from the shared
+    ready structure; returns the wait to charge to the dispatched
+    process. *)
+
+(** {1 Status} *)
+
+val cpu_status : t -> int -> (string * int) list
+
+val status : t -> (string * int) list * (int * (string * int) list) list
+(** [(plant-wide readings, per-CPU readings)] — the [smp status]
+    shell command's payload. *)
+
+val connect_cycles : t -> Multics_obs.Obs.Histogram.t

@@ -422,6 +422,11 @@ let reference ?(write = false) t ~pid ~page =
 
 let flush_ptw t = Avc.flush t.ptw
 let ptw_stats t = ("size", Avc.size t.ptw) :: Avc.counters t.ptw
+
+(* The lookaside's generation counters, exposed so per-CPU PTW fronts
+   (lib/smp) can share them: an eviction's bump then stales every
+   CPU's front in the same step it stales this cache. *)
+let ptw_gens t = Avc.gens t.ptw
 let ptw_hit_ratio t = Avc.hit_ratio t.ptw
 
 (* Soundness of the lookaside: every page it would vouch for really is

@@ -73,6 +73,10 @@ val ptw_hit_ratio : t -> float
 val check_ptw_invariant : t -> bool
 (** Every page the lookaside would vouch for is core-resident. *)
 
+val ptw_gens : t -> Multics_cache.Avc.Gen.t
+(** The lookaside's generation counters, for per-CPU PTW fronts to
+    share: an eviction's bump stales every sharing cache at once. *)
+
 (** {1 Fault accounting} *)
 
 type fault_record = {

@@ -110,6 +110,38 @@ let test_gen_sparse_and_dense_ids () =
   Avc.Gen.bump_global g;
   Alcotest.(check int) "global independent" 1 (Avc.Gen.global g)
 
+let test_gen_sparse_table_bounded () =
+  (* The long-run leak: hashed page ids churn forever (objects die,
+     ids are never reused), so without pruning the sparse table grows
+     without bound.  Churn 10^5 distinct hashed ids and demand the
+     table stays within its limit, compacting as it goes. *)
+  let churn = 100_000 in
+  let hashed i = (1 lsl 16) + i in
+  let c = Avc.create ~capacity:16 ~hash:(fun k -> k) ~equal:Int.equal ~name:"t.gen_churn" () in
+  let g = Avc.gens c in
+  (* A verdict revoked before the churn must stay revoked across every
+     compaction: a compaction resets the per-object counter the entry
+     was stamped against, which would resurrect it were the global
+     epoch not bumped first. *)
+  let victim = hashed (churn + 1) in
+  Avc.add c ~obj:victim victim 99;
+  Alcotest.(check (option int)) "victim cached" (Some 99) (Avc.find c victim);
+  Avc.invalidate_object c victim;
+  for i = 0 to churn - 1 do
+    Avc.Gen.bump_object g (hashed i)
+  done;
+  Alcotest.(check bool) "sparse table bounded" true
+    (Avc.Gen.sparse_size g <= Avc.Gen.sparse_limit);
+  let floor = (churn / Avc.Gen.sparse_limit) - 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "compactions happened (>= %d)" floor)
+    true
+    (Avc.Gen.compactions g >= floor);
+  Alcotest.(check (option int)) "revoked verdict never resurrected" None (Avc.find c victim);
+  (* The cache still works after compaction: fresh entries hit. *)
+  Avc.add c ~obj:victim victim 7;
+  Alcotest.(check (option int)) "fresh entry after compaction hits" (Some 7) (Avc.find c victim)
+
 (* ----- Revocation through every mutating entry point ----- *)
 
 let operator =
@@ -391,6 +423,7 @@ let suite =
     Alcotest.test_case "avc: find_or_add computes once" `Quick test_avc_find_or_add;
     Alcotest.test_case "avc: keys skip stale entries" `Quick test_avc_keys_skip_stale;
     Alcotest.test_case "gen: dense and sparse object ids" `Quick test_gen_sparse_and_dense_ids;
+    Alcotest.test_case "gen: sparse table bounded under churn" `Quick test_gen_sparse_table_bounded;
     Alcotest.test_case "revocation: set_acl" `Quick test_set_acl_revokes;
     Alcotest.test_case "revocation: raw_set_label" `Quick test_raw_set_label_revokes;
     Alcotest.test_case "revocation: delete" `Quick test_delete_revokes;

@@ -154,6 +154,33 @@ let test_snapshot_json () =
       "\"buckets\":[{\"ge\":4,\"count\":1}]";
     ]
 
+let test_histogram_sum_saturates () =
+  (* Multi-billion-cycle SMP runs can overflow a naive running total;
+     the sum must pin at [max_int] and flag itself, never wrap to a
+     plausible-looking small number. *)
+  let r = fresh "sat" in
+  let h = Obs.Registry.histogram r "cycles" in
+  Obs.Histogram.observe h max_int;
+  Alcotest.(check bool) "one huge sample does not saturate" false (Obs.Histogram.saturated h);
+  Alcotest.(check int) "sum holds the sample" max_int (Obs.Histogram.sum h);
+  Obs.Histogram.observe h max_int;
+  Alcotest.(check bool) "overflow saturates" true (Obs.Histogram.saturated h);
+  Alcotest.(check int) "sum pinned at max_int, not wrapped" max_int (Obs.Histogram.sum h);
+  Alcotest.(check bool) "sum stays non-negative" true (Obs.Histogram.sum h > 0);
+  Obs.Histogram.observe h 5;
+  Alcotest.(check int) "later samples cannot move a pinned sum" max_int (Obs.Histogram.sum h);
+  Alcotest.(check int) "count still advances" 3 (Obs.Histogram.count h);
+  let snap = Obs.Snapshot.capture ~registry:r () in
+  (match snap.Obs.Snapshot.histograms with
+  | [ ("cycles", hd) ] ->
+      Alcotest.(check bool) "snapshot carries the flag" true hd.Obs.Snapshot.saturated
+  | _ -> Alcotest.fail "expected one histogram");
+  Alcotest.(check bool) "text rendering marks saturation" true
+    (contains ~needle:"saturated" (Obs.Snapshot.to_text snap));
+  Obs.Registry.reset r;
+  Alcotest.(check bool) "reset clears the flag" false (Obs.Histogram.saturated h);
+  Alcotest.(check int) "reset clears the sum" 0 (Obs.Histogram.sum h)
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -166,4 +193,5 @@ let suite =
     Alcotest.test_case "snapshot capture and diff" `Quick test_snapshot_capture_and_diff;
     Alcotest.test_case "snapshot text rendering" `Quick test_snapshot_text;
     Alcotest.test_case "snapshot json rendering" `Quick test_snapshot_json;
+    Alcotest.test_case "histogram sum saturates" `Quick test_histogram_sum_saturates;
   ]

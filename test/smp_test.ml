@@ -1,0 +1,228 @@
+(* The multiprocessor plant: the coherence-parity oracle (an N-CPU run
+   must produce the same mediation verdicts and audit digest as the
+   1-CPU run, for every seed, including under lost-connect and
+   cache-flush storms), plus a directed race — a connect arriving
+   while another CPU holds a warm associative-memory entry must never
+   let that CPU replay a stale Permit. *)
+
+open Multics_access
+open Multics_machine
+open Multics_kernel
+module Smp = Multics_smp.Smp
+module Fault = Multics_fault.Fault
+module Workload = Multics_sched.Workload
+module Obs = Multics_obs.Obs
+
+(* ----- Plant mechanics ----- *)
+
+let test_lock_contention_model () =
+  let lock = Smp.Lock.create ~name:"t.smp.lock" in
+  Alcotest.(check int) "uncontended wait" 0 (Smp.Lock.acquire lock ~now:100 ~hold:50);
+  (* Held until 150; an acquirer at 120 waits out the remainder. *)
+  Alcotest.(check int) "contended wait" 30 (Smp.Lock.acquire lock ~now:120 ~hold:10);
+  Alcotest.(check int) "falls free at" 160 (Smp.Lock.free_at lock);
+  Alcotest.(check int) "late acquirer sails through" 0 (Smp.Lock.acquire lock ~now:1000 ~hold:5)
+
+let test_cpu_for_deterministic () =
+  let plant = Smp.create ~ncpus:4 ~cost:Cost.h6180 () in
+  for key = 0 to 100 do
+    let home = Smp.cpu_for plant ~key in
+    Alcotest.(check bool) "home CPU in range" true (home >= 0 && home < 4);
+    Alcotest.(check int) "home CPU is a pure function" home (Smp.cpu_for plant ~key)
+  done
+
+let test_ncpus_env_parsing () =
+  (* default_ncpus reads MULTICS_NCPU; out-of-range and garbage fall
+     back to 1 rather than crashing test startup.  We can't mutate the
+     environment portably here, so just pin the unset behaviour and
+     the bounds. *)
+  let n = Smp.default_ncpus () in
+  Alcotest.(check bool) "default in range" true (n >= 1 && n <= Smp.max_cpus);
+  Alcotest.check_raises "ncpus 0 rejected"
+    (Invalid_argument (Printf.sprintf "Smp.create: ncpus must be in 1..%d" Smp.max_cpus))
+    (fun () -> ignore (Smp.create ~ncpus:0 ~cost:Cost.h6180 ()));
+  Alcotest.check_raises "ncpus 9 rejected"
+    (Invalid_argument (Printf.sprintf "Smp.create: ncpus must be in 1..%d" Smp.max_cpus))
+    (fun () -> ignore (Smp.create ~ncpus:(Smp.max_cpus + 1) ~cost:Cost.h6180 ()))
+
+let test_ptw_front_per_cpu () =
+  let plant = Smp.create ~ncpus:2 ~cost:Cost.h6180 () in
+  Smp.set_current plant 0;
+  Alcotest.(check bool) "cold front misses" false (Smp.ptw_touch plant ~page:7);
+  Alcotest.(check bool) "warm front hits" true (Smp.ptw_touch plant ~page:7);
+  (* The other CPU has its own lookaside: CPU 0's walk warmed nothing
+     over there. *)
+  Smp.set_current plant 1;
+  Alcotest.(check bool) "other CPU's front is its own" false (Smp.ptw_touch plant ~page:7);
+  Smp.set_current plant 0;
+  Smp.connect_flush_all plant;
+  Alcotest.(check bool) "flush empties every front" false (Smp.ptw_touch plant ~page:7)
+
+(* ----- The directed stale-Permit race -----
+
+   Warm two CPUs' associative memories on the same segment, revoke the
+   ACL from one CPU, then reference from the other.  The connect must
+   have cleared the second CPU's memory before set_acl returned, so
+   the reference recomputes — and refuses.  Then the same race under a
+   plan that drops every connect on the wire: the sender stalls,
+   re-signals, eventually rescues — cycles are lost, the Permit still
+   is not. *)
+
+let boot_two_cpus ?faults () =
+  Obs.set_enabled true;
+  let system = System.create Config.kernel_6180 in
+  let plant = Smp.create ~ncpus:2 ~cost:Cost.h6180 () in
+  Smp.set_faults plant faults;
+  System.attach_plant system (Some plant);
+  ignore
+    (System.add_account system ~person:"Alice" ~project:"Dev" ~password:"pw"
+       ~clearance:Label.unclassified);
+  let handle =
+    match System.login system ~person:"Alice" ~project:"Dev" ~password:"pw" with
+    | Ok h -> h
+    | Error e -> Alcotest.fail (System.login_error_to_string e)
+  in
+  let segno =
+    match
+      User_env.create_segment_at system ~handle ~path:">udd>Dev>Alice>scratch"
+        ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ])
+        ~label:Label.unclassified
+    with
+    | Ok segno -> segno
+    | Error e -> Alcotest.fail (User_env.error_to_string e)
+  in
+  (system, plant, handle, segno)
+
+let read_ok what system ~handle ~segno =
+  match Api.read_word system ~handle ~segno ~offset:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: %s" what (Api.error_to_string e)
+
+let stale_permit_race ?faults () =
+  let system, plant, handle, segno = boot_two_cpus ?faults () in
+  (match Api.write_word system ~handle ~segno ~offset:0 ~value:7 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Api.error_to_string e));
+  (* Warm both CPUs' associative memories on the segment. *)
+  Smp.set_current plant 0;
+  read_ok "warm CPU 0" system ~handle ~segno;
+  Smp.set_current plant 1;
+  read_ok "warm CPU 1" system ~handle ~segno;
+  let warm = List.assoc "cam_size" (Smp.cpu_status plant 1) in
+  Alcotest.(check bool) "CPU 1's CAM is warm" true (warm > 0);
+  (* Revoke from CPU 0.  set_acl must not return before CPU 1's
+     memory has been cleared. *)
+  Smp.set_current plant 0;
+  (match
+     Api.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Api.error_to_string e));
+  Alcotest.(check bool) "CPU 1 received the connect" true
+    (List.assoc "connects_received" (Smp.cpu_status plant 1) > 0);
+  (* The in-flight lookup on CPU 1: with a stale CAM entry this would
+     replay the revoked Permit.  It must recompute and refuse. *)
+  Smp.set_current plant 1;
+  (match Api.read_word system ~handle ~segno ~offset:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "CPU 1 replayed a stale Permit after revocation");
+  plant
+
+let test_connect_revokes_remote_cam () = ignore (stale_permit_race ())
+
+let test_lost_connect_fails_secure () =
+  let lost_before =
+    Obs.set_enabled true;
+    Obs.Counter.get (Obs.Registry.counter Obs.Registry.global "smp.connects.lost")
+  in
+  let plan =
+    match Fault.Plan.parse ~seed:1 "smp.lost_connect=every:1" with
+    | Ok plan -> plan
+    | Error e -> Alcotest.fail e
+  in
+  let plant = stale_permit_race ~faults:(Fault.Injector.create plan) () in
+  let global, _ = Smp.status plant in
+  let lost_after = List.assoc "connects.lost" global in
+  Alcotest.(check bool) "connects were dropped on the wire" true (lost_after > lost_before);
+  Alcotest.(check bool) "dropped connects were rescued" true
+    (List.assoc "connects.rescues" global > 0)
+
+(* ----- The coherence-parity oracle -----
+
+   The same workload at 1, 2 and 4 CPUs: timing may change, mediation
+   results never.  One hundred seeds, then a directed sweep under a
+   plan that both drops connects and storms the access cache. *)
+
+let parity_spec seed cpus fault_spec =
+  {
+    Workload.default with
+    seed;
+    users = 3;
+    interactions = 2;
+    think = 2_000;
+    service = 300;
+    working_set = 2;
+    passes = 2;
+    batch = 1;
+    batch_chunks = 2;
+    batch_chunk = 500;
+    daemons = 1;
+    vps = 4;
+    (* more VPs than some CPU counts: run selection maps VPs onto CPUs *)
+    cpus;
+    fault_spec;
+  }
+
+let check_parity seed fault_spec =
+  let base = Workload.run (parity_spec seed 1 fault_spec) in
+  List.iter
+    (fun cpus ->
+      let r = Workload.run (parity_spec seed cpus fault_spec) in
+      if r.Workload.r_signature <> base.Workload.r_signature then
+        Alcotest.failf "seed %d, %d CPUs: mediation digest diverged" seed cpus;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d, %d CPUs: grants" seed cpus)
+        base.Workload.r_audit_granted r.Workload.r_audit_granted;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d, %d CPUs: refusals" seed cpus)
+        base.Workload.r_audit_refused r.Workload.r_audit_refused;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d, %d CPUs: completed" seed cpus)
+        base.Workload.r_completed r.Workload.r_completed;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d, %d CPUs: plant readings present" seed cpus)
+        true
+        (List.mem_assoc "connects.sent" r.Workload.r_smp))
+    [ 2; 4 ]
+
+let test_parity_100_seeds () =
+  for seed = 0 to 99 do
+    check_parity seed ""
+  done
+
+let test_parity_under_fault_storm () =
+  (* Drop connects and storm the access cache at once: both are
+     timing events; neither may move a verdict. *)
+  for seed = 0 to 24 do
+    check_parity seed "smp.lost_connect=every:2,cache.flush=every:7"
+  done
+
+let test_multi_cpu_run_deterministic () =
+  let spec = parity_spec 13 4 "smp.lost_connect=every:3" in
+  let a = Workload.run spec and b = Workload.run spec in
+  Alcotest.(check int) "same cycles" a.Workload.r_cycles b.Workload.r_cycles;
+  Alcotest.(check int) "same digest" a.Workload.r_signature b.Workload.r_signature;
+  Alcotest.(check int) "same faults" a.Workload.r_page_faults b.Workload.r_page_faults
+
+let suite =
+  [
+    Alcotest.test_case "lock contention model" `Quick test_lock_contention_model;
+    Alcotest.test_case "home CPU deterministic" `Quick test_cpu_for_deterministic;
+    Alcotest.test_case "ncpus bounds" `Quick test_ncpus_env_parsing;
+    Alcotest.test_case "per-CPU PTW fronts" `Quick test_ptw_front_per_cpu;
+    Alcotest.test_case "connect revokes remote CAM" `Quick test_connect_revokes_remote_cam;
+    Alcotest.test_case "lost connect fails secure" `Quick test_lost_connect_fails_secure;
+    Alcotest.test_case "coherence parity, 100 seeds x {1,2,4} CPUs" `Slow test_parity_100_seeds;
+    Alcotest.test_case "coherence parity under fault storm" `Quick test_parity_under_fault_storm;
+    Alcotest.test_case "multi-CPU run deterministic" `Quick test_multi_cpu_run_deterministic;
+  ]

@@ -25,4 +25,6 @@ let () =
       ("misc", Misc_test.suite);
       ("cache", Cache_test.suite);
       ("sched", Sched_test.suite);
+      ("smp", Smp_test.suite);
+      ("shellcmd", Shellcmd_test.suite);
     ]
