@@ -292,11 +292,123 @@ let bench_smp_dispatch_lock =
   Test.make ~name:"e18/dispatch_lock_4cpu"
     (Staged.stage (fun () -> Smp.dispatch_lock smp_bench_plant ~now:0))
 
+(* ----- E19: the dense-SID flat-table mediation path -----
+
+   [bench_avc_hit] above already measures the redesigned decision path
+   (the hierarchy serves [check_access] from the compiled
+   [Av_table]).  This section adds the PR-3 baseline it replaced — the
+   structured-key Avc served by [Policy.check_cached] — plus the two
+   costs the compilation introduces: recalling a subject's dense SID
+   (the memo-stamp fast path and the cold re-intern) and an eager
+   whole-table rebuild.  The [--smoke] gate below requires the
+   flat-table hit to beat the Avc hash-hit and records all of these in
+   BENCH_e19_sid.json. *)
+
+let sid_bench_label, sid_bench_acl =
+  ( Option.get (Multics_fs.Hierarchy.label_of avc_bench_hierarchy avc_bench_uid),
+    Option.get (Multics_fs.Hierarchy.acl_of avc_bench_hierarchy avc_bench_uid) )
+
+(* Separate subject records per path: the SID memo stamp is
+   per-registry, so one record alternating between the flat table's
+   registry and the shim's would re-intern on every call and measure
+   stamp churn instead of the hit paths. *)
+let sid_bench_subject_for cache_tag =
+  ignore cache_tag;
+  Multics_access.Policy.subject
+    ~principal:(Multics_access.Principal.make ~person:"Bench" ~project:"Perf" ~tag:"a")
+    ~clearance:(Multics_access.Label.make Multics_access.Label.Secret avc_bench_compartments)
+    ~ring:(Multics_machine.Ring.of_int 4) ()
+
+let sid_bench_cache = Multics_access.Policy.Cache.create ()
+let sid_bench_shim_subject = sid_bench_subject_for `Shim
+let sid_bench_obj = Multics_fs.Uid.to_int avc_bench_uid
+
+(* The two decision layers head to head, node fetch excluded from
+   both: the compiled table's find (SID memo recall, two array loads,
+   a bit test) against the structured-key Avc's find (SID memo recall,
+   key construction, hash-bucket walk, verdict compare). *)
+let sid_bench_avtab = Multics_fs.Hierarchy.av_table avc_bench_hierarchy
+let sid_bench_need = Multics_access.Av_table.required Multics_machine.Mode.rw
+
+let sid_bench_flat_hit () =
+  let subj = Multics_access.Av_table.subject_sid sid_bench_avtab avc_bench_subject in
+  let av = Multics_access.Av_table.find sid_bench_avtab ~subj ~obj:sid_bench_obj in
+  av >= 0 && Multics_access.Av_table.covers ~av ~need:sid_bench_need
+
+let bench_sid_flat_find =
+  ignore (sid_bench_flat_hit ());
+  Test.make ~name:"e19/flat_table_find_hit" (Staged.stage sid_bench_flat_hit)
+
+let sid_bench_avc_hit () =
+  Multics_access.Policy.check_cached ~cache:sid_bench_cache ~obj:sid_bench_obj
+    ~subject:sid_bench_shim_subject ~object_label:sid_bench_label ~acl:sid_bench_acl
+    ~requested:Multics_machine.Mode.rw
+
+let bench_sid_avc_hash_hit =
+  ignore (sid_bench_avc_hit ());
+  Test.make ~name:"e19/avc_hash_hit_shim" (Staged.stage sid_bench_avc_hit)
+
+let sid_bench_intern_subject = sid_bench_subject_for `Flat
+
+let bench_sid_intern_memo =
+  ignore (Multics_fs.Hierarchy.subject_sid avc_bench_hierarchy sid_bench_intern_subject);
+  Test.make ~name:"e19/subject_sid_memo_hit"
+    (Staged.stage (fun () ->
+         Multics_fs.Hierarchy.subject_sid avc_bench_hierarchy sid_bench_intern_subject))
+
+let sid_bench_intern_cold () =
+  (* Clearing the stamp forces the registry walk (hash + bucket scan +
+     restamp) a process pays on its first reference after login or a
+     ring change. *)
+  sid_bench_intern_subject.Multics_access.Policy.sid_reg <- 0;
+  Multics_fs.Hierarchy.subject_sid avc_bench_hierarchy sid_bench_intern_subject
+
+let bench_sid_intern_cold =
+  Test.make ~name:"e19/subject_sid_intern_cold" (Staged.stage sid_bench_intern_cold)
+
+(* A populated hierarchy for the rebuild: 64 objects under churn-free
+   attributes, a handful of interned subjects — the rebuild recompiles
+   every (subject, object) pair. *)
+let sid_rebuild_hierarchy =
+  let open Multics_access in
+  let open Multics_fs in
+  let operator =
+    Policy.subject ~trusted:true
+      ~principal:(Principal.make ~person:"Initializer" ~project:"SysDaemon" ~tag:"z")
+      ~clearance:(Label.system_high []) ~ring:(Multics_machine.Ring.of_int 1) ()
+  in
+  let h = Hierarchy.create () in
+  let acl = Acl.of_strings [ ("*.Perf.*", "rw"); ("Initializer.*.*", "rew") ] in
+  let uids =
+    Array.init 64 (fun i ->
+        match
+          Hierarchy.create_segment h ~subject:operator ~dir:Uid.root
+            ~name:(Printf.sprintf "seg_%02d" i) ~acl ~label:Label.unclassified
+        with
+        | Ok uid -> uid
+        | Error e -> failwith (Hierarchy.error_to_string e))
+  in
+  List.iter
+    (fun person ->
+      let s =
+        Policy.subject
+          ~principal:(Principal.make ~person ~project:"Perf" ~tag:"a")
+          ~clearance:(Label.make Label.Secret []) ~ring:(Multics_machine.Ring.of_int 4) ()
+      in
+      ignore (Hierarchy.check_access h ~subject:s ~uid:uids.(0) ~requested:Multics_machine.Mode.r))
+    [ "Ames"; "Bell"; "Cook"; "Dale" ];
+  h
+
+let sid_bench_rebuild () = Multics_fs.Hierarchy.rebuild_av_table sid_rebuild_hierarchy
+
+let bench_sid_rebuild =
+  Test.make ~name:"e19/table_rebuild_5subj_64obj" (Staged.stage sid_bench_rebuild)
+
 (* ----- Observability overhead -----
 
-   The same full gate call ([Api.read_word]: process lookup, gate
-   discipline, SDW check, content fetch, metering branch) with the
-   observability switch on and off.  The off row is the seed-equivalent
+   The same full gate call (a [Read_word] through [Api.Call.dispatch]:
+   process lookup, gate discipline, SDW check, content fetch, metering
+   branch) with the observability switch on and off.  The off row is the seed-equivalent
    path: its only extra cost is the single disabled branch, so the two
    rows must land within noise of each other.  The audit log is
    disabled for both rows so neither accumulates records across
@@ -325,24 +437,29 @@ let obs_bench_system, obs_bench_handle, obs_bench_segno =
     | Ok segno -> segno
     | Error e -> failwith (User_env.error_to_string e)
   in
-  (match Api.write_word system ~handle ~segno ~offset:0 ~value:42 with
-  | Ok () -> ()
+  (match
+     Api.Call.dispatch system ~handle (Api.Call.Write_word { segno; offset = 0; value = 42 })
+   with
+  | Ok _ -> ()
   | Error e -> failwith (Api.error_to_string e));
   (system, handle, segno)
+
+let obs_bench_request =
+  Multics_kernel.Api.Call.Read_word { segno = obs_bench_segno; offset = 0 }
 
 let bench_obs_gate_call_on =
   Test.make ~name:"obs/gate_call_obs_on"
     (Staged.stage (fun () ->
          Obs.set_enabled true;
-         Multics_kernel.Api.read_word obs_bench_system ~handle:obs_bench_handle
-           ~segno:obs_bench_segno ~offset:0))
+         Multics_kernel.Api.Call.dispatch obs_bench_system ~handle:obs_bench_handle
+           obs_bench_request))
 
 let bench_obs_gate_call_off =
   Test.make ~name:"obs/gate_call_obs_off"
     (Staged.stage (fun () ->
          Obs.set_enabled false;
-         Multics_kernel.Api.read_word obs_bench_system ~handle:obs_bench_handle
-           ~segno:obs_bench_segno ~offset:0))
+         Multics_kernel.Api.Call.dispatch obs_bench_system ~handle:obs_bench_handle
+           obs_bench_request))
 
 let obs_bench_counter = Obs.Registry.counter Obs.Registry.global "bench.counter"
 
@@ -376,6 +493,11 @@ let tests =
     bench_avc_hit;
     bench_avc_miss_recompute;
     bench_hardware_check_assoc_hit;
+    bench_sid_flat_find;
+    bench_sid_avc_hash_hit;
+    bench_sid_intern_memo;
+    bench_sid_intern_cold;
+    bench_sid_rebuild;
     bench_boundary_sweep;
     bench_page_storm_sequential;
     bench_page_storm_parallel;
@@ -511,6 +633,75 @@ let smoke () =
     print_endline "bench smoke: FAIL — scheduler dispatch is scaling with the ready backlog";
     exit 1
   end;
+  (* The dense-SID gate: the compiled flat-table hit (what [check]
+     above measures) must beat the structured-key Avc hash-hit path it
+     replaced.  Also record the redesign's own costs — SID recall,
+     cold re-intern, eager rebuild — in BENCH_e19_sid.json for the CI
+     artifact. *)
+  let ns_per t iters = t *. 1e9 /. float_of_int iters in
+  let flat = sid_bench_flat_hit and avc = sid_bench_avc_hit in
+  ignore (flat ());
+  ignore (avc ());
+  ignore (time_iters 10_000 flat);
+  ignore (time_iters 10_000 avc);
+  let sid_pairs =
+    List.init trials (fun _ ->
+        let f = time_iters iters flat in
+        let a = time_iters iters avc in
+        (f, a))
+  in
+  let flat_t = median (List.map fst sid_pairs) in
+  let avc_t = median (List.map snd sid_pairs) in
+  let sid_speedup = avc_t /. flat_t in
+  let sid_required_speedup = 1.2 in
+  Printf.printf
+    "bench smoke: flat-table hit %.1f ns/ref vs Avc hash-hit %.1f ns/ref — speedup %.2fx (required >= %.1fx)\n"
+    (ns_per flat_t iters) (ns_per avc_t iters) sid_speedup sid_required_speedup;
+  if sid_speedup < sid_required_speedup then begin
+    print_endline "bench smoke: FAIL — the compiled table lost to the hash-keyed cache it replaced";
+    exit 1
+  end;
+  ignore (sid_bench_intern_cold ());
+  ignore (time_iters 10_000 (fun () -> Multics_fs.Hierarchy.subject_sid avc_bench_hierarchy sid_bench_intern_subject));
+  let memo_t =
+    median
+      (List.init trials (fun _ ->
+           time_iters iters (fun () ->
+               Multics_fs.Hierarchy.subject_sid avc_bench_hierarchy sid_bench_intern_subject)))
+  in
+  let cold_t = median (List.init trials (fun _ -> time_iters iters sid_bench_intern_cold)) in
+  let rebuild_iters = 2_000 in
+  let rebuild_cells = sid_bench_rebuild () in
+  let rebuild_t =
+    median (List.init trials (fun _ -> time_iters rebuild_iters sid_bench_rebuild))
+  in
+  Printf.printf
+    "bench smoke: subject SID memo %.1f ns, cold re-intern %.1f ns, rebuild (%d cells) %.1f ns\n"
+    (ns_per memo_t iters) (ns_per cold_t iters) rebuild_cells (ns_per rebuild_t rebuild_iters);
+  let oc = open_out "BENCH_e19_sid.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "e19_sid",
+  "trials": %d,
+  "iters": %d,
+  "flat_table_hit_ns": %.2f,
+  "avc_hash_hit_ns": %.2f,
+  "fresh_recompute_ns": %.2f,
+  "speedup_flat_vs_avc": %.3f,
+  "speedup_cached_vs_fresh": %.3f,
+  "required_speedup_flat_vs_avc": %.2f,
+  "subject_intern_memo_ns": %.2f,
+  "subject_intern_cold_ns": %.2f,
+  "table_rebuild_ns": %.2f,
+  "table_rebuild_cells": %d,
+  "hit_ratio": %.4f
+}
+|}
+    trials iters (ns_per flat_t iters) (ns_per avc_t iters) (ns_per uncached iters) sid_speedup
+    speedup sid_required_speedup (ns_per memo_t iters) (ns_per cold_t iters)
+    (ns_per rebuild_t rebuild_iters) rebuild_cells hit_ratio;
+  close_out oc;
+  print_endline "bench smoke: wrote BENCH_e19_sid.json";
   print_endline "bench smoke: OK"
 
 let () =

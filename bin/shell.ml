@@ -39,6 +39,10 @@ let on_api shell what result =
       say "%s: %s" what (Fmt.str "%a" Api.pp e);
       None
 
+(* Every shell command goes through the typed dispatch surface — same
+   mediation, audit and metering as any user program's gate call. *)
+let gate shell what ~handle request = on_api shell what (Api.Call.dispatch shell.system ~handle request)
+
 let on_env shell what result =
   match result with
   | Ok v -> Some v
@@ -109,23 +113,23 @@ let cmd_logout shell =
 
 let cmd_whoami shell =
   require_login shell (fun handle ->
-      match Api.proc_info shell.system ~handle with
-      | Ok info ->
+      match gate shell "whoami" ~handle Api.Call.Proc_info with
+      | Some (Api.Call.Info info) ->
           say "%s | ring %d | level %s | %d segments known | authenticated in ring %d"
             info.Api.info_principal info.Api.info_ring
             (Label.to_string info.Api.info_level)
             info.Api.info_known_segments info.Api.info_login_ring
-      | Error e -> say "whoami: %s" (Fmt.str "%a" Api.pp e))
+      | Some _ | None -> ())
 
 let cmd_ls shell path =
   require_login shell (fun handle ->
       match resolve shell handle path with
       | None -> ()
       | Some dir_segno -> (
-          match on_api shell "ls" (Api.list_directory shell.system ~handle ~dir_segno) with
-          | Some names ->
+          match gate shell "ls" ~handle (Api.Call.List_directory { dir_segno }) with
+          | Some (Api.Call.Names names) ->
               if names = [] then say "(empty)" else List.iter (fun n -> say "  %s" n) names
-          | None -> ()))
+          | Some _ | None -> ()))
 
 let default_acl shell handle =
   match System.proc shell.system handle with
@@ -169,37 +173,33 @@ let cmd_write shell path offset value =
       match resolve shell handle path with
       | None -> ()
       | Some segno -> (
-          match
-            on_api shell "write" (Api.write_word shell.system ~handle ~segno ~offset ~value)
-          with
-          | Some () -> say "ok"
-          | None -> ()))
+          match gate shell "write" ~handle (Api.Call.Write_word { segno; offset; value }) with
+          | Some Api.Call.Done -> say "ok"
+          | Some _ | None -> ()))
 
 let cmd_read shell path offset =
   require_login shell (fun handle ->
       match resolve shell handle path with
       | None -> ()
       | Some segno -> (
-          match on_api shell "read" (Api.read_word shell.system ~handle ~segno ~offset) with
-          | Some value -> say "%d" value
-          | None -> ()))
+          match gate shell "read" ~handle (Api.Call.Read_word { segno; offset }) with
+          | Some (Api.Call.Word value) -> say "%d" value
+          | Some _ | None -> ()))
 
 let cmd_status shell dir_path name =
   require_login shell (fun handle ->
       match resolve shell handle dir_path with
       | None -> ()
       | Some dir_segno -> (
-          match
-            on_api shell "status" (Api.status_entry shell.system ~handle ~dir_segno ~name)
-          with
-          | Some st ->
+          match gate shell "status" ~handle (Api.Call.Status_entry { dir_segno; name }) with
+          | Some (Api.Call.Status st) ->
               say "%s: %s, label %s, %d pages" st.Api.status_name
                 (match st.Api.status_kind with
                 | Multics_fs.Hierarchy.Segment -> "segment"
                 | Multics_fs.Hierarchy.Directory -> "directory")
                 (Label.to_string st.Api.status_label)
                 st.Api.status_pages
-          | None -> ()))
+          | Some _ | None -> ()))
 
 let cmd_acl shell path pattern mode =
   require_login shell (fun handle ->
@@ -227,23 +227,19 @@ let cmd_acl shell path pattern mode =
                   with
                   | Error m -> say "acl: %s" m
                   | Ok acl -> (
-                      match
-                        on_api shell "acl" (Api.set_acl shell.system ~handle ~segno ~acl)
-                      with
-                      | Some () -> say "acl updated (revocation applied to cached descriptors)"
-                      | None -> ())))))
+                      match gate shell "acl" ~handle (Api.Call.Set_acl { segno; acl }) with
+                      | Some Api.Call.Done ->
+                          say "acl updated (revocation applied to cached descriptors)"
+                      | Some _ | None -> ())))))
 
 let cmd_quota shell path pages =
   require_login shell (fun handle ->
       match resolve shell handle path with
       | None -> ()
       | Some segno -> (
-          match
-            on_api shell "quota"
-              (Api.set_quota shell.system ~handle ~segno ~quota:(Some pages))
-          with
-          | Some () -> say "quota cell of %d pages installed on %s" pages path
-          | None -> ()))
+          match gate shell "quota" ~handle (Api.Call.Set_quota { segno; quota = Some pages }) with
+          | Some Api.Call.Done -> say "quota cell of %d pages installed on %s" pages path
+          | Some _ | None -> ()))
 
 let cmd_bind shell name path =
   require_login shell (fun handle ->
@@ -380,17 +376,17 @@ let cmd_smp_status shell =
    controller on this system so status/tune have a live target. *)
 let cmd_sched_status shell =
   require_login shell (fun handle ->
-      match on_api shell "sched status" (Api.sched_status shell.system ~handle) with
-      | Some (policy, counters) ->
+      match gate shell "sched status" ~handle Api.Call.Sched_status with
+      | Some (Api.Call.Sched_report { policy; counters }) ->
           say "policy: %s" policy;
           List.iter (fun (name, v) -> say "  %-22s %d" name v) counters
-      | None -> ())
+      | Some _ | None -> ())
 
 let cmd_sched_tune shell ~param ~value =
   require_login shell (fun handle ->
-      match on_api shell "sched tune" (Api.sched_tune shell.system ~handle ~param ~value) with
-      | Some () -> say "scheduler %s set to %d" param value
-      | None -> ())
+      match gate shell "sched tune" ~handle (Api.Call.Sched_tune { param; value }) with
+      | Some Api.Call.Done -> say "scheduler %s set to %d" param value
+      | Some _ | None -> ())
 
 let cmd_sched_demo shell ~users =
   let module Sched = Multics_sched.Sched in

@@ -7,6 +7,7 @@
 
 open Multics_access
 open Multics_kernel
+module Call = Api.Call
 
 let expect what = function
   | Ok v -> v
@@ -20,6 +21,11 @@ let attempt label result =
   match result with
   | Ok _ -> Printf.printf "   %-58s ok\n" label
   | Error e -> Printf.printf "   %-58s REFUSED (%s)\n" label (Api.error_to_string e)
+
+let read system ~handle ~segno = Call.dispatch system ~handle (Call.Read_word { segno; offset = 0 })
+
+let write system ~handle ~segno ~offset ~value =
+  Call.dispatch system ~handle (Call.Write_word { segno; offset; value })
 
 let () =
   print_endline "A multi-level service: Unclassified <= Secret{crypto} <= TopSecret{crypto,nato}";
@@ -48,7 +54,7 @@ let () =
             ~label:(Label.make Label.Secret [ "crypto" ])))
   in
   attempt "Mid writes the report (same level)"
-    (Api.write_word system ~handle:mid ~segno:report ~offset:0 ~value:7);
+    (write system ~handle:mid ~segno:report ~offset:0 ~value:7);
 
   print_endline "\n2. Who can observe it?";
   let for_user handle =
@@ -57,18 +63,16 @@ let () =
   in
   let report_low = expect "resolve low" (for_user low) in
   let report_high = expect "resolve high" (for_user high) in
-  attempt "Low (Unclassified) reads Secret{crypto}"
-    (Api.read_word system ~handle:low ~segno:report_low ~offset:0);
-  attempt "Mid (Secret{crypto}) reads it" (Api.read_word system ~handle:mid ~segno:report ~offset:0);
-  attempt "High (TopSecret{crypto,nato}) reads it"
-    (Api.read_word system ~handle:high ~segno:report_high ~offset:0);
+  attempt "Low (Unclassified) reads Secret{crypto}" (read system ~handle:low ~segno:report_low);
+  attempt "Mid (Secret{crypto}) reads it" (read system ~handle:mid ~segno:report);
+  attempt "High (TopSecret{crypto,nato}) reads it" (read system ~handle:high ~segno:report_high);
 
   print_endline "\n3. Who can modify it? (the *-property)";
   attempt "High (dominates) tries to write DOWN into it"
-    (Api.write_word system ~handle:high ~segno:report_high ~offset:1 ~value:9);
+    (write system ~handle:high ~segno:report_high ~offset:1 ~value:9);
   attempt "Low (dominated) blind-writes UP into it"
-    (Api.write_word system ~handle:low ~segno:report_low ~offset:2 ~value:1);
-  attempt "Mid (equal) writes it" (Api.write_word system ~handle:mid ~segno:report ~offset:3 ~value:3);
+    (write system ~handle:low ~segno:report_low ~offset:2 ~value:1);
+  attempt "Mid (equal) writes it" (write system ~handle:mid ~segno:report ~offset:3 ~value:3);
 
   print_endline "\n4. Incomparable compartments do not flow either way:";
   let nato_note =
@@ -84,10 +88,9 @@ let () =
       (Result.map_error User_env.error_to_string
          (User_env.resolve_path system ~handle:mid ~path:">udd>Intel>High>nato_note"))
   in
-  attempt "Mid (Secret{crypto}) reads Secret{nato}"
-    (Api.read_word system ~handle:mid ~segno:nato_for_mid ~offset:0);
+  attempt "Mid (Secret{crypto}) reads Secret{nato}" (read system ~handle:mid ~segno:nato_for_mid);
   attempt "Mid (Secret{crypto}) writes Secret{nato}"
-    (Api.write_word system ~handle:mid ~segno:nato_for_mid ~offset:0 ~value:5);
+    (write system ~handle:mid ~segno:nato_for_mid ~offset:0 ~value:5);
 
   print_endline "\n5. The flow picture this enforces:";
   print_endline "   Unclassified --> Secret{crypto} --> TopSecret{crypto,nato}";

@@ -13,13 +13,15 @@
 
 open Multics_access
 open Multics_kernel
+module Call = Api.Call
 module Smp = Multics_smp.Smp
 module Workload = Multics_sched.Workload
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
-let fail_api what = function
-  | Ok v -> v
+let gate what system ~handle request =
+  match Call.dispatch system ~handle request with
+  | Ok reply -> reply
   | Error e -> failwith (Printf.sprintf "%s: %s" what (Fmt.str "%a" Api.pp e))
 
 let () =
@@ -44,19 +46,20 @@ let () =
     | Ok segno -> segno
     | Error e -> failwith (User_env.error_to_string e)
   in
-  fail_api "write" (Api.write_word system ~handle ~segno ~offset:0 ~value:7);
+  ignore (gate "write" system ~handle (Call.Write_word { segno; offset = 0; value = 7 }));
   Smp.set_current plant 0;
-  ignore (fail_api "read on cpu 0" (Api.read_word system ~handle ~segno ~offset:0));
+  ignore (gate "read on cpu 0" system ~handle (Call.Read_word { segno; offset = 0 }));
   Smp.set_current plant 1;
-  ignore (fail_api "read on cpu 1" (Api.read_word system ~handle ~segno ~offset:0));
+  ignore (gate "read on cpu 1" system ~handle (Call.Read_word { segno; offset = 0 }));
   say "both CPUs' associative memories hold the descriptor for segment %d" segno;
   Smp.set_current plant 0;
-  fail_api "set_acl"
-    (Api.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ]));
+  ignore
+    (gate "set_acl" system ~handle
+       (Call.Set_acl { segno; acl = Acl.of_strings [ ("Operator.*.*", "rw") ] }));
   say "CPU 0 revoked Alice's access; connects received by cpu 1: %d"
     (List.assoc "connects_received" (Smp.cpu_status plant 1));
   Smp.set_current plant 1;
-  (match Api.read_word system ~handle ~segno ~offset:0 with
+  (match Call.dispatch system ~handle (Call.Read_word { segno; offset = 0 }) with
   | Error e -> say "CPU 1's next reference: refused (%s) — no stale Permit" (Fmt.str "%a" Api.pp e)
   | Ok _ -> failwith "CPU 1 replayed a stale Permit!");
 

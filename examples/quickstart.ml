@@ -6,6 +6,7 @@
 
 open Multics_access
 open Multics_kernel
+module Call = Api.Call
 
 let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n")
 
@@ -59,7 +60,7 @@ let () =
             ~label:Label.unclassified))
   in
   show_api "Schroeder writes word 0 of the draft"
-    (Api.write_word system ~handle:mike ~segno:draft ~offset:0 ~value:80);
+    (Call.dispatch system ~handle:mike (Call.Write_word { segno = draft; offset = 0; value = 80 }));
 
   step "Saltzer reads the shared draft through his own address space";
   (* Saltzer walks the tree with initiate calls — naming is user-ring
@@ -69,11 +70,13 @@ let () =
       (Result.map_error User_env.error_to_string
          (User_env.resolve_path system ~handle:jerry ~path:">udd>CSR>Schroeder>rfc80"))
   in
-  (match Api.read_word system ~handle:jerry ~segno:draft_for_jerry ~offset:0 with
-  | Ok v -> Printf.printf "   Saltzer reads word 0: %d\n" v
+  (match Call.dispatch system ~handle:jerry (Call.Read_word { segno = draft_for_jerry; offset = 0 }) with
+  | Ok (Call.Word v) -> Printf.printf "   Saltzer reads word 0: %d\n" v
+  | Ok _ -> assert false
   | Error e -> Printf.printf "   read failed: %s\n" (Api.error_to_string e));
   show_api "Saltzer tries to MODIFY the draft"
-    (Api.write_word system ~handle:jerry ~segno:draft_for_jerry ~offset:0 ~value:0);
+    (Call.dispatch system ~handle:jerry
+       (Call.Write_word { segno = draft_for_jerry; offset = 0; value = 0 }));
 
   step "the lattice rules independently of ACLs";
   (* A second Schroeder session, this time at his full clearance. *)
@@ -91,18 +94,20 @@ let () =
             ~label:(Label.make Label.Secret [ "crypto" ])))
   in
   show_api "Schroeder (Secret{crypto} session) writes it"
-    (Api.write_word system ~handle:mike_high ~segno:classified ~offset:0 ~value:1);
+    (Call.dispatch system ~handle:mike_high
+       (Call.Write_word { segno = classified; offset = 0; value = 1 }));
   let classified_for_jerry =
     expect "resolve classified"
       (Result.map_error User_env.error_to_string
          (User_env.resolve_path system ~handle:jerry ~path:">udd>CSR>Schroeder>codeword"))
   in
   show_api "Saltzer (Unclassified) tries to read it"
-    (Api.read_word system ~handle:jerry ~segno:classified_for_jerry ~offset:0);
+    (Call.dispatch system ~handle:jerry
+       (Call.Read_word { segno = classified_for_jerry; offset = 0 }));
 
   step "removed mechanisms answer as absent gates";
   show_api "calling the removed kernel resolver"
-    (Api.resolve_path system ~handle:jerry ~path:">udd");
+    (Call.dispatch system ~handle:jerry (Call.Resolve_path { path = ">udd" }));
 
   step "the audit trail saw everything";
   let audit = System.audit system in

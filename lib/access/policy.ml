@@ -26,10 +26,14 @@ type subject = {
   clearance : Label.t;
   ring : Ring.t;
   trusted : bool;
+  mutable sid_reg : int;
+      (** registry stamp for the dense-SID memo (see {!Subject_sids});
+          0 = never interned.  Internal to the SID layer. *)
+  mutable sid : int;  (** the memoized SID, valid only under [sid_reg] *)
 }
 
 let subject ?(trusted = false) ~principal ~clearance ~ring () =
-  { principal; clearance; ring; trusted }
+  { principal; clearance; ring; trusted; sid_reg = 0; sid = -1 }
 
 type refusal =
   | Mandatory_read_up of { subject_label : Label.t; object_label : Label.t }
@@ -123,69 +127,107 @@ let check ~subject:s ~object_label ~acl ~requested =
 
 let permitted = function Permit -> true | Refuse _ -> false
 
-(* The access-decision cache (AVC).  [check] is the recompute path; the
-   cache replays its verdicts on the mediation hot path, keyed by
-   everything the verdict depends on besides the object's own
-   attributes: the full subject identity (principal, clearance, trusted
-   flag, ring — two processes of one principal can run at different
-   session levels, so the principal alone is not enough) plus the
-   requested mode and the object id.  The object's label and ACL are
-   covered by the per-object generation stamp instead: any edit bumps
-   the generation and the entry dies (see {!Multics_cache.Avc}). *)
+(* ----- Subject SIDs -----
+
+   Everything a verdict depends on besides the object's attributes and
+   the requested mode is the subject's identity: principal, clearance,
+   trusted flag, ring (two processes of one principal can run at
+   different session levels, so the principal alone is not enough).
+   Interning that identity to a dense SID lets the compiled tables and
+   the verdict cache key on one small int.  The hash skips the
+   compartment set (equality splits the rare bucket shared by two
+   levels), and equality takes the physical fast path first: a hot
+   caller re-presents the same record reference for reference. *)
+
+let subject_identity_hash (s : subject) =
+  ((Hashtbl.hash s.principal * 31) + Label.level_rank (Label.level s.clearance) * 31)
+  + (Ring.to_int s.ring * 2)
+  + if s.trusted then 1 else 0
+
+let subject_identity_equal (a : subject) b =
+  a == b
+  || a.trusted = b.trusted
+     && Ring.equal a.ring b.ring
+     && (a.principal == b.principal || a.principal = b.principal)
+     && (a.clearance == b.clearance || Label.equal a.clearance b.clearance)
+
+module Subject_sids = struct
+  type nonrec t = { reg : int; map : subject Sid.Map.t }
+
+  (* Registry ids are minted from 1 and never reused, so a subject
+     record stamped by a dead registry can only miss the memo check —
+     it re-interns, it never aliases. *)
+  let next_reg = ref 0
+
+  let create () =
+    incr next_reg;
+    {
+      reg = !next_reg;
+      map = Sid.Map.create ~hash:subject_identity_hash ~equal:subject_identity_equal ();
+    }
+
+  let sid_of t (s : subject) =
+    if s.sid_reg = t.reg then Sid.of_int s.sid
+    else begin
+      let sid = Sid.Map.intern t.map s in
+      s.sid_reg <- t.reg;
+      s.sid <- Sid.to_int sid;
+      sid
+    end
+
+  let count t = Sid.Map.count t.map
+  let subject_of t sid = Sid.Map.value t.map sid
+  let iter f t = Sid.Map.iter f t.map
+end
+
+(* The structured-key access-decision cache (AVC).  [check] is the
+   recompute path; the cache replays its verdicts, keyed by the
+   subject's SID, the requested mode's bits and the object id — three
+   ints, so the hit path hashes nothing and two distinct keys can
+   never compare equal (no structural comparison is involved at all).
+   The object's label and ACL are covered by the per-object generation
+   stamp instead: any edit bumps the generation and the entry dies
+   (see {!Multics_cache.Avc}).
+
+   DEPRECATED as the mediation hot path: the hierarchy now serves
+   references from the compiled {!Av_table}; this cache remains as the
+   structured-key shim for one release (and as the PR-3 baseline the
+   benches compare the flat table against). *)
 module Cache = struct
-  type key = {
-    principal : Principal.t;
-    clearance : Label.t;
-    trusted : bool;
-    ring : int;
-    requested : Mode.t;
-    obj : int;
+  type key = { subj : Sid.t; mode : int; obj : int }
+
+  let mode_bits (m : Mode.t) =
+    (if m.Mode.read then 1 else 0)
+    lor (if m.Mode.execute then 2 else 0)
+    lor if m.Mode.write then 4 else 0
+
+  (* An injective pack for every reachable key (subject SIDs are small
+     by construction — one per distinct subject identity): slot choice
+     never conflates two keys that [key_equal] would split anyway. *)
+  let key_hash k = (((k.obj lsl 3) lor k.mode) lsl 18) lor (Sid.to_int k.subj land 0x3ffff)
+
+  let key_equal a b = a.obj = b.obj && a.mode = b.mode && Sid.equal a.subj b.subj
+
+  type nonrec t = {
+    avc : (key, verdict) Multics_cache.Avc.t;
+    sids : Subject_sids.t;  (** the shim's own interning registry *)
   }
 
-  type nonrec t = (key, verdict) Multics_cache.Avc.t
-
-  (* A few integer mixes over the discriminating fields; collisions
-     (e.g. two principals probing the same object at the same ring)
-     share a bucket and are split by structural equality.  Hashing the
-     principal strings here would cost more than many of the verdicts
-     the cache serves. *)
-  let key_hash k =
-    let mode_bits =
-      (if k.requested.Mode.read then 1 else 0)
-      lor (if k.requested.Mode.execute then 2 else 0)
-      lor (if k.requested.Mode.write then 4 else 0)
-      lor if k.trusted then 8 else 0
-    in
-    (((k.obj * 31) + k.ring) * 31) + (mode_bits * 31)
-    + Label.level_rank (Label.level k.clearance)
-
-  (* Integer fields first (they discriminate almost every miss), then
-     the structured fields with a physical-equality fast path: a hot
-     caller re-presents the same subject record reference for
-     reference, so the principal and clearance comparisons are almost
-     always pointer checks, not string walks. *)
-  let key_equal a b =
-    a.obj = b.obj && a.ring = b.ring && a.trusted = b.trusted
-    && Mode.equal a.requested b.requested
-    && (a.principal == b.principal || a.principal = b.principal)
-    && (a.clearance == b.clearance || a.clearance = b.clearance)
-
   let create ?(capacity = 1024) ?gens () =
-    Multics_cache.Avc.create ~capacity ?gens ~hash:key_hash ~equal:key_equal ~name:"policy" ()
+    {
+      avc =
+        Multics_cache.Avc.create ~capacity ?gens ~hash:key_hash ~equal:key_equal
+          ~name:"policy.avc" ();
+      sids = Subject_sids.create ();
+    }
+
+  let stats t = ("size", Multics_cache.Avc.size t.avc) :: Multics_cache.Avc.counters t.avc
 end
 
 let check_cached ~cache ~obj ~subject:s ~object_label ~acl ~requested =
-  let key =
-    {
-      Cache.principal = s.principal;
-      clearance = s.clearance;
-      trusted = s.trusted;
-      ring = Ring.to_int s.ring;
-      requested;
-      obj;
-    }
-  in
-  match Multics_cache.Avc.find cache key with
+  let subj = Subject_sids.sid_of cache.Cache.sids s in
+  let key = { Cache.subj; mode = Cache.mode_bits requested; obj } in
+  match Multics_cache.Avc.find cache.Cache.avc key with
   | Some verdict ->
       (* Replay the policy counters so caching is observationally
          transparent: audit totals are identical whether a verdict was
@@ -193,7 +235,7 @@ let check_cached ~cache ~obj ~subject:s ~object_label ~acl ~requested =
       observe verdict
   | None ->
       let verdict = check ~subject:s ~object_label ~acl ~requested in
-      Multics_cache.Avc.add cache ~obj key verdict;
+      Multics_cache.Avc.add cache.Cache.avc ~obj key verdict;
       verdict
 
 let pp_verdict ppf = function

@@ -9,6 +9,10 @@ type subject = {
   ring : Ring.t;
   trusted : bool;  (** exempt from the mandatory checks (administrative
                        daemons); still subject to ACLs and rings *)
+  mutable sid_reg : int;
+      (** dense-SID memo stamp, internal to {!Subject_sids}: which
+          registry [sid] is valid under (0 = none).  Do not touch. *)
+  mutable sid : int;  (** the memoized dense SID under [sid_reg] *)
 }
 
 val subject :
@@ -49,25 +53,58 @@ val check :
 
 val permitted : verdict -> bool
 
-(** The access-decision cache: verdicts of {!check} keyed by subject
-    identity (principal, clearance, trusted, ring), requested mode and
-    object id.  Object attributes (label, ACL) are covered by per-object
-    generation stamps — see {!Multics_cache.Avc} — so an ACL edit or
-    label change invalidates immediately. *)
+val observe : verdict -> verdict
+(** Bump the policy counters ([policy.checks], [policy.refusals.*]) as
+    if the verdict had just been computed, and return it.  The cached
+    paths (the compiled tables, {!check_cached}) replay counters
+    through this so audit totals are independent of caching. *)
+
+(** Interning of subject identities (principal, clearance, trusted,
+    ring — two processes of one principal can run at different session
+    levels, so the principal alone is not enough) to dense {!Sid.t}s.
+    The subject record memoizes its SID under a registry stamp, so a
+    hot caller re-presenting the same record pays two int compares and
+    no hashing; registry ids are never reused, so a stale stamp can
+    only re-intern, never alias. *)
+module Subject_sids : sig
+  type t
+
+  val create : unit -> t
+  val sid_of : t -> subject -> Sid.t
+  val count : t -> int
+
+  val subject_of : t -> Sid.t -> subject
+  (** The canonical (first-interned) record.  Raises
+      [Invalid_argument] on a SID this registry never minted. *)
+
+  val iter : (Sid.t -> subject -> unit) -> t -> unit
+end
+
+(** The structured-key access-decision cache: verdicts of {!check}
+    keyed by (subject SID, requested-mode bits, object id) — three
+    ints, so the hit path hashes nothing and no two distinct keys can
+    compare equal.  Object attributes (label, ACL) are covered by
+    per-object generation stamps — see {!Multics_cache.Avc} — so an
+    ACL edit or label change invalidates immediately.
+
+    @deprecated as the mediation hot path: the hierarchy serves
+    references from the compiled {!Av_table} flat tables.  This cache
+    and {!check_cached} remain for one release as the structured-key
+    shim (and as the PR-3 baseline the benches compare against). *)
 module Cache : sig
-  type key = {
-    principal : Principal.t;
-    clearance : Label.t;
-    trusted : bool;
-    ring : int;
-    requested : Mode.t;
-    obj : int;
+  type key = { subj : Sid.t; mode : int; obj : int }
+
+  val mode_bits : Mode.t -> int
+
+  type t = {
+    avc : (key, verdict) Multics_cache.Avc.t;
+    sids : Subject_sids.t;  (** the shim's own interning registry *)
   }
 
-  type t = (key, verdict) Multics_cache.Avc.t
-
   val create : ?capacity:int -> ?gens:Multics_cache.Avc.Gen.t -> unit -> t
-  (** Registered under obs counters ["cache.policy.*"]. *)
+  (** Registered under obs counters ["cache.policy.avc.*"]. *)
+
+  val stats : t -> (string * int) list
 end
 
 val check_cached :
@@ -82,6 +119,10 @@ val check_cached :
     On a hit the policy counters are replayed so audit totals are
     independent of caching; cache-parity ([check_cached] ≡ [check] at
     every step, including across revocation and salvage) is enforced by
-    the property tests. *)
+    the property tests.
+
+    @deprecated Structured-key shim: new callers should take the
+    compiled-table path (see {!Av_table} and the hierarchy's
+    [check_access]). *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

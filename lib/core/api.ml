@@ -7,7 +7,8 @@
      {!Call.dispatch} — THE single audited, metered entry point;
    - the legacy way: the per-gate functions below, which are thin
      wrappers that build the request, dispatch it, and project the
-     typed reply back out.
+     typed reply back out.  These are DEPRECATED (see api.mli): kept
+     one release for out-of-tree callers, no longer used in-tree.
 
    A call is mediated three times over:
 

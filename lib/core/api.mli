@@ -1,8 +1,19 @@
-(** The kernel's gate-call interface: one function per supervisor entry
-    point.  Calls are refused when the gate is absent from the running
-    configuration, when the caller's ring is outside the gate's call
-    bracket, or when the reference monitor refuses the operation; every
-    call is audited. *)
+(** The kernel's gate-call interface.  Calls are refused when the gate
+    is absent from the running configuration, when the caller's ring is
+    outside the gate's call bracket, or when the reference monitor
+    refuses the operation; every call is audited.
+
+    {b Deprecation notice.}  The per-gate wrapper functions below
+    ([initiate], [read_word], [set_acl], ...) are the legacy surface:
+    one OCaml function per supervisor entry point, each privately
+    rebuilding the audit/metering prologue.  They are kept for one
+    release so out-of-tree callers keep compiling, but all in-tree
+    callers (shell, examples, experiments, workloads, benches) now go
+    through the typed surface — build a {!Call.request} and hand it to
+    {!Call.dispatch}, which is the single audited, metered entry point.
+    New code must not add per-gate wrappers; add a [Call.request]
+    constructor instead.  The wrappers will be removed once the
+    deprecation window closes. *)
 
 open Multics_access
 open Multics_fs
@@ -39,7 +50,12 @@ val error_to_json : error -> string
 (** Machine-readable refusal cause: an object with a ["kind"]
     discriminator plus cause-specific fields. *)
 
-(** {1 Directory control} *)
+(** {1 Directory control}
+
+    @deprecated All per-gate wrappers in this and the following
+    sections are legacy shims over {!Call.dispatch}; see the module
+    header.  Use [Call.dispatch system ~handle (Call.Initiate ...)]
+    and friends in new code. *)
 
 val initiate :
   System.t -> handle:int -> dir_segno:int -> name:string -> (int, error) result

@@ -42,6 +42,11 @@ type proc = {
   assoc : Hardware.Assoc.t;
       (** the per-process SDW associative memory; invalidated through
           the KST's descriptor-change hook, so "setfaults" reaches it *)
+  mutable subject_memo : Policy.subject option;
+      (** the subject record for the CURRENT ring, rebuilt on ring
+          change.  Re-presenting one record reference keeps the SID
+          memo on it hot: a gate call's subject lookup is two int
+          compares, no interning, no allocation *)
 }
 
 (* What the kernel managed to note before an injected gate abort: the
@@ -256,8 +261,17 @@ let login_error_to_string = function
 
 let proc t handle = Hashtbl.find_opt t.procs handle
 
+(* The process's subject, memoized per ring: principal and clearance
+   are fixed at login, so only a ring crossing (gate call, subsystem
+   entry/exit) invalidates the record.  Returning the same record
+   reference is what makes the dense-SID memo on it effective. *)
 let subject_of (p : proc) =
-  Policy.subject ~principal:p.principal ~clearance:p.clearance ~ring:p.ring ()
+  match p.subject_memo with
+  | Some s when Ring.equal s.Policy.ring p.ring -> s
+  | Some _ | None ->
+      let s = Policy.subject ~principal:p.principal ~clearance:p.clearance ~ring:p.ring () in
+      p.subject_memo <- Some s;
+      s
 
 let process_dir_name ~handle = Printf.sprintf "p%03d" handle
 
@@ -297,6 +311,7 @@ let make_process t ~(account : account) ~session_level ~login_ring =
       login_ring;
       subsystem_stack = [];
       assoc;
+      subject_memo = None;
     }
   in
   Hashtbl.replace t.procs handle p;

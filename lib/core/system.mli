@@ -30,6 +30,9 @@ type proc = {
   assoc : Hardware.Assoc.t;
       (** the per-process SDW associative memory (the 6180's CAM);
           invalidated through the KST's descriptor-change hook *)
+  mutable subject_memo : Policy.subject option;
+      (** the current ring's subject record, rebuilt on ring change;
+          re-presenting one record keeps its dense-SID memo hot *)
 }
 
 val create : Config.t -> t

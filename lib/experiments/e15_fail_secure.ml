@@ -29,6 +29,7 @@ open Multics_kernel
 open Multics_mm
 open Multics_proc
 open Multics_vm
+module Call = Api.Call
 module Fault = Multics_fault.Fault
 module Prng = Multics_util.Prng
 module Obs = Multics_obs.Obs
@@ -82,9 +83,17 @@ let random_gate_plan ~seed =
   in
   Fault.Plan.make ~seed rules
 
-let check what = function
-  | Ok v -> v
+let reply what = function
+  | Ok reply -> reply
   | Error e -> failwith (Printf.sprintf "E15 %s: %s" what (Api.error_to_string e))
+
+let expect_done what response = match reply what response with
+  | Call.Done -> ()
+  | _ -> failwith (Printf.sprintf "E15 %s: unexpected reply shape" what)
+
+let expect_segno what response = match reply what response with
+  | Call.Segno segno -> segno
+  | _ -> failwith (Printf.sprintf "E15 %s: unexpected reply shape" what)
 
 let boot () =
   let system = System.create Config.kernel_6180 in
@@ -117,12 +126,13 @@ let probe_leaks_once system ~bob ~alice_home_uid =
     | Some p -> System.install_known system p ~uid:alice_home_uid
     | None -> failwith "E15: bob vanished"
   in
-  match Api.initiate system ~handle:bob ~dir_segno ~name:"private" with
+  match Call.dispatch system ~handle:bob (Call.Initiate { dir_segno; name = "private" }) with
   | Error _ -> false
-  | Ok segno -> (
-      match Api.read_word system ~handle:bob ~segno ~offset:0 with
+  | Ok (Call.Segno segno) -> (
+      match Call.dispatch system ~handle:bob (Call.Read_word { segno; offset = 0 }) with
       | Ok _ -> true
       | Error _ -> false)
+  | Ok _ -> false
 
 (* Invariant 1 oracle: a granted content access is re-validated
    against the policy recomputed from ACL x label x brackets — not
@@ -181,16 +191,25 @@ let run_gate_pair ?(ops = 40) ~seed () =
   in
   (* Fault-free setup: the probe target exists before any plan runs. *)
   let secret =
-    check "create private"
-      (Api.create_segment system ~handle:alice ~dir_segno:alice_home ~name:"private"
-         ~acl:(owner_only "Alice") ~label:Label.unclassified)
+    expect_segno "create private"
+      (Call.dispatch system ~handle:alice
+         (Call.Create_segment
+            {
+              dir_segno = alice_home;
+              name = "private";
+              acl = owner_only "Alice";
+              label = Label.unclassified;
+              brackets = None;
+            }))
   in
-  check "seed private" (Api.write_word system ~handle:alice ~segno:secret ~offset:0 ~value:1975);
+  expect_done "seed private"
+    (Call.dispatch system ~handle:alice (Call.Write_word { segno = secret; offset = 0; value = 1975 }));
   assert (not (probe_leaks_once system ~bob ~alice_home_uid));
   (* Install the plan through the gate itself (round-trips the spec). *)
   let plan = random_gate_plan ~seed in
   let plan_spec = Fault.Plan.to_string plan in
-  check "install plan" (Api.set_fault_plan system ~handle:alice ~seed ~spec:plan_spec);
+  expect_done "install plan"
+    (Call.dispatch system ~handle:alice (Call.Set_fault_plan { seed; spec = plan_spec }));
   let prng = Prng.create_labeled ~seed ~label:"e15.workload" in
   let created = ref [] in
   (* (owner handle, home segno of owner, name, segno) *)
@@ -208,20 +227,22 @@ let run_gate_pair ?(ops = 40) ~seed () =
           else Acl.add_string (owner_only person) ~pattern:"*.Dev.*" ~mode:"r"
         in
         let result =
-          Api.create_segment system ~handle:owner ~dir_segno:home ~name ~acl
-            ~label:Label.unclassified
+          Call.dispatch system ~handle:owner
+            (Call.Create_segment
+               { dir_segno = home; name; acl; label = Label.unclassified; brackets = None })
         in
         note result;
         (match result with
-        | Ok segno -> created := (owner, home, name, segno) :: !created
-        | Error _ -> ())
+        | Ok (Call.Segno segno) -> created := (owner, home, name, segno) :: !created
+        | Ok _ | Error _ -> ())
     | 1 -> (
         match !created with
         | [] -> ()
         | segs ->
             let owner, _, _, segno = Prng.choose prng segs in
             let result =
-              Api.write_word system ~handle:owner ~segno ~offset:(Prng.int prng 4) ~value:i
+              Call.dispatch system ~handle:owner
+                (Call.Write_word { segno; offset = Prng.int prng 4; value = i })
             in
             note result;
             if Result.is_ok result && oracle_refuses system owner segno ~write:true then
@@ -231,7 +252,10 @@ let run_gate_pair ?(ops = 40) ~seed () =
         | [] -> ()
         | segs ->
             let owner, _, _, segno = Prng.choose prng segs in
-            let result = Api.read_word system ~handle:owner ~segno ~offset:(Prng.int prng 4) in
+            let result =
+              Call.dispatch system ~handle:owner
+                (Call.Read_word { segno; offset = Prng.int prng 4 })
+            in
             note result;
             if Result.is_ok result && oracle_refuses system owner segno ~write:false then
               incr violations)
@@ -246,13 +270,15 @@ let run_gate_pair ?(ops = 40) ~seed () =
               if Prng.bool prng then owner_only person
               else Acl.add_string (owner_only person) ~pattern:"*.Dev.*" ~mode:"r"
             in
-            note (Api.set_acl system ~handle:owner ~segno ~acl))
+            note (Call.dispatch system ~handle:owner (Call.Set_acl { segno; acl })))
     | _ -> (
         match !created with
         | [] -> ()
         | segs ->
             let ((owner, home, name, _segno) as seg) = Prng.choose prng segs in
-            let result = Api.delete_entry system ~handle:owner ~dir_segno:home ~name in
+            let result =
+              Call.dispatch system ~handle:owner (Call.Delete_entry { dir_segno = home; name })
+            in
             note result;
             if Result.is_ok result then created := List.filter (fun s -> s <> seg) !created)
   done;
@@ -262,8 +288,12 @@ let run_gate_pair ?(ops = 40) ~seed () =
   let journaled = List.length (System.crash_journal system) in
   (* Crash over: clear the plan, then salvage — the invariant-2 sweep
      must hold without fault noise masking a bad descriptor. *)
-  check "clear plan" (Api.clear_faults system ~handle:alice);
-  let report = check "salvage" (Api.salvage system ~handle:alice) in
+  expect_done "clear plan" (Call.dispatch system ~handle:alice Call.Clear_faults);
+  let report =
+    match reply "salvage" (Call.dispatch system ~handle:alice Call.Salvage) with
+    | Call.Salvaged report -> report
+    | _ -> failwith "E15 salvage: unexpected reply shape"
+  in
   let post_salvage_bad = descriptor_disagreements system in
   let post_salvage_probe_leaks =
     if probe_leaks_once system ~bob ~alice_home_uid then 1 else 0

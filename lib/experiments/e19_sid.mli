@@ -1,0 +1,29 @@
+(** E19 — dense-SID mediation: one hundred seeded parity runs holding
+    the compiled access-vector table ({!Multics_access.Av_table})
+    pointwise equal to the structured reference monitor across ACL
+    edits, label rewrites, bracket changes, flush storms and eager
+    rebuilds, plus a table pricing the compilation (SIDs interned,
+    cells filled, hit ratio under churn).  The [\[parity\]] verdict
+    line is a CI gate: zero divergences or the build fails. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+type run_stats = {
+  refs : int;
+  divergences : int;
+  edits : int;  (** ACL edits + bracket changes + label rewrites *)
+  flushes : int;  (** flush storms + salvage-style global invalidations *)
+  rebuilds : int;
+}
+
+val run_seed : seed:int -> refs:int -> run_stats
+(** One randomized interleaving of references and revocations; every
+    reference compares [check_access] against [check_access_fresh]. *)
+
+val seeds : int
+
+val parity_runs : unit -> run_stats list
+
+val render : unit -> string

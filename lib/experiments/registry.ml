@@ -120,6 +120,12 @@ let all =
       render = E18_smp.render;
     };
     {
+      id = E19_sid.id;
+      title = E19_sid.title;
+      paper_claim = E19_sid.paper_claim;
+      render = E19_sid.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

@@ -72,13 +72,16 @@ type t = {
   nodes : (int, node) Hashtbl.t;
   uids : Uid.generator;
   words_per_page : int;
-  (* The access-decision cache (AVC): policy verdicts keyed by subject
-     identity + object uid, stamped with [gens].  Every access-relevant
-     mutation below bumps the object's generation, so revocation is
-     immediate — the simulated analogue of "setfaults" clearing the
-     6180's associative memory on an attribute change. *)
+  (* The compiled access-decision table: Policy + brackets flattened
+     into access-vector bits per (subject SID, object uid), stamped
+     with [gens].  Every access-relevant mutation below bumps the
+     object's generation, so revocation is immediate — the simulated
+     analogue of "setfaults" clearing the 6180's associative memory on
+     an attribute change.  Uids are the object-SID space directly: the
+     uid generator already mints small dense ints and never reuses
+     them. *)
   gens : Avc.Gen.t;
-  avc : Policy.Cache.t;
+  avtab : Av_table.t;
 }
 
 let words_per_page t = t.words_per_page
@@ -88,11 +91,12 @@ let words_per_page t = t.words_per_page
 let note_change t uid = Avc.Gen.bump_object t.gens (Uid.to_int uid)
 
 let invalidate_cached_verdicts t = Avc.Gen.bump_global t.gens
-let policy_cache t = t.avc
-let set_cache_probe t probe = Avc.set_flush_probe t.avc probe
-let cache_stats t = ("size", Avc.size t.avc) :: Avc.counters t.avc
-let cache_hit_ratio t = Avc.hit_ratio t.avc
-let flush_cached_verdicts t = Avc.flush t.avc
+let av_table t = t.avtab
+let subject_sid t subject = Av_table.subject_sid t.avtab subject
+let set_cache_probe t probe = Av_table.set_flush_probe t.avtab probe
+let cache_stats t = ("size", Av_table.size t.avtab) :: Av_table.counters t.avtab
+let cache_hit_ratio t = Av_table.hit_ratio t.avtab
+let flush_cached_verdicts t = Av_table.flush t.avtab
 
 let create ?(words_per_page = 64) () =
   let nodes = Hashtbl.create 256 in
@@ -126,7 +130,13 @@ let create ?(words_per_page = 64) () =
      Conservative (it may invalidate more than necessary), never
      unsound. *)
   Acl.on_change (fun () -> Avc.Gen.bump_global gens);
-  { nodes; uids = Uid.generator (); words_per_page; gens; avc = Policy.Cache.create ~gens () }
+  {
+    nodes;
+    uids = Uid.generator ();
+    words_per_page;
+    gens;
+    avtab = Av_table.create ~gens ~name:"policy" ();
+  }
 
 let node t uid = Hashtbl.find_opt t.nodes (Uid.to_int uid)
 
@@ -172,28 +182,44 @@ let ring_refusals n ~(subject : Policy.subject) ~(requested : Mode.t) =
   in
   observe @ modify
 
-(* The policy composition (lattice + ACL) is served from the AVC; the
-   ring-bracket comparison is recomputed on every reference, exactly as
-   the 6180 applies ring brackets even on an associative-memory hit —
-   it is two integer compares, and keeping it out of the cache keeps
-   the cache key independent of bracket edits. *)
-let check_node t (subject : Policy.subject) n ~requested =
-  let policy =
-    Policy.check_cached ~cache:t.avc ~obj:(Uid.to_int n.uid) ~subject ~object_label:n.label
-      ~acl:n.acl ~requested
-  in
-  match policy with
-  | Policy.Refuse refusals ->
-      Policy.verdict_of_refusals (refusals @ ring_refusals n ~subject ~requested)
-  | Policy.Permit -> Policy.verdict_of_refusals (ring_refusals n ~subject ~requested)
-
-(* The recompute path, bypassing the cache — the parity oracle the
-   property tests compare [check_node] against at every step. *)
+(* The recompute path, bypassing the table — the parity oracle the
+   property tests compare [check_node] against at every step, and the
+   path every uncovered (refused) request takes, so refusal lists and
+   audit counters stay byte-identical to the uncached kernel. *)
 let check_node_fresh (subject : Policy.subject) n ~requested =
   match Policy.check ~subject ~object_label:n.label ~acl:n.acl ~requested with
   | Policy.Refuse refusals ->
       Policy.verdict_of_refusals (refusals @ ring_refusals n ~subject ~requested)
   | Policy.Permit -> Policy.verdict_of_refusals (ring_refusals n ~subject ~requested)
+
+(* The mediation hot path: policy AND brackets served from the
+   compiled access-vector table.  A covered request is a Permit by
+   construction of the bits ([Av_table.compute] is the conjunctive
+   form of [Policy.check] + [ring_refusals]); the policy counters are
+   replayed through [Policy.observe] so caching stays observationally
+   transparent.  An uncovered request recomputes the structured
+   verdict — refusals carry details (which mechanism, which labels)
+   the bits deliberately do not encode.  Unlike the PR-3 verdict
+   cache, bracket edits are covered by the same per-object stamp as
+   ACL edits ([set_brackets] runs [note_change]), so compiling the
+   bracket comparison into the cell is revocation-correct. *)
+let check_node t (subject : Policy.subject) n ~requested =
+  let obj = Uid.to_int n.uid in
+  let subj = Av_table.subject_sid t.avtab subject in
+  let av = Av_table.find t.avtab ~subj ~obj in
+  let av =
+    if av >= 0 then av
+    else begin
+      let compiled =
+        Av_table.compute ~subject ~object_label:n.label ~acl:n.acl ~brackets:n.brackets
+      in
+      Av_table.set t.avtab ~subj ~obj compiled;
+      compiled
+    end
+  in
+  if Av_table.covers ~av ~need:(Av_table.required requested) then
+    Policy.observe Policy.Permit
+  else check_node_fresh subject n ~requested
 
 let guard t subject n ~requested k =
   match check_node t subject n ~requested with
@@ -493,15 +519,33 @@ let raw_set_label t ~uid ~label =
 (* ----- The mediated access question, exposed for gate dispatch and
    the parity tests ----- *)
 
+(* [Some Permit] as a structured constant: the covered-hit path of
+   [check_access] must not allocate per reference. *)
+let some_permit = Some Policy.Permit
+
 let check_access t ~subject ~uid ~requested =
   match node t uid with
   | None -> None
-  | Some n -> Some (check_node t subject n ~requested)
+  | Some n -> (
+      match check_node t subject n ~requested with
+      | Policy.Permit -> some_permit
+      | v -> Some v)
 
 let check_access_fresh t ~subject ~uid ~requested =
   match node t uid with
   | None -> None
   | Some n -> Some (check_node_fresh subject n ~requested)
+
+(* Eagerly recompile the whole table — every subject it has ever
+   interned against every live node.  Lazy refill under the epoch
+   stamps already keeps the table exact; this is the measured
+   "rebuild cost" of the compiled view (bench E19) and a warm-up for
+   the experiments. *)
+let rebuild_av_table t =
+  Av_table.rebuild t.avtab ~objects:(fun fill ->
+      Hashtbl.iter
+        (fun _ n -> fill ~obj:(Uid.to_int n.uid) ~label:n.label ~acl:n.acl ~brackets:n.brackets)
+        t.nodes)
 
 (* ----- Path resolution (the kernel-resident tree walk) ----- *)
 

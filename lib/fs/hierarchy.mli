@@ -137,17 +137,20 @@ val raw_set_label : t -> uid:Uid.t -> label:Label.t -> bool
     upgrade/downgrade).  Revokes the cached verdicts derived from the
     old label in the same step.  False if the uid is dangling. *)
 
-(** {1 The access-decision cache (AVC)}
+(** {1 The compiled access-decision table}
 
     [check_access] is the cached mediation question — the composition
     of the mandatory lattice, the ACL and the ring brackets this
-    hierarchy's operations apply — served from a
-    {!Multics_cache.Avc}-backed cache of {!Multics_access.Policy}
-    verdicts.  Every ACL edit, label change, deletion or branch move
-    above bumps the object's generation, so revocation is immediate
-    (the "setfaults" discipline), never TTL-based.
-    [check_access_fresh] recomputes from scratch; the property tests
-    hold the two equal at every step. *)
+    hierarchy's operations apply — served from a compiled
+    {!Multics_access.Av_table}: a flat int array of access-vector bits
+    indexed by (subject SID, object uid), where a covered request
+    Permits with no allocation or hashing and anything else recomputes
+    the structured verdict.  Every ACL edit, label change, bracket
+    change, deletion or branch move above bumps the object's epoch
+    generation, so revocation is immediate (the "setfaults"
+    discipline), never TTL-based.  [check_access_fresh] recomputes
+    from scratch; the property tests hold the two equal at every
+    step. *)
 
 val check_access :
   t -> subject:Policy.subject -> uid:Uid.t -> requested:Mode.t -> Policy.verdict option
@@ -156,8 +159,17 @@ val check_access :
 val check_access_fresh :
   t -> subject:Policy.subject -> uid:Uid.t -> requested:Mode.t -> Policy.verdict option
 
-val policy_cache : t -> Policy.Cache.t
-(** The verdict cache itself, for gate dispatch ([Probe_access]). *)
+val av_table : t -> Av_table.t
+(** The compiled table itself, for the benches and status surfaces. *)
+
+val subject_sid : t -> Policy.subject -> Sid.t
+(** The subject's dense SID in this hierarchy's table (interned on
+    first sight, memoized on the record thereafter). *)
+
+val rebuild_av_table : t -> int
+(** Eagerly recompile every interned subject against every live node;
+    returns the number of cells filled.  Measurement and warm-up only
+    — lazy refill under the epoch stamps is already exact. *)
 
 val invalidate_cached_verdicts : t -> unit
 (** Bump the global generation: every cached verdict dies.  Called by

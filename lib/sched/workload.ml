@@ -194,7 +194,7 @@ let run spec =
         on_cpu pid;
         Array.iter
           (fun page ->
-            if not (Smp.ptw_touch pl ~page:(Page_id.hash page)) then
+            if not (Smp.ptw_touch pl ~page:(Page_control.page_sid pc page)) then
               Sim.compute spec.cost.Cost.ptw_fetch)
           pages);
     Array.iter (fun page -> ignore (Page_control.reference pc ~pid ~page)) pages
@@ -229,8 +229,9 @@ let run spec =
             (* One IPC channel per principal: the granted call below is
                a wakeup on it — IPC gates exist in every kernel
                configuration, unlike the naming gates. *)
-            match Api.create_channel system ~handle with
-            | Ok channel -> (handle, channel)
+            match Api.Call.dispatch system ~handle Api.Call.Create_channel with
+            | Ok (Api.Call.Channel channel) -> (handle, channel)
+            | Ok _ -> failwith "workload: unexpected reply to Create_channel"
             | Error e -> failwith (Api.error_to_string e))
       in
       (Some system, handles)

@@ -44,6 +44,7 @@ module Avc = Multics_cache.Avc
 module Cost = Multics_machine.Cost
 module Hardware = Multics_machine.Hardware
 module Fault = Multics_fault.Fault
+module Sid = Multics_access.Sid
 
 (* CPU counts a deployment could plausibly ask for; anything else in
    MULTICS_NCPU is ignored rather than crashing test startup. *)
@@ -109,9 +110,10 @@ type cpu = {
           [(handle lsl segno_bits) lor segno] so entries from different
           processes' descriptor segments can never be confused *)
   ptw : (int, unit) Avc.t;
-      (** this CPU's PTW lookaside front, keyed by hashed page id;
-          shares its generations with page control's [vm.ptw] cache so
-          an eviction stales every CPU's front in the same step *)
+      (** this CPU's PTW lookaside front, keyed by dense page SID
+          (see {!Multics_vm.Page_control.page_sid}); shares its
+          generations with page control's [vm.ptw] cache so an
+          eviction stales every CPU's front in the same step *)
   mutable connects_received : int;
 }
 
@@ -294,17 +296,19 @@ let check_sdw t ~handle ~segno ~assoc ~fetch ~ring ~operation =
           Hardware.Assoc.install c.cam ~segno:key sdw;
           Some (Hardware.check sdw ~ring ~operation))
 
-(* Touch the current CPU's PTW front for a (hashed) page id; returns
-   whether it hit.  A miss models this CPU walking the page table even
-   though another CPU walked it recently — each processor has its own
+(* Touch the current CPU's PTW front for a page SID; returns whether
+   it hit.  A miss models this CPU walking the page table even though
+   another CPU walked it recently — each processor has its own
    lookaside.  Shared generations keep the front honest: page
-   control's eviction bump stales every CPU's entry at once. *)
+   control's eviction bump (on the same SID space) stales every CPU's
+   entry at once. *)
 let ptw_touch t ~page =
+  let key = Sid.to_int page in
   let c = t.cpus.(t.current) in
-  match Avc.find c.ptw page with
+  match Avc.find c.ptw key with
   | Some () -> true
   | None ->
-      Avc.add c.ptw ~obj:page page ();
+      Avc.add c.ptw ~obj:key key ();
       false
 
 (* ----- Dispatcher lock -----

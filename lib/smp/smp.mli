@@ -101,12 +101,15 @@ val check_sdw :
   Hardware.decision option
 (** The current CPU's CAM in front of the per-process associative
     memory and the KST fetch.  Brackets and mode are still checked per
-    reference; only the descriptor fetch is skipped on a hit. *)
+    reference; only the descriptor fetch is skipped on a hit.  CAM
+    entries are keyed by the dense composite [(handle, segno)] pair —
+    the hardware's own SID space — so two processes' descriptors can
+    never be confused. *)
 
-val ptw_touch : t -> page:int -> bool
-(** Touch the current CPU's PTW front for a hashed page id; [false]
-    (miss) means this CPU must walk the page table — callers charge
-    [Cost.ptw_fetch]. *)
+val ptw_touch : t -> page:Multics_access.Sid.t -> bool
+(** Touch the current CPU's PTW front for a dense page SID (from
+    {!Multics_vm.Page_control.page_sid}); [false] (miss) means this
+    CPU must walk the page table — callers charge [Cost.ptw_fetch]. *)
 
 (** {1 Dispatcher lock} *)
 

@@ -26,6 +26,7 @@ open Multics_mm
 open Multics_proc
 module Obs = Multics_obs.Obs
 module Avc = Multics_cache.Avc
+module Sid = Multics_access.Sid
 
 (* Observability: page control's live counters mirror the per-instance
    [counters] bag but land in the global registry, where the shell's
@@ -81,11 +82,24 @@ type t = {
   (* The PTW lookaside: pages known core-resident, so a repeat
      reference skips the page-table walk ([Cost.ptw_fetch]).  Sound
      because the only paths that move a page out of core — the eviction
-     pushes below — invalidate the victim's entry in the same step. *)
-  ptw : (Page_id.t, unit) Avc.t;
+     pushes below — invalidate the victim's entry in the same step.
+
+     Keyed by dense page SIDs, not hashed page ids: a page id is
+     interned once (on its first reference) and the cache then works
+     on small ints with an identity hash.  Dense SIDs also keep the
+     shared generation counters in [Gen]'s dense array — hashed ids
+     landed in the sparse table and churned it toward epoch
+     compactions (system-wide miss storms) on long runs. *)
+  page_sids : Page_id.t Sid.Map.t;
+  ptw : (int, unit) Avc.t;
 }
 
-let ptw_obj page = Page_id.hash page
+(* The page's dense SID — interned on first sight, stable for the
+   instance's lifetime (SIDs are never reused, so an evicted page's
+   generation history stays its own). *)
+let page_sid t page = Sid.Map.intern t.page_sids page
+
+let ptw_key t page = Sid.to_int (page_sid t page)
 
 (* Injected storage faults follow one fail-secure rule: a fault costs a
    wasted device attempt (charged to whoever runs the step) and is then
@@ -154,7 +168,8 @@ let create ?(core_target = 2) ?(bulk_target = 2) ?(zero_fill_cycles = 300) ?faul
       bulk_freer_pid = None;
       fault_inj = faults;
       counters = Multics_util.Stats.Counters.create ();
-      ptw = Avc.create ~capacity:64 ~hash:Page_id.hash ~equal:Page_id.equal ~name:"vm.ptw" ();
+      page_sids = Sid.Map.create ~hash:Page_id.hash ~equal:Page_id.equal ();
+      ptw = Avc.create ~capacity:64 ~hash:(fun sid -> sid) ~equal:Int.equal ~name:"vm.ptw" ();
     }
   in
   t.victim_policy <- default_policy t;
@@ -220,7 +235,7 @@ let push_core_page_to_bulk t =
       | Ok (_, cost) ->
           (* The victim leaves core: its lookaside entry dies now, not
              when someone notices — same discipline as the AVC. *)
-          Avc.invalidate_object t.ptw (ptw_obj victim);
+          Avc.invalidate_object t.ptw (ptw_key t victim);
           Multics_util.Stats.Counters.incr t.counters "core_to_bulk";
           Obs.Counter.incr obs_core_to_bulk;
           (* Eviction failure: the bulk-store write is lost and redone
@@ -350,7 +365,8 @@ let reference ?(write = false) t ~pid ~page =
     | Some block -> Level.equal (Block.level block) Level.Core
     | None -> false
   in
-  if Avc.find t.ptw page <> None then begin
+  let sid = ptw_key t page in
+  if Avc.find t.ptw sid <> None then begin
     (* PTW hit: the lookaside vouches for core residency, so the
        reference costs only the access itself — no page-table walk. *)
     Sim.compute cost.Multics_machine.Cost.memory_reference;
@@ -362,7 +378,7 @@ let reference ?(write = false) t ~pid ~page =
        install the PTW, as the 6180 does on an associative miss. *)
     Sim.compute
       (cost.Multics_machine.Cost.memory_reference + cost.Multics_machine.Cost.ptw_fetch);
-    Avc.add t.ptw ~obj:(ptw_obj page) page ();
+    Avc.add t.ptw ~obj:sid sid ();
     if write then Memory.dirty t.mem page else Memory.touch t.mem page;
     0
   end
@@ -395,7 +411,7 @@ let reference ?(write = false) t ~pid ~page =
       else settle () (* lost the free frame to a racing faulter *)
     in
     settle ();
-    Avc.add t.ptw ~obj:(ptw_obj page) page ();
+    Avc.add t.ptw ~obj:sid sid ();
     if write then Memory.dirty t.mem page else Memory.touch t.mem page;
     (* Keep the freer running ahead of demand. *)
     (match t.discipline with
@@ -430,10 +446,12 @@ let ptw_gens t = Avc.gens t.ptw
 let ptw_hit_ratio t = Avc.hit_ratio t.ptw
 
 (* Soundness of the lookaside: every page it would vouch for really is
-   core-resident.  Checked by tests after eviction storms. *)
+   core-resident.  Checked by tests after eviction storms.  Keys are
+   SIDs; the registry maps them back to the page ids they name. *)
 let check_ptw_invariant t =
   List.for_all
-    (fun page ->
+    (fun sid ->
+      let page = Sid.Map.value t.page_sids (Sid.of_int sid) in
       match Memory.location t.mem page with
       | Some block -> Level.equal (Block.level block) Level.Core
       | None -> false)

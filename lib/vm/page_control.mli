@@ -59,9 +59,17 @@ val counters : t -> Multics_util.Stats.Counters.t
 (** {1 The PTW lookaside}
 
     A {!Multics_cache.Avc}-backed cache of pages known core-resident,
-    keyed by {!Page_id.t}.  A hit skips the page-table walk
-    ([Cost.ptw_fetch]); eviction invalidates the victim's entry in the
-    same step it leaves core.  Obs counters under ["cache.vm.ptw.*"]. *)
+    keyed by dense page SIDs ({!Multics_access.Sid.t}): a page id is
+    interned once on first reference and the cache then works on small
+    ints with an identity hash, which also keeps the shared generation
+    counters dense (no sparse-table compaction storms).  A hit skips
+    the page-table walk ([Cost.ptw_fetch]); eviction invalidates the
+    victim's entry in the same step it leaves core.  Obs counters
+    under ["cache.vm.ptw.*"]. *)
+
+val page_sid : t -> Page_id.t -> Multics_access.Sid.t
+(** The page's dense SID (interned on first sight, never reused).
+    The key the per-CPU PTW fronts (lib/smp) take. *)
 
 val flush_ptw : t -> unit
 

@@ -47,16 +47,17 @@ let test_ncpus_env_parsing () =
 
 let test_ptw_front_per_cpu () =
   let plant = Smp.create ~ncpus:2 ~cost:Cost.h6180 () in
+  let page = Sid.of_int 7 in
   Smp.set_current plant 0;
-  Alcotest.(check bool) "cold front misses" false (Smp.ptw_touch plant ~page:7);
-  Alcotest.(check bool) "warm front hits" true (Smp.ptw_touch plant ~page:7);
+  Alcotest.(check bool) "cold front misses" false (Smp.ptw_touch plant ~page);
+  Alcotest.(check bool) "warm front hits" true (Smp.ptw_touch plant ~page);
   (* The other CPU has its own lookaside: CPU 0's walk warmed nothing
      over there. *)
   Smp.set_current plant 1;
-  Alcotest.(check bool) "other CPU's front is its own" false (Smp.ptw_touch plant ~page:7);
+  Alcotest.(check bool) "other CPU's front is its own" false (Smp.ptw_touch plant ~page);
   Smp.set_current plant 0;
   Smp.connect_flush_all plant;
-  Alcotest.(check bool) "flush empties every front" false (Smp.ptw_touch plant ~page:7)
+  Alcotest.(check bool) "flush empties every front" false (Smp.ptw_touch plant ~page)
 
 (* ----- The directed stale-Permit race -----
 

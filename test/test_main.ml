@@ -27,4 +27,5 @@ let () =
       ("sched", Sched_test.suite);
       ("smp", Smp_test.suite);
       ("shellcmd", Shellcmd_test.suite);
+      ("sid", Sid_test.suite);
     ]
