@@ -292,41 +292,95 @@ let bench_smp_dispatch_lock =
   Test.make ~name:"e18/dispatch_lock_4cpu"
     (Staged.stage (fun () -> Smp.dispatch_lock smp_bench_plant ~now:0))
 
+(* ----- E20: the distributed fleet -----
+
+   One replicated revocation on a 4-site fleet: resolve the path at
+   the home site, apply the edit, then replay it at 3 peers over the
+   links and wait for every acknowledgement before returning — the
+   cross-kernel analogue of [e18/connect_broadcast_4cpu].  Audit
+   recording is off so iterations measure the broadcast, not log
+   growth; the backlog compacts to empty while the fleet is healthy,
+   so the loop is steady-state. *)
+
+module Site = Multics_site.Site
+
+let site_bench_fleet, site_bench_handle =
+  let fleet = Site.create ~nsites:4 () in
+  for s = 0 to Site.nsites fleet - 1 do
+    Multics_kernel.Audit_log.set_enabled
+      (Multics_kernel.System.audit (Site.member_system fleet s))
+      false
+  done;
+  Site.add_account fleet ~person:"Bench" ~project:"Site" ~password:"pw"
+    ~clearance:Multics_access.Label.unclassified;
+  let handle =
+    match Site.login fleet ~person:"Bench" ~project:"Site" ~password:"pw" with
+    | Ok handle -> handle
+    | Error e -> failwith (Multics_kernel.System.login_error_to_string e)
+  in
+  let user = 0 in
+  (match
+     Site.dispatch fleet ~user ~handle
+       (Multics_kernel.Api.Call.Create_segment_by_path
+          {
+            path = ">udd>Site>Bench>scratch";
+            acl = Multics_access.Acl.of_strings [ ("Bench.Site.*", "rw") ];
+            label = Multics_access.Label.unclassified;
+            brackets = None;
+          })
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Multics_kernel.Api.error_to_string e));
+  (fleet, handle)
+
+let site_bench_revoke () =
+  Site.dispatch site_bench_fleet ~user:0 ~handle:site_bench_handle
+    (Multics_kernel.Api.Call.Set_acl_by_path
+       {
+         path = ">udd>Site>Bench>scratch";
+         acl = Multics_access.Acl.of_strings [ ("Bench.Site.*", "rw") ];
+       })
+
+let bench_site_revocation_broadcast =
+  (match site_bench_revoke () with
+  | Ok _ -> ()
+  | Error e -> failwith (Multics_kernel.Api.error_to_string e));
+  Test.make ~name:"e20/revocation_broadcast_4site" (Staged.stage site_bench_revoke)
+
 (* ----- E19: the dense-SID flat-table mediation path -----
 
    [bench_avc_hit] above already measures the redesigned decision path
    (the hierarchy serves [check_access] from the compiled
-   [Av_table]).  This section adds the PR-3 baseline it replaced — the
-   structured-key Avc served by [Policy.check_cached] — plus the two
-   costs the compilation introduces: recalling a subject's dense SID
-   (the memo-stamp fast path and the cold re-intern) and an eager
-   whole-table rebuild.  The [--smoke] gate below requires the
-   flat-table hit to beat the Avc hash-hit and records all of these in
-   BENCH_e19_sid.json. *)
+   [Av_table]).  This section puts that hit head to head against the
+   work it compiled away — a fresh structured [Policy.check] over the
+   same label and ACL — plus the two costs the compilation introduces:
+   recalling a subject's dense SID (the memo-stamp fast path and the
+   cold re-intern) and an eager whole-table rebuild.  The [--smoke]
+   gate below requires the flat-table hit to beat the fresh check and
+   records all of these in BENCH_e19_sid.json. *)
 
 let sid_bench_label, sid_bench_acl =
   ( Option.get (Multics_fs.Hierarchy.label_of avc_bench_hierarchy avc_bench_uid),
     Option.get (Multics_fs.Hierarchy.acl_of avc_bench_hierarchy avc_bench_uid) )
 
 (* Separate subject records per path: the SID memo stamp is
-   per-registry, so one record alternating between the flat table's
-   registry and the shim's would re-intern on every call and measure
-   stamp churn instead of the hit paths. *)
-let sid_bench_subject_for cache_tag =
-  ignore cache_tag;
+   per-registry, so sharing one record across registries would
+   re-intern on every call and measure stamp churn instead of the hit
+   paths. *)
+let sid_bench_subject_for tag =
+  ignore tag;
   Multics_access.Policy.subject
     ~principal:(Multics_access.Principal.make ~person:"Bench" ~project:"Perf" ~tag:"a")
     ~clearance:(Multics_access.Label.make Multics_access.Label.Secret avc_bench_compartments)
     ~ring:(Multics_machine.Ring.of_int 4) ()
 
-let sid_bench_cache = Multics_access.Policy.Cache.create ()
-let sid_bench_shim_subject = sid_bench_subject_for `Shim
+let sid_bench_check_subject = sid_bench_subject_for `Check
 let sid_bench_obj = Multics_fs.Uid.to_int avc_bench_uid
 
-(* The two decision layers head to head, node fetch excluded from
-   both: the compiled table's find (SID memo recall, two array loads,
-   a bit test) against the structured-key Avc's find (SID memo recall,
-   key construction, hash-bucket walk, verdict compare). *)
+(* The compiled path against the work it replaced, node fetch excluded
+   from both: the table's find (SID memo recall, two array loads, a
+   bit test) against a fresh structured verdict (label dominance plus
+   the ACL match walk). *)
 let sid_bench_avtab = Multics_fs.Hierarchy.av_table avc_bench_hierarchy
 let sid_bench_need = Multics_access.Av_table.required Multics_machine.Mode.rw
 
@@ -339,14 +393,13 @@ let bench_sid_flat_find =
   ignore (sid_bench_flat_hit ());
   Test.make ~name:"e19/flat_table_find_hit" (Staged.stage sid_bench_flat_hit)
 
-let sid_bench_avc_hit () =
-  Multics_access.Policy.check_cached ~cache:sid_bench_cache ~obj:sid_bench_obj
-    ~subject:sid_bench_shim_subject ~object_label:sid_bench_label ~acl:sid_bench_acl
-    ~requested:Multics_machine.Mode.rw
+let sid_bench_fresh_check () =
+  Multics_access.Policy.check ~subject:sid_bench_check_subject ~object_label:sid_bench_label
+    ~acl:sid_bench_acl ~requested:Multics_machine.Mode.rw
 
-let bench_sid_avc_hash_hit =
-  ignore (sid_bench_avc_hit ());
-  Test.make ~name:"e19/avc_hash_hit_shim" (Staged.stage sid_bench_avc_hit)
+let bench_sid_fresh_check =
+  ignore (sid_bench_fresh_check ());
+  Test.make ~name:"e19/policy_check_fresh" (Staged.stage sid_bench_fresh_check)
 
 let sid_bench_intern_subject = sid_bench_subject_for `Flat
 
@@ -494,7 +547,7 @@ let tests =
     bench_avc_miss_recompute;
     bench_hardware_check_assoc_hit;
     bench_sid_flat_find;
-    bench_sid_avc_hash_hit;
+    bench_sid_fresh_check;
     bench_sid_intern_memo;
     bench_sid_intern_cold;
     bench_sid_rebuild;
@@ -515,6 +568,7 @@ let tests =
     bench_smp_connect_broadcast;
     bench_smp_check_sdw_hit;
     bench_smp_dispatch_lock;
+    bench_site_revocation_broadcast;
     bench_obs_gate_call_on;
     bench_obs_gate_call_off;
     bench_obs_counter_incr;
@@ -634,31 +688,31 @@ let smoke () =
     exit 1
   end;
   (* The dense-SID gate: the compiled flat-table hit (what [check]
-     above measures) must beat the structured-key Avc hash-hit path it
-     replaced.  Also record the redesign's own costs — SID recall,
-     cold re-intern, eager rebuild — in BENCH_e19_sid.json for the CI
-     artifact. *)
+     above measures) must beat the fresh structured verdict it
+     compiled away.  Also record the redesign's own costs — SID
+     recall, cold re-intern, eager rebuild — in BENCH_e19_sid.json for
+     the CI artifact. *)
   let ns_per t iters = t *. 1e9 /. float_of_int iters in
-  let flat = sid_bench_flat_hit and avc = sid_bench_avc_hit in
+  let flat = sid_bench_flat_hit and fresh_check = sid_bench_fresh_check in
   ignore (flat ());
-  ignore (avc ());
+  ignore (fresh_check ());
   ignore (time_iters 10_000 flat);
-  ignore (time_iters 10_000 avc);
+  ignore (time_iters 10_000 fresh_check);
   let sid_pairs =
     List.init trials (fun _ ->
         let f = time_iters iters flat in
-        let a = time_iters iters avc in
+        let a = time_iters iters fresh_check in
         (f, a))
   in
   let flat_t = median (List.map fst sid_pairs) in
-  let avc_t = median (List.map snd sid_pairs) in
-  let sid_speedup = avc_t /. flat_t in
-  let sid_required_speedup = 1.2 in
+  let fresh_check_t = median (List.map snd sid_pairs) in
+  let sid_speedup = fresh_check_t /. flat_t in
+  let sid_required_speedup = 2.0 in
   Printf.printf
-    "bench smoke: flat-table hit %.1f ns/ref vs Avc hash-hit %.1f ns/ref — speedup %.2fx (required >= %.1fx)\n"
-    (ns_per flat_t iters) (ns_per avc_t iters) sid_speedup sid_required_speedup;
+    "bench smoke: flat-table hit %.1f ns/ref vs fresh policy check %.1f ns/ref — speedup %.2fx (required >= %.1fx)\n"
+    (ns_per flat_t iters) (ns_per fresh_check_t iters) sid_speedup sid_required_speedup;
   if sid_speedup < sid_required_speedup then begin
-    print_endline "bench smoke: FAIL — the compiled table lost to the hash-keyed cache it replaced";
+    print_endline "bench smoke: FAIL — the compiled table lost to the fresh check it replaced";
     exit 1
   end;
   ignore (sid_bench_intern_cold ());
@@ -678,30 +732,19 @@ let smoke () =
   Printf.printf
     "bench smoke: subject SID memo %.1f ns, cold re-intern %.1f ns, rebuild (%d cells) %.1f ns\n"
     (ns_per memo_t iters) (ns_per cold_t iters) rebuild_cells (ns_per rebuild_t rebuild_iters);
-  let oc = open_out "BENCH_e19_sid.json" in
+  (* The trajectory file is append-only (one JSON object per line, a
+     JSON-Lines log) and committed with each PR, so the growth of the
+     hot paths stays reviewable across the stack instead of each run
+     clobbering the last. *)
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_e19_sid.json" in
   Printf.fprintf oc
-    {|{
-  "bench": "e19_sid",
-  "trials": %d,
-  "iters": %d,
-  "flat_table_hit_ns": %.2f,
-  "avc_hash_hit_ns": %.2f,
-  "fresh_recompute_ns": %.2f,
-  "speedup_flat_vs_avc": %.3f,
-  "speedup_cached_vs_fresh": %.3f,
-  "required_speedup_flat_vs_avc": %.2f,
-  "subject_intern_memo_ns": %.2f,
-  "subject_intern_cold_ns": %.2f,
-  "table_rebuild_ns": %.2f,
-  "table_rebuild_cells": %d,
-  "hit_ratio": %.4f
-}
+    {|{"bench": "e19_sid", "unix_time": %.0f, "trials": %d, "iters": %d, "flat_table_hit_ns": %.2f, "fresh_policy_check_ns": %.2f, "fresh_recompute_ns": %.2f, "speedup_flat_vs_fresh_check": %.3f, "speedup_cached_vs_fresh": %.3f, "required_speedup_flat_vs_fresh_check": %.2f, "subject_intern_memo_ns": %.2f, "subject_intern_cold_ns": %.2f, "table_rebuild_ns": %.2f, "table_rebuild_cells": %d, "hit_ratio": %.4f}
 |}
-    trials iters (ns_per flat_t iters) (ns_per avc_t iters) (ns_per uncached iters) sid_speedup
-    speedup sid_required_speedup (ns_per memo_t iters) (ns_per cold_t iters)
-    (ns_per rebuild_t rebuild_iters) rebuild_cells hit_ratio;
+    (Unix.time ()) trials iters (ns_per flat_t iters) (ns_per fresh_check_t iters)
+    (ns_per uncached iters) sid_speedup speedup sid_required_speedup (ns_per memo_t iters)
+    (ns_per cold_t iters) (ns_per rebuild_t rebuild_iters) rebuild_cells hit_ratio;
   close_out oc;
-  print_endline "bench smoke: wrote BENCH_e19_sid.json";
+  print_endline "bench smoke: appended to BENCH_e19_sid.json";
   print_endline "bench smoke: OK"
 
 let () =

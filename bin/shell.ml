@@ -13,9 +13,13 @@ open Multics_access
 open Multics_kernel
 module Obs = Multics_obs.Obs
 module Smp = Multics_smp.Smp
+module Site = Multics_site.Site
 module Cmd = Multics_shellcmd.Shellcmd.Command
 
-type shell = { system : System.t; mutable handle : int option }
+(* [fleet] is the distributed plant ([MULTICS_SITES] > 1): the [site]
+   operator family drives it.  The single-site shell carries [None]
+   and stays the seed, byte for byte. *)
+type shell = { system : System.t; mutable handle : int option; fleet : Site.t option }
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -73,6 +77,9 @@ let cmd_help () =
     \  cache status            decision-cache and associative-memory counters\n\
     \  cache clear             invalidate every cached access decision\n\
     \  smp status              multiprocessor plant: CPUs, connects, lock (set MULTICS_NCPU)\n\
+    \  site status             distributed fleet: per-site epochs, links (set MULTICS_SITES)\n\
+    \  site partition A B      operator-sever the link between two sites\n\
+    \  site heal               heal severed links, rejoin fenced sites via salvage-and-resync\n\
     \  fault plan SEED SPEC    install a fault plan, e.g. fault plan 7 gate.deny=every:5\n\
     \  fault status            active plan + injector counters\n\
     \  fault clear             remove the active plan\n\
@@ -412,6 +419,51 @@ let cmd_sched_demo shell ~users =
   Sched.register (Sched.create sim) shell.system;
   say "controller registered (try: sched status, sched tune cap 4)"
 
+(* The distributed-fleet operator surface.  Every command degrades
+   gracefully on a single-site shell instead of failing: the fleet is
+   an opt-in plant (MULTICS_SITES), not a mode switch. *)
+let require_fleet shell k =
+  match shell.fleet with
+  | Some fleet -> k fleet
+  | None -> say "single-site shell (set MULTICS_SITES=2..8 to boot a fleet)"
+
+let cmd_site_status shell =
+  require_fleet shell (fun fleet ->
+      say "distributed fleet: %d sites, epoch %d, %d revocations broadcast, %d cross-site cycles"
+        (Site.nsites fleet) (Site.epoch fleet) (Site.revocations fleet) (Site.now fleet);
+      List.iter
+        (fun (id, status, epoch, readings) ->
+          say "  site %d: %s, epoch %d" id status epoch;
+          List.iter (fun (name, v) -> say "    %-20s %d" name v) readings)
+        (Site.status_table fleet);
+      List.iter
+        (fun ((a, b), partitioned, counters) ->
+          say "  link %d-%d%s: %s" a b
+            (if partitioned then " [partitioned]" else "")
+            (String.concat ", "
+               (List.map (fun (name, v) -> Printf.sprintf "%s %d" name v) counters)))
+        (Site.link_table fleet))
+
+let cmd_site_partition shell ~a ~b =
+  require_fleet shell (fun fleet ->
+      let n = Site.nsites fleet in
+      if a >= n || b >= n then say "site partition: fleet has sites 0..%d" (n - 1)
+      else begin
+        Site.partition fleet a b;
+        say "link %d-%d severed (next revocation crossing it will fence a site)" a b
+      end)
+
+let cmd_site_heal shell =
+  require_fleet shell (fun fleet ->
+      let links, rejoins = Site.heal_all fleet in
+      say "%d link%s healed" links (if links = 1 then "" else "s");
+      List.iter
+        (fun (id, r) ->
+          say "  site %d rejoined: %d epoch(s) replayed, %d AV cells rebuilt, epoch %d" id
+            r.Site.rj_replayed r.Site.rj_av_cells r.Site.rj_epoch)
+        rejoins;
+      if rejoins = [] then say "no sites needed rejoin")
+
 let cmd_salvage shell =
   require_login shell (fun handle ->
       match
@@ -441,6 +493,9 @@ let run_operator shell = function
   | Cmd.Sched_tune { param; value } -> cmd_sched_tune shell ~param ~value
   | Cmd.Sched_demo { users } -> cmd_sched_demo shell ~users
   | Cmd.Smp_status -> cmd_smp_status shell
+  | Cmd.Site_status -> cmd_site_status shell
+  | Cmd.Site_partition { a; b } -> cmd_site_partition shell ~a ~b
+  | Cmd.Site_heal -> cmd_site_heal shell
   | Cmd.Stats mode -> cmd_stats mode
   | Cmd.Audit_tail { count } -> cmd_audit shell count
 
@@ -502,7 +557,11 @@ let () =
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   let config = config_of_name !config_name in
-  let shell = { system = System.create config; handle = None } in
+  (* MULTICS_SITES > 1 boots the distributed fleet alongside the
+     single shell system; the [site] family drives it. *)
+  let nsites = Site.default_nsites () in
+  let fleet = if nsites > 1 then Some (Site.create ~nsites ~config ()) else None in
+  let shell = { system = System.create config; handle = None; fleet } in
   (* MULTICS_NCPU > 1 boots the multiprocessor plant: per-CPU
      associative memories, connect coherence on every descriptor
      mutation, [smp status] live.  At 1 CPU no plant is attached and
@@ -512,9 +571,10 @@ let () =
     let plant = Smp.create ~ncpus ~cost:(System.cost shell.system) () in
     System.attach_plant shell.system (Some plant)
   end;
-  say "multics_sk shell — configuration: %s (%d gates%s).  Type 'help'." config.Config.name
+  say "multics_sk shell — configuration: %s (%d gates%s%s).  Type 'help'." config.Config.name
     (Gate.count config)
-    (if ncpus > 1 then Printf.sprintf ", %d CPUs" ncpus else "");
+    (if ncpus > 1 then Printf.sprintf ", %d CPUs" ncpus else "")
+    (if nsites > 1 then Printf.sprintf ", %d sites" nsites else "");
   match !script with
   | Some commands ->
       List.iter

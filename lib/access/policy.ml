@@ -180,64 +180,6 @@ module Subject_sids = struct
   let iter f t = Sid.Map.iter f t.map
 end
 
-(* The structured-key access-decision cache (AVC).  [check] is the
-   recompute path; the cache replays its verdicts, keyed by the
-   subject's SID, the requested mode's bits and the object id — three
-   ints, so the hit path hashes nothing and two distinct keys can
-   never compare equal (no structural comparison is involved at all).
-   The object's label and ACL are covered by the per-object generation
-   stamp instead: any edit bumps the generation and the entry dies
-   (see {!Multics_cache.Avc}).
-
-   DEPRECATED as the mediation hot path: the hierarchy now serves
-   references from the compiled {!Av_table}; this cache remains as the
-   structured-key shim for one release (and as the PR-3 baseline the
-   benches compare the flat table against). *)
-module Cache = struct
-  type key = { subj : Sid.t; mode : int; obj : int }
-
-  let mode_bits (m : Mode.t) =
-    (if m.Mode.read then 1 else 0)
-    lor (if m.Mode.execute then 2 else 0)
-    lor if m.Mode.write then 4 else 0
-
-  (* An injective pack for every reachable key (subject SIDs are small
-     by construction — one per distinct subject identity): slot choice
-     never conflates two keys that [key_equal] would split anyway. *)
-  let key_hash k = (((k.obj lsl 3) lor k.mode) lsl 18) lor (Sid.to_int k.subj land 0x3ffff)
-
-  let key_equal a b = a.obj = b.obj && a.mode = b.mode && Sid.equal a.subj b.subj
-
-  type nonrec t = {
-    avc : (key, verdict) Multics_cache.Avc.t;
-    sids : Subject_sids.t;  (** the shim's own interning registry *)
-  }
-
-  let create ?(capacity = 1024) ?gens () =
-    {
-      avc =
-        Multics_cache.Avc.create ~capacity ?gens ~hash:key_hash ~equal:key_equal
-          ~name:"policy.avc" ();
-      sids = Subject_sids.create ();
-    }
-
-  let stats t = ("size", Multics_cache.Avc.size t.avc) :: Multics_cache.Avc.counters t.avc
-end
-
-let check_cached ~cache ~obj ~subject:s ~object_label ~acl ~requested =
-  let subj = Subject_sids.sid_of cache.Cache.sids s in
-  let key = { Cache.subj; mode = Cache.mode_bits requested; obj } in
-  match Multics_cache.Avc.find cache.Cache.avc key with
-  | Some verdict ->
-      (* Replay the policy counters so caching is observationally
-         transparent: audit totals are identical whether a verdict was
-         recomputed or served from the cache. *)
-      observe verdict
-  | None ->
-      let verdict = check ~subject:s ~object_label ~acl ~requested in
-      Multics_cache.Avc.add cache.Cache.avc ~obj key verdict;
-      verdict
-
 let pp_verdict ppf = function
   | Permit -> Fmt.string ppf "permit"
   | Refuse refusals ->

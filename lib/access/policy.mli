@@ -56,8 +56,8 @@ val permitted : verdict -> bool
 val observe : verdict -> verdict
 (** Bump the policy counters ([policy.checks], [policy.refusals.*]) as
     if the verdict had just been computed, and return it.  The cached
-    paths (the compiled tables, {!check_cached}) replay counters
-    through this so audit totals are independent of caching. *)
+    paths (the compiled {!Av_table} tables) replay counters through
+    this so audit totals are independent of caching. *)
 
 (** Interning of subject identities (principal, clearance, trusted,
     ring — two processes of one principal can run at different session
@@ -79,50 +79,5 @@ module Subject_sids : sig
 
   val iter : (Sid.t -> subject -> unit) -> t -> unit
 end
-
-(** The structured-key access-decision cache: verdicts of {!check}
-    keyed by (subject SID, requested-mode bits, object id) — three
-    ints, so the hit path hashes nothing and no two distinct keys can
-    compare equal.  Object attributes (label, ACL) are covered by
-    per-object generation stamps — see {!Multics_cache.Avc} — so an
-    ACL edit or label change invalidates immediately.
-
-    @deprecated as the mediation hot path: the hierarchy serves
-    references from the compiled {!Av_table} flat tables.  This cache
-    and {!check_cached} remain for one release as the structured-key
-    shim (and as the PR-3 baseline the benches compare against). *)
-module Cache : sig
-  type key = { subj : Sid.t; mode : int; obj : int }
-
-  val mode_bits : Mode.t -> int
-
-  type t = {
-    avc : (key, verdict) Multics_cache.Avc.t;
-    sids : Subject_sids.t;  (** the shim's own interning registry *)
-  }
-
-  val create : ?capacity:int -> ?gens:Multics_cache.Avc.Gen.t -> unit -> t
-  (** Registered under obs counters ["cache.policy.avc.*"]. *)
-
-  val stats : t -> (string * int) list
-end
-
-val check_cached :
-  cache:Cache.t ->
-  obj:int ->
-  subject:subject ->
-  object_label:Label.t ->
-  acl:Acl.t ->
-  requested:Mode.t ->
-  verdict
-(** Exactly {!check}, memoized in [cache] under the stamp discipline.
-    On a hit the policy counters are replayed so audit totals are
-    independent of caching; cache-parity ([check_cached] ≡ [check] at
-    every step, including across revocation and salvage) is enforced by
-    the property tests.
-
-    @deprecated Structured-key shim: new callers should take the
-    compiled-table path (see {!Av_table} and the hierarchy's
-    [check_access]). *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -54,6 +54,8 @@ type error =
   | No_scheduler
   | Bad_tune of string
   | No_smp_plant
+  | Site_fenced of { site : int }
+  | Site_unreachable of { site : int }
 
 (* ----- Structured error rendering -----
 
@@ -81,6 +83,10 @@ let pp ppf = function
   | No_scheduler -> Fmt.string ppf "no traffic controller is registered"
   | Bad_tune detail -> Fmt.pf ppf "bad scheduler tuning: %s" detail
   | No_smp_plant -> Fmt.string ppf "no multiprocessor plant is attached"
+  | Site_fenced { site } ->
+      Fmt.pf ppf "site %d is fenced pending salvage-and-resync; refusing rather than risk a stale decision" site
+  | Site_unreachable { site } ->
+      Fmt.pf ppf "site %d is unreachable (connects unacknowledged past the retry budget)" site
 
 let error_to_string e = Fmt.str "%a" pp e
 
@@ -124,6 +130,8 @@ let error_to_json e =
   | No_scheduler -> kind "no-scheduler" []
   | Bad_tune detail -> kind "bad-tune" [ ("detail", json_str detail) ]
   | No_smp_plant -> kind "no-smp-plant" []
+  | Site_fenced { site } -> kind "site-fenced" [ ("site", string_of_int site) ]
+  | Site_unreachable { site } -> kind "site-unreachable" [ ("site", string_of_int site) ]
 
 let ( let* ) r f = Result.bind r f
 
@@ -395,6 +403,8 @@ module Call = struct
       }
     | Create_directory_by_path of { path : string; acl : Acl.t; label : Label.t }
     | Delete_by_path of { path : string }
+    | Set_acl_by_path of { path : string; acl : Acl.t }
+    | Set_brackets_by_path of { path : string; brackets : Brackets.t }
     | Resolve_path of { path : string }
     | Terminate_by_path of { path : string }
     | Rnt_bind of { name : string; segno : int }
@@ -492,6 +502,8 @@ module Call = struct
     | Create_segment_by_path _ -> "create_segment_by_path"
     | Create_directory_by_path _ -> "create_directory_by_path"
     | Delete_by_path _ -> "delete_by_path"
+    | Set_acl_by_path _ -> "set_acl"
+    | Set_brackets_by_path _ -> "set_brackets"
     | Resolve_path _ -> "resolve_path"
     | Terminate_by_path _ -> "terminate_by_path"
     | Rnt_bind _ -> "rnt_bind"
@@ -707,6 +719,35 @@ module Call = struct
             let* dir = fs_result (Hierarchy.resolve hierarchy ~subject ~path:dir_path) in
             let* _uid = fs_result (Hierarchy.delete_entry hierarchy ~subject ~dir ~name) in
             Ok Done)
+    (* Path-addressed attribute edits: the same supervisor entries as
+       [Set_acl]/[Set_brackets] (same gates, same audit operation),
+       reached by tree name instead of a process-local segment number.
+       The kernel resolves the name itself, so — like every other
+       by-path entry — these exist only while naming lives in the
+       kernel; post-removal callers compose resolution in the user
+       ring (User_env, or a distribution layer such as Site) and call
+       the segment-number gate.  Both forms finish with the same
+       "setfaults" revocation step. *)
+    | Set_acl_by_path { path; acl } -> (
+        match (System.config system).Config.naming with
+        | Multics_link.Rnt.In_user_ring -> Error (Gate_absent "set_acl_by_path")
+        | Multics_link.Rnt.In_kernel ->
+            call system ~handle ~gate:"set_acl" ~target:path (fun _p subject ->
+                let hierarchy = System.hierarchy system in
+                let* uid = fs_result (Hierarchy.resolve hierarchy ~subject ~path) in
+                let* () = fs_result (Hierarchy.set_acl hierarchy ~subject ~uid ~acl) in
+                System.setfaults system ~uid;
+                Ok Done))
+    | Set_brackets_by_path { path; brackets } -> (
+        match (System.config system).Config.naming with
+        | Multics_link.Rnt.In_user_ring -> Error (Gate_absent "set_brackets_by_path")
+        | Multics_link.Rnt.In_kernel ->
+            call system ~handle ~gate:"set_brackets" ~target:path (fun _p subject ->
+                let hierarchy = System.hierarchy system in
+                let* uid = fs_result (Hierarchy.resolve hierarchy ~subject ~path) in
+                let* () = fs_result (Hierarchy.set_brackets hierarchy ~subject ~uid ~brackets) in
+                System.setfaults system ~uid;
+                Ok Done))
     | Resolve_path { path } ->
         call system ~handle ~gate:"resolve_path" ~target:path (fun p subject ->
             let* uid = fs_result (Hierarchy.resolve (System.hierarchy system) ~subject ~path) in

@@ -40,6 +40,13 @@ type error =
   | No_scheduler  (** no traffic controller registered with the system *)
   | Bad_tune of string  (** the scheduler rejected a tuning parameter or value *)
   | No_smp_plant  (** no multiprocessor plant attached to the system *)
+  | Site_fenced of { site : int }
+      (** the caller's home site is fenced pending salvage-and-resync;
+          a fenced site refuses rather than risk serving a decision it
+          could not prove fresh *)
+  | Site_unreachable of { site : int }
+      (** cross-site connects to this site went unacknowledged past
+          the retry budget *)
 
 val error_to_string : error -> string
 
@@ -351,6 +358,11 @@ module Call : sig
       }
     | Create_directory_by_path of { path : string; acl : Acl.t; label : Label.t }
     | Delete_by_path of { path : string }
+    | Set_acl_by_path of { path : string; acl : Acl.t }
+        (** the [set_acl] supervisor entry addressed by tree name — the
+            calling sequence replicated mutations replay on remote
+            sites (same gate, same audit operation, same setfaults) *)
+    | Set_brackets_by_path of { path : string; brackets : Brackets.t }
     | Resolve_path of { path : string }
     | Terminate_by_path of { path : string }
     | Rnt_bind of { name : string; segno : int }

@@ -126,6 +126,12 @@ let all =
       render = E19_sid.render;
     };
     {
+      id = E20_site.id;
+      title = E20_site.title;
+      paper_claim = E20_site.paper_claim;
+      render = E20_site.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

@@ -28,6 +28,9 @@ type site =
   | Cache_flush
   | Sched_preempt
   | Smp_lost_connect
+  | Site_drop
+  | Site_delay
+  | Site_partition
 
 let all_sites =
   [
@@ -44,6 +47,9 @@ let all_sites =
     Cache_flush;
     Sched_preempt;
     Smp_lost_connect;
+    Site_drop;
+    Site_delay;
+    Site_partition;
   ]
 
 let site_name = function
@@ -60,6 +66,9 @@ let site_name = function
   | Cache_flush -> "cache.flush"
   | Sched_preempt -> "sched.preempt_storm"
   | Smp_lost_connect -> "smp.lost_connect"
+  | Site_drop -> "site.drop"
+  | Site_delay -> "site.delay"
+  | Site_partition -> "site.partition"
 
 let site_of_name name = List.find_opt (fun s -> String.equal (site_name s) name) all_sites
 

@@ -40,6 +40,19 @@ type site =
           the sender must detect the missing acknowledgement and fail
           secure — stall and re-signal, never proceed on a possibly
           stale remote associative memory *)
+  | Site_drop
+      (** a cross-site connect is lost on the inter-site link; the
+          origin site must retry with backoff and, past the budget,
+          fence the silent peer rather than let it serve stale
+          decisions *)
+  | Site_delay
+      (** a cross-site connect is delivered but slowly (congested
+          link); pure extra latency inside the mutation's completion
+          window, never a correctness event *)
+  | Site_partition
+      (** the inter-site link is severed for this transmission — both
+          the connect and any acknowledgement are lost, as in a
+          network partition *)
 
 val all_sites : site list
 

@@ -161,3 +161,95 @@ let run ?(seed = 1975) ?prng ?faults ?(workload = default_workload) strategy =
       | Circular _ -> Circular_buffer.mechanism_statements
       | Infinite _ -> Infinite_buffer.mechanism_statements);
   }
+
+(* ----- Inter-site links ----- *)
+
+(* A point-to-point attachment between two kernel sites.  The link
+   itself is dumb wire: it carries one transmission at a fixed one-way
+   latency and reports what happened to it.  All policy — retry,
+   backoff, fencing — belongs to the caller (lib/site), which is what
+   keeps the fail-secure argument out of the transport. *)
+module Link = struct
+  module Obs = Multics_obs.Obs
+  module Fault = Multics_fault.Fault
+
+  let obs_sent = Obs.Registry.counter Obs.Registry.global "net.link.sent"
+  let obs_dropped = Obs.Registry.counter Obs.Registry.global "net.link.dropped"
+  let obs_delayed = Obs.Registry.counter Obs.Registry.global "net.link.delayed"
+  let obs_severed = Obs.Registry.counter Obs.Registry.global "net.link.severed"
+
+  type outcome =
+    | Delivered of { cycles : int }
+    | Dropped of { cycles : int }
+    | Severed of { cycles : int }
+
+  (* A congested link stretches the one-way latency by this factor. *)
+  let delay_factor = 4
+
+  type t = {
+    name : string;
+    latency : int;
+    mutable faults : Fault.Injector.t option;
+    mutable partitioned : bool;
+    mutable sent : int;
+    mutable dropped : int;
+    mutable delayed : int;
+    mutable severed : int;
+  }
+
+  let create ?(latency = 1_000) ~name () =
+    {
+      name;
+      latency;
+      faults = None;
+      partitioned = false;
+      sent = 0;
+      dropped = 0;
+      delayed = 0;
+      severed = 0;
+    }
+
+  let name t = t.name
+  let latency t = t.latency
+  let set_faults t faults = t.faults <- faults
+  let partition t = t.partitioned <- true
+  let heal t = t.partitioned <- false
+  let partitioned t = t.partitioned
+
+  let fire t site =
+    match t.faults with None -> false | Some inj -> Fault.Injector.fire inj site
+
+  (* One transmission attempt.  The cycle charge is what the sender
+     pays before it can know the outcome: a delivered connect costs a
+     round trip (connect out, acknowledgement back); a lost one costs
+     the outbound latency plus however long the sender waits for the
+     acknowledgement that never comes (the caller's timeout, charged
+     by the caller as backoff). *)
+  let transmit t =
+    t.sent <- t.sent + 1;
+    Obs.Counter.incr obs_sent;
+    if t.partitioned || fire t Fault.Site_partition then begin
+      t.severed <- t.severed + 1;
+      Obs.Counter.incr obs_severed;
+      Severed { cycles = t.latency }
+    end
+    else if fire t Fault.Site_drop then begin
+      t.dropped <- t.dropped + 1;
+      Obs.Counter.incr obs_dropped;
+      Dropped { cycles = t.latency }
+    end
+    else if fire t Fault.Site_delay then begin
+      t.delayed <- t.delayed + 1;
+      Obs.Counter.incr obs_delayed;
+      Delivered { cycles = 2 * t.latency * delay_factor }
+    end
+    else Delivered { cycles = 2 * t.latency }
+
+  let counters t =
+    [
+      ("sent", t.sent);
+      ("dropped", t.dropped);
+      ("delayed", t.delayed);
+      ("severed", t.severed);
+    ]
+end

@@ -40,3 +40,46 @@ val run :
     (retried with exponential backoff, then delivered — transients
     delay, never lose) and [Consumer_stall]s (the consumer parks for
     several service periods mid-drain). *)
+
+(** A point-to-point attachment between two kernel sites: dumb wire at
+    a fixed one-way latency, plus the deterministic failure surface a
+    distributed fleet needs — fault-injected drops, delays and
+    partitions ([site.drop] / [site.delay] / [site.partition]) and an
+    operator-severed partition flag.  All retry, backoff and fencing
+    policy belongs to the caller ({!Multics_site.Site}); the transport
+    only reports what the wire did. *)
+module Link : sig
+  type t
+
+  (** What one transmission attempt did, with the cycles the sender
+      pays before it can know: a delivered connect costs the round trip
+      (stretched by congestion under [site.delay]); a dropped or
+      severed one costs the outbound latency — the acknowledgement
+      timeout on top is the caller's backoff to charge. *)
+  type outcome =
+    | Delivered of { cycles : int }
+    | Dropped of { cycles : int }  (** lost on the wire ([site.drop]) *)
+    | Severed of { cycles : int }
+        (** partitioned, by operator or by [site.partition] *)
+
+  val delay_factor : int
+
+  val create : ?latency:int -> name:string -> unit -> t
+
+  val name : t -> string
+  val latency : t -> int
+
+  val set_faults : t -> Multics_fault.Fault.Injector.t option -> unit
+
+  val partition : t -> unit
+  (** Operator-severed: every transmission is [Severed] until {!heal}. *)
+
+  val heal : t -> unit
+  val partitioned : t -> bool
+
+  val transmit : t -> outcome
+
+  val counters : t -> (string * int) list
+  (** [sent] / [dropped] / [delayed] / [severed], for the per-link
+      status surface. *)
+end

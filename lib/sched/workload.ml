@@ -22,6 +22,8 @@ module Stats = Multics_util.Stats
 module Cost = Multics_machine.Cost
 module Label = Multics_access.Label
 module Smp = Multics_smp.Smp
+module Site = Multics_site.Site
+module Acl = Multics_access.Acl
 
 let obs_response = Obs.Registry.histogram Obs.Registry.global "sched.response.cycles"
 
@@ -63,6 +65,12 @@ type spec = {
       (** simulated CPUs; above 1 a multiprocessor plant is built
           (per-CPU associative memories, connect coherence, lock
           contention) — timing changes, mediation results never *)
+  sites : int;
+      (** kernel sites; above 0 the gate traffic runs against a
+          distributed fleet (lib/site) instead of a single kernel —
+          cross-site replication cycles are charged to the calling
+          session, and the mediation digest must still be
+          site-count-invariant (E20's oracle) *)
 }
 
 let default =
@@ -91,6 +99,9 @@ let default =
        matrix's MULTICS_NCPU sweep) must stay deterministic; tests opt
        into multi-CPU explicitly. *)
     cpus = 1;
+    (* 0 = no fleet: the single-kernel seed behaviour, byte for byte.
+       Fleet runs opt in explicitly (E20, the site tests). *)
+    sites = 0;
   }
 
 type result = {
@@ -109,6 +120,9 @@ type result = {
   r_smp : (string * int) list;
       (** plant-wide readings (connects sent/lost/retries, lock state);
           empty on a uniprocessor run *)
+  r_fleet : (string * int) list;
+      (** fleet-wide readings (sites, epochs, revocation storms, link
+          traffic); empty when [sites = 0] *)
 }
 
 let make_policy = function
@@ -202,7 +216,57 @@ let run spec =
   (* Gate traffic runs against a booted kernel through a small pool of
      logged-in principals — the audit subject for session i is a pure
      function of i, never of the schedule. *)
+  (* The scratch segment per pool principal: the standing revocation
+     target.  Re-granting its ACL is idempotent on policy but runs the
+     full setfaults path — and, on a fleet, the cross-site connect
+     storm. *)
+  let scratch_path i = Printf.sprintf ">udd>Load>User%d>scratch" i in
+  let scratch_acl i = Acl.of_strings [ (Printf.sprintf "User%d.Load.*" i, "rw") ] in
+  let fleet =
+    if spec.sites <= 0 || not spec.gate_calls then None
+    else begin
+      let f = Site.create ~nsites:spec.sites () in
+      Site.set_faults f injector;
+      Some f
+    end
+  in
   let system, handles =
+    match fleet with
+    | Some f ->
+        (* The same principal pool as the single-kernel path, logged in
+           fleet-wide; session i is fleet user i, so sessions shard
+           across every site while sharing the pool's handles (valid on
+           every site — logins are replicated). *)
+        let pool = min 4 (max 1 spec.users) in
+        let handles =
+          Array.init pool (fun i ->
+              let person = Printf.sprintf "User%d" i in
+              Site.add_account f ~person ~project:"Load" ~password:"pw"
+                ~clearance:Label.unclassified;
+              let handle =
+                match Site.login f ~person ~project:"Load" ~password:"pw" with
+                | Ok handle -> handle
+                | Error e -> failwith (System.login_error_to_string e)
+              in
+              (match
+                 Site.dispatch f ~user:i ~handle
+                   (Api.Call.Create_segment_by_path
+                      {
+                        path = scratch_path i;
+                        acl = scratch_acl i;
+                        label = Label.unclassified;
+                        brackets = None;
+                      })
+               with
+              | Ok _ -> ()
+              | Error e -> failwith (Api.error_to_string e));
+              match Site.dispatch f ~user:i ~handle Api.Call.Create_channel with
+              | Ok (Api.Call.Channel channel) -> (handle, channel)
+              | Ok _ -> failwith "workload: unexpected reply to Create_channel"
+              | Error e -> failwith (Api.error_to_string e))
+        in
+        (None, handles)
+    | None ->
     if not spec.gate_calls then (None, [||])
     else begin
       let system = System.create Config.kernel_6180 in
@@ -265,9 +329,36 @@ let run spec =
                touch_pages pid pages;
                Sim.compute spec.service
              done;
-             (match system with
-             | None -> ()
-             | Some sys ->
+             (match (system, fleet) with
+             | None, None -> ()
+             | _, Some f ->
+                 let handle, channel = handles.(i mod Array.length handles) in
+                 on_cpu pid;
+                 Sim.compute (Cost.round_trip_call_cost spec.cost ~cross_ring:true);
+                 let before = Site.now f in
+                 (* The single-kernel call mix, plus a live revocation
+                    every fifth interaction: the scratch re-grant runs
+                    the cross-site connect storm inside the call. *)
+                 (if n mod 3 = 0 then
+                    ignore
+                      (Site.dispatch f ~user:i ~handle
+                         (Api.Call.Read_word { segno = 9999; offset = 0 }))
+                  else if n mod 5 = 0 then
+                    ignore
+                      (Site.dispatch f ~user:i ~handle
+                         (Api.Call.Set_acl_by_path
+                            {
+                              path = scratch_path (i mod Array.length handles);
+                              acl = scratch_acl (i mod Array.length handles);
+                            }))
+                  else
+                    ignore
+                      (Site.dispatch f ~user:i ~handle (Api.Call.Send_wakeup { channel })));
+                 (* Bill the fleet's round trips and backoff stalls to
+                    the session that mutated. *)
+                 let delta = Site.now f - before in
+                 if delta > 0 then Sim.perturb sim pid delta
+             | Some sys, None ->
                  let handle, channel = handles.(i mod Array.length handles) in
                  on_cpu pid;
                  Sim.compute (Cost.round_trip_call_cost spec.cost ~cross_ring:true);
@@ -319,11 +410,12 @@ let run spec =
   Sim.run sim;
   let cycles = Sim.now sim in
   let granted, refused =
-    match system with
-    | None -> (0, 0)
-    | Some sys ->
+    match (system, fleet) with
+    | _, Some f -> (Site.granted f, Site.refused f)
+    | Some sys, None ->
         let audit = System.audit sys in
         (Audit_log.length audit - Audit_log.refusal_count audit, Audit_log.refusal_count audit)
+    | None, None -> (0, 0)
   in
   {
     r_policy = policy_choice_name spec.policy;
@@ -337,6 +429,126 @@ let run spec =
     r_sched = Sched.status sched;
     r_audit_granted = granted;
     r_audit_refused = refused;
-    r_signature = (match system with None -> 0 | Some sys -> mediation_signature sys);
+    r_signature =
+      (match (system, fleet) with
+      | _, Some f ->
+          (* The multiset digest: the scheduler's interleaving shifts
+             with cross-site timing, and parity must not care. *)
+          Site.multiset_signature f
+      | Some sys, None -> mediation_signature sys
+      | None, None -> 0);
     r_smp = (match plant with None -> [] | Some pl -> fst (Smp.status pl));
+    r_fleet =
+      (match fleet with
+      | None -> []
+      | Some f ->
+          let sent, dropped, severed =
+            List.fold_left
+              (fun (s, d, v) (_, _, counters) ->
+                let c name = try List.assoc name counters with Not_found -> 0 in
+                (s + c "sent", d + c "dropped", v + c "severed"))
+              (0, 0, 0) (Site.link_table f)
+          in
+          [
+            ("sites", Site.nsites f);
+            ("epoch", Site.epoch f);
+            ("revocations", Site.revocations f);
+            ("fenced.refusals", Site.fenced_refusals f);
+            ("cross.cycles", Site.now f);
+            ("link.sent", sent);
+            ("link.dropped", dropped);
+            ("link.severed", severed);
+          ]);
+  }
+
+(* ----- The fleet sweep -----
+
+   A direct (un-scheduled) driver for pricing the distribution layer
+   at populations a Sim-driven session workload cannot reach: logical
+   users shard across the fleet by id and share a small logged-in
+   principal pool, exactly as the paper's answering service multiplexes
+   daemons over terminals.  Sequential and deterministic, so the
+   order-preserving fleet digest is comparable across site counts. *)
+
+type sweep_row = {
+  sw_users : int;
+  sw_sites : int;
+  sw_ops : int;  (** primary fleet dispatches (pool setup included) *)
+  sw_granted : int;
+  sw_refused : int;
+  sw_revocations : int;  (** each one a fleet-wide connect storm *)
+  sw_fenced : int;  (** fenced refusals (0 under recoverable plans) *)
+  sw_cross_cycles : int;  (** fleet clock: round trips + backoff stalls *)
+  sw_epoch : int;
+  sw_signature : int;  (** order-preserving fleet digest *)
+}
+
+let run_fleet_sweep ?(revoke_every = 1_000) ?(fault_spec = "") ~users ~sites ~seed () =
+  if users < 1 then invalid_arg "Workload.run_fleet_sweep: users must be positive";
+  let fleet = Site.create ~nsites:sites () in
+  (match fault_spec with
+  | "" -> ()
+  | fs -> (
+      match Fault.Plan.parse ~seed fs with
+      | Ok plan -> Site.set_faults fleet (Some (Fault.Injector.create plan))
+      | Error why -> invalid_arg ("Workload.run_fleet_sweep: " ^ why)));
+  (* Recording off, counters on: at a million users a full audit trail
+     would swamp memory; the E20 oracle runs (small populations) keep
+     the trail and check it.  Mediation itself is unchanged. *)
+  for site = 0 to sites - 1 do
+    Audit_log.set_enabled (System.audit (Site.member_system fleet site)) false
+  done;
+  let scratch_path i = Printf.sprintf ">udd>Load>User%d>scratch" i in
+  let scratch_acl i = Acl.of_strings [ (Printf.sprintf "User%d.Load.*" i, "rw") ] in
+  let pool = min 4 users in
+  let handles =
+    Array.init pool (fun i ->
+        let person = Printf.sprintf "User%d" i in
+        Site.add_account fleet ~person ~project:"Load" ~password:"pw"
+          ~clearance:Label.unclassified;
+        let handle =
+          match Site.login fleet ~person ~project:"Load" ~password:"pw" with
+          | Ok handle -> handle
+          | Error e -> failwith (System.login_error_to_string e)
+        in
+        (match
+           Site.dispatch fleet ~user:i ~handle
+             (Api.Call.Create_segment_by_path
+                {
+                  path = scratch_path i;
+                  acl = scratch_acl i;
+                  label = Label.unclassified;
+                  brackets = None;
+                })
+         with
+        | Ok _ -> ()
+        | Error e -> failwith (Api.error_to_string e));
+        match Site.dispatch fleet ~user:i ~handle Api.Call.Create_channel with
+        | Ok (Api.Call.Channel channel) -> (handle, channel)
+        | Ok _ -> failwith "workload: unexpected reply to Create_channel"
+        | Error e -> failwith (Api.error_to_string e))
+  in
+  for u = 0 to users - 1 do
+    let p = u mod pool in
+    let handle, channel = handles.(p) in
+    if revoke_every > 0 && u mod revoke_every = 0 then
+      ignore
+        (Site.dispatch fleet ~user:u ~handle
+           (Api.Call.Set_acl_by_path { path = scratch_path p; acl = scratch_acl p }))
+    else if u mod 3 = 0 then
+      ignore
+        (Site.dispatch fleet ~user:u ~handle (Api.Call.Read_word { segno = 9999; offset = 0 }))
+    else ignore (Site.dispatch fleet ~user:u ~handle (Api.Call.Send_wakeup { channel }))
+  done;
+  {
+    sw_users = users;
+    sw_sites = sites;
+    sw_ops = Site.granted fleet + Site.refused fleet;
+    sw_granted = Site.granted fleet;
+    sw_refused = Site.refused fleet;
+    sw_revocations = Site.revocations fleet;
+    sw_fenced = Site.fenced_refusals fleet;
+    sw_cross_cycles = Site.now fleet;
+    sw_epoch = Site.epoch fleet;
+    sw_signature = Site.signature fleet;
   }

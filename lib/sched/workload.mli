@@ -51,6 +51,15 @@ type spec = {
           multiprocessor plant is built — per-CPU associative
           memories, connect coherence, global-lock contention.
           Timing changes, mediation results never (E18's oracle). *)
+  sites : int;
+      (** kernel sites (0..{!Multics_site.Site.max_sites}); above 0
+          the gate traffic runs against a distributed fleet
+          ({!Multics_site.Site}) instead of a single kernel: sessions
+          shard across sites, every fifth interaction is a live
+          ACL revocation (a fleet-wide connect storm inside the call),
+          and cross-site cycles are billed to the mutating session.
+          Timing changes, mediation results never (E20's oracle).
+          [0] is the single-kernel seed behaviour, byte for byte. *)
 }
 
 val default : spec
@@ -75,8 +84,38 @@ type result = {
   r_smp : (string * int) list;
       (** plant-wide readings (connects sent/lost/retries/rescues,
           lock state); empty on a uniprocessor run *)
+  r_fleet : (string * int) list;
+      (** fleet-wide readings (sites, epochs, revocation storms,
+          aggregated link traffic); empty when [sites = 0] *)
 }
 
 val run : spec -> result
 (** Build the stack, run to quiescence, and summarize.  Deterministic:
     the same spec always yields the identical result. *)
+
+(** {1 The fleet sweep} *)
+
+type sweep_row = {
+  sw_users : int;
+  sw_sites : int;
+  sw_ops : int;  (** primary fleet dispatches (pool setup included) *)
+  sw_granted : int;
+  sw_refused : int;
+  sw_revocations : int;  (** each one a fleet-wide connect storm *)
+  sw_fenced : int;  (** fenced refusals (0 under recoverable plans) *)
+  sw_cross_cycles : int;  (** fleet clock: round trips + backoff stalls *)
+  sw_epoch : int;
+  sw_signature : int;  (** order-preserving fleet digest *)
+}
+
+val run_fleet_sweep :
+  ?revoke_every:int ->
+  ?fault_spec:string ->
+  users:int -> sites:int -> seed:int -> unit -> sweep_row
+(** Price the distribution layer directly (no scheduler): [users]
+    logical users shard across [sites] kernels by id, sharing a small
+    logged-in principal pool; every [revoke_every]-th user triggers a
+    cross-site ACL revocation.  Sequential and deterministic, so
+    [sw_signature] is comparable across site counts — and must be
+    equal (E20).  Audit {e recording} is disabled for memory at the
+    million-user points; mediation and its counters are unchanged. *)

@@ -27,6 +27,9 @@ module Command = struct
     | Sched_tune of { param : string; value : int }
     | Sched_demo of { users : int }
     | Smp_status
+    | Site_status
+    | Site_partition of { a : int; b : int }
+    | Site_heal
     | Stats of stats_mode
     | Audit_tail of { count : int }
 
@@ -37,6 +40,7 @@ module Command = struct
     | Bad_param of { param : string; known : string list; usage : string }
     | Bad_plan of { spec : string; reason : string }
     | Bad_count of { what : string; got : int; usage : string }
+    | Bad_pair of { family : string; reason : string; usage : string }
 
   let error_to_string = function
     | Bad_int { what; got; usage } ->
@@ -50,11 +54,14 @@ module Command = struct
     | Bad_plan { spec; reason } -> Printf.sprintf "bad fault plan %S: %s" spec reason
     | Bad_count { what; got; usage } ->
         Printf.sprintf "%s: must be positive, got %d (usage: %s)" what got usage
+    | Bad_pair { family; reason; usage } ->
+        Printf.sprintf "%s: %s (usage: %s)" family reason usage
 
   let usage_fault = "fault plan SEED SPEC | fault status | fault clear"
   let usage_cache = "cache status | cache clear"
   let usage_sched = "sched status | sched tune PARAM VALUE | sched demo [USERS]"
   let usage_smp = "smp status"
+  let usage_site = "site status | site partition A B | site heal"
   let usage_stats = "stats [json|reset]"
   let usage_audit = "audit [N]"
 
@@ -113,6 +120,36 @@ module Command = struct
     | sub :: _ -> Error (Bad_subcommand { family = "smp"; got = sub; usage = usage_smp })
     | [] -> Error (Bad_arity { family = "smp"; usage = usage_smp })
 
+  let parse_site = function
+    | [ "status" ] -> Ok Site_status
+    | [ "heal" ] -> Ok Site_heal
+    | [ "partition"; a; b ] ->
+        int_arg ~what:"site partition a" ~usage:usage_site a (fun a ->
+            int_arg ~what:"site partition b" ~usage:usage_site b (fun b ->
+                (* Range (against the fleet's size) is the executor's
+                   to check; shape is ours: two distinct, non-negative
+                   site ids. *)
+                if a < 0 || b < 0 then
+                  Error
+                    (Bad_pair
+                       {
+                         family = "site partition";
+                         reason = "site ids must be non-negative";
+                         usage = usage_site;
+                       })
+                else if a = b then
+                  Error
+                    (Bad_pair
+                       {
+                         family = "site partition";
+                         reason = "cannot partition a site from itself";
+                         usage = usage_site;
+                       })
+                else Ok (Site_partition { a; b })))
+    | sub :: _ when sub <> "partition" ->
+        Error (Bad_subcommand { family = "site"; got = sub; usage = usage_site })
+    | _ -> Error (Bad_arity { family = "site"; usage = usage_site })
+
   let parse_stats = function
     | [] -> Ok (Stats Stats_text)
     | [ "json" ] -> Ok (Stats Stats_json)
@@ -134,6 +171,7 @@ module Command = struct
     | "cache" :: rest -> Some (parse_cache rest)
     | "sched" :: rest -> Some (parse_sched rest)
     | "smp" :: rest -> Some (parse_smp rest)
+    | "site" :: rest -> Some (parse_site rest)
     | "stats" :: rest -> Some (parse_stats rest)
     | "audit" :: rest -> Some (parse_audit rest)
     | _ -> None

@@ -1,5 +1,5 @@
 (** Typed parsers for the shell's operator-command families ([fault],
-    [cache], [sched], [smp], [stats], [audit]).
+    [cache], [sched], [smp], [site], [stats], [audit]).
 
     Each family is a total function from a word list to either a typed
     command or a typed error (in the style of the kernel's own
@@ -23,6 +23,9 @@ module Command : sig
     | Sched_tune of { param : string; value : int }
     | Sched_demo of { users : int }
     | Smp_status
+    | Site_status
+    | Site_partition of { a : int; b : int }
+    | Site_heal
     | Stats of stats_mode
     | Audit_tail of { count : int }
 
@@ -33,6 +36,7 @@ module Command : sig
     | Bad_param of { param : string; known : string list; usage : string }
     | Bad_plan of { spec : string; reason : string }
     | Bad_count of { what : string; got : int; usage : string }
+    | Bad_pair of { family : string; reason : string; usage : string }
 
   val error_to_string : error -> string
 

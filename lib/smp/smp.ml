@@ -186,6 +186,40 @@ let cpu_for t ~key = (key land max_int) mod t.ncpus
 
 (* ----- The connect protocol ----- *)
 
+(* The delivery discipline, factored out of the per-CPU broadcast so
+   the inter-site fleet (lib/site) can run the identical state machine
+   over lossy network links: signal, wait for the acknowledgement,
+   retry on loss, and past the retry budget hand the target to an
+   escalation path (the system controller here; fencing in the fleet).
+   Every branch either confirms the target cleared or escalates —
+   there is no exit that leaves the target possibly stale, which is
+   the fail-secure shape both users need. *)
+module Connect = struct
+  type outcome =
+    | Delivered of { attempts : int; cycles : int }
+    | Escalated of { attempts : int; cycles : int }
+
+  let cycles_of = function Delivered { cycles; _ } | Escalated { cycles; _ } -> cycles
+
+  (* [attempt n] makes the nth signalling attempt and reports either
+     [`Acked cycles] (target confirmed cleared, cost includes the
+     acknowledgement) or [`Lost cycles] (no acknowledgement within the
+     timeout; cost includes the wasted wait).  After [max_retries]
+     losses, [escalate ()] must clear the target by other means and
+     return its cycle cost. *)
+  let deliver ~max_retries ~attempt ~escalate =
+    let rec go n cycles =
+      match attempt n with
+      | `Acked c -> Delivered { attempts = n; cycles = cycles + c }
+      | `Lost c ->
+          let cycles = cycles + c in
+          if n >= max_retries then
+            Escalated { attempts = n + 1; cycles = cycles + escalate () }
+          else go (n + 1) cycles
+    in
+    go 1 0
+end
+
 (* How long the sender waits for the acknowledgement before deciding
    the connect was lost.  A few IPI round trips: generous enough that
    a healthy CPU always acks in time, so a timeout means loss. *)
@@ -216,30 +250,36 @@ let broadcast t clear =
       (fun c ->
         if c.id <> origin then begin
           if Obs.enabled () then Obs.Counter.incr t.connects_sent;
-          let rec signal attempt =
-            cycles := !cycles + t.cost.Cost.connect_ipi;
-            if attempt <= max_retries && lost_connect_fires t then begin
-              (* No acknowledgement arrived: the IPI was dropped.
-                 Detect by timeout, stall, re-signal.  Never proceed —
-                 proceeding would leave c's associative memory stale. *)
-              if Obs.enabled () then begin
-                Obs.Counter.incr t.connects_lost;
-                Obs.Counter.incr t.connect_retries
-              end;
-              cycles := !cycles + ack_timeout t.cost;
-              signal (attempt + 1)
-            end
-            else begin
-              if attempt > max_retries && Obs.enabled () then
+          let clear_target () =
+            clear c;
+            c.connects_received <- c.connects_received + 1
+          in
+          let outcome =
+            Connect.deliver ~max_retries
+              ~attempt:(fun _n ->
+                if lost_connect_fires t then begin
+                  (* No acknowledgement arrived: the IPI was dropped.
+                     Detect by timeout, stall, re-signal.  Never
+                     proceed — proceeding would leave c's associative
+                     memory stale. *)
+                  if Obs.enabled () then begin
+                    Obs.Counter.incr t.connects_lost;
+                    Obs.Counter.incr t.connect_retries
+                  end;
+                  `Lost (t.cost.Cost.connect_ipi + ack_timeout t.cost)
+                end
+                else begin
+                  clear_target ();
+                  `Acked (t.cost.Cost.connect_ipi + t.cost.Cost.interrupt_entry)
+                end)
+              ~escalate:(fun () ->
                 (* Rescue: the target would not ack; clear its
                    memories directly through the system controller. *)
-                Obs.Counter.incr t.connect_rescues;
-              cycles := !cycles + t.cost.Cost.interrupt_entry;
-              clear c;
-              c.connects_received <- c.connects_received + 1
-            end
+                if Obs.enabled () then Obs.Counter.incr t.connect_rescues;
+                clear_target ();
+                t.cost.Cost.connect_ipi + t.cost.Cost.interrupt_entry)
           in
-          signal 1
+          cycles := !cycles + Connect.cycles_of outcome
         end)
       t.cpus;
     (* Descriptor mutation serializes on the global lock for the

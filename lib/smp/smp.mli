@@ -41,6 +41,39 @@ module Lock : sig
       was acquiring. *)
 end
 
+(** The delivery discipline shared by the per-CPU connect broadcast
+    and the inter-site fleet ({!Multics_site.Site}): signal, wait for
+    the acknowledgement, retry on loss, and past the retry budget hand
+    the target to an escalation path (the system controller here;
+    fencing in the fleet).  Every branch either confirms the target
+    cleared or escalates — no exit leaves the target possibly stale. *)
+module Connect : sig
+  type outcome =
+    | Delivered of { attempts : int; cycles : int }
+    | Escalated of { attempts : int; cycles : int }
+
+  val cycles_of : outcome -> int
+
+  val deliver :
+    max_retries:int ->
+    attempt:(int -> [ `Acked of int | `Lost of int ]) ->
+    escalate:(unit -> int) ->
+    outcome
+  (** [attempt n] makes the nth signalling attempt, reporting
+      [`Acked cycles] (target confirmed cleared; cost includes the
+      acknowledgement) or [`Lost cycles] (no acknowledgement within
+      the timeout; cost includes the wasted wait).  After
+      [max_retries] losses, [escalate ()] must resolve the target by
+      other means and return its cycle cost. *)
+end
+
+val ack_timeout : Cost.t -> int
+(** How long a sender waits for a connect acknowledgement before
+    declaring the connect lost: a few IPI round trips. *)
+
+val max_retries : int
+(** Losses tolerated on one target before the escalation path runs. *)
+
 type t
 
 val create : ?ncpus:int -> ?ptw_gens:Multics_cache.Avc.Gen.t -> cost:Cost.t -> unit -> t

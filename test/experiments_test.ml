@@ -112,11 +112,11 @@ let test_e10_shape () =
     (r.E10_lattice_flow.refused_read_up > 0 && r.E10_lattice_flow.refused_write_down > 0)
 
 let test_registry_complete () =
-  Alcotest.(check int) "22 experiments registered" 22 (List.length Registry.all);
+  Alcotest.(check int) "23 experiments registered" 23 (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) ("find " ^ id) true (Registry.find id <> None))
-    [ "e1"; "E1"; "e12"; "e15"; "e17"; "e18"; "e19"; "a1"; "A3" ];
+    [ "e1"; "E1"; "e12"; "e15"; "e17"; "e18"; "e19"; "e20"; "a1"; "A3" ];
   Alcotest.(check bool) "unknown id rejected" true (Registry.find "e99" = None)
 
 let test_ablation_a1_shape () =

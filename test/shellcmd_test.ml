@@ -16,6 +16,7 @@ let bad_arity = function Cmd.Bad_arity _ -> true | _ -> false
 let bad_param = function Cmd.Bad_param _ -> true | _ -> false
 let bad_plan = function Cmd.Bad_plan _ -> true | _ -> false
 let bad_count = function Cmd.Bad_count _ -> true | _ -> false
+let bad_pair = function Cmd.Bad_pair _ -> true | _ -> false
 
 let table =
   [
@@ -52,6 +53,16 @@ let table =
     ("smp status", Cmd Cmd.Smp_status);
     ("smp panic", Err (bad_sub, "unknown smp subcommand"));
     ("smp", Err (bad_arity, "bare smp"));
+    (* site *)
+    ("site status", Cmd Cmd.Site_status);
+    ("site heal", Cmd Cmd.Site_heal);
+    ("site partition 0 2", Cmd (Cmd.Site_partition { a = 0; b = 2 }));
+    ("site partition 0 x", Err (bad_int, "site id not a number"));
+    ("site partition 1 1", Err (bad_pair, "partition from itself"));
+    ("site partition -1 2", Err (bad_pair, "negative site id"));
+    ("site partition 0", Err (bad_arity, "partition missing a site"));
+    ("site split 0 1", Err (bad_sub, "unknown site subcommand"));
+    ("site", Err (bad_arity, "bare site"));
     (* stats *)
     ("stats", Cmd (Cmd.Stats Cmd.Stats_text));
     ("stats json", Cmd (Cmd.Stats Cmd.Stats_json));

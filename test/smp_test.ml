@@ -148,6 +148,92 @@ let test_lost_connect_fails_secure () =
   Alcotest.(check bool) "dropped connects were rescued" true
     (List.assoc "connects.rescues" global > 0)
 
+(* ----- The system-controller rescue path, directed -----
+
+   E18 exercises the 8-loss escalation statistically; these pin the
+   state machine down.  First the delivery discipline in isolation:
+   the budget is spent attempt by attempt, and the escalation hook
+   runs exactly once, only after the final loss. *)
+
+let test_connect_deliver_retry_budget () =
+  (* A link that never acks: every attempt is lost, so deliver must
+     walk attempts 1..max_retries in order and then escalate once. *)
+  let attempts_seen = ref [] in
+  let escalations = ref 0 in
+  let outcome =
+    Smp.Connect.deliver ~max_retries:Smp.max_retries
+      ~attempt:(fun n ->
+        attempts_seen := n :: !attempts_seen;
+        `Lost 10)
+      ~escalate:(fun () ->
+        incr escalations;
+        100)
+  in
+  Alcotest.(check (list int))
+    "attempts numbered 1..8 in order"
+    (List.init Smp.max_retries (fun i -> i + 1))
+    (List.rev !attempts_seen);
+  Alcotest.(check int) "escalate ran exactly once" 1 !escalations;
+  (match outcome with
+  | Smp.Connect.Escalated { attempts; cycles } ->
+      Alcotest.(check int) "attempts counts the losses plus the rescue" (Smp.max_retries + 1)
+        attempts;
+      Alcotest.(check int) "cycles bill the stalls plus the rescue"
+        ((Smp.max_retries * 10) + 100)
+        cycles
+  | Smp.Connect.Delivered _ -> Alcotest.fail "a never-acking target cannot be Delivered");
+  (* A target that acks on the last allowed attempt stays inside the
+     budget: no escalation, and the acknowledgement cost is billed. *)
+  let outcome =
+    Smp.Connect.deliver ~max_retries:Smp.max_retries
+      ~attempt:(fun n -> if n < Smp.max_retries then `Lost 10 else `Acked 7)
+      ~escalate:(fun () -> Alcotest.fail "an acked target must not escalate")
+  in
+  match outcome with
+  | Smp.Connect.Delivered { attempts; cycles } ->
+      Alcotest.(check int) "delivered on the final attempt" Smp.max_retries attempts;
+      Alcotest.(check int) "cycles bill the stalls plus the ack" (((Smp.max_retries - 1) * 10) + 7)
+        cycles
+  | Smp.Connect.Escalated _ -> Alcotest.fail "delivery inside the budget escalated anyway"
+
+let test_lost_connect_rescue_exhausts_budget () =
+  (* The full plant path: with every connect dropped, one revocation
+     against one remote CPU must burn the whole retry budget (8
+     losses), rescue through the system controller exactly once, and
+     still leave the remote CAM clear. *)
+  let plan =
+    match Fault.Plan.parse ~seed:3 "smp.lost_connect=every:1" with
+    | Ok plan -> plan
+    | Error e -> Alcotest.fail e
+  in
+  let system, plant, handle, segno = boot_two_cpus ~faults:(Fault.Injector.create plan) () in
+  Smp.set_current plant 1;
+  read_ok "warm CPU 1" system ~handle ~segno;
+  let counters () =
+    let global, _ = Smp.status plant in
+    ( List.assoc "connects.lost" global,
+      List.assoc "connects.retries" global,
+      List.assoc "connects.rescues" global )
+  in
+  let lost0, retries0, rescues0 = counters () in
+  Smp.set_current plant 0;
+  (match
+     Api.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Api.error_to_string e));
+  let lost1, retries1, rescues1 = counters () in
+  Alcotest.(check int) "all 8 signalling attempts were lost" Smp.max_retries (lost1 - lost0);
+  Alcotest.(check int) "each loss stalled and re-signalled" Smp.max_retries (retries1 - retries0);
+  Alcotest.(check int) "one system-controller rescue for the one remote CPU" 1
+    (rescues1 - rescues0);
+  Alcotest.(check bool) "the rescue cleared the target anyway" true
+    (List.assoc "connects_received" (Smp.cpu_status plant 1) > 0);
+  Smp.set_current plant 1;
+  match Api.read_word system ~handle ~segno ~offset:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "CPU 1 replayed a stale Permit after the rescue path"
+
 (* ----- The coherence-parity oracle -----
 
    The same workload at 1, 2 and 4 CPUs: timing may change, mediation
@@ -223,6 +309,9 @@ let suite =
     Alcotest.test_case "per-CPU PTW fronts" `Quick test_ptw_front_per_cpu;
     Alcotest.test_case "connect revokes remote CAM" `Quick test_connect_revokes_remote_cam;
     Alcotest.test_case "lost connect fails secure" `Quick test_lost_connect_fails_secure;
+    Alcotest.test_case "connect delivery retry budget" `Quick test_connect_deliver_retry_budget;
+    Alcotest.test_case "8-loss system-controller rescue" `Quick
+      test_lost_connect_rescue_exhausts_budget;
     Alcotest.test_case "coherence parity, 100 seeds x {1,2,4} CPUs" `Slow test_parity_100_seeds;
     Alcotest.test_case "coherence parity under fault storm" `Quick test_parity_under_fault_storm;
     Alcotest.test_case "multi-CPU run deterministic" `Quick test_multi_cpu_run_deterministic;

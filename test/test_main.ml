@@ -26,6 +26,7 @@ let () =
       ("cache", Cache_test.suite);
       ("sched", Sched_test.suite);
       ("smp", Smp_test.suite);
+      ("site", Site_test.suite);
       ("shellcmd", Shellcmd_test.suite);
       ("sid", Sid_test.suite);
     ]
