@@ -413,7 +413,7 @@ let sid_bench_intern_cold () =
   (* Clearing the stamp forces the registry walk (hash + bucket scan +
      restamp) a process pays on its first reference after login or a
      ring change. *)
-  sid_bench_intern_subject.Multics_access.Policy.sid_reg <- 0;
+  sid_bench_intern_subject.Multics_access.Policy.sid_memo <- (0, -1);
   Multics_fs.Hierarchy.subject_sid avc_bench_hierarchy sid_bench_intern_subject
 
 let bench_sid_intern_cold =
@@ -514,17 +514,44 @@ let bench_obs_gate_call_off =
          Multics_kernel.Api.Call.dispatch obs_bench_system ~handle:obs_bench_handle
            obs_bench_request))
 
-let obs_bench_counter = Obs.Registry.counter Obs.Registry.global "bench.counter"
-
+let obs_bench_counter = Obs.Local.counter "bench.counter"
 let bench_obs_counter_incr =
   Test.make ~name:"obs/counter_incr"
-    (Staged.stage (fun () -> Obs.Counter.incr obs_bench_counter))
+    (Staged.stage (fun () -> Obs.Counter.incr (obs_bench_counter ())))
 
-let obs_bench_histogram = Obs.Registry.histogram Obs.Registry.global "bench.histogram"
-
+let obs_bench_histogram = Obs.Local.histogram "bench.histogram"
 let bench_obs_histogram_observe =
   Test.make ~name:"obs/histogram_observe"
-    (Staged.stage (fun () -> Obs.Histogram.observe obs_bench_histogram 1234))
+    (Staged.stage (fun () -> Obs.Histogram.observe (obs_bench_histogram ()) 1234))
+
+(* ----- The parallel harness (lib/par) ----- *)
+
+module Par = Multics_par.Par
+
+(* The task unit the domain pool schedules: one seeded E19 churn run,
+   sized down so Bechamel can sample it. *)
+let harness_seed_refs = 30
+
+let bench_harness_seed_run =
+  Test.make ~name:"harness/e19_seed_run"
+    (Staged.stage (fun () ->
+         Multics_experiments.E19_sid.run_seed ~seed:7 ~refs:harness_seed_refs))
+
+let bench_harness_pool_seq =
+  Test.make ~name:"harness/run_seeds_1dom"
+    (Staged.stage (fun () ->
+         Par.run_seeds ~jobs:1 8 (fun seed ->
+             Multics_experiments.E19_sid.run_seed ~seed ~refs:harness_seed_refs)))
+
+let bench_harness_pool_4dom =
+  Test.make ~name:"harness/run_seeds_4dom"
+    (Staged.stage (fun () ->
+         Par.run_seeds ~jobs:4 8 (fun seed ->
+             Multics_experiments.E19_sid.run_seed ~seed ~refs:harness_seed_refs)))
+
+let bench_harness_spawn_join =
+  Test.make ~name:"harness/pool_spawn_join"
+    (Staged.stage (fun () -> Par.map ~jobs:4 Fun.id [ 1; 2; 3; 4 ]))
 
 (* ----- Ablations ----- *)
 
@@ -573,6 +600,10 @@ let tests =
     bench_obs_gate_call_off;
     bench_obs_counter_incr;
     bench_obs_histogram_observe;
+    bench_harness_seed_run;
+    bench_harness_pool_seq;
+    bench_harness_pool_4dom;
+    bench_harness_spawn_join;
     bench_ablation_policies;
     bench_ablation_watermark;
   ]
@@ -745,6 +776,56 @@ let smoke () =
     (ns_per cold_t iters) (ns_per rebuild_t rebuild_iters) rebuild_cells hit_ratio;
   close_out oc;
   print_endline "bench smoke: appended to BENCH_e19_sid.json";
+  (* The parallel-harness gate: the 100-seed E19 oracle must produce
+     the same results at every pool size, and on a machine with at
+     least 4 cores the 4-domain run must at least halve the sequential
+     wall-clock.  Single-core runners still check determinism — only
+     the speedup assertion is conditional on the hardware. *)
+  let harness_refs = 2_000 and harness_trials = 3 in
+  let time_oracle jobs =
+    let start = Unix.gettimeofday () in
+    let runs = Multics_experiments.E19_sid.parity_runs ~jobs ~refs:harness_refs () in
+    (Unix.gettimeofday () -. start, runs)
+  in
+  let seq_samples = List.init harness_trials (fun _ -> time_oracle 1) in
+  let par_samples = List.init harness_trials (fun _ -> time_oracle 4) in
+  let median3 xs = List.nth (List.sort compare xs) (harness_trials / 2) in
+  let seq_t = median3 (List.map fst seq_samples) in
+  let par_t = median3 (List.map fst par_samples) in
+  let reference = snd (List.hd seq_samples) in
+  let identical = List.for_all (fun (_, runs) -> runs = reference) (seq_samples @ par_samples) in
+  let oracle_divergences =
+    List.fold_left
+      (fun acc (r : Multics_experiments.E19_sid.run_stats) ->
+        acc + r.Multics_experiments.E19_sid.divergences)
+      0 reference
+  in
+  let harness_speedup = seq_t /. par_t in
+  let harness_required_speedup = 2.0 in
+  let cores = Domain.recommended_domain_count () in
+  let enforce_speedup = cores >= 4 in
+  Printf.printf
+    "bench smoke: [harness] 100-seed E19 oracle (%d refs/seed, %d divergences) — sequential %.3f s, 4-domain %.3f s, speedup %.2fx%s, results %s across pool sizes\n"
+    harness_refs oracle_divergences seq_t par_t harness_speedup
+    (if enforce_speedup then Printf.sprintf " (required >= %.1fx)" harness_required_speedup
+     else Printf.sprintf " (speedup gate skipped: %d core%s)" cores (if cores = 1 then "" else "s"))
+    (if identical then "identical" else "DIVERGENT");
+  if not identical then begin
+    print_endline "bench smoke: FAIL — pool size changed the oracle's results";
+    exit 1
+  end;
+  if enforce_speedup && harness_speedup < harness_required_speedup then begin
+    print_endline "bench smoke: FAIL — the 4-domain oracle run lost its wall-clock edge";
+    exit 1
+  end;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_harness.json" in
+  Printf.fprintf oc
+    {|{"bench": "harness", "unix_time": %.0f, "trials": %d, "seeds": 100, "refs_per_seed": %d, "sequential_s": %.4f, "four_domain_s": %.4f, "speedup": %.3f, "required_speedup": %.2f, "cores": %d, "speedup_gate_enforced": %b, "results_identical": %b}
+|}
+    (Unix.time ()) harness_trials harness_refs seq_t par_t harness_speedup
+    harness_required_speedup cores enforce_speedup identical;
+  close_out oc;
+  print_endline "bench smoke: appended to BENCH_harness.json";
   print_endline "bench smoke: OK"
 
 let () =

@@ -1,11 +1,14 @@
 (* The experiment harness: regenerate every table the reproduction
-   reports (E1..E12), all or by id.
+   reports (E1..E20, A1..A3), all or by id.
 
      dune exec bin/experiments.exe            # every experiment
      dune exec bin/experiments.exe -- e6 e7   # a selection
      dune exec bin/experiments.exe -- --list  # what exists
      dune exec bin/experiments.exe -- e13 --stats   # + kernel counters
-*)
+
+   Multi-seed oracles inside the experiments fan out over OCaml 5
+   domains when MULTICS_JOBS > 1; output is byte-identical either way
+   (see lib/par). *)
 
 open Multics_experiments
 module Obs = Multics_obs.Obs
@@ -13,7 +16,7 @@ module Obs = Multics_obs.Obs
 (* With --stats, each experiment runs against freshly reset counters so
    its snapshot reflects that experiment alone. *)
 let print_experiment ~stats e =
-  if stats then Obs.Registry.reset Obs.Registry.global;
+  if stats then Obs.Registry.reset (Obs.Registry.global ());
   print_string (Registry.render_one e);
   print_newline ();
   if stats then begin
@@ -22,7 +25,7 @@ let print_experiment ~stats e =
     print_newline ()
   end
 
-let run_selection list_only stats ids =
+let run_selection { Registry.Cli.list_only; stats; sel_ids } =
   let print_experiment = print_experiment ~stats in
   if list_only then begin
     List.iter
@@ -31,7 +34,7 @@ let run_selection list_only stats ids =
     0
   end
   else begin
-    match ids with
+    match sel_ids with
     | [] ->
         List.iter print_experiment Registry.all;
         0
@@ -55,18 +58,5 @@ let run_selection list_only stats ids =
 
 let () =
   let open Cmdliner in
-  let list_flag =
-    Arg.(value & flag & info [ "list"; "l" ] ~doc:"List experiment ids and titles.")
-  in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e.g. e1 e7).") in
-  let stats_flag =
-    Arg.(
-      value & flag
-      & info [ "stats" ]
-          ~doc:"Print the kernel observability snapshot after each experiment.")
-  in
-  let term = Term.(const run_selection $ list_flag $ stats_flag $ ids) in
-  let info =
-    Cmd.info "experiments" ~doc:"Regenerate the tables of the Multics security-kernel reproduction"
-  in
-  exit (Cmd.eval' (Cmd.v info term))
+  let term = Term.(const run_selection $ Registry.Cli.term) in
+  exit (Cmd.eval' (Cmd.v Registry.Cli.info term))

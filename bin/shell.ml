@@ -77,6 +77,8 @@ let cmd_help () =
     \  cache status            decision-cache and associative-memory counters\n\
     \  cache clear             invalidate every cached access decision\n\
     \  smp status              multiprocessor plant: CPUs, connects, lock (set MULTICS_NCPU)\n\
+    \  jobs status             experiment-harness domain pool: size, tasks, per-worker\n\
+    \                          counts (set MULTICS_JOBS)\n\
     \  site status             distributed fleet: per-site epochs, links (set MULTICS_SITES)\n\
     \  site partition A B      operator-sever the link between two sites\n\
     \  site heal               heal severed links, rejoin fenced sites via salvage-and-resync\n\
@@ -279,7 +281,7 @@ let say_cache_ratios () =
     (fun name ->
       let get field =
         Obs.Counter.get
-          (Obs.Registry.counter Obs.Registry.global (Printf.sprintf "cache.%s.%s" name field))
+          (Obs.Registry.counter (Obs.Registry.global ()) (Printf.sprintf "cache.%s.%s" name field))
       in
       let hits = get "hits" and misses = get "misses" in
       let total = hits + misses in
@@ -294,7 +296,7 @@ let say_cache_ratios () =
    counters and the response-time histogram the workload driver fills,
    all out of the same global obs registry the section above uses. *)
 let say_sched_section () =
-  let get name = Obs.Counter.get (Obs.Registry.counter Obs.Registry.global ("sched." ^ name)) in
+  let get name = Obs.Counter.get (Obs.Registry.counter (Obs.Registry.global ()) ("sched." ^ name)) in
   let dispatches = get "dispatches" in
   say "traffic controller:";
   if dispatches = 0 then say "  no dispatches yet (try: sched demo)"
@@ -306,7 +308,7 @@ let say_sched_section () =
     say "  %-22s %d" "aging promotions" (get "aging.promotions");
     say "  %-22s %d ready / %d awaiting admission" "queue depths" (get "queue.ready")
       (get "queue.admission");
-    let h = Obs.Registry.histogram Obs.Registry.global "sched.response.cycles" in
+    let h = Obs.Registry.histogram (Obs.Registry.global ()) "sched.response.cycles" in
     if Obs.Histogram.count h > 0 then
       say "  %-22s p50 %d / p99 %d cycles (%d interactions)" "response time"
         (Obs.Histogram.quantile h 0.5) (Obs.Histogram.quantile h 0.99) (Obs.Histogram.count h)
@@ -320,7 +322,7 @@ let cmd_stats mode =
       say_sched_section ()
   | Cmd.Stats_json -> say "%s" (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
   | Cmd.Stats_reset ->
-      Obs.Registry.reset Obs.Registry.global;
+      Obs.Registry.reset (Obs.Registry.global ());
       say "observability counters reset"
 
 (* The operator actions (fault, cache, smp) go through the typed
@@ -375,6 +377,24 @@ let cmd_smp_status shell =
             List.iter (fun (name, v) -> say "    %-20s %d" name v) readings)
           cpus
     | _ -> ())
+
+(* The harness domain pool is host-side machinery (it schedules whole
+   kernel boots, not kernel work), so its status is read directly from
+   [Par.Stats] rather than through a gate. *)
+let cmd_jobs_status () =
+  let module Par = Multics_par.Par in
+  let s = Par.Stats.snapshot () in
+  (if s.Par.Stats.runs = 0 then
+     say "harness domain pool: MULTICS_JOBS=%d, no runs yet" (Par.default_jobs ())
+   else
+     say "harness domain pool: MULTICS_JOBS=%d, last run used %d domain%s"
+       (Par.default_jobs ()) s.Par.Stats.pool_size
+       (if s.Par.Stats.pool_size = 1 then " (inline)" else "s"));
+  say "  %-22s %d" "parallel.runs" s.Par.Stats.runs;
+  say "  %-22s %d" "parallel.tasks" s.Par.Stats.tasks;
+  List.iter
+    (fun (slot, n) -> say "  %-22s %d" (Printf.sprintf "worker.%d.tasks" slot) n)
+    s.Par.Stats.per_worker
 
 (* The traffic-controller operator surface: status and tuning go
    through the typed [Sched_status]/[Sched_tune] gates (mediated,
@@ -493,6 +513,7 @@ let run_operator shell = function
   | Cmd.Sched_tune { param; value } -> cmd_sched_tune shell ~param ~value
   | Cmd.Sched_demo { users } -> cmd_sched_demo shell ~users
   | Cmd.Smp_status -> cmd_smp_status shell
+  | Cmd.Jobs_status -> cmd_jobs_status ()
   | Cmd.Site_status -> cmd_site_status shell
   | Cmd.Site_partition { a; b } -> cmd_site_partition shell ~a ~b
   | Cmd.Site_heal -> cmd_site_heal shell

@@ -22,16 +22,26 @@ let empty = []
    generation and notifies subscribers, so observers (the AVC, audit,
    future subscribers) cannot miss an edit even if a caller stores the
    new list somewhere unexpected.  Callers that track *which* object
-   changed layer per-object generations on top (see Hierarchy). *)
-let generation_counter = ref 0
-let subscribers : (unit -> unit) list ref = ref []
+   changed layer per-object generations on top (see Hierarchy).
 
-let generation () = !generation_counter
-let on_change f = subscribers := f :: !subscribers
+   The counter and subscriber list are domain-local: a kernel booted on
+   a worker domain (a parallel per-seed experiment task) subscribes its
+   own caches in that domain, and its ACL edits must not fan out to —
+   or race with — kernels living on other domains. *)
+type mutation_state = { mutable generation : int; mutable subscribers : (unit -> unit) list }
+
+let state_key = Domain.DLS.new_key (fun () -> { generation = 0; subscribers = [] })
+
+let generation () = (Domain.DLS.get state_key).generation
+
+let on_change f =
+  let s = Domain.DLS.get state_key in
+  s.subscribers <- f :: s.subscribers
 
 let note_mutation () =
-  incr generation_counter;
-  List.iter (fun f -> f ()) !subscribers
+  let s = Domain.DLS.get state_key in
+  s.generation <- s.generation + 1;
+  List.iter (fun f -> f ()) s.subscribers
 
 let entry_compare a b =
   (* Most specific first; ties broken by pattern text for determinism. *)

@@ -106,7 +106,7 @@ type t = {
 }
 
 let counter name field =
-  Obs.Registry.counter Obs.Registry.global (Printf.sprintf "cache.%s.%s" name field)
+  Obs.Registry.counter (Obs.Registry.global ()) (Printf.sprintf "cache.%s.%s" name field)
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 

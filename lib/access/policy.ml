@@ -26,14 +26,17 @@ type subject = {
   clearance : Label.t;
   ring : Ring.t;
   trusted : bool;
-  mutable sid_reg : int;
-      (** registry stamp for the dense-SID memo (see {!Subject_sids});
-          0 = never interned.  Internal to the SID layer. *)
-  mutable sid : int;  (** the memoized SID, valid only under [sid_reg] *)
+  mutable sid_memo : int * int;
+      (** [(registry stamp, memoized SID)] for the dense-SID memo (see
+          {!Subject_sids}); stamp 0 = never interned.  One field holding
+          an immutable pair, so the stamp and the SID it validates are
+          written (and read) atomically — a subject record shared across
+          domains can lose a memo race, never tear into an aliased SID.
+          Internal to the SID layer. *)
 }
 
 let subject ?(trusted = false) ~principal ~clearance ~ring () =
-  { principal; clearance; ring; trusted; sid_reg = 0; sid = -1 }
+  { principal; clearance; ring; trusted; sid_memo = (0, -1) }
 
 type refusal =
   | Mandatory_read_up of { subject_label : Label.t; object_label : Label.t }
@@ -92,9 +95,8 @@ let verdict_of_refusals = function [] -> Permit | refusals -> Refuse refusals
 
 (* Observability: one counter per refusal cause, so the audit story
    ("refused by the lattice" vs "refused by an ACL") is visible live. *)
-let obs_checks = Obs.Registry.counter Obs.Registry.global "policy.checks"
-let obs_refusals = Obs.Registry.counter Obs.Registry.global "policy.refusals"
-
+let obs_checks = Obs.Local.counter "policy.checks"
+let obs_refusals = Obs.Local.counter "policy.refusals"
 let refusal_label = function
   | Mandatory_read_up _ -> "mandatory-read-up"
   | Mandatory_write_down _ -> "mandatory-write-down"
@@ -103,15 +105,15 @@ let refusal_label = function
 
 let observe verdict =
   if Obs.enabled () then begin
-    Obs.Counter.incr obs_checks;
+    Obs.Counter.incr (obs_checks ());
     match verdict with
     | Permit -> ()
     | Refuse refusals ->
-        Obs.Counter.incr obs_refusals;
+        Obs.Counter.incr (obs_refusals ());
         List.iter
           (fun r ->
             Obs.Counter.incr
-              (Obs.Registry.counter Obs.Registry.global ("policy.refusals." ^ refusal_label r)))
+              (Obs.Registry.counter (Obs.Registry.global ()) ("policy.refusals." ^ refusal_label r)))
           refusals
   end;
   verdict
@@ -154,24 +156,24 @@ let subject_identity_equal (a : subject) b =
 module Subject_sids = struct
   type nonrec t = { reg : int; map : subject Sid.Map.t }
 
-  (* Registry ids are minted from 1 and never reused, so a subject
-     record stamped by a dead registry can only miss the memo check —
-     it re-interns, it never aliases. *)
-  let next_reg = ref 0
+  (* Registry ids are minted from 1 and never reused — atomically, so
+     registries created on different domains stay distinct — and a
+     subject record stamped by a dead (or foreign-domain) registry can
+     only miss the memo check: it re-interns, it never aliases. *)
+  let next_reg = Atomic.make 0
 
   let create () =
-    incr next_reg;
     {
-      reg = !next_reg;
+      reg = Atomic.fetch_and_add next_reg 1 + 1;
       map = Sid.Map.create ~hash:subject_identity_hash ~equal:subject_identity_equal ();
     }
 
   let sid_of t (s : subject) =
-    if s.sid_reg = t.reg then Sid.of_int s.sid
+    let reg, sid = s.sid_memo in
+    if reg = t.reg then Sid.of_int sid
     else begin
       let sid = Sid.Map.intern t.map s in
-      s.sid_reg <- t.reg;
-      s.sid <- Sid.to_int sid;
+      s.sid_memo <- (t.reg, Sid.to_int sid);
       sid
     end
 

@@ -9,10 +9,11 @@ type subject = {
   ring : Ring.t;
   trusted : bool;  (** exempt from the mandatory checks (administrative
                        daemons); still subject to ACLs and rings *)
-  mutable sid_reg : int;
-      (** dense-SID memo stamp, internal to {!Subject_sids}: which
-          registry [sid] is valid under (0 = none).  Do not touch. *)
-  mutable sid : int;  (** the memoized dense SID under [sid_reg] *)
+  mutable sid_memo : int * int;
+      (** dense-SID memo, internal to {!Subject_sids}: (registry stamp,
+          memoized SID), stamp 0 = none.  One field holding an immutable
+          pair so the stamp and SID are read/written atomically even
+          when a record is shared across domains.  Do not touch. *)
 }
 
 val subject :

@@ -51,8 +51,7 @@ module Gen = struct
      into the global epoch instead (see [compact]). *)
   let sparse_limit = 1 lsl 12
 
-  let obs_compactions = Obs.Registry.counter Obs.Registry.global "cache.gen.compactions"
-
+  let obs_compactions = Obs.Local.counter "cache.gen.compactions"
   let create () =
     { global = 0; dense = Array.make 256 0; sparse = Hashtbl.create 16; compactions = 0 }
 
@@ -80,7 +79,7 @@ module Gen = struct
     bump_global t;
     Hashtbl.reset t.sparse;
     t.compactions <- t.compactions + 1;
-    if Obs.enabled () then Obs.Counter.incr obs_compactions
+    if Obs.enabled () then Obs.Counter.incr (obs_compactions ())
 
   let bump_object t obj =
     if obj >= 0 && obj < dense_limit then begin
@@ -137,7 +136,7 @@ type ('k, 'v) t = {
 }
 
 let counter name field =
-  Obs.Registry.counter Obs.Registry.global (Printf.sprintf "cache.%s.%s" name field)
+  Obs.Registry.counter (Obs.Registry.global ()) (Printf.sprintf "cache.%s.%s" name field)
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 

@@ -164,12 +164,11 @@ type process_info = {
 
 (* ----- Observability: the gate-dispatch choke point ----- *)
 
-let obs_gate_calls = Obs.Registry.counter Obs.Registry.global "gate.calls"
-let obs_gate_refusals = Obs.Registry.counter Obs.Registry.global "gate.refusals"
-let obs_gate_cycles = Obs.Registry.counter Obs.Registry.global "gate.cycles"
-let obs_audit_depth = Obs.Registry.counter Obs.Registry.global "audit.depth"
-let obs_dispatch_span = Obs.Registry.span Obs.Registry.global "gate.dispatch"
-
+let obs_gate_calls = Obs.Local.counter "gate.calls"
+let obs_gate_refusals = Obs.Local.counter "gate.refusals"
+let obs_gate_cycles = Obs.Local.counter "gate.cycles"
+let obs_audit_depth = Obs.Local.counter "audit.depth"
+let obs_dispatch_span = Obs.Local.span "gate.dispatch"
 (* One record per mediated call, written after the audit record so the
    audit-depth gauge includes it.  Mediation cycles are charged at the
    configured processor's cross-ring round-trip price — the same
@@ -178,21 +177,21 @@ let obs_dispatch_span = Obs.Registry.span Obs.Registry.global "gate.dispatch"
 let meter system ~operation ~refused =
   if Obs.enabled () then begin
     let cycles = Cost.round_trip_call_cost (System.cost system) ~cross_ring:true in
-    Obs.Counter.incr obs_gate_calls;
-    Obs.Counter.incr ~by:cycles obs_gate_cycles;
-    Obs.Span.record obs_dispatch_span ~cycles;
-    Obs.Counter.incr (Obs.Registry.counter Obs.Registry.global ("gate." ^ operation ^ ".calls"));
+    Obs.Counter.incr (obs_gate_calls ());
+    Obs.Counter.incr ~by:cycles (obs_gate_cycles ());
+    Obs.Span.record (obs_dispatch_span ()) ~cycles;
+    Obs.Counter.incr (Obs.Registry.counter (Obs.Registry.global ()) ("gate." ^ operation ^ ".calls"));
     let config = (System.config system).Config.name in
     Obs.Counter.incr
-      (Obs.Registry.counter Obs.Registry.global ("config." ^ config ^ ".gate.calls"));
+      (Obs.Registry.counter (Obs.Registry.global ()) ("config." ^ config ^ ".gate.calls"));
     Obs.Counter.incr ~by:cycles
-      (Obs.Registry.counter Obs.Registry.global ("config." ^ config ^ ".gate.cycles"));
+      (Obs.Registry.counter (Obs.Registry.global ()) ("config." ^ config ^ ".gate.cycles"));
     if refused then begin
-      Obs.Counter.incr obs_gate_refusals;
+      Obs.Counter.incr (obs_gate_refusals ());
       Obs.Counter.incr
-        (Obs.Registry.counter Obs.Registry.global ("gate." ^ operation ^ ".refusals"))
+        (Obs.Registry.counter (Obs.Registry.global ()) ("gate." ^ operation ^ ".refusals"))
     end;
-    Obs.Counter.set obs_audit_depth (Audit_log.length (System.audit system))
+    Obs.Counter.set (obs_audit_depth ()) (Audit_log.length (System.audit system))
   end
 
 (* ----- The gate discipline ----- *)

@@ -19,11 +19,10 @@
 open Multics_fs
 module Obs = Multics_obs.Obs
 
-let obs_runs = Obs.Registry.counter Obs.Registry.global "salvage.runs"
-let obs_rolled_back = Obs.Registry.counter Obs.Registry.global "salvage.rolled_back"
-let obs_dangling = Obs.Registry.counter Obs.Registry.global "salvage.dangling_dropped"
-let obs_repaired = Obs.Registry.counter Obs.Registry.global "salvage.descriptors_repaired"
-
+let obs_runs = Obs.Local.counter "salvage.runs"
+let obs_rolled_back = Obs.Local.counter "salvage.rolled_back"
+let obs_dangling = Obs.Local.counter "salvage.dangling_dropped"
+let obs_repaired = Obs.Local.counter "salvage.descriptors_repaired"
 type report = {
   journal_entries : int;  (** crash-journal entries consumed *)
   rolled_back : int;  (** partially-created branches removed *)
@@ -134,10 +133,10 @@ let run system =
   let quota_ok = Hierarchy.check_quota_invariant (System.hierarchy system) in
   System.clear_crash_journal system;
   let report = { journal_entries; rolled_back; dangling_dropped; descriptors_repaired; quota_ok } in
-  Obs.Counter.incr obs_runs;
-  Obs.Counter.incr ~by:rolled_back obs_rolled_back;
-  Obs.Counter.incr ~by:dangling_dropped obs_dangling;
-  Obs.Counter.incr ~by:descriptors_repaired obs_repaired;
+  Obs.Counter.incr (obs_runs ());
+  Obs.Counter.incr ~by:rolled_back (obs_rolled_back ());
+  Obs.Counter.incr ~by:dangling_dropped (obs_dangling ());
+  Obs.Counter.incr ~by:descriptors_repaired (obs_repaired ());
   Audit_log.log (System.audit system) ~subject:System.initializer_subject ~operation:"salvage"
     ~target:(render report) ~verdict:Audit_log.Granted;
   report

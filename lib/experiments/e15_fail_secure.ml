@@ -456,7 +456,7 @@ let vm_table outcomes =
   t
 
 let obs_counts () =
-  let get name = Obs.Counter.get (Obs.Registry.counter Obs.Registry.global name) in
+  let get name = Obs.Counter.get (Obs.Registry.counter (Obs.Registry.global ()) name) in
   [
     ("fault.checks", get "fault.checks");
     ("fault.injected", get "fault.injected");
@@ -480,8 +480,8 @@ let obs_table () =
   t
 
 let render () =
-  let gates = List.map (fun seed -> run_gate_pair ~seed ()) gate_seeds in
-  let vms = List.map (fun seed -> run_vm_pair ~seed ()) vm_seeds in
+  let gates = Multics_par.Par.map (fun seed -> run_gate_pair ~seed ()) gate_seeds in
+  let vms = Multics_par.Par.map (fun seed -> run_vm_pair ~seed ()) vm_seeds in
   let all_secure = List.for_all fail_secure gates in
   let verdict =
     Printf.sprintf "verdict: %d/%d seeded gate runs fail-secure%s"

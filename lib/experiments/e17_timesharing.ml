@@ -69,8 +69,10 @@ let sweep_spec ~cost (users, interactions) =
     cost;
   }
 
+(* Each sweep point boots its own kernel from independent PRNG streams;
+   the points fan out over domains and reduce in point order. *)
 let run_sweep ~cost =
-  List.map
+  Multics_par.Par.map
     (fun point ->
       let r = Workload.run (sweep_spec ~cost point) in
       {
@@ -155,7 +157,7 @@ let knee_spec cap =
   }
 
 let run_knee () =
-  List.map
+  Multics_par.Par.map
     (fun cap ->
       let r = Workload.run (knee_spec cap) in
       {
@@ -243,7 +245,8 @@ let parity_spec policy =
     policy;
   }
 
-let run_parity () = List.map (fun p -> Workload.run (parity_spec p)) parity_policies
+let run_parity () =
+  Multics_par.Par.map (fun p -> Workload.run (parity_spec p)) parity_policies
 
 let policy_of_choice = function
   | Workload.Use_mlf -> Sched.default_mlf

@@ -168,7 +168,11 @@ let run_seed ~seed ~refs =
 
 let seeds = 100
 
-let parity_runs () = List.init seeds (fun seed -> run_seed ~seed ~refs:400)
+(* Seeds are independent labeled-PRNG streams, so the oracle fans out
+   over domains; results come back in seed order, so the table and
+   verdict line are byte-identical at any pool size. *)
+let parity_runs ?jobs ?(refs = 400) () =
+  Multics_par.Par.run_seeds ?jobs seeds (fun seed -> run_seed ~seed ~refs)
 
 (* ----- The compilation-cost table ----- *)
 

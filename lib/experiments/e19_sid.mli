@@ -24,6 +24,10 @@ val run_seed : seed:int -> refs:int -> run_stats
 
 val seeds : int
 
-val parity_runs : unit -> run_stats list
+val parity_runs : ?jobs:int -> ?refs:int -> unit -> run_stats list
+(** The 100-seed oracle, fanned out over [jobs] domains (default:
+    [Par.default_jobs ()], i.e. [MULTICS_JOBS]); [refs] defaults to
+    400 references per seed.  Results are reduced in seed order, so the
+    output is identical at any pool size. *)
 
 val render : unit -> string

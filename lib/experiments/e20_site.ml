@@ -173,26 +173,31 @@ let parity_spec seed sites fault_spec =
   }
 
 let run_parity () =
-  let divergences = ref 0 in
-  for seed = 0 to parity_seeds - 1 do
-    List.iter
-      (fun plan ->
-        let base = Workload.run (parity_spec seed 1 plan) in
+  (* One task per seed (each covers every plan × site-count pair),
+     fanned out over domains; per-seed divergence counts are summed in
+     seed order, so the total never depends on the pool size. *)
+  let per_seed =
+    Multics_par.Par.run_seeds parity_seeds (fun seed ->
+        let divergences = ref 0 in
         List.iter
-          (fun sites ->
-            if sites > 1 then begin
-              let r = Workload.run (parity_spec seed sites plan) in
-              if
-                r.Workload.r_signature <> base.Workload.r_signature
-                || r.Workload.r_audit_granted <> base.Workload.r_audit_granted
-                || r.Workload.r_audit_refused <> base.Workload.r_audit_refused
-                || r.Workload.r_completed <> base.Workload.r_completed
-              then incr divergences
-            end)
-          parity_site_points)
-      parity_plans
-  done;
-  !divergences
+          (fun plan ->
+            let base = Workload.run (parity_spec seed 1 plan) in
+            List.iter
+              (fun sites ->
+                if sites > 1 then begin
+                  let r = Workload.run (parity_spec seed sites plan) in
+                  if
+                    r.Workload.r_signature <> base.Workload.r_signature
+                    || r.Workload.r_audit_granted <> base.Workload.r_audit_granted
+                    || r.Workload.r_audit_refused <> base.Workload.r_audit_refused
+                    || r.Workload.r_completed <> base.Workload.r_completed
+                  then incr divergences
+                end)
+              parity_site_points)
+          parity_plans;
+        !divergences)
+  in
+  List.fold_left ( + ) 0 per_seed
 
 let parity_verdict divergences =
   if divergences = 0 then
@@ -347,10 +352,16 @@ let obs_table () =
 
 let render () =
   let buf = Buffer.create 4096 in
+  (* The fleet-sweep grid (each cell a full Workload.run_fleet_sweep)
+     fans out over domains; cells reduce in (users, sites) order so the
+     table and the sweep-parity digests are byte-identical at any pool
+     size. *)
   let cells =
-    List.concat_map
-      (fun users -> List.map (fun sites -> run_sweep_cell ~users ~sites) site_points)
-      user_points
+    Multics_par.Par.map
+      (fun (users, sites) -> run_sweep_cell ~users ~sites)
+      (List.concat_map
+         (fun users -> List.map (fun sites -> (users, sites)) site_points)
+         user_points)
   in
   Buffer.add_string buf (Table.render (sweep_table cells));
   let sweep_ok, sweep_line = sweep_parity_verdict cells in

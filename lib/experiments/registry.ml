@@ -160,3 +160,37 @@ let render_one e =
   Printf.sprintf "%s — %s\npaper: %s\n\n%s" e.id e.title e.paper_claim (e.render ())
 
 let render_all () = String.concat "\n\n" (List.map render_one all)
+
+(* The harness's command line, as data: bin/experiments.exe evaluates
+   this term, and the test suite drives [parse] over every registered
+   id to prove each runner accepts its flags without rendering
+   anything. *)
+module Cli = struct
+  open Cmdliner
+
+  type selection = { list_only : bool; stats : bool; sel_ids : string list }
+
+  let list_flag =
+    Arg.(value & flag & info [ "list"; "l" ] ~doc:"List experiment ids and titles.")
+
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the kernel observability snapshot after each experiment.")
+
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e.g. e1 e7).")
+
+  let term =
+    Term.(
+      const (fun list_only stats sel_ids -> { list_only; stats; sel_ids })
+      $ list_flag $ stats_flag $ ids_arg)
+
+  let info = Cmd.info "experiments" ~doc:"Regenerate the tables of the reproduction"
+
+  let parse argv =
+    match Cmd.eval_value ~argv (Cmd.v info term) with
+    | Ok (`Ok sel) -> Ok sel
+    | Ok `Version | Ok `Help -> Error "not a selection (help/version)"
+    | Error _ -> Error "malformed command line"
+end

@@ -161,11 +161,10 @@ end
 
 (* ----- Observability ----- *)
 
-let obs_checks = Obs.Registry.counter Obs.Registry.global "fault.checks"
-let obs_injected = Obs.Registry.counter Obs.Registry.global "fault.injected"
-let obs_retries = Obs.Registry.counter Obs.Registry.global "fault.retries"
-let obs_giveups = Obs.Registry.counter Obs.Registry.global "fault.giveups"
-
+let obs_checks = Obs.Local.counter "fault.checks"
+let obs_injected = Obs.Local.counter "fault.injected"
+let obs_retries = Obs.Local.counter "fault.retries"
+let obs_giveups = Obs.Local.counter "fault.giveups"
 module Injector = struct
   type site_state = {
     rule : Plan.rule;
@@ -193,7 +192,7 @@ module Injector = struct
           {
             rule;
             prng = Multics_util.Prng.create_labeled ~seed:plan.Plan.seed ~label:name;
-            obs_site = Obs.Registry.counter Obs.Registry.global ("fault.injected." ^ name);
+            obs_site = Obs.Registry.counter (Obs.Registry.global ()) ("fault.injected." ^ name);
             occurrences = 0;
             site_injected = 0;
           })
@@ -204,7 +203,7 @@ module Injector = struct
 
   let fire t site =
     t.total_checks <- t.total_checks + 1;
-    Obs.Counter.incr obs_checks;
+    Obs.Counter.incr (obs_checks ());
     match Hashtbl.find_opt t.states (site_name site) with
     | None -> false
     | Some st ->
@@ -218,18 +217,18 @@ module Injector = struct
         if fires then begin
           st.site_injected <- st.site_injected + 1;
           t.total_injected <- t.total_injected + 1;
-          Obs.Counter.incr obs_injected;
+          Obs.Counter.incr (obs_injected ());
           Obs.Counter.incr st.obs_site
         end;
         fires
 
   let count_retry t _site =
     t.total_retries <- t.total_retries + 1;
-    Obs.Counter.incr obs_retries
+    Obs.Counter.incr (obs_retries ())
 
   let count_giveup t _site =
     t.total_giveups <- t.total_giveups + 1;
-    Obs.Counter.incr obs_giveups
+    Obs.Counter.incr (obs_giveups ())
 
   let checks t = t.total_checks
   let injected t = t.total_injected

@@ -9,10 +9,9 @@
 
 module Obs = Multics_obs.Obs
 
-let obs_writes = Obs.Registry.counter Obs.Registry.global "io.circular.writes"
-let obs_reads = Obs.Registry.counter Obs.Registry.global "io.circular.reads"
-let obs_overwritten = Obs.Registry.counter Obs.Registry.global "io.circular.overwritten"
-
+let obs_writes = Obs.Local.counter "io.circular.writes"
+let obs_reads = Obs.Local.counter "io.circular.reads"
+let obs_overwritten = Obs.Local.counter "io.circular.overwritten"
 type t = {
   slots : int array;
   mutable write_pos : int;
@@ -45,7 +44,7 @@ let write t message =
     (* Complete circuit: the slot under the write position still holds
        an unread message; it is destroyed. *)
     t.overwritten <- t.overwritten + 1;
-    Obs.Counter.incr obs_overwritten;
+    Obs.Counter.incr (obs_overwritten ());
     t.read_pos <- (t.read_pos + 1) mod n;
     t.count <- t.count - 1
   end;
@@ -53,7 +52,7 @@ let write t message =
   t.write_pos <- (t.write_pos + 1) mod n;
   t.count <- t.count + 1;
   t.written <- t.written + 1;
-  Obs.Counter.incr obs_writes
+  Obs.Counter.incr (obs_writes ())
 
 let read t =
   if t.count = 0 then None
@@ -62,7 +61,7 @@ let read t =
     t.read_pos <- (t.read_pos + 1) mod capacity t;
     t.count <- t.count - 1;
     t.read <- t.read + 1;
-    Obs.Counter.incr obs_reads;
+    Obs.Counter.incr (obs_reads ());
     Some message
   end
 

@@ -11,11 +11,10 @@
 
 module Obs = Multics_obs.Obs
 
-let obs_writes = Obs.Registry.counter Obs.Registry.global "io.infinite.writes"
-let obs_reads = Obs.Registry.counter Obs.Registry.global "io.infinite.reads"
-let obs_pages_demanded = Obs.Registry.counter Obs.Registry.global "io.infinite.pages_demanded"
-let obs_pages_returned = Obs.Registry.counter Obs.Registry.global "io.infinite.pages_returned"
-
+let obs_writes = Obs.Local.counter "io.infinite.writes"
+let obs_reads = Obs.Local.counter "io.infinite.reads"
+let obs_pages_demanded = Obs.Local.counter "io.infinite.pages_demanded"
+let obs_pages_returned = Obs.Local.counter "io.infinite.pages_returned"
 type t = {
   messages_per_page : int;
   pages : (int, int array) Hashtbl.t;  (** page index -> messages *)
@@ -56,13 +55,13 @@ let write t message =
         let page = Array.make t.messages_per_page 0 in
         Hashtbl.replace t.pages page_index page;
         t.pages_demanded <- t.pages_demanded + 1;
-        Obs.Counter.incr obs_pages_demanded;
+        Obs.Counter.incr (obs_pages_demanded ());
         t.peak_resident_pages <- max t.peak_resident_pages (Hashtbl.length t.pages);
         page
   in
   page.(slot_of t t.write_seq) <- message;
   t.write_seq <- t.write_seq + 1;
-  Obs.Counter.incr obs_writes
+  Obs.Counter.incr (obs_writes ())
 
 let read t =
   if t.read_seq >= t.write_seq then None
@@ -73,12 +72,12 @@ let read t =
     | Some page ->
         let message = page.(slot_of t t.read_seq) in
         t.read_seq <- t.read_seq + 1;
-        Obs.Counter.incr obs_reads;
+        Obs.Counter.incr (obs_reads ());
         (* Return pages wholly behind the read pointer. *)
         if page_of t t.read_seq > page_index then begin
           Hashtbl.remove t.pages page_index;
           t.pages_returned <- t.pages_returned + 1;
-          Obs.Counter.incr obs_pages_returned
+          Obs.Counter.incr (obs_pages_returned ())
         end;
         Some message
   end

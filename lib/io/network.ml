@@ -173,11 +173,10 @@ module Link = struct
   module Obs = Multics_obs.Obs
   module Fault = Multics_fault.Fault
 
-  let obs_sent = Obs.Registry.counter Obs.Registry.global "net.link.sent"
-  let obs_dropped = Obs.Registry.counter Obs.Registry.global "net.link.dropped"
-  let obs_delayed = Obs.Registry.counter Obs.Registry.global "net.link.delayed"
-  let obs_severed = Obs.Registry.counter Obs.Registry.global "net.link.severed"
-
+  let obs_sent = Obs.Local.counter "net.link.sent"
+  let obs_dropped = Obs.Local.counter "net.link.dropped"
+  let obs_delayed = Obs.Local.counter "net.link.delayed"
+  let obs_severed = Obs.Local.counter "net.link.severed"
   type outcome =
     | Delivered of { cycles : int }
     | Dropped of { cycles : int }
@@ -227,20 +226,20 @@ module Link = struct
      by the caller as backoff). *)
   let transmit t =
     t.sent <- t.sent + 1;
-    Obs.Counter.incr obs_sent;
+    Obs.Counter.incr (obs_sent ());
     if t.partitioned || fire t Fault.Site_partition then begin
       t.severed <- t.severed + 1;
-      Obs.Counter.incr obs_severed;
+      Obs.Counter.incr (obs_severed ());
       Severed { cycles = t.latency }
     end
     else if fire t Fault.Site_drop then begin
       t.dropped <- t.dropped + 1;
-      Obs.Counter.incr obs_dropped;
+      Obs.Counter.incr (obs_dropped ());
       Dropped { cycles = t.latency }
     end
     else if fire t Fault.Site_delay then begin
       t.delayed <- t.delayed + 1;
-      Obs.Counter.incr obs_delayed;
+      Obs.Counter.incr (obs_delayed ());
       Delivered { cycles = 2 * t.latency * delay_factor }
     end
     else Delivered { cycles = 2 * t.latency }

@@ -35,9 +35,8 @@ let denial_to_string = function
 (* Observability: the hardware check is the innermost mediation point,
    so its counters are the ground truth every other layer's numbers
    must reconcile with. *)
-let obs_checks = Obs.Registry.counter Obs.Registry.global "hw.checks"
-let obs_denials = Obs.Registry.counter Obs.Registry.global "hw.denials"
-
+let obs_checks = Obs.Local.counter "hw.checks"
+let obs_denials = Obs.Local.counter "hw.denials"
 let denial_label = function
   | Missing_permission _ -> "missing-permission"
   | Outside_write_bracket -> "write-bracket"
@@ -48,12 +47,12 @@ let denial_label = function
 
 let observe decision =
   if Obs.enabled () then begin
-    Obs.Counter.incr obs_checks;
+    Obs.Counter.incr (obs_checks ());
     match decision with
     | Granted _ -> ()
     | Denied d ->
-        Obs.Counter.incr obs_denials;
-        Obs.Counter.incr (Obs.Registry.counter Obs.Registry.global ("hw.denials." ^ denial_label d))
+        Obs.Counter.incr (obs_denials ());
+        Obs.Counter.incr (Obs.Registry.counter (Obs.Registry.global ()) ("hw.denials." ^ denial_label d))
   end;
   decision
 

@@ -3,23 +3,32 @@
 
    Design constraints, in order:
 
-   1. the disabled path must cost one branch — every recording
-      primitive starts with [if !switched_on];
+   1. the disabled path must stay branch-cheap — every recording
+      primitive starts with [if enabled ()], one domain-local load
+      plus a branch;
    2. zero dependencies — the kernel's innermost layers (the hardware
       check, the simulator) record here, so this library must sit
       below everything;
    3. recording must never allocate on the hot path — counters mutate
-      an int field, histograms mutate a preallocated array. *)
+      an int field, histograms mutate a preallocated array.
 
-let switched_on = ref true
+   Domain-safety: every piece of mutable state here — the enable flag,
+   the default registry, the instruments themselves — is domain-local.
+   A worker domain running a per-seed experiment task (lib/par) records
+   into its own registry, never contending with (or corrupting) another
+   domain's instruments; after the join the caller absorbs each task's
+   snapshot in task order ({!Snapshot.absorb}), so the merged totals
+   match a sequential run exactly. *)
 
-let enabled () = !switched_on
-let set_enabled flag = switched_on := flag
+let enabled_key = Domain.DLS.new_key (fun () -> true)
+
+let enabled () = Domain.DLS.get enabled_key
+let set_enabled flag = Domain.DLS.set enabled_key flag
 
 let with_disabled f =
-  let saved = !switched_on in
-  switched_on := false;
-  Fun.protect ~finally:(fun () -> switched_on := saved) f
+  let saved = enabled () in
+  set_enabled false;
+  Fun.protect ~finally:(fun () -> set_enabled saved) f
 
 (* ----- Counters ----- *)
 
@@ -28,8 +37,8 @@ module Counter = struct
 
   let make name = { name; value = 0 }
   let name c = c.name
-  let incr ?(by = 1) c = if !switched_on then c.value <- c.value + by
-  let set c v = if !switched_on then c.value <- v
+  let incr ?(by = 1) c = if enabled () then c.value <- c.value + by
+  let set c v = if enabled () then c.value <- v
   let get c = c.value
   let reset c = c.value <- 0
 end
@@ -75,7 +84,7 @@ module Histogram = struct
   let bucket_lower_bound i = if i = 0 then 0 else 1 lsl i
 
   let observe h v =
-    if !switched_on then begin
+    if enabled () then begin
       let v = if v < 0 then 0 else v in
       h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
       h.count <- h.count + 1;
@@ -155,14 +164,14 @@ module Span = struct
   let name s = s.name
 
   let enter s =
-    if !switched_on then begin
+    if enabled () then begin
       s.entries <- s.entries + 1;
       s.live <- s.live + 1;
       if s.live > s.max_depth then s.max_depth <- s.live
     end
 
   let leave s ~cycles =
-    if !switched_on then begin
+    if enabled () then begin
       if s.live > 0 then s.live <- s.live - 1;
       Histogram.observe s.cycles cycles
     end
@@ -203,7 +212,12 @@ module Registry = struct
 
   let name t = t.name
 
-  let global = create ~name:"kernel"
+  (* One default registry per domain: a worker domain resolving
+     "kernel" instruments gets its own private copies, so recording
+     from parallel per-seed tasks never races.  Lazily created on
+     first use in each domain. *)
+  let global_key = Domain.DLS.new_key (fun () -> create ~name:"kernel")
+  let global () = Domain.DLS.get global_key
 
   let memo table make key =
     match Hashtbl.find_opt table key with
@@ -227,6 +241,31 @@ module Registry = struct
     Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
     Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms;
     Hashtbl.iter (fun _ s -> Span.reset s) t.spans
+end
+
+(* ----- Domain-local instrument handles ----- *)
+
+(* A module-level [let obs_x = Registry.counter (Registry.global ()) "x"]
+   would capture the *initialising* domain's instrument forever — a
+   worker domain incrementing it would race domain 0.  [Local] handles
+   defer resolution: each handle owns a DLS slot that memoises, per
+   domain, the instrument of that domain's default registry.  The hot
+   path is one DLS load. *)
+
+module Local = struct
+  type 'a handle = unit -> 'a
+
+  let counter name : Counter.t handle =
+    let key = Domain.DLS.new_key (fun () -> Registry.counter (Registry.global ()) name) in
+    fun () -> Domain.DLS.get key
+
+  let histogram name : Histogram.t handle =
+    let key = Domain.DLS.new_key (fun () -> Registry.histogram (Registry.global ()) name) in
+    fun () -> Domain.DLS.get key
+
+  let span name : Span.t handle =
+    let key = Domain.DLS.new_key (fun () -> Registry.span (Registry.global ()) name) in
+    fun () -> Domain.DLS.get key
 end
 
 (* ----- Snapshots ----- *)
@@ -260,7 +299,8 @@ module Snapshot = struct
       buckets = Histogram.buckets h;
     }
 
-  let capture ?(registry = Registry.global) () =
+  let capture ?registry () =
+    let registry = match registry with Some r -> r | None -> Registry.global () in
     {
       registry = Registry.name registry;
       counters = Registry.counters registry;
@@ -332,6 +372,95 @@ module Snapshot = struct
     List.for_all (fun (_, v) -> v = 0) t.counters
     && List.for_all (fun (_, h) -> h.count = 0) t.histograms
     && List.for_all (fun (_, s) -> s.entries = 0) t.spans
+
+  (* ----- Merging (the parallel-harness join path) ----- *)
+
+  (* Union-add of two sorted assoc lists; keys present on one side only
+     pass through unchanged. *)
+  let rec merge_alist ~add a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+        let c = compare ka kb in
+        if c = 0 then (ka, add va vb) :: merge_alist ~add ta tb
+        else if c < 0 then (ka, va) :: merge_alist ~add ta b
+        else (kb, vb) :: merge_alist ~add a tb
+
+  (* Histogram sums saturate on merge exactly as they do on observe:
+     if either side already hit the ceiling, or the addition would, the
+     merged sum is pinned at [max_int] with [saturated] set.  In
+     particular merging two saturated snapshots stays saturated — a
+     naive [a.sum + b.sum] would wrap negative and drop the flag. *)
+  let merge_histogram_data a b =
+    if a.count = 0 then b
+    else if b.count = 0 then a
+    else begin
+      let saturated = a.saturated || b.saturated || a.sum > max_int - b.sum in
+      {
+        count = a.count + b.count;
+        sum = (if saturated then max_int else a.sum + b.sum);
+        min_value = min a.min_value b.min_value;
+        max_value = max a.max_value b.max_value;
+        saturated;
+        buckets = merge_alist ~add:( + ) a.buckets b.buckets;
+      }
+    end
+
+  let merge_span_data a b =
+    {
+      entries = a.entries + b.entries;
+      live = a.live + b.live;
+      max_depth = max a.max_depth b.max_depth;
+      span_cycles = merge_histogram_data a.span_cycles b.span_cycles;
+    }
+
+  let merge a b =
+    {
+      registry = a.registry;
+      counters = merge_alist ~add:( + ) a.counters b.counters;
+      histograms = merge_alist ~add:merge_histogram_data a.histograms b.histograms;
+      spans = merge_alist ~add:merge_span_data a.spans b.spans;
+    }
+
+  (* Add a snapshot's totals into live instruments — how a parallel
+     join folds each worker task's private recordings back into the
+     caller's registry, in task order.  Bypasses the [enabled] gate:
+     the work was already recorded once, under the worker's own gate. *)
+  let absorb ?into t =
+    let into = match into with Some r -> r | None -> Registry.global () in
+    List.iter
+      (fun (name, v) ->
+        if v <> 0 then begin
+          let c = Registry.counter into name in
+          c.Counter.value <- c.Counter.value + v
+        end)
+      t.counters;
+    let absorb_hist (h : Histogram.t) (d : histogram_data) =
+      if d.count > 0 then begin
+        List.iter
+          (fun (lo, n) ->
+            let i = Histogram.bucket_index lo in
+            h.Histogram.buckets.(i) <- h.Histogram.buckets.(i) + n)
+          d.buckets;
+        h.Histogram.count <- h.Histogram.count + d.count;
+        if d.saturated || d.sum > max_int - h.Histogram.sum then begin
+          h.Histogram.sum <- max_int;
+          h.Histogram.saturated <- true
+        end
+        else h.Histogram.sum <- h.Histogram.sum + d.sum;
+        if d.min_value < h.Histogram.min_value then h.Histogram.min_value <- d.min_value;
+        if d.max_value > h.Histogram.max_value then h.Histogram.max_value <- d.max_value
+      end
+    in
+    List.iter (fun (name, d) -> absorb_hist (Registry.histogram into name) d) t.histograms;
+    List.iter
+      (fun (name, (s : span_data)) ->
+        let sp = Registry.span into name in
+        sp.Span.entries <- sp.Span.entries + s.entries;
+        sp.Span.live <- sp.Span.live + s.live;
+        if s.max_depth > sp.Span.max_depth then sp.Span.max_depth <- s.max_depth;
+        absorb_hist (Span.cycles sp) s.span_cycles)
+      t.spans
 
   (* ----- Text rendering ----- *)
 

@@ -3,19 +3,24 @@
     rendered as text tables or JSON.
 
     The library is dependency-free and built for instrumentation of hot
-    paths: every recording primitive is gated on one global switch, so
-    the disabled cost of an instrumented site is a single branch on a
-    [bool ref].  Instrumented modules obtain their instruments once, at
-    module initialization, from {!Registry.global}; a {!Snapshot}
-    captures the registry at a point in time for rendering or
-    differencing. *)
+    paths: every recording primitive is gated on one domain-local
+    switch, so the disabled cost of an instrumented site is a single
+    load-and-branch.  All mutable state — the switch, the default
+    registry, the instruments — is domain-local, so per-seed experiment
+    tasks running on worker domains (lib/par) record into private
+    registries and never race; the harness folds each task's
+    {!Snapshot} back into the caller with {!Snapshot.absorb}.
+    Instrumented modules obtain their instruments through {!Local}
+    handles; a {!Snapshot} captures a registry at a point in time for
+    rendering, differencing or merging. *)
 
 val enabled : unit -> bool
-(** Whether recording primitives currently have any effect. *)
+(** Whether recording primitives currently have any effect in this
+    domain. *)
 
 val set_enabled : bool -> unit
-(** Flip the global switch.  Instruments keep their accumulated values
-    when disabled; recording simply stops. *)
+(** Flip the calling domain's switch.  Instruments keep their
+    accumulated values when disabled; recording simply stops. *)
 
 val with_disabled : (unit -> 'a) -> 'a
 (** Run a thunk with recording off, restoring the previous state. *)
@@ -107,8 +112,10 @@ module Registry : sig
   val create : name:string -> t
   val name : t -> string
 
-  val global : t
-  (** The registry every kernel subsystem records into. *)
+  val global : unit -> t
+  (** The calling domain's default registry — the one every kernel
+      subsystem records into.  Each domain gets its own, lazily created
+      on first use, so parallel per-seed tasks never share instruments. *)
 
   val counter : t -> string -> Counter.t
   val histogram : t -> string -> Histogram.t
@@ -119,6 +126,23 @@ module Registry : sig
 
   val reset : t -> unit
   (** Zero every instrument (they remain registered). *)
+end
+
+(** {1 Domain-local instrument handles}
+
+    A module-level [let obs_x = Registry.counter (Registry.global ()) "x"]
+    would capture the initialising domain's instrument forever; a worker
+    domain incrementing it would race domain 0.  A {!Local} handle
+    instead memoizes, per domain, the instrument of {e that} domain's
+    default registry — resolution is one domain-local load on the hot
+    path.  Instrumented modules bind handles at module initialization
+    and call them at recording sites: [Counter.incr (obs_x ())]. *)
+module Local : sig
+  type 'a handle = unit -> 'a
+
+  val counter : string -> Counter.t handle
+  val histogram : string -> Histogram.t handle
+  val span : string -> Span.t handle
 end
 
 (** {1 Snapshots} *)
@@ -148,12 +172,27 @@ module Snapshot : sig
   }
 
   val capture : ?registry:Registry.t -> unit -> t
-  (** Default registry: {!Registry.global}. *)
+  (** Default registry: the calling domain's [Registry.global ()]. *)
 
   val diff : before:t -> after:t -> t
   (** Per-instrument difference [after - before]; instruments absent
       from [before] are taken as zero.  Used to attribute activity to a
       bounded phase (one experiment, one command). *)
+
+  val merge : t -> t -> t
+  (** Instrument-wise sum of two snapshots: counters and histogram
+      bucket counts add, span depths take the max, histogram sums
+      saturate at [max_int] exactly as live observation does — merging
+      two saturated snapshots stays saturated (never wraps).  Keyed
+      union: instruments present on one side only pass through. *)
+
+  val absorb : ?into:Registry.t -> t -> unit
+  (** Add a snapshot's totals into live instruments (created on demand).
+      This is the parallel join path: each worker task's private
+      recordings are folded back into the caller's registry in task
+      order, so merged totals match a sequential run.  Bypasses the
+      {!enabled} gate — the activity was already recorded once under the
+      worker's own gate.  Default registry: [Registry.global ()]. *)
 
   val is_empty : t -> bool
   (** No counters/histograms/spans with any recorded activity. *)

@@ -25,13 +25,13 @@ module Obs = Multics_obs.Obs
    happen here (a wakeup with no waiter is remembered), so the lost
    counter stays zero unless a future channel variant drops them — its
    presence makes the invariant checkable from the outside. *)
-let obs_wakeups_sent = Obs.Registry.counter Obs.Registry.global "ipc.wakeups.sent"
-let obs_wakeups_delivered = Obs.Registry.counter Obs.Registry.global "ipc.wakeups.delivered"
-let obs_wakeups_queued = Obs.Registry.counter Obs.Registry.global "ipc.wakeups.queued"
-let obs_wakeups_consumed = Obs.Registry.counter Obs.Registry.global "ipc.wakeups.consumed"
-let obs_wakeups_lost = Obs.Registry.counter Obs.Registry.global "ipc.wakeups.lost"
-let obs_blocks = Obs.Registry.counter Obs.Registry.global "ipc.blocks"
-let _ = obs_wakeups_lost
+let obs_wakeups_sent = Obs.Local.counter "ipc.wakeups.sent"
+let obs_wakeups_delivered = Obs.Local.counter "ipc.wakeups.delivered"
+let obs_wakeups_queued = Obs.Local.counter "ipc.wakeups.queued"
+let obs_wakeups_consumed = Obs.Local.counter "ipc.wakeups.consumed"
+let obs_wakeups_lost = Obs.Local.counter "ipc.wakeups.lost"
+let obs_blocks = Obs.Local.counter "ipc.blocks"
+let _ = (obs_wakeups_lost ())
 
 type pid = int
 
@@ -323,18 +323,18 @@ let spawn ?(ring = Ring.user) ?(dedicated = false) t ~name body =
 (* ----- Wakeups ----- *)
 
 let rec wakeup t chan =
-  Obs.Counter.incr obs_wakeups_sent;
+  Obs.Counter.incr (obs_wakeups_sent ());
   match Multics_util.Fqueue.pop chan.waiters with
   | Some (pid, rest) ->
       chan.waiters <- rest;
       Multics_util.Stats.Counters.incr t.counters "wakeups_delivered";
-      Obs.Counter.incr obs_wakeups_delivered;
+      Obs.Counter.incr (obs_wakeups_delivered ());
       tracef t "wakeup %s -> %s" chan.chan_name (name_of t pid);
       make_ready t (proc t pid)
   | None ->
       chan.pending <- chan.pending + 1;
       Multics_util.Stats.Counters.incr t.counters "wakeups_pending";
-      Obs.Counter.incr obs_wakeups_queued;
+      Obs.Counter.incr (obs_wakeups_queued ());
       tracef t "wakeup %s (pending)" chan.chan_name
 
 and broadcast t chan =
@@ -410,12 +410,12 @@ let handler_for t p : (unit, unit) Effect.Deep.handler =
             Some
               (fun (k : (c, unit) Effect.Deep.continuation) ->
                 p.block_count <- p.block_count + 1;
-                Obs.Counter.incr obs_blocks;
+                Obs.Counter.incr (obs_blocks ());
                 if chan.pending > 0 then begin
                   (* A counted wakeup already arrived: block returns at
                      once, exactly as in the Multics IPC. *)
                   chan.pending <- chan.pending - 1;
-                  Obs.Counter.incr obs_wakeups_consumed;
+                  Obs.Counter.incr (obs_wakeups_consumed ());
                   Effect.Deep.continue k ()
                 end
                 else begin

@@ -29,17 +29,16 @@ module System = Multics_kernel.System
 (* Observability: the controller's live counters land in the global
    registry next to the gate and paging numbers, where the shell's
    [stats] command and experiment snapshots can see them. *)
-let obs_dispatches = Obs.Registry.counter Obs.Registry.global "sched.dispatches"
-let obs_preemptions = Obs.Registry.counter Obs.Registry.global "sched.preemptions"
-let obs_expiries = Obs.Registry.counter Obs.Registry.global "sched.quantum_expiries"
-let obs_stalls = Obs.Registry.counter Obs.Registry.global "sched.eligibility.stalls"
-let obs_admissions = Obs.Registry.counter Obs.Registry.global "sched.admissions"
-let obs_upcalls = Obs.Registry.counter Obs.Registry.global "sched.policy.upcalls"
-let obs_promotions = Obs.Registry.counter Obs.Registry.global "sched.aging.promotions"
-let obs_storms = Obs.Registry.counter Obs.Registry.global "sched.preempt_storms"
-let obs_ready_depth = Obs.Registry.counter Obs.Registry.global "sched.queue.ready"
-let obs_admission_depth = Obs.Registry.counter Obs.Registry.global "sched.queue.admission"
-
+let obs_dispatches = Obs.Local.counter "sched.dispatches"
+let obs_preemptions = Obs.Local.counter "sched.preemptions"
+let obs_expiries = Obs.Local.counter "sched.quantum_expiries"
+let obs_stalls = Obs.Local.counter "sched.eligibility.stalls"
+let obs_admissions = Obs.Local.counter "sched.admissions"
+let obs_upcalls = Obs.Local.counter "sched.policy.upcalls"
+let obs_promotions = Obs.Local.counter "sched.aging.promotions"
+let obs_storms = Obs.Local.counter "sched.preempt_storms"
+let obs_ready_depth = Obs.Local.counter "sched.queue.ready"
+let obs_admission_depth = Obs.Local.counter "sched.queue.admission"
 (* ----- The multi-level-feedback queues ----- *)
 
 module Mlf = struct
@@ -86,7 +85,7 @@ module Mlf = struct
           t.queues.(lvl - 1) <- Fqueue.push t.queues.(lvl - 1) e;
           Hashtbl.replace t.level_of e.e_pid (lvl - 1);
           t.promos <- t.promos + 1;
-          Obs.Counter.incr obs_promotions
+          Obs.Counter.incr (obs_promotions ())
       | _ -> ()
     done
 
@@ -207,7 +206,7 @@ let eligible_count t = Hashtbl.length t.eligible
 
 let upcall t =
   t.upcalls <- t.upcalls + 1;
-  Obs.Counter.incr obs_upcalls
+  Obs.Counter.incr (obs_upcalls ())
 
 (* Policy consultations, upcall-counted for the External variant. *)
 
@@ -277,7 +276,7 @@ let has_room t = t.cap = 0 || Hashtbl.length t.eligible < t.cap
 let admit t pid =
   Hashtbl.replace t.eligible pid ();
   t.admissions <- t.admissions + 1;
-  Obs.Counter.incr obs_admissions;
+  Obs.Counter.incr (obs_admissions ());
   p_enqueue t pid
 
 let rec try_admit t =
@@ -294,7 +293,7 @@ let enqueue t pid =
   else if has_room t then admit t pid
   else begin
     t.stalls <- t.stalls + 1;
-    Obs.Counter.incr obs_stalls;
+    Obs.Counter.incr (obs_stalls ());
     t.admission <- Fqueue.push t.admission pid
   end
 
@@ -322,7 +321,7 @@ let select t ~vp =
   | None -> None
   | Some pid ->
       t.dispatches <- t.dispatches + 1;
-      Obs.Counter.incr obs_dispatches;
+      Obs.Counter.incr (obs_dispatches ());
       (* Under a multiprocessor plant, this selection ran on the CPU
          the free VP maps to: it takes the global lock to pop the
          shared ready structure, and any wait for a peer CPU's
@@ -345,16 +344,16 @@ let quantum t pid =
   match Sim.fault_injector t.sim with
   | Some inj when Fault.Injector.fire inj Fault.Sched_preempt ->
       t.storms <- t.storms + 1;
-      Obs.Counter.incr obs_storms;
+      Obs.Counter.incr (obs_storms ());
       Some (match q with Some q -> min q storm_quantum | None -> storm_quantum)
   | _ -> q
 
 let quantum_expired t pid ~preempted =
   t.expiries <- t.expiries + 1;
-  Obs.Counter.incr obs_expiries;
+  Obs.Counter.incr (obs_expiries ());
   if preempted then begin
     t.preemptions <- t.preemptions + 1;
-    Obs.Counter.incr obs_preemptions
+    Obs.Counter.incr (obs_preemptions ())
   end;
   p_expired t pid ~preempted
 
@@ -414,8 +413,8 @@ let negotiated_cap ~core_frames ~working_set = max 1 (core_frames / max 1 workin
 let status t =
   let ready = p_backlog t in
   let stalled = Fqueue.length t.admission in
-  Obs.Counter.set obs_ready_depth ready;
-  Obs.Counter.set obs_admission_depth stalled;
+  Obs.Counter.set (obs_ready_depth ()) ready;
+  Obs.Counter.set (obs_admission_depth ()) stalled;
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
     [

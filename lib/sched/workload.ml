@@ -25,8 +25,7 @@ module Smp = Multics_smp.Smp
 module Site = Multics_site.Site
 module Acl = Multics_access.Acl
 
-let obs_response = Obs.Registry.histogram Obs.Registry.global "sched.response.cycles"
-
+let obs_response = Obs.Local.histogram "sched.response.cycles"
 type policy_choice = Use_mlf | Use_fifo | Use_external
 
 let policy_choice_name = function
@@ -370,7 +369,7 @@ let run spec =
                  else ignore (Api.Call.dispatch sys ~handle (Api.Call.Send_wakeup { channel })));
              let rt = Sim.now sim - t0 in
              responses := rt :: !responses;
-             Obs.Histogram.observe obs_response rt;
+             Obs.Histogram.observe (obs_response ()) rt;
              incr completed
            done;
            decr live_sessions))

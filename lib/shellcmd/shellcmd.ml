@@ -27,6 +27,7 @@ module Command = struct
     | Sched_tune of { param : string; value : int }
     | Sched_demo of { users : int }
     | Smp_status
+    | Jobs_status
     | Site_status
     | Site_partition of { a : int; b : int }
     | Site_heal
@@ -61,6 +62,7 @@ module Command = struct
   let usage_cache = "cache status | cache clear"
   let usage_sched = "sched status | sched tune PARAM VALUE | sched demo [USERS]"
   let usage_smp = "smp status"
+  let usage_jobs = "jobs status"
   let usage_site = "site status | site partition A B | site heal"
   let usage_stats = "stats [json|reset]"
   let usage_audit = "audit [N]"
@@ -120,6 +122,11 @@ module Command = struct
     | sub :: _ -> Error (Bad_subcommand { family = "smp"; got = sub; usage = usage_smp })
     | [] -> Error (Bad_arity { family = "smp"; usage = usage_smp })
 
+  let parse_jobs = function
+    | [ "status" ] -> Ok Jobs_status
+    | sub :: _ -> Error (Bad_subcommand { family = "jobs"; got = sub; usage = usage_jobs })
+    | [] -> Error (Bad_arity { family = "jobs"; usage = usage_jobs })
+
   let parse_site = function
     | [ "status" ] -> Ok Site_status
     | [ "heal" ] -> Ok Site_heal
@@ -171,6 +178,7 @@ module Command = struct
     | "cache" :: rest -> Some (parse_cache rest)
     | "sched" :: rest -> Some (parse_sched rest)
     | "smp" :: rest -> Some (parse_smp rest)
+    | "jobs" :: rest -> Some (parse_jobs rest)
     | "site" :: rest -> Some (parse_site rest)
     | "stats" :: rest -> Some (parse_stats rest)
     | "audit" :: rest -> Some (parse_audit rest)

@@ -1,5 +1,5 @@
 (** Typed parsers for the shell's operator-command families ([fault],
-    [cache], [sched], [smp], [site], [stats], [audit]).
+    [cache], [sched], [smp], [jobs], [site], [stats], [audit]).
 
     Each family is a total function from a word list to either a typed
     command or a typed error (in the style of the kernel's own
@@ -23,6 +23,7 @@ module Command : sig
     | Sched_tune of { param : string; value : int }
     | Sched_demo of { users : int }
     | Smp_status
+    | Jobs_status
     | Site_status
     | Site_partition of { a : int; b : int }
     | Site_heal

@@ -128,15 +128,14 @@ type t = {
 
 (* ----- Observability ----- *)
 
-let obs_connects_sent = Obs.Registry.counter Obs.Registry.global "site.connects.sent"
-let obs_connects_lost = Obs.Registry.counter Obs.Registry.global "site.connects.lost"
-let obs_connect_retries = Obs.Registry.counter Obs.Registry.global "site.connects.retries"
-let obs_fenced = Obs.Registry.counter Obs.Registry.global "site.fenced"
-let obs_fenced_refusals = Obs.Registry.counter Obs.Registry.global "site.fenced.refusals"
-let obs_rejoins = Obs.Registry.counter Obs.Registry.global "site.rejoins"
-let obs_replica_mismatch = Obs.Registry.counter Obs.Registry.global "site.replica.mismatch"
-let obs_revocation_cycles = Obs.Registry.histogram Obs.Registry.global "site.revocation.cycles"
-
+let obs_connects_sent = Obs.Local.counter "site.connects.sent"
+let obs_connects_lost = Obs.Local.counter "site.connects.lost"
+let obs_connect_retries = Obs.Local.counter "site.connects.retries"
+let obs_fenced = Obs.Local.counter "site.fenced"
+let obs_fenced_refusals = Obs.Local.counter "site.fenced.refusals"
+let obs_rejoins = Obs.Local.counter "site.rejoins"
+let obs_replica_mismatch = Obs.Local.counter "site.replica.mismatch"
+let obs_revocation_cycles = Obs.Local.histogram "site.revocation.cycles"
 (* ----- Creation ----- *)
 
 let create ?(nsites = default_nsites ()) ?(config = Config.kernel_6180) ?(latency = 1_000) () =
@@ -307,7 +306,7 @@ let apply_op t m = function
              refusing where the primary granted is a coherence bug —
              surfaced through obs, caught by the parity oracle. *)
           m.mismatches <- m.mismatches + 1;
-          Obs.Counter.incr obs_replica_mismatch;
+          Obs.Counter.incr (obs_replica_mismatch ());
           ignore t)
   | Account { person; project; password; clearance } ->
       ignore (System.add_account m.system ~person ~project ~password ~clearance)
@@ -342,7 +341,7 @@ let ack_timeout link = 4 * Link.latency link
 
 let deliver_to_peer t ~entry_epoch ~origin peer op =
   let link = link_for t origin peer.id in
-  if Obs.enabled () then Obs.Counter.incr obs_connects_sent;
+  if Obs.enabled () then Obs.Counter.incr (obs_connects_sent ());
   let outcome =
     Smp.Connect.deliver ~max_retries:Smp.max_retries
       ~attempt:(fun n ->
@@ -356,8 +355,8 @@ let deliver_to_peer t ~entry_epoch ~origin peer op =
                re-signal.  Never proceed — proceeding would leave the
                peer's compiled decisions stale. *)
             if Obs.enabled () then begin
-              Obs.Counter.incr obs_connects_lost;
-              Obs.Counter.incr obs_connect_retries
+              Obs.Counter.incr (obs_connects_lost ());
+              Obs.Counter.incr (obs_connect_retries ())
             end;
             `Lost (cycles + (ack_timeout link * (1 lsl min (n - 1) 8))))
       ~escalate:(fun () ->
@@ -365,7 +364,7 @@ let deliver_to_peer t ~entry_epoch ~origin peer op =
            safe degradation is to take its shard out of service: mark
            it suspect and fence it until salvage-and-resync. *)
         peer.status <- Suspect;
-        if Obs.enabled () then Obs.Counter.incr obs_fenced;
+        if Obs.enabled () then Obs.Counter.incr (obs_fenced ());
         0)
   in
   Smp.Connect.cycles_of outcome
@@ -380,7 +379,7 @@ let broadcast t ~origin ~handle request =
         cycles := !cycles + deliver_to_peer t ~entry_epoch ~origin peer (Gate { handle; request }))
     t.members;
   t.clock <- t.clock + !cycles;
-  if Obs.enabled () then Obs.Histogram.observe obs_revocation_cycles !cycles
+  if Obs.enabled () then Obs.Histogram.observe (obs_revocation_cycles ()) !cycles
 
 (* Control-plane replication (accounts, logins, logouts): applied on
    every active site reliably — the answering service speaks over its
@@ -493,7 +492,7 @@ let record_primary t ~user ~request (resp : Api.Call.response) =
 
 let fence_refusal t site err =
   t.fenced_refusals <- t.fenced_refusals + 1;
-  if Obs.enabled () then Obs.Counter.incr obs_fenced_refusals;
+  if Obs.enabled () then Obs.Counter.incr (obs_fenced_refusals ());
   ignore site;
   Error err
 
@@ -526,11 +525,11 @@ let dispatch_at t ~site ~handle request =
   match m.status with
   | Suspect ->
       t.fenced_refusals <- t.fenced_refusals + 1;
-      if Obs.enabled () then Obs.Counter.incr obs_fenced_refusals;
+      if Obs.enabled () then Obs.Counter.incr (obs_fenced_refusals ());
       Error (Api.Site_fenced { site })
   | Crashed ->
       t.fenced_refusals <- t.fenced_refusals + 1;
-      if Obs.enabled () then Obs.Counter.incr obs_fenced_refusals;
+      if Obs.enabled () then Obs.Counter.incr (obs_fenced_refusals ());
       Error (Api.Site_unreachable { site })
   | Active -> exec m.system ~handle request
 
@@ -593,7 +592,7 @@ let rejoin t i =
       let rj_av_cells = Hierarchy.rebuild_av_table (System.hierarchy m.system) in
       System.invalidate_caches m.system;
       m.status <- Active;
-      if Obs.enabled () then Obs.Counter.incr obs_rejoins;
+      if Obs.enabled () then Obs.Counter.incr (obs_rejoins ());
       compact t;
       Some { rj_salvage; rj_replayed = List.length missed; rj_av_cells; rj_epoch = m.epoch }
 

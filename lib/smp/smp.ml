@@ -80,9 +80,9 @@ module Lock = struct
     {
       name;
       free_at = 0;
-      acquisitions = Obs.Registry.counter Obs.Registry.global (name ^ ".acquisitions");
-      contended = Obs.Registry.counter Obs.Registry.global (name ^ ".contended");
-      wait_cycles = Obs.Registry.histogram Obs.Registry.global (name ^ ".wait");
+      acquisitions = Obs.Registry.counter (Obs.Registry.global ()) (name ^ ".acquisitions");
+      contended = Obs.Registry.counter (Obs.Registry.global ()) (name ^ ".contended");
+      wait_cycles = Obs.Registry.histogram (Obs.Registry.global ()) (name ^ ".wait");
     }
 
   let name t = t.name
@@ -153,7 +153,7 @@ let create ?(ncpus = default_ncpus ()) ?ptw_gens ~cost () =
       connects_received = 0;
     }
   in
-  let c name = Obs.Registry.counter Obs.Registry.global name in
+  let c name = Obs.Registry.counter (Obs.Registry.global ()) name in
   {
     ncpus;
     cost;
@@ -167,7 +167,7 @@ let create ?(ncpus = default_ncpus ()) ?ptw_gens ~cost () =
     connects_lost = c "smp.connects.lost";
     connect_retries = c "smp.connects.retries";
     connect_rescues = c "smp.connects.rescues";
-    connect_cycles = Obs.Registry.histogram Obs.Registry.global "smp.connect.cycles";
+    connect_cycles = Obs.Registry.histogram (Obs.Registry.global ()) "smp.connect.cycles";
   }
 
 let ncpus t = t.ncpus

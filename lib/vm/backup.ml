@@ -12,11 +12,10 @@ open Multics_mm
 open Multics_proc
 module Obs = Multics_obs.Obs
 
-let obs_sweeps = Obs.Registry.counter Obs.Registry.global "backup.sweeps"
-let obs_pages = Obs.Registry.counter Obs.Registry.global "backup.pages"
-let obs_tape_errors = Obs.Registry.counter Obs.Registry.global "backup.tape_errors"
-let obs_tape_giveups = Obs.Registry.counter Obs.Registry.global "backup.tape_giveups"
-
+let obs_sweeps = Obs.Local.counter "backup.sweeps"
+let obs_pages = Obs.Local.counter "backup.pages"
+let obs_tape_errors = Obs.Local.counter "backup.tape_errors"
+let obs_tape_giveups = Obs.Local.counter "backup.tape_giveups"
 type error = Bad_period of int | Bad_sweeps of int
 
 let pp_error ppf = function
@@ -65,13 +64,13 @@ let write_to_tape t =
     if not failed then true
     else begin
       t.tape_errors <- t.tape_errors + 1;
-      Obs.Counter.incr obs_tape_errors;
+      Obs.Counter.incr (obs_tape_errors ());
       (match t.faults with
       | Some inj -> Multics_fault.Fault.Injector.count_retry inj Multics_fault.Fault.Backup_tape
       | None -> ());
       if i >= tape_attempt_cap then begin
         t.tape_giveups <- t.tape_giveups + 1;
-        Obs.Counter.incr obs_tape_giveups;
+        Obs.Counter.incr (obs_tape_giveups ());
         (match t.faults with
         | Some inj -> Multics_fault.Fault.Injector.count_giveup inj Multics_fault.Fault.Backup_tape
         | None -> ());
@@ -99,12 +98,12 @@ let daemon_body t _pid =
               Memory.clean t.mem page;
               incr backed_this_sweep;
               t.pages_backed_up <- t.pages_backed_up + 1;
-              Obs.Counter.incr obs_pages
+              Obs.Counter.incr (obs_pages ())
             end
         | Some (_, false) | None -> ())
       (Memory.core_residents t.mem);
     t.sweeps_done <- t.sweeps_done + 1;
-    Obs.Counter.incr obs_sweeps;
+    Obs.Counter.incr (obs_sweeps ());
     t.trace <- (Sim.now t.sim, !backed_this_sweep) :: t.trace
   done
 

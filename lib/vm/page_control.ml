@@ -32,16 +32,15 @@ module Sid = Multics_access.Sid
    [counters] bag but land in the global registry, where the shell's
    [stats] command and the experiment [--stats] snapshots can see them
    next to the gate and IPC numbers. *)
-let obs_faults = Obs.Registry.counter Obs.Registry.global "vm.faults"
-let obs_zero_fills = Obs.Registry.counter Obs.Registry.global "vm.zero_fills"
-let obs_page_ins = Obs.Registry.counter Obs.Registry.global "vm.page_ins"
-let obs_core_to_bulk = Obs.Registry.counter Obs.Registry.global "vm.evictions.core_to_bulk"
-let obs_bulk_to_disk = Obs.Registry.counter Obs.Registry.global "vm.evictions.bulk_to_disk"
-let obs_cascaded = Obs.Registry.counter Obs.Registry.global "vm.faults.cascaded"
-let obs_freer_wakeups = Obs.Registry.counter Obs.Registry.global "vm.freer.wakeups"
-let obs_frame_waits = Obs.Registry.counter Obs.Registry.global "vm.faults.frame_waits"
-let obs_fault_latency = Obs.Registry.histogram Obs.Registry.global "vm.fault.latency_cycles"
-
+let obs_faults = Obs.Local.counter "vm.faults"
+let obs_zero_fills = Obs.Local.counter "vm.zero_fills"
+let obs_page_ins = Obs.Local.counter "vm.page_ins"
+let obs_core_to_bulk = Obs.Local.counter "vm.evictions.core_to_bulk"
+let obs_bulk_to_disk = Obs.Local.counter "vm.evictions.bulk_to_disk"
+let obs_cascaded = Obs.Local.counter "vm.faults.cascaded"
+let obs_freer_wakeups = Obs.Local.counter "vm.freer.wakeups"
+let obs_frame_waits = Obs.Local.counter "vm.faults.frame_waits"
+let obs_fault_latency = Obs.Local.histogram "vm.fault.latency_cycles"
 type discipline = Sequential | Parallel_processes
 
 let discipline_name = function
@@ -210,7 +209,7 @@ let push_bulk_page_to_disk t =
       match Memory.transfer t.mem victim ~dest:Level.Disk with
       | Ok (_, cost) ->
           Multics_util.Stats.Counters.incr t.counters "bulk_to_disk";
-          Obs.Counter.incr obs_bulk_to_disk;
+          Obs.Counter.incr (obs_bulk_to_disk ());
           (* Write parity error on the disk copy: the page is written
              again; the first (bad) attempt is pure wasted cost. *)
           let cost =
@@ -237,7 +236,7 @@ let push_core_page_to_bulk t =
              when someone notices — same discipline as the AVC. *)
           Avc.invalidate_object t.ptw (ptw_key t victim);
           Multics_util.Stats.Counters.incr t.counters "core_to_bulk";
-          Obs.Counter.incr obs_core_to_bulk;
+          Obs.Counter.incr (obs_core_to_bulk ());
           (* Eviction failure: the bulk-store write is lost and redone
              once, unconditionally — retries never re-consult the plan. *)
           let cost =
@@ -261,7 +260,7 @@ let page_in t page =
       | Ok _ ->
           Sim.compute t.zero_fill_cycles;
           Multics_util.Stats.Counters.incr t.counters "zero_fill";
-          Obs.Counter.incr obs_zero_fills;
+          Obs.Counter.incr (obs_zero_fills ());
           true
       | Error _ -> false)
   | Some block when Level.equal (Block.level block) Level.Core -> true
@@ -276,7 +275,7 @@ let page_in t page =
           end;
           Sim.compute cost;
           Multics_util.Stats.Counters.incr t.counters "page_in";
-          Obs.Counter.incr obs_page_ins;
+          Obs.Counter.incr (obs_page_ins ());
           true
       | Error _ -> false)
 
@@ -350,9 +349,9 @@ let record_fault t record =
   t.faults <- record :: t.faults;
   Multics_util.Stats.Counters.incr t.counters "faults";
   if Obs.enabled () then begin
-    Obs.Counter.incr obs_faults;
-    Obs.Histogram.observe obs_fault_latency record.latency;
-    if record.cascaded then Obs.Counter.incr obs_cascaded
+    Obs.Counter.incr (obs_faults ());
+    Obs.Histogram.observe (obs_fault_latency ()) record.latency;
+    if record.cascaded then Obs.Counter.incr (obs_cascaded ())
   end
 
 (* Reference a page from a running process.  Returns the number of
@@ -400,8 +399,8 @@ let reference ?(write = false) t ~pid ~page =
             if move_cost > 0 then Sim.compute move_cost
         | Parallel_processes ->
             (* Just wait for the core freeing process. *)
-            Obs.Counter.incr obs_freer_wakeups;
-            Obs.Counter.incr obs_frame_waits;
+            Obs.Counter.incr (obs_freer_wakeups ());
+            Obs.Counter.incr (obs_frame_waits ());
             Sim.wakeup t.sim t.core_kick;
             Sim.block t.frame_avail;
             incr steps);
@@ -417,7 +416,7 @@ let reference ?(write = false) t ~pid ~page =
     (match t.discipline with
     | Parallel_processes ->
         if Memory.free_count t.mem Level.Core < t.core_target then begin
-          Obs.Counter.incr obs_freer_wakeups;
+          Obs.Counter.incr (obs_freer_wakeups ());
           Sim.wakeup t.sim t.core_kick
         end
     | Sequential -> ());

@@ -143,7 +143,7 @@ let test_salvager_rolls_back_journal () =
 (* ----- Determinism: same seed + plan => identical obs snapshot ----- *)
 
 let obs_run seed =
-  Obs.Registry.reset Obs.Registry.global;
+  Obs.Registry.reset (Obs.Registry.global ());
   let before = Obs.Snapshot.capture () in
   let o = E15.run_gate_pair ~seed () in
   let after = Obs.Snapshot.capture () in

@@ -181,6 +181,102 @@ let test_histogram_sum_saturates () =
   Alcotest.(check bool) "reset clears the flag" false (Obs.Histogram.saturated h);
   Alcotest.(check int) "reset clears the sum" 0 (Obs.Histogram.sum h)
 
+let test_snapshot_merge () =
+  (* Instrument-wise sum, keyed union: counters add, histogram buckets
+     add, span depths take the max.  This is the parallel join path. *)
+  let ra = fresh "a" and rb = fresh "b" in
+  Obs.Counter.incr (Obs.Registry.counter ra "shared") ~by:3;
+  Obs.Counter.incr (Obs.Registry.counter ra "only_a") ~by:1;
+  Obs.Counter.incr (Obs.Registry.counter rb "shared") ~by:4;
+  Obs.Counter.incr (Obs.Registry.counter rb "only_b") ~by:7;
+  Obs.Histogram.observe (Obs.Registry.histogram ra "h") 2;
+  Obs.Histogram.observe (Obs.Registry.histogram ra "h") 100;
+  Obs.Histogram.observe (Obs.Registry.histogram rb "h") 9;
+  let sa = Obs.Registry.span ra "s" and sb = Obs.Registry.span rb "s" in
+  Obs.Span.record sa ~cycles:10;
+  Obs.Span.enter sb;
+  Obs.Span.enter sb;
+  Obs.Span.leave sb ~cycles:5;
+  Obs.Span.leave sb ~cycles:5;
+  let m =
+    Obs.Snapshot.merge
+      (Obs.Snapshot.capture ~registry:ra ())
+      (Obs.Snapshot.capture ~registry:rb ())
+  in
+  let counter name = List.assoc name m.Obs.Snapshot.counters in
+  Alcotest.(check int) "shared counters add" 7 (counter "shared");
+  Alcotest.(check int) "a-only passes through" 1 (counter "only_a");
+  Alcotest.(check int) "b-only passes through" 7 (counter "only_b");
+  let h = List.assoc "h" m.Obs.Snapshot.histograms in
+  Alcotest.(check int) "histogram counts add" 3 h.Obs.Snapshot.count;
+  Alcotest.(check int) "histogram sums add" 111 h.Obs.Snapshot.sum;
+  Alcotest.(check int) "merged min" 2 h.Obs.Snapshot.min_value;
+  Alcotest.(check int) "merged max" 100 h.Obs.Snapshot.max_value;
+  let s = List.assoc "s" m.Obs.Snapshot.spans in
+  Alcotest.(check int) "span entries add" 3 s.Obs.Snapshot.entries;
+  Alcotest.(check int) "span max_depth is the max" 2 s.Obs.Snapshot.max_depth
+
+let test_snapshot_merge_saturation () =
+  (* The satellite bug this pins down: merging two saturated snapshots
+     must stay pinned at max_int with the flag set — a naive sum of two
+     near-max_int totals wraps negative and silently drops the flag. *)
+  let saturated_snap name =
+    let r = fresh name in
+    let h = Obs.Registry.histogram r "cycles" in
+    Obs.Histogram.observe h max_int;
+    Obs.Histogram.observe h max_int;
+    let snap = Obs.Snapshot.capture ~registry:r () in
+    let hd = List.assoc "cycles" snap.Obs.Snapshot.histograms in
+    Alcotest.(check bool) (name ^ " operand saturated") true hd.Obs.Snapshot.saturated;
+    snap
+  in
+  let m = Obs.Snapshot.merge (saturated_snap "sat_a") (saturated_snap "sat_b") in
+  let h = List.assoc "cycles" m.Obs.Snapshot.histograms in
+  Alcotest.(check bool) "saturated + saturated stays saturated" true h.Obs.Snapshot.saturated;
+  Alcotest.(check int) "merged sum pinned at max_int" max_int h.Obs.Snapshot.sum;
+  Alcotest.(check bool) "merged sum non-negative" true (h.Obs.Snapshot.sum > 0);
+  (* Unsaturated operands whose sums overflow only on merge saturate too. *)
+  let big name =
+    let r = fresh name in
+    Obs.Histogram.observe (Obs.Registry.histogram r "cycles") (max_int - 10);
+    Obs.Snapshot.capture ~registry:r ()
+  in
+  let m2 = Obs.Snapshot.merge (big "big_a") (big "big_b") in
+  let h2 = List.assoc "cycles" m2.Obs.Snapshot.histograms in
+  Alcotest.(check bool) "overflow on merge saturates" true h2.Obs.Snapshot.saturated;
+  Alcotest.(check int) "overflowing merge pinned" max_int h2.Obs.Snapshot.sum
+
+let test_snapshot_absorb () =
+  (* Absorbing per-task snapshots in task order must reproduce the
+     totals a sequential run records directly. *)
+  let seq = fresh "sequential" in
+  let split_a = fresh "task_a" and split_b = fresh "task_b" in
+  let record r samples =
+    List.iter
+      (fun v ->
+        Obs.Counter.incr (Obs.Registry.counter r "ops");
+        Obs.Histogram.observe (Obs.Registry.histogram r "cycles") v)
+      samples
+  in
+  record seq [ 3; 17; 200 ];
+  record seq [ 5; 90 ];
+  record split_a [ 3; 17; 200 ];
+  record split_b [ 5; 90 ];
+  let joined = fresh "joined" in
+  Obs.Snapshot.absorb ~into:joined (Obs.Snapshot.capture ~registry:split_a ());
+  Obs.Snapshot.absorb ~into:joined (Obs.Snapshot.capture ~registry:split_b ());
+  let want = Obs.Snapshot.capture ~registry:seq () in
+  let got = Obs.Snapshot.capture ~registry:joined () in
+  Alcotest.(check (list (pair string int))) "absorbed counters = sequential"
+    want.Obs.Snapshot.counters got.Obs.Snapshot.counters;
+  let wh = List.assoc "cycles" want.Obs.Snapshot.histograms in
+  let gh = List.assoc "cycles" got.Obs.Snapshot.histograms in
+  Alcotest.(check int) "count" wh.Obs.Snapshot.count gh.Obs.Snapshot.count;
+  Alcotest.(check int) "sum" wh.Obs.Snapshot.sum gh.Obs.Snapshot.sum;
+  Alcotest.(check int) "min" wh.Obs.Snapshot.min_value gh.Obs.Snapshot.min_value;
+  Alcotest.(check int) "max" wh.Obs.Snapshot.max_value gh.Obs.Snapshot.max_value;
+  Alcotest.(check (list (pair int int))) "buckets" wh.Obs.Snapshot.buckets gh.Obs.Snapshot.buckets
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -194,4 +290,7 @@ let suite =
     Alcotest.test_case "snapshot text rendering" `Quick test_snapshot_text;
     Alcotest.test_case "snapshot json rendering" `Quick test_snapshot_json;
     Alcotest.test_case "histogram sum saturates" `Quick test_histogram_sum_saturates;
+    Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
+    Alcotest.test_case "snapshot merge keeps saturation" `Quick test_snapshot_merge_saturation;
+    Alcotest.test_case "snapshot absorb = sequential totals" `Quick test_snapshot_absorb;
   ]

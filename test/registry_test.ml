@@ -1,0 +1,84 @@
+(* The experiment registry: the id table is complete and unambiguous,
+   and every registered runner's command line — including --stats —
+   parses through the shared Cmdliner term without rendering anything. *)
+
+open Multics_experiments
+
+(* Every experiment the repo documents must be addressable; a renamed
+   or dropped id silently orphans its EXPERIMENTS.md section. *)
+let expected_ids =
+  [
+    "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12";
+    "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "A1"; "A2"; "A3";
+  ]
+
+let test_all_ids_listed () =
+  Alcotest.(check int) "registry size" (List.length expected_ids) (List.length Registry.all);
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some e ->
+          Alcotest.(check string)
+            (Printf.sprintf "find %S returns the %s entry" id id)
+            (String.lowercase_ascii id)
+            (String.lowercase_ascii e.Registry.id)
+      | None -> Alcotest.failf "expected id %S not in the registry" id)
+    expected_ids
+
+let test_ids_unique () =
+  (* Uniqueness must hold case-insensitively: [find] lowercases. *)
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      let key = String.lowercase_ascii id in
+      if Hashtbl.mem seen key then Alcotest.failf "duplicate experiment id %S" id;
+      Hashtbl.add seen key ())
+    Registry.ids
+
+let test_entries_well_formed () =
+  List.iter
+    (fun (e : Registry.experiment) ->
+      Alcotest.(check bool) (e.Registry.id ^ " has a title") true (e.Registry.title <> "");
+      Alcotest.(check bool) (e.Registry.id ^ " has a paper claim") true (e.Registry.paper_claim <> ""))
+    Registry.all
+
+(* Table-driven: for every registered id, the harness command line
+   accepts the bare id and the id with --stats, and rejects what it
+   should.  Parsing only — no experiment renders. *)
+let test_cli_accepts_stats_for_every_runner () =
+  List.iter
+    (fun id ->
+      (match Registry.Cli.parse [| "experiments"; id |] with
+      | Ok { Registry.Cli.list_only; stats; sel_ids } ->
+          Alcotest.(check bool) (id ^ ": no --list") false list_only;
+          Alcotest.(check bool) (id ^ ": no --stats") false stats;
+          Alcotest.(check (list string)) (id ^ ": selected") [ id ] sel_ids
+      | Error e -> Alcotest.failf "%s: rejected: %s" id e);
+      match Registry.Cli.parse [| "experiments"; id; "--stats" |] with
+      | Ok { Registry.Cli.stats; sel_ids; _ } ->
+          Alcotest.(check bool) (id ^ ": --stats accepted") true stats;
+          Alcotest.(check (list string)) (id ^ ": selected with --stats") [ id ] sel_ids
+      | Error e -> Alcotest.failf "%s --stats: rejected: %s" id e)
+    Registry.ids
+
+let test_cli_edges () =
+  (match Registry.Cli.parse [| "experiments"; "--list" |] with
+  | Ok { Registry.Cli.list_only; _ } -> Alcotest.(check bool) "--list" true list_only
+  | Error e -> Alcotest.failf "--list rejected: %s" e);
+  (match Registry.Cli.parse [| "experiments" |] with
+  | Ok { Registry.Cli.sel_ids; _ } ->
+      Alcotest.(check (list string)) "bare invocation selects all" [] sel_ids
+  | Error e -> Alcotest.failf "bare invocation rejected: %s" e);
+  match Registry.Cli.parse [| "experiments"; "--no-such-flag" |] with
+  | Ok _ -> Alcotest.fail "unknown flag accepted"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "every id listed" `Quick test_all_ids_listed;
+    Alcotest.test_case "ids unique" `Quick test_ids_unique;
+    Alcotest.test_case "entries well-formed" `Quick test_entries_well_formed;
+    Alcotest.test_case "--stats parses for every runner" `Quick
+      test_cli_accepts_stats_for_every_runner;
+    Alcotest.test_case "cli edge cases" `Quick test_cli_edges;
+  ]

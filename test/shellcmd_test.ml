@@ -53,6 +53,10 @@ let table =
     ("smp status", Cmd Cmd.Smp_status);
     ("smp panic", Err (bad_sub, "unknown smp subcommand"));
     ("smp", Err (bad_arity, "bare smp"));
+    (* jobs *)
+    ("jobs status", Cmd Cmd.Jobs_status);
+    ("jobs restart", Err (bad_sub, "unknown jobs subcommand"));
+    ("jobs", Err (bad_arity, "bare jobs"));
     (* site *)
     ("site status", Cmd Cmd.Site_status);
     ("site heal", Cmd Cmd.Site_heal);

@@ -134,7 +134,7 @@ let test_connect_revokes_remote_cam () = ignore (stale_permit_race ())
 let test_lost_connect_fails_secure () =
   let lost_before =
     Obs.set_enabled true;
-    Obs.Counter.get (Obs.Registry.counter Obs.Registry.global "smp.connects.lost")
+    Obs.Counter.get (Obs.Registry.counter (Obs.Registry.global ()) "smp.connects.lost")
   in
   let plan =
     match Fault.Plan.parse ~seed:1 "smp.lost_connect=every:1" with

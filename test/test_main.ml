@@ -29,4 +29,6 @@ let () =
       ("site", Site_test.suite);
       ("shellcmd", Shellcmd_test.suite);
       ("sid", Sid_test.suite);
+      ("registry", Registry_test.suite);
+      ("par", Par_test.suite);
     ]
