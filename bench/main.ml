@@ -826,6 +826,36 @@ let smoke () =
     harness_required_speedup cores enforce_speedup identical;
   close_out oc;
   print_endline "bench smoke: appended to BENCH_harness.json";
+
+  (* ----- the model checker's exploration throughput -----
+
+     A bounded exhaustive run at depth 3 (every state a full canonical
+     re-execution from boot): the healthy plant must come back with
+     zero violations, and the replay rate lands in BENCH_mc.json so a
+     regression in the canonical-replay hot path shows up as a
+     states-per-second collapse between runs. *)
+  let mc_depth = 3 in
+  let mc_start = Unix.gettimeofday () in
+  let mc_outcome = Multics_mc.Mc.explore ~depth:mc_depth () in
+  let mc_t = Unix.gettimeofday () -. mc_start in
+  let mc_states = mc_outcome.Multics_mc.Mc.o_states in
+  let mc_expansions = mc_outcome.Multics_mc.Mc.o_expansions in
+  let mc_violations = List.length mc_outcome.Multics_mc.Mc.o_counterexamples in
+  let mc_states_per_sec = float_of_int mc_states /. mc_t in
+  Printf.printf
+    "bench smoke: [mc] exhaustive to depth %d — %d states, %d replays in %.3f s (%.0f states/s), %d violations\n"
+    mc_depth mc_states mc_expansions mc_t mc_states_per_sec mc_violations;
+  if mc_violations <> 0 then begin
+    print_endline "bench smoke: FAIL — the healthy plant produced a counterexample";
+    exit 1
+  end;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_mc.json" in
+  Printf.fprintf oc
+    {|{"bench": "mc", "unix_time": %.0f, "depth": %d, "states": %d, "expansions": %d, "wall_s": %.4f, "states_per_sec": %.1f, "violations": %d}
+|}
+    (Unix.time ()) mc_depth mc_states mc_expansions mc_t mc_states_per_sec mc_violations;
+  close_out oc;
+  print_endline "bench smoke: appended to BENCH_mc.json";
   print_endline "bench smoke: OK"
 
 let () =

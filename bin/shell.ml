@@ -15,11 +15,18 @@ module Obs = Multics_obs.Obs
 module Smp = Multics_smp.Smp
 module Site = Multics_site.Site
 module Cmd = Multics_shellcmd.Shellcmd.Command
+module Mc = Multics_mc.Mc
 
 (* [fleet] is the distributed plant ([MULTICS_SITES] > 1): the [site]
    operator family drives it.  The single-site shell carries [None]
-   and stays the seed, byte for byte. *)
-type shell = { system : System.t; mutable handle : int option; fleet : Site.t option }
+   and stays the seed, byte for byte.  [last_mc] holds the most recent
+   model-checker outcome for [mc status]. *)
+type shell = {
+  system : System.t;
+  mutable handle : int option;
+  fleet : Site.t option;
+  mutable last_mc : Mc.outcome option;
+}
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -85,6 +92,10 @@ let cmd_help () =
     \  fault plan SEED SPEC    install a fault plan, e.g. fault plan 7 gate.deny=every:5\n\
     \  fault status            active plan + injector counters\n\
     \  fault clear             remove the active plan\n\
+    \  mc run DEPTH [bug]      exhaustively model-check the reference monitor to DEPTH\n\
+    \                          ('bug' re-enables the pre-PR 5 deferred-connect window)\n\
+    \  mc status               the last exploration's states/depth table and verdicts\n\
+    \  mc replay TRACE [bug]   replay a comma-separated action trace, report violations\n\
     \  salvage                 roll back aborted creates, drop dangling KST entries,\n\
     \                          re-derive descriptors from the access records\n\
     \  help | exit"
@@ -492,6 +503,34 @@ let cmd_salvage shell =
       | Some (Api.Call.Salvaged report) -> say "%s" (Salvager.render report)
       | Some _ | None -> ())
 
+(* The model checker runs on its own 2-CPU / 2-segment plant, not the
+   shell's system: an exploration never perturbs the operator's
+   session state. *)
+let cmd_mc_run shell ~depth ~bug =
+  let outcome = Mc.explore ~bug ~depth () in
+  shell.last_mc <- Some outcome;
+  print_string (Mc.summary outcome);
+  List.iter
+    (fun c -> say "replay with:\n%s" (Mc.counterexample_script c))
+    outcome.Mc.o_counterexamples
+
+let cmd_mc_status shell =
+  match shell.last_mc with
+  | None -> say "no exploration this session (use: mc run DEPTH [bug])"
+  | Some outcome -> print_string (Mc.summary outcome)
+
+let cmd_mc_replay ~trace ~bug =
+  match Mc.trace_of_string trace with
+  | None -> say "mc replay: unknown action in trace %S" trace
+  | Some actions -> (
+      let canonical, violations = Mc.violations_of_trace ~bug actions in
+      say "replayed %d action(s)%s: state %s" (List.length actions)
+        (if bug then " (deferred-connect bug enabled)" else "")
+        (Mc.fingerprint canonical);
+      match violations with
+      | [] -> say "0 violations: the reference monitor held"
+      | vs -> List.iter (fun v -> say "  %s" (Mc.violation_to_string v)) vs)
+
 let cmd_audit shell n =
   let records = Audit_log.records (System.audit shell.system) in
   let tail =
@@ -519,6 +558,9 @@ let run_operator shell = function
   | Cmd.Site_heal -> cmd_site_heal shell
   | Cmd.Stats mode -> cmd_stats mode
   | Cmd.Audit_tail { count } -> cmd_audit shell count
+  | Cmd.Mc_run { depth; bug } -> cmd_mc_run shell ~depth ~bug
+  | Cmd.Mc_status -> cmd_mc_status shell
+  | Cmd.Mc_replay { trace; bug } -> cmd_mc_replay ~trace ~bug
 
 let execute shell line =
   let words =
@@ -582,7 +624,7 @@ let () =
      single shell system; the [site] family drives it. *)
   let nsites = Site.default_nsites () in
   let fleet = if nsites > 1 then Some (Site.create ~nsites ~config ()) else None in
-  let shell = { system = System.create config; handle = None; fleet } in
+  let shell = { system = System.create config; handle = None; fleet; last_mc = None } in
   (* MULTICS_NCPU > 1 boots the multiprocessor plant: per-CPU
      associative memories, connect coherence on every descriptor
      mutation, [smp status] live.  At 1 CPU no plant is attached and

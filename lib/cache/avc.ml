@@ -228,6 +228,14 @@ let keys t =
       match slot with Some (k, e) when fresh t e -> k :: acc | Some _ | None -> acc)
     [] t.slots
 
+let entries t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | Some (k, e) when fresh t e -> (k, e.value) :: acc
+      | Some _ | None -> acc)
+    [] t.slots
+
 let invalidate_object t obj = Gen.bump_object t.gens obj
 let invalidate_all t = Gen.bump_global t.gens
 

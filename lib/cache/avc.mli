@@ -110,6 +110,11 @@ val keys : ('k, 'v) t -> 'k list
 (** Keys of the entries that would currently hit (stale entries are
     skipped); order unspecified.  For invariant checks. *)
 
+val entries : ('k, 'v) t -> ('k * 'v) list
+(** Key/value pairs of the entries that would currently hit (stale
+    entries are skipped); order unspecified.  Read-only: no counter
+    moves, no entry is dropped.  For invariant checks. *)
+
 val invalidate_object : ('k, 'v) t -> int -> unit
 val invalidate_all : ('k, 'v) t -> unit
 val flush : ('k, 'v) t -> unit

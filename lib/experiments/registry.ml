@@ -132,6 +132,12 @@ let all =
       render = E20_site.render;
     };
     {
+      id = E21_mc.id;
+      title = E21_mc.title;
+      paper_claim = E21_mc.paper_claim;
+      render = E21_mc.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

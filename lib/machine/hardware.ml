@@ -116,6 +116,7 @@ module Assoc = struct
   let size t = Multics_cache.Avc.size t
   let hit_ratio t = Multics_cache.Avc.hit_ratio t
   let counters t = Multics_cache.Avc.counters t
+  let entries t = Multics_cache.Avc.entries t
 end
 
 let check_via_assoc assoc ~segno ~fetch ~ring ~operation =

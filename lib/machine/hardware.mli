@@ -48,6 +48,12 @@ module Assoc : sig
   val counters : t -> (string * int) list
   (** The underlying cache's obs counter readings
       (["cache.hw.assoc.*"]). *)
+
+  val entries : t -> (int * Sdw.t) list
+  (** The (key, SDW) pairs that would currently hit; read-only, order
+      unspecified.  For invariant checks — the model checker walks
+      every front looking for a cached grant that a fresh descriptor
+      recomputation would refuse. *)
 end
 
 val check_via_assoc :

@@ -503,16 +503,25 @@ let at t ~delay thunk =
 
 (* ----- Main loop ----- *)
 
+(* The pure transition function: one event applied against the
+   simulator state at its firing time.  [step]/[run]/[run_until] are
+   drivers — pop, apply, repeat — and stay the only places that touch
+   the event queue, so an external driver (the model checker) can
+   replay a recorded schedule through exactly the code the kernel
+   runs, with no second interpretation of what an event means. *)
+let apply t ~time event =
+  Clock.advance_to t.clock time;
+  match event with
+  | Start pid -> start_process t (proc t pid)
+  | Resume pid -> resume_process t (proc t pid)
+  | Slice pid -> slice_done t (proc t pid)
+  | Thunk thunk -> thunk ()
+
 let step t =
   match Event_queue.pop t.events with
   | None -> false
   | Some (time, event) ->
-      Clock.advance_to t.clock time;
-      (match event with
-      | Start pid -> start_process t (proc t pid)
-      | Resume pid -> resume_process t (proc t pid)
-      | Slice pid -> slice_done t (proc t pid)
-      | Thunk thunk -> thunk ());
+      apply t ~time event;
       true
 
 let run ?(max_events = 10_000_000) t =

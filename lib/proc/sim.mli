@@ -146,11 +146,22 @@ val perturb : t -> pid -> int -> unit
 
 (** {1 External events and the main loop} *)
 
+type event = Start of pid | Resume of pid | Slice of pid | Thunk of (unit -> unit)
+(** What the event queue carries.  Public so an external driver (the
+    model checker, [lib/mc]) can see the transition alphabet; inside
+    this library only [step] pops events. *)
+
 val at : t -> delay:int -> (unit -> unit) -> unit
 (** Schedule a thunk (device arrival, interrupt) at [now + delay]. *)
 
+val apply : t -> time:int -> event -> unit
+(** The pure transition function: advance the clock to [time] and
+    apply one event — exactly what [step] does after popping.  The
+    split lets a replay driver run a recorded schedule through the
+    real transition code without a second interpretation of events. *)
+
 val step : t -> bool
-(** Process one event; false when the queue is empty. *)
+(** Pop one event and {!apply} it; false when the queue is empty. *)
 
 val run : ?max_events:int -> t -> unit
 (** Run until no events remain.  Raises [Failure] if [max_events]

@@ -13,6 +13,7 @@
    travelling into the kernel as a string. *)
 
 module Fault = Multics_fault.Fault
+module Mc = Multics_mc.Mc
 
 module Command = struct
   type stats_mode = Stats_text | Stats_json | Stats_reset
@@ -33,6 +34,9 @@ module Command = struct
     | Site_heal
     | Stats of stats_mode
     | Audit_tail of { count : int }
+    | Mc_run of { depth : int; bug : bool }
+    | Mc_status
+    | Mc_replay of { trace : string; bug : bool }
 
   type error =
     | Bad_int of { what : string; got : string; usage : string }
@@ -42,6 +46,8 @@ module Command = struct
     | Bad_plan of { spec : string; reason : string }
     | Bad_count of { what : string; got : int; usage : string }
     | Bad_pair of { family : string; reason : string; usage : string }
+    | Bad_range of { what : string; got : int; lo : int; hi : int; usage : string }
+    | Bad_trace of { got : string; usage : string }
 
   let error_to_string = function
     | Bad_int { what; got; usage } ->
@@ -57,6 +63,10 @@ module Command = struct
         Printf.sprintf "%s: must be positive, got %d (usage: %s)" what got usage
     | Bad_pair { family; reason; usage } ->
         Printf.sprintf "%s: %s (usage: %s)" family reason usage
+    | Bad_range { what; got; lo; hi; usage } ->
+        Printf.sprintf "%s: %d out of range %d..%d (usage: %s)" what got lo hi usage
+    | Bad_trace { got; usage } ->
+        Printf.sprintf "unknown action %S in trace (usage: %s)" got usage
 
   let usage_fault = "fault plan SEED SPEC | fault status | fault clear"
   let usage_cache = "cache status | cache clear"
@@ -66,6 +76,11 @@ module Command = struct
   let usage_site = "site status | site partition A B | site heal"
   let usage_stats = "stats [json|reset]"
   let usage_audit = "audit [N]"
+  let usage_mc = "mc run DEPTH [bug] | mc status | mc replay TRACE [bug]"
+
+  (* Depth 8 is the checker's own ceiling (MULTICS_MC_DEPTH clamps
+     there too); beyond it a console run would not come back. *)
+  let mc_depth_max = 8
 
   (* The tuning parameters the traffic controller accepts; kept here so
      a typo is refused with the list instead of a round trip through
@@ -171,6 +186,31 @@ module Command = struct
                 Ok (Audit_tail { count })))
     | _ -> Error (Bad_arity { family = "audit"; usage = usage_audit })
 
+  let parse_mc = function
+    | "run" :: depth :: rest when rest = [] || rest = [ "bug" ] ->
+        int_arg ~what:"mc run depth" ~usage:usage_mc depth (fun depth ->
+            if depth < 1 || depth > mc_depth_max then
+              Error
+                (Bad_range
+                   { what = "mc run depth"; got = depth; lo = 1; hi = mc_depth_max; usage = usage_mc })
+            else Ok (Mc_run { depth; bug = rest = [ "bug" ] }))
+    | [ "status" ] -> Ok Mc_status
+    | "replay" :: trace :: rest when rest = [] || rest = [ "bug" ] -> (
+        (* Validate the trace before it travels anywhere: an unknown
+           action name is a parse error, not a checker failure. *)
+        match Mc.trace_of_string trace with
+        | Some _ -> Ok (Mc_replay { trace; bug = rest = [ "bug" ] })
+        | None ->
+            let bad =
+              String.split_on_char ',' trace
+              |> List.map String.trim
+              |> List.find_opt (fun w -> Mc.action_of_string w = None)
+            in
+            Error (Bad_trace { got = Option.value bad ~default:trace; usage = usage_mc }))
+    | sub :: _ when sub <> "run" && sub <> "replay" ->
+        Error (Bad_subcommand { family = "mc"; got = sub; usage = usage_mc })
+    | _ -> Error (Bad_arity { family = "mc"; usage = usage_mc })
+
   (* [None]: the word list is not an operator-family command (the
      shell's other parsers own it). *)
   let parse = function
@@ -182,6 +222,7 @@ module Command = struct
     | "site" :: rest -> Some (parse_site rest)
     | "stats" :: rest -> Some (parse_stats rest)
     | "audit" :: rest -> Some (parse_audit rest)
+    | "mc" :: rest -> Some (parse_mc rest)
     | _ -> None
 
   let of_line line =

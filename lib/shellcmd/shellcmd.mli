@@ -1,5 +1,5 @@
 (** Typed parsers for the shell's operator-command families ([fault],
-    [cache], [sched], [smp], [jobs], [site], [stats], [audit]).
+    [cache], [sched], [smp], [jobs], [site], [stats], [audit], [mc]).
 
     Each family is a total function from a word list to either a typed
     command or a typed error (in the style of the kernel's own
@@ -29,6 +29,12 @@ module Command : sig
     | Site_heal
     | Stats of stats_mode
     | Audit_tail of { count : int }
+    | Mc_run of { depth : int; bug : bool }
+        (** bounded exhaustive exploration; depth is validated 1..8 *)
+    | Mc_status
+    | Mc_replay of { trace : string; bug : bool }
+        (** the trace is validated against the checker's alphabet at
+            parse time, then re-parsed by the executor *)
 
   type error =
     | Bad_int of { what : string; got : string; usage : string }
@@ -38,6 +44,8 @@ module Command : sig
     | Bad_plan of { spec : string; reason : string }
     | Bad_count of { what : string; got : int; usage : string }
     | Bad_pair of { family : string; reason : string; usage : string }
+    | Bad_range of { what : string; got : int; lo : int; hi : int; usage : string }
+    | Bad_trace of { got : string; usage : string }
 
   val error_to_string : error -> string
 

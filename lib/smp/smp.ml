@@ -126,6 +126,13 @@ type t = {
   mutable now : unit -> int;
   mutable faults : Fault.Injector.t option;
   mutable charge : int -> unit;
+  mutable deferred_connects : bool;
+      (** the pre-PR 5 bug, re-enableable for the model checker's
+          seeded-bug leg: remote connects queue instead of being
+          delivered synchronously, re-opening the stale-Permit
+          window the connect protocol exists to close *)
+  mutable pending : (int * string * (unit -> unit)) list;
+      (** queued (target cpu, tag, clear) in reverse arrival order *)
   connects_sent : Obs.Counter.t;
   connects_lost : Obs.Counter.t;
   connect_retries : Obs.Counter.t;
@@ -163,6 +170,8 @@ let create ?(ncpus = default_ncpus ()) ?ptw_gens ~cost () =
     now = (fun () -> 0);
     faults = None;
     charge = ignore;
+    deferred_connects = false;
+    pending = [];
     connects_sent = c "smp.connects.sent";
     connects_lost = c "smp.connects.lost";
     connect_retries = c "smp.connects.retries";
@@ -240,7 +249,7 @@ let lost_connect_fires t =
    interrupt entry, plus stalls for lost connects, plus global-lock
    wait) is recorded in [smp.connect.cycles] and charged through the
    pluggable [charge] closure. *)
-let broadcast t clear =
+let broadcast t ~tag clear =
   let origin = t.current in
   (* The originating CPU clears inline as part of the mutation. *)
   clear t.cpus.(origin);
@@ -254,6 +263,15 @@ let broadcast t clear =
             clear c;
             c.connects_received <- c.connects_received + 1
           in
+          if t.deferred_connects then begin
+            (* Bug mode: the IPI is "sent" but delivery waits for an
+               explicit [deliver_connects].  The mutating call returns
+               with this CPU's associative memory possibly stale —
+               exactly the window the synchronous protocol closes. *)
+            t.pending <- (c.id, tag, clear_target) :: t.pending;
+            cycles := !cycles + t.cost.Cost.connect_ipi
+          end
+          else
           let outcome =
             Connect.deliver ~max_retries
               ~attempt:(fun _n ->
@@ -295,14 +313,50 @@ let broadcast t clear =
    exact — other processes' entries for the same segno survive. *)
 let connect_invalidate t ~handle ~segno =
   let key = cam_key ~handle ~segno in
-  broadcast t (fun c -> Hardware.Assoc.invalidate c.cam ~segno:key)
+  broadcast t ~tag:(Printf.sprintf "inval:%d" key) (fun c ->
+      Hardware.Assoc.invalidate c.cam ~segno:key)
 
 (* Whole-system revocation (salvage, cache clear): flush every CPU's
    CAM and PTW front outright. *)
 let connect_flush_all t =
-  broadcast t (fun c ->
+  broadcast t ~tag:"flush" (fun c ->
       Hardware.Assoc.flush c.cam;
       Avc.flush c.ptw)
+
+(* ----- The deferred-connect bug mode -----
+
+   PR 5 fixed the stale-Permit window by making [broadcast]
+   synchronous.  The model checker's seeded-bug leg needs the
+   pre-fix behaviour back, under a switch, to demonstrate that the
+   exhaustive search finds the two-action counterexample the
+   100-seed oracles only trip over probabilistically. *)
+
+let set_deferred_connects t flag =
+  if not flag then begin
+    (* Leaving bug mode delivers everything still queued, so the
+       plant is coherent again. *)
+    List.iter (fun (_, _, deliver) -> deliver ()) (List.rev t.pending);
+    t.pending <- []
+  end;
+  t.deferred_connects <- flag
+
+let deferred_connects t = t.deferred_connects
+
+let deliver_connects t ~cpu =
+  let mine, rest =
+    List.partition (fun (target, _, _) -> target = cpu) (List.rev t.pending)
+  in
+  List.iter (fun (_, _, deliver) -> deliver ()) mine;
+  t.pending <- List.rev rest;
+  List.length mine
+
+let pending_connects t = List.rev_map (fun (cpu, tag, _) -> (cpu, tag)) t.pending
+
+(* ----- Read-only cache enumeration (for the model checker) ----- *)
+
+let cam_entries t ~cpu = Hardware.Assoc.entries t.cpus.(cpu).cam
+let ptw_keys t ~cpu = List.map fst (Avc.entries t.cpus.(cpu).ptw)
+let split_cam_key key = (key lsr segno_bits, key land ((1 lsl segno_bits) - 1))
 
 (* ----- The per-CPU mediation fronts ----- *)
 

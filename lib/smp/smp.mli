@@ -121,6 +121,46 @@ val connect_flush_all : t -> unit
 (** Whole-system revocation (salvage, cache clear): flush every CPU's
     CAM and PTW front. *)
 
+(** {1 The deferred-connect bug mode}
+
+    The pre-PR 5 stale-Permit window, re-enableable under a switch so
+    the model checker's seeded-bug leg can demonstrate finding the
+    counterexample trace.  While enabled, [connect_invalidate] /
+    [connect_flush_all] clear the originating CPU inline but only
+    queue the remote clears; a remote CPU's associative memory stays
+    possibly-stale until [deliver_connects] drains its queue.  Never
+    enable outside the checker. *)
+
+val set_deferred_connects : t -> bool -> unit
+(** Turning the mode {e off} first delivers everything still queued,
+    restoring coherence. *)
+
+val deferred_connects : t -> bool
+
+val deliver_connects : t -> cpu:int -> int
+(** Deliver every queued connect addressed to [cpu], in arrival
+    order; returns how many were delivered. *)
+
+val pending_connects : t -> (int * string) list
+(** The queued [(target cpu, tag)] pairs in arrival order — part of
+    the checker's canonical state. *)
+
+(** {1 Read-only cache enumeration}
+
+    For the checker's invariant walk: what would currently hit, with
+    no counter movement. *)
+
+val cam_entries : t -> cpu:int -> (int * Sdw.t) list
+(** Fresh entries of that CPU's SDW associative memory, keyed by the
+    composite [(handle, segno)] key — decompose with
+    {!split_cam_key}. *)
+
+val ptw_keys : t -> cpu:int -> int list
+(** Fresh page-SID keys of that CPU's PTW lookaside front. *)
+
+val split_cam_key : int -> int * int
+(** [(handle, segno)] from a composite CAM key. *)
+
 (** {1 Per-CPU mediation fronts} *)
 
 val check_sdw :

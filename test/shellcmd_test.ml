@@ -17,6 +17,8 @@ let bad_param = function Cmd.Bad_param _ -> true | _ -> false
 let bad_plan = function Cmd.Bad_plan _ -> true | _ -> false
 let bad_count = function Cmd.Bad_count _ -> true | _ -> false
 let bad_pair = function Cmd.Bad_pair _ -> true | _ -> false
+let bad_range = function Cmd.Bad_range _ -> true | _ -> false
+let bad_trace = function Cmd.Bad_trace _ -> true | _ -> false
 
 let table =
   [
@@ -78,6 +80,22 @@ let table =
     ("audit x", Err (bad_int, "audit count not a number"));
     ("audit 0", Err (bad_count, "audit count not positive"));
     ("audit 5 6", Err (bad_arity, "audit extra args"));
+    (* mc *)
+    ("mc run 5", Cmd (Cmd.Mc_run { depth = 5; bug = false }));
+    ("mc run 5 bug", Cmd (Cmd.Mc_run { depth = 5; bug = true }));
+    ("mc run x", Err (bad_int, "mc depth not a number"));
+    ("mc run 0", Err (bad_range, "mc depth below range"));
+    ("mc run 9", Err (bad_range, "mc depth above range"));
+    ("mc run 5 bugs", Err (bad_arity, "mc run bad flag"));
+    ("mc status", Cmd Cmd.Mc_status);
+    ( "mc replay read_bob_s0,acl_revoke",
+      Cmd (Cmd.Mc_replay { trace = "read_bob_s0,acl_revoke"; bug = false }) );
+    ( "mc replay read_bob_s0,acl_revoke bug",
+      Cmd (Cmd.Mc_replay { trace = "read_bob_s0,acl_revoke"; bug = true }) );
+    ("mc replay read_bob_s0,frobnicate", Err (bad_trace, "unknown action in trace"));
+    ("mc replay", Err (bad_arity, "replay missing trace"));
+    ("mc explore 5", Err (bad_sub, "unknown mc subcommand"));
+    ("mc", Err (bad_arity, "bare mc"));
     (* not operator families: the shell's other parsers own these *)
     ("login Alice Dev pw", Not_ours);
     ("ls >udd", Not_ours);

@@ -28,6 +28,7 @@ let () =
       ("smp", Smp_test.suite);
       ("site", Site_test.suite);
       ("shellcmd", Shellcmd_test.suite);
+      ("mc", Mc_test.suite);
       ("sid", Sid_test.suite);
       ("registry", Registry_test.suite);
       ("par", Par_test.suite);
