@@ -787,44 +787,69 @@ let smoke () =
     let runs = Multics_experiments.E19_sid.parity_runs ~jobs ~refs:harness_refs () in
     (Unix.gettimeofday () -. start, runs)
   in
+  let cores = Domain.recommended_domain_count () in
   let seq_samples = List.init harness_trials (fun _ -> time_oracle 1) in
-  let par_samples = List.init harness_trials (fun _ -> time_oracle 4) in
   let median3 xs = List.nth (List.sort compare xs) (harness_trials / 2) in
   let seq_t = median3 (List.map fst seq_samples) in
-  let par_t = median3 (List.map fst par_samples) in
   let reference = snd (List.hd seq_samples) in
-  let identical = List.for_all (fun (_, runs) -> runs = reference) (seq_samples @ par_samples) in
   let oracle_divergences =
     List.fold_left
       (fun acc (r : Multics_experiments.E19_sid.run_stats) ->
         acc + r.Multics_experiments.E19_sid.divergences)
       0 reference
   in
-  let harness_speedup = seq_t /. par_t in
-  let harness_required_speedup = 2.0 in
-  let cores = Domain.recommended_domain_count () in
-  let enforce_speedup = cores >= 4 in
-  Printf.printf
-    "bench smoke: [harness] 100-seed E19 oracle (%d refs/seed, %d divergences) — sequential %.3f s, 4-domain %.3f s, speedup %.2fx%s, results %s across pool sizes\n"
-    harness_refs oracle_divergences seq_t par_t harness_speedup
-    (if enforce_speedup then Printf.sprintf " (required >= %.1fx)" harness_required_speedup
-     else Printf.sprintf " (speedup gate skipped: %d core%s)" cores (if cores = 1 then "" else "s"))
-    (if identical then "identical" else "DIVERGENT");
-  if not identical then begin
-    print_endline "bench smoke: FAIL — pool size changed the oracle's results";
-    exit 1
-  end;
-  if enforce_speedup && harness_speedup < harness_required_speedup then begin
-    print_endline "bench smoke: FAIL — the 4-domain oracle run lost its wall-clock edge";
-    exit 1
-  end;
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_harness.json" in
-  Printf.fprintf oc
-    {|{"bench": "harness", "unix_time": %.0f, "trials": %d, "seeds": 100, "refs_per_seed": %d, "sequential_s": %.4f, "four_domain_s": %.4f, "speedup": %.3f, "required_speedup": %.2f, "cores": %d, "speedup_gate_enforced": %b, "results_identical": %b}
+  if cores < 2 then begin
+    (* A 4-domain pool on one core measures scheduler thrash, not the
+       harness: skip the timing, keep the determinism check over the
+       sequential samples, and record the skip explicitly so the
+       trajectory shows a gap instead of a fabricated speedup. *)
+    let identical = List.for_all (fun (_, runs) -> runs = reference) seq_samples in
+    Printf.printf
+      "bench smoke: [harness] 100-seed E19 oracle (%d refs/seed, %d divergences) — sequential %.3f s, 4-domain timing skipped (%d core), results %s across trials\n"
+      harness_refs oracle_divergences seq_t cores
+      (if identical then "identical" else "DIVERGENT");
+    if not identical then begin
+      print_endline "bench smoke: FAIL — repeated sequential runs disagreed";
+      exit 1
+    end;
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_harness.json" in
+    Printf.fprintf oc
+      {|{"bench": "harness", "unix_time": %.0f, "trials": %d, "seeds": 100, "refs_per_seed": %d, "sequential_s": %.4f, "skipped": true, "cores": %d, "results_identical": %b}
 |}
-    (Unix.time ()) harness_trials harness_refs seq_t par_t harness_speedup
-    harness_required_speedup cores enforce_speedup identical;
-  close_out oc;
+      (Unix.time ()) harness_trials harness_refs seq_t cores identical;
+    close_out oc
+  end
+  else begin
+    let par_samples = List.init harness_trials (fun _ -> time_oracle 4) in
+    let par_t = median3 (List.map fst par_samples) in
+    let identical =
+      List.for_all (fun (_, runs) -> runs = reference) (seq_samples @ par_samples)
+    in
+    let harness_speedup = seq_t /. par_t in
+    let harness_required_speedup = 2.0 in
+    let enforce_speedup = cores >= 4 in
+    Printf.printf
+      "bench smoke: [harness] 100-seed E19 oracle (%d refs/seed, %d divergences) — sequential %.3f s, 4-domain %.3f s, speedup %.2fx%s, results %s across pool sizes\n"
+      harness_refs oracle_divergences seq_t par_t harness_speedup
+      (if enforce_speedup then Printf.sprintf " (required >= %.1fx)" harness_required_speedup
+       else Printf.sprintf " (speedup gate skipped: %d core%s)" cores (if cores = 1 then "" else "s"))
+      (if identical then "identical" else "DIVERGENT");
+    if not identical then begin
+      print_endline "bench smoke: FAIL — pool size changed the oracle's results";
+      exit 1
+    end;
+    if enforce_speedup && harness_speedup < harness_required_speedup then begin
+      print_endline "bench smoke: FAIL — the 4-domain oracle run lost its wall-clock edge";
+      exit 1
+    end;
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_harness.json" in
+    Printf.fprintf oc
+      {|{"bench": "harness", "unix_time": %.0f, "trials": %d, "seeds": 100, "refs_per_seed": %d, "sequential_s": %.4f, "four_domain_s": %.4f, "speedup": %.3f, "required_speedup": %.2f, "cores": %d, "skipped": false, "speedup_gate_enforced": %b, "results_identical": %b}
+|}
+      (Unix.time ()) harness_trials harness_refs seq_t par_t harness_speedup
+      harness_required_speedup cores enforce_speedup identical;
+    close_out oc
+  end;
   print_endline "bench smoke: appended to BENCH_harness.json";
 
   (* ----- the model checker's exploration throughput -----
@@ -856,6 +881,100 @@ let smoke () =
     (Unix.time ()) mc_depth mc_states mc_expansions mc_t mc_states_per_sec mc_violations;
   close_out oc;
   print_endline "bench smoke: appended to BENCH_mc.json";
+
+  (* ----- the specialised gate table's dispatch overhead (E22) -----
+
+     The gate mask sits on the dispatch hot path, so it must stay
+     cheap: an admitted call under a specialised table may not cost
+     more than 3x the unmasked call, and a stripped call's Gate_absent
+     refusal is timed alongside (it is the fail-secure fast path — no
+     kernel state is touched). *)
+  let module Spec = Multics_spec.Spec in
+  let spec_config = Multics_kernel.Config.kernel_6180 in
+  let spec_system = Multics_kernel.System.create spec_config in
+  (* Retaining half a million audit records would time the GC, not the
+     mask: this system's trail is disabled like the other hot-loop
+     bench systems'. *)
+  Multics_kernel.Audit_log.set_enabled (Multics_kernel.System.audit spec_system) false;
+  ignore
+    (Multics_kernel.System.add_account spec_system ~person:"Bench" ~project:"Spec" ~password:"pw"
+       ~clearance:Multics_access.Label.unclassified);
+  let spec_handle =
+    match Multics_kernel.System.login spec_system ~person:"Bench" ~project:"Spec" ~password:"pw" with
+    | Ok h -> h
+    | Error _ -> failwith "bench: spec login"
+  in
+  let spec_home =
+    match
+      Multics_kernel.User_env.resolve_path spec_system ~handle:spec_handle ~path:">udd>Spec>Bench"
+    with
+    | Ok segno -> segno
+    | Error _ -> failwith "bench: spec home"
+  in
+  let spec_data =
+    match
+      Multics_kernel.Api.Call.dispatch spec_system ~handle:spec_handle
+        (Multics_kernel.Api.Call.Create_segment
+           {
+             dir_segno = spec_home;
+             name = "data";
+             acl = Multics_access.Acl.of_strings [ ("Bench.Spec.*", "rew") ];
+             label = Multics_access.Label.unclassified;
+             brackets = None;
+           })
+    with
+    | Ok (Multics_kernel.Api.Call.Segno segno) -> segno
+    | _ -> failwith "bench: spec data segment"
+  in
+  let read_once () =
+    ignore
+      (Multics_kernel.Api.Call.dispatch spec_system ~handle:spec_handle
+         (Multics_kernel.Api.Call.Read_word { segno = spec_data; offset = 0 }))
+  in
+  let spec_iters = 20_000 in
+  ignore (time_iters 1_000 read_once);
+  let unmasked_t = median (List.init trials (fun _ -> time_iters spec_iters read_once)) in
+  let profile, () =
+    Spec.Profile.observe ~name:"bench-read" (fun () ->
+        read_once ();
+        ())
+  in
+  let spec =
+    Spec.Specialisation.compile ~keep:[ "enter_subsystem"; "logout" ] ~name:"bench-read"
+      spec_config profile
+  in
+  Spec.Specialisation.apply spec_system spec;
+  let masked_t = median (List.init trials (fun _ -> time_iters spec_iters read_once)) in
+  let refuse_once () =
+    ignore
+      (Multics_kernel.Api.Call.dispatch spec_system ~handle:spec_handle
+         (Multics_kernel.Api.Call.List_directory { dir_segno = spec_home }))
+  in
+  let refusal_t = median (List.init trials (fun _ -> time_iters spec_iters refuse_once)) in
+  Spec.Specialisation.clear spec_system;
+  let spec_overhead = masked_t /. unmasked_t in
+  let spec_max_overhead = 3.0 in
+  Printf.printf
+    "bench smoke: [e22] admitted dispatch %.1f ns unmasked vs %.1f ns under a %d-of-%d-gate table (%.2fx, required <= %.1fx); stripped-gate refusal %.1f ns\n"
+    (ns_per unmasked_t spec_iters) (ns_per masked_t spec_iters)
+    (Spec.Specialisation.gate_count spec)
+    (Spec.Specialisation.full_count spec)
+    spec_overhead spec_max_overhead (ns_per refusal_t spec_iters);
+  if spec_overhead > spec_max_overhead then begin
+    print_endline "bench smoke: FAIL — the gate mask made admitted dispatch too expensive";
+    exit 1
+  end;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_e22_spec.json" in
+  Printf.fprintf oc
+    {|{"bench": "e22_spec", "unix_time": %.0f, "trials": %d, "iters": %d, "unmasked_dispatch_ns": %.2f, "masked_dispatch_ns": %.2f, "overhead_ratio": %.3f, "max_overhead_ratio": %.2f, "stripped_refusal_ns": %.2f, "gates_kept": %d, "gates_full": %d}
+|}
+    (Unix.time ()) trials spec_iters (ns_per unmasked_t spec_iters)
+    (ns_per masked_t spec_iters) spec_overhead spec_max_overhead
+    (ns_per refusal_t spec_iters)
+    (Spec.Specialisation.gate_count spec)
+    (Spec.Specialisation.full_count spec);
+  close_out oc;
+  print_endline "bench smoke: appended to BENCH_e22_spec.json";
   print_endline "bench smoke: OK"
 
 let () =

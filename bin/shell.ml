@@ -16,6 +16,7 @@ module Smp = Multics_smp.Smp
 module Site = Multics_site.Site
 module Cmd = Multics_shellcmd.Shellcmd.Command
 module Mc = Multics_mc.Mc
+module Spec = Multics_spec.Spec
 
 (* [fleet] is the distributed plant ([MULTICS_SITES] > 1): the [site]
    operator family drives it.  The single-site shell carries [None]
@@ -26,6 +27,8 @@ type shell = {
   mutable handle : int option;
   fleet : Site.t option;
   mutable last_mc : Mc.outcome option;
+  mutable profiling : Obs.Snapshot.t option;  (* baseline of an open [spec profile] *)
+  mutable profile : Spec.Profile.t option;  (* last captured gate-usage profile *)
 }
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
@@ -96,6 +99,12 @@ let cmd_help () =
     \                          ('bug' re-enables the pre-PR 5 deferred-connect window)\n\
     \  mc status               the last exploration's states/depth table and verdicts\n\
     \  mc replay TRACE [bug]   replay a comma-separated action trace, report violations\n\
+    \  spec profile start      record the per-gate dispatch counters from here on\n\
+    \  spec profile stop NAME  snapshot the recording into a named gate-usage profile\n\
+    \  spec apply              compile the captured profile, strip every unused gate\n\
+    \                          (stripped gates refuse with Gate_absent; login survives)\n\
+    \  spec clear              restore the full gate surface\n\
+    \  spec status             the installed mask and the captured profile\n\
     \  salvage                 roll back aborted creates, drop dangling KST entries,\n\
     \                          re-derive descriptors from the access records\n\
     \  help | exit"
@@ -531,6 +540,63 @@ let cmd_mc_replay ~trace ~bug =
       | [] -> say "0 violations: the reference monitor held"
       | vs -> List.iter (fun v -> say "  %s" (Mc.violation_to_string v)) vs)
 
+(* Per-workload specialisation: profile the session's own gate
+   traffic, compile it into a gate mask, install it.  Subsystem entry
+   and logout stay alive under every mask so the operator can't strip
+   the session out from under themselves. *)
+let spec_always_keep = [ "enter_subsystem"; "logout" ]
+
+let cmd_spec_profile_start shell =
+  match shell.profiling with
+  | Some _ -> say "profiling already in progress (use: spec profile stop NAME)"
+  | None ->
+      Obs.set_enabled true;
+      shell.profiling <- Some (Obs.Snapshot.capture ());
+      say "gate profiling started — every dispatch from here on is recorded";
+      say "stop with: spec profile stop NAME"
+
+let cmd_spec_profile_stop shell ~name =
+  match shell.profiling with
+  | None -> say "no profiling in progress (use: spec profile start)"
+  | Some before ->
+      shell.profiling <- None;
+      let diff = Obs.Snapshot.diff ~before ~after:(Obs.Snapshot.capture ()) in
+      let profile = Spec.Profile.of_snapshot ~name diff in
+      shell.profile <- Some profile;
+      let gates = List.length (Spec.Profile.used_gates profile) in
+      if gates = 0 then
+        say "profile %S captured: no gate calls observed (apply would strip everything)" name
+      else begin
+        say "profile %S captured: %d gates, %d calls" name gates (Spec.Profile.total_calls profile);
+        print_string (Spec.Profile.to_string profile)
+      end
+
+let cmd_spec_apply shell =
+  match shell.profile with
+  | None -> say "no captured profile (use: spec profile start ... spec profile stop NAME)"
+  | Some profile ->
+      let spec =
+        Spec.Specialisation.compile ~keep:spec_always_keep ~name:(Spec.Profile.name profile)
+          (System.config shell.system) profile
+      in
+      Spec.Specialisation.apply shell.system spec;
+      say "%s" (Spec.Specialisation.describe spec);
+      say "%s" (Spec.Specialisation.status shell.system)
+
+let cmd_spec_clear shell =
+  Spec.Specialisation.clear shell.system;
+  say "full gate surface restored"
+
+let cmd_spec_status shell =
+  say "%s" (Spec.Specialisation.status shell.system);
+  (match shell.profile with
+  | Some profile ->
+      say "captured profile: %s (%d gates, %d calls)" (Spec.Profile.name profile)
+        (List.length (Spec.Profile.used_gates profile))
+        (Spec.Profile.total_calls profile)
+  | None -> say "no captured profile");
+  if shell.profiling <> None then say "profiling in progress (stop with: spec profile stop NAME)"
+
 let cmd_audit shell n =
   let records = Audit_log.records (System.audit shell.system) in
   let tail =
@@ -561,6 +627,11 @@ let run_operator shell = function
   | Cmd.Mc_run { depth; bug } -> cmd_mc_run shell ~depth ~bug
   | Cmd.Mc_status -> cmd_mc_status shell
   | Cmd.Mc_replay { trace; bug } -> cmd_mc_replay ~trace ~bug
+  | Cmd.Spec_profile_start -> cmd_spec_profile_start shell
+  | Cmd.Spec_profile_stop { name } -> cmd_spec_profile_stop shell ~name
+  | Cmd.Spec_apply -> cmd_spec_apply shell
+  | Cmd.Spec_clear -> cmd_spec_clear shell
+  | Cmd.Spec_status -> cmd_spec_status shell
 
 let execute shell line =
   let words =
@@ -624,7 +695,16 @@ let () =
      single shell system; the [site] family drives it. *)
   let nsites = Site.default_nsites () in
   let fleet = if nsites > 1 then Some (Site.create ~nsites ~config ()) else None in
-  let shell = { system = System.create config; handle = None; fleet; last_mc = None } in
+  let shell =
+    {
+      system = System.create config;
+      handle = None;
+      fleet;
+      last_mc = None;
+      profiling = None;
+      profile = None;
+    }
+  in
   (* MULTICS_NCPU > 1 boots the multiprocessor plant: per-CPU
      associative memories, connect coherence on every descriptor
      mutation, [smp status] live.  At 1 CPU no plant is attached and

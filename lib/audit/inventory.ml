@@ -180,3 +180,86 @@ let subsystem_gates config ~subsystem =
     0 (modules config)
 
 let address_space_statements config = subsystem_statements config ~subsystem:"address-space"
+
+(* ----- Specialised-surface accounting (E22 through the E12 lens) -----
+
+   A per-workload specialisation strips entries from the functional
+   gate catalog (lib/core/gate.ml); this maps the stripped fraction
+   back onto the paper-scale inventory so E22 can report the reduced
+   attack surface in the same units E12 uses (180 baseline gates).
+   Inventory subsystems with no counterpart in the functional catalog
+   (traffic control, fault handling, initialization, ...) have no
+   user-strippable entries and pass through at full size. *)
+
+type specialised_surface = {
+  functional_kept : int;
+  functional_full : int;
+  paper_kept : int;
+  paper_full : int;
+  by_subsystem : (string * int * int) list;
+      (* functional subsystem, kept, full — catalog units *)
+}
+
+let inventory_subsystem_of_functional = function
+  | "fs-directory" -> "directory-control"
+  | "fs-content" -> "segment-control"
+  | "naming" -> "address-space"
+  | "page-mechanism" -> "page-control"
+  | s -> s (* ipc, linker, login, io-* share names across the views *)
+
+let specialised_surface config ~admitted =
+  let catalog = Multics_kernel.Gate.catalog config in
+  let functional_subsystems =
+    List.sort_uniq String.compare
+      (List.map (fun e -> e.Multics_kernel.Gate.subsystem) catalog)
+  in
+  let by_subsystem =
+    List.map
+      (fun subsystem ->
+        let entries =
+          List.filter (fun e -> e.Multics_kernel.Gate.subsystem = subsystem) catalog
+        in
+        let kept =
+          List.length
+            (List.filter (fun e -> admitted e.Multics_kernel.Gate.gate_name) entries)
+        in
+        (subsystem, kept, List.length entries))
+      functional_subsystems
+  in
+  let functional_kept = List.fold_left (fun acc (_, k, _) -> acc + k) 0 by_subsystem in
+  let functional_full = List.length catalog in
+  (* Scale each inventory subsystem by its functional subsystem's kept
+     fraction (rounded); inventory subsystems no functional subsystem
+     maps onto keep their full gate count. *)
+  let scaled_inventory_gates inv_subsystem full_gates =
+    let fractions =
+      List.filter_map
+        (fun (fn, kept, full) ->
+          if inventory_subsystem_of_functional fn = inv_subsystem && full > 0 then
+            Some (kept, full)
+          else None)
+        by_subsystem
+    in
+    match fractions with
+    | [] -> full_gates
+    | _ ->
+        let kept = List.fold_left (fun acc (k, _) -> acc + k) 0 fractions in
+        let full = List.fold_left (fun acc (_, f) -> acc + f) 0 fractions in
+        ((full_gates * kept) + (full / 2)) / full
+  in
+  let inventory_subsystems =
+    List.sort_uniq String.compare (List.map (fun md -> md.subsystem) (modules config))
+  in
+  let paper_kept =
+    List.fold_left
+      (fun acc inv ->
+        acc + scaled_inventory_gates inv (subsystem_gates config ~subsystem:inv))
+      0 inventory_subsystems
+  in
+  {
+    functional_kept;
+    functional_full;
+    paper_kept;
+    paper_full = total_gates config;
+    by_subsystem;
+  }

@@ -34,3 +34,23 @@ val subsystem_gates : Multics_kernel.Config.t -> subsystem:string -> int
 
 val address_space_statements : Multics_kernel.Config.t -> int
 (** Protected code managing the address space (E2's factor-of-ten). *)
+
+(** {1 Specialised-surface accounting (E22)} *)
+
+type specialised_surface = {
+  functional_kept : int;  (** admitted gates in the functional catalog *)
+  functional_full : int;  (** the configuration's full catalog size *)
+  paper_kept : int;  (** the kept surface at paper scale (180-gate baseline) *)
+  paper_full : int;  (** the configuration's paper-scale total *)
+  by_subsystem : (string * int * int) list;
+      (** (functional subsystem, kept, full), sorted by subsystem *)
+}
+
+val specialised_surface :
+  Multics_kernel.Config.t -> admitted:(string -> bool) -> specialised_surface
+(** The attack surface left by a per-workload specialisation, in both
+    the functional catalog's units and the paper-scale inventory's:
+    each inventory subsystem is scaled by its functional subsystem's
+    kept fraction; inventory subsystems with no functional counterpart
+    (traffic control, fault handling, ...) have no user-strippable
+    entries and pass through at full size. *)

@@ -36,6 +36,22 @@ let expect what = function
 let expect_api what r = expect what (Result.map_error Api.error_to_string r)
 let expect_env what r = expect what (Result.map_error User_env.error_to_string r)
 
+(* Scenario gate traffic goes through the typed dispatch surface; the
+   projections below keep the scenario bodies readable. *)
+let write_word system ~handle ~segno ~offset ~value =
+  Result.map
+    (fun _ -> ())
+    (Api.Call.dispatch system ~handle (Api.Call.Write_word { segno; offset; value }))
+
+let read_word system ~handle ~segno ~offset =
+  match Api.Call.dispatch system ~handle (Api.Call.Read_word { segno; offset }) with
+  | Ok (Api.Call.Word v) -> Ok v
+  | Ok _ -> invalid_arg "trojan: read_word returned a mismatched reply"
+  | Error e -> Error e
+
+let set_acl system ~handle ~segno ~acl =
+  Result.map (fun _ -> ()) (Api.Call.dispatch system ~handle (Api.Call.Set_acl { segno; acl }))
+
 let login_expect system ~person ~project ~password =
   expect "login"
     (Result.map_error System.login_error_to_string (System.login system ~person ~project ~password))
@@ -61,7 +77,7 @@ let build () =
          ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw") ])
          ~label:Label.unclassified)
   in
-  expect_api "diary write" (Api.write_word system ~handle:jones ~segno:diary ~offset:0 ~value:424242);
+  expect_api "diary write" (write_word system ~handle:jones ~segno:diary ~offset:0 ~value:424242);
   (system, jones, mallory, diary)
 
 (* 1. A system-provided program with a random error scribbles on its
@@ -72,11 +88,11 @@ let scenario_system_provided () =
   (* The buggy library routine, running as Jones, corrupts Jones's own
      diary... *)
   let buggy_routine () =
-    expect_api "bug write" (Api.write_word system ~handle:jones ~segno:diary ~offset:0 ~value:0)
+    expect_api "bug write" (write_word system ~handle:jones ~segno:diary ~offset:0 ~value:0)
   in
   buggy_routine ();
   let corrupted =
-    expect_api "reread" (Api.read_word system ~handle:jones ~segno:diary ~offset:0) = 0
+    expect_api "reread" (read_word system ~handle:jones ~segno:diary ~offset:0) = 0
   in
   {
     category = System_provided;
@@ -98,7 +114,7 @@ let scenario_user_constructed () =
          ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw") ])
          ~label:Label.unclassified)
   in
-  expect_api "own bug" (Api.write_word system ~handle:jones ~segno:scratch ~offset:0 ~value:(-1));
+  expect_api "own bug" (write_word system ~handle:jones ~segno:scratch ~offset:0 ~value:(-1));
   {
     category = User_constructed;
     scenario_name = "user's own buggy program";
@@ -117,7 +133,7 @@ let scenario_borrowed_unconfined () =
   let lent_editor_payload () =
     (* ... the useful editing ... and the payload: *)
     expect_api "trojan set_acl"
-      (Api.set_acl system ~handle:jones ~segno:diary
+      (set_acl system ~handle:jones ~segno:diary
          ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw"); ("Mallory.*.*", "r") ]))
   in
   lent_editor_payload ();
@@ -133,7 +149,7 @@ let scenario_borrowed_unconfined () =
         | Error _ -> None
         | Ok uid -> (
             let segno = System.install_known system p ~uid in
-            match Api.read_word system ~handle:mallory ~segno ~offset:0 with
+            match read_word system ~handle:mallory ~segno ~offset:0 with
             | Ok v -> Some v
             | Error _ -> None))
   in
@@ -169,10 +185,10 @@ let scenario_borrowed_confined () =
   (match System.proc system jones with
   | Some p -> p.System.ring <- Multics_machine.Ring.of_int 5
   | None -> invalid_arg "no process");
-  let editor_reads_workfile = Api.read_word system ~handle:jones ~segno:workfile ~offset:0 in
-  let payload_reads_diary = Api.read_word system ~handle:jones ~segno:diary ~offset:0 in
+  let editor_reads_workfile = read_word system ~handle:jones ~segno:workfile ~offset:0 in
+  let payload_reads_diary = read_word system ~handle:jones ~segno:diary ~offset:0 in
   let payload_widens_acl =
-    Api.set_acl system ~handle:jones ~segno:diary
+    set_acl system ~handle:jones ~segno:diary
       ~acl:(Acl.of_strings [ ("*.*.*", "rw") ])
   in
   (match System.proc system jones with
@@ -206,7 +222,7 @@ let scenario_mutual_consent () =
          ~acl:(Acl.of_strings [ ("Jones.Crypto.*", "rw"); ("Mallory.Guest.*", "rw") ])
          ~label:Label.unclassified)
   in
-  expect_api "good module" (Api.write_word system ~handle:jones ~segno:shared ~offset:0 ~value:7);
+  expect_api "good module" (write_word system ~handle:jones ~segno:shared ~offset:0 ~value:7);
   (* Mallory, a consenting team member, installs a corrupted module. *)
   let mallory_segno =
     match System.proc system mallory with
@@ -220,8 +236,8 @@ let scenario_mutual_consent () =
         | Error e -> invalid_arg (Multics_fs.Hierarchy.error_to_string e))
   in
   expect_api "corrupt install"
-    (Api.write_word system ~handle:mallory ~segno:mallory_segno ~offset:0 ~value:666);
-  let jones_sees = expect_api "jones reads" (Api.read_word system ~handle:jones ~segno:shared ~offset:0) in
+    (write_word system ~handle:mallory ~segno:mallory_segno ~offset:0 ~value:666);
+  let jones_sees = expect_api "jones reads" (read_word system ~handle:jones ~segno:shared ~offset:0) in
   {
     category = Mutual_consent;
     scenario_name = "team compiler installation mechanism";

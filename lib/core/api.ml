@@ -1,22 +1,21 @@
 (* The kernel's gate-call interface.
 
-   Every supervisor entry point from the {!Gate} catalog is reachable
-   two equivalent ways:
+   Every supervisor entry point from the {!Gate} catalog is reached
+   one way: build a {!Call.request} and hand it to {!Call.dispatch} —
+   THE single audited, metered entry point.  (The legacy per-gate
+   wrapper functions are gone: a second door, even a thin one, is a
+   second place specialisation masks and metering must hold.)
 
-   - the typed way: build a {!Call.request} and hand it to
-     {!Call.dispatch} — THE single audited, metered entry point;
-   - the legacy way: the per-gate functions below, which are thin
-     wrappers that build the request, dispatch it, and project the
-     typed reply back out.  These are DEPRECATED (see api.mli): kept
-     one release for out-of-tree callers, no longer used in-tree.
-
-   A call is mediated three times over:
+   A call is mediated four times over:
 
    1. the gate must exist in the running configuration (a removed
       mechanism's gates are simply absent — the caller must use the
       user-ring library instead);
-   2. the caller's ring must be within the gate's call bracket;
-   3. the operation itself applies the reference monitor (ACL x
+   2. an installed specialisation mask must admit the gate (a
+      stripped gate refuses with the same [Gate_absent] before any
+      kernel state is touched);
+   3. the caller's ring must be within the gate's call bracket;
+   4. the operation itself applies the reference monitor (ACL x
       lattice at descriptor construction, SDW checks at reference).
 
    Because every call funnels through [dispatch]'s [call] wrapper, the
@@ -200,7 +199,13 @@ let gate_check system (p : System.proc) ~gate =
   match Gate.find (System.config system) ~gate_name:gate with
   | None -> Error (Gate_absent gate)
   | Some entry ->
-      if Ring.to_int p.System.ring <= Ring.to_int entry.Gate.call_top then Ok ()
+      (* A specialised kernel simply does not have its stripped gates:
+         the mask check sits here, before the ring check and before
+         any body runs, so a stripped entry refuses exactly like a
+         removed mechanism's — [Gate_absent], audited, no kernel
+         state touched. *)
+      if not (System.gate_admitted system ~gate) then Error (Gate_absent gate)
+      else if Ring.to_int p.System.ring <= Ring.to_int entry.Gate.call_top then Ok ()
       else Error (Gate_ring_denied { gate; ring = Ring.to_int p.System.ring })
 
 (* Wrap one gate call: locate the process, enforce the gate
@@ -1068,281 +1073,3 @@ module Call = struct
                 Ok (Smp_report { ncpus = Multics_smp.Smp.ncpus plant; plant = readings; cpus }))
 end
 
-(* ----- Legacy per-gate functions: thin wrappers over [Call.dispatch] -----
-
-   Each projects the typed reply back into the function's historical
-   return type.  A shape mismatch is impossible by construction (each
-   dispatch arm returns its request's reply constructor); [mismatch]
-   makes the impossible loud rather than silent. *)
-
-let mismatch what = invalid_arg ("Api." ^ what ^ ": dispatch returned a mismatched reply")
-
-let expect_done what = function
-  | Ok Call.Done -> Ok ()
-  | Error e -> Error e
-  | Ok _ -> mismatch what
-
-let expect_segno what = function
-  | Ok (Call.Segno segno) -> Ok segno
-  | Error e -> Error e
-  | Ok _ -> mismatch what
-
-let expect_word what = function
-  | Ok (Call.Word value) -> Ok value
-  | Error e -> Error e
-  | Ok _ -> mismatch what
-
-let expect_names what = function
-  | Ok (Call.Names names) -> Ok names
-  | Error e -> Error e
-  | Ok _ -> mismatch what
-
-(* ----- Directory control ----- *)
-
-let initiate system ~handle ~dir_segno ~name =
-  expect_segno "initiate" (Call.dispatch system ~handle (Call.Initiate { dir_segno; name }))
-
-let terminate system ~handle ~segno =
-  expect_done "terminate" (Call.dispatch system ~handle (Call.Terminate { segno }))
-
-let create_segment ?brackets system ~handle ~dir_segno ~name ~acl ~label =
-  expect_segno "create_segment"
-    (Call.dispatch system ~handle (Call.Create_segment { dir_segno; name; acl; label; brackets }))
-
-let create_directory system ~handle ~dir_segno ~name ~acl ~label =
-  expect_segno "create_directory"
-    (Call.dispatch system ~handle (Call.Create_directory { dir_segno; name; acl; label }))
-
-let delete_entry system ~handle ~dir_segno ~name =
-  expect_done "delete_entry" (Call.dispatch system ~handle (Call.Delete_entry { dir_segno; name }))
-
-let rename_entry system ~handle ~dir_segno ~name ~new_name =
-  expect_done "rename_entry"
-    (Call.dispatch system ~handle (Call.Rename_entry { dir_segno; name; new_name }))
-
-let list_directory system ~handle ~dir_segno =
-  expect_names "list_directory" (Call.dispatch system ~handle (Call.List_directory { dir_segno }))
-
-let status_entry system ~handle ~dir_segno ~name =
-  match Call.dispatch system ~handle (Call.Status_entry { dir_segno; name }) with
-  | Ok (Call.Status status) -> Ok status
-  | Error e -> Error e
-  | Ok _ -> mismatch "status_entry"
-
-let set_acl system ~handle ~segno ~acl =
-  expect_done "set_acl" (Call.dispatch system ~handle (Call.Set_acl { segno; acl }))
-
-let set_brackets system ~handle ~segno ~brackets =
-  expect_done "set_brackets" (Call.dispatch system ~handle (Call.Set_brackets { segno; brackets }))
-
-let set_gate_bound system ~handle ~segno ~gate_bound =
-  expect_done "set_gate_bound"
-    (Call.dispatch system ~handle (Call.Set_gate_bound { segno; gate_bound }))
-
-(* ----- Content references ----- *)
-
-let read_word system ~handle ~segno ~offset =
-  expect_word "read_word" (Call.dispatch system ~handle (Call.Read_word { segno; offset }))
-
-let write_word system ~handle ~segno ~offset ~value =
-  expect_done "write_word" (Call.dispatch system ~handle (Call.Write_word { segno; offset; value }))
-
-(* ----- Naming gates ----- *)
-
-let initiate_by_path system ~handle ~path =
-  expect_segno "initiate_by_path" (Call.dispatch system ~handle (Call.Initiate_by_path { path }))
-
-let create_segment_by_path ?brackets system ~handle ~path ~acl ~label =
-  expect_segno "create_segment_by_path"
-    (Call.dispatch system ~handle (Call.Create_segment_by_path { path; acl; label; brackets }))
-
-let create_directory_by_path system ~handle ~path ~acl ~label =
-  expect_segno "create_directory_by_path"
-    (Call.dispatch system ~handle (Call.Create_directory_by_path { path; acl; label }))
-
-let delete_by_path system ~handle ~path =
-  expect_done "delete_by_path" (Call.dispatch system ~handle (Call.Delete_by_path { path }))
-
-let resolve_path system ~handle ~path =
-  expect_segno "resolve_path" (Call.dispatch system ~handle (Call.Resolve_path { path }))
-
-let rnt_bind system ~handle ~name ~segno =
-  expect_done "rnt_bind" (Call.dispatch system ~handle (Call.Rnt_bind { name; segno }))
-
-let rnt_lookup system ~handle ~name =
-  expect_segno "rnt_lookup" (Call.dispatch system ~handle (Call.Rnt_lookup { name }))
-
-let rnt_unbind system ~handle ~name =
-  expect_done "rnt_unbind" (Call.dispatch system ~handle (Call.Rnt_unbind { name }))
-
-let list_reference_names system ~handle ~segno =
-  expect_names "list_reference_names"
-    (Call.dispatch system ~handle (Call.List_reference_names { segno }))
-
-(* ----- Linker gates ----- *)
-
-let snap_link system ~handle ~segno ~link_index =
-  match Call.dispatch system ~handle (Call.Snap_link { segno; link_index }) with
-  | Ok (Call.Snapped { segno; offset }) -> Ok (segno, offset)
-  | Error e -> Error e
-  | Ok _ -> mismatch "snap_link"
-
-let set_search_rules system ~handle ~dir_segnos =
-  expect_done "set_search_rules"
-    (Call.dispatch system ~handle (Call.Set_search_rules { dir_segnos }))
-
-let get_search_rules system ~handle =
-  expect_names "get_search_rules" (Call.dispatch system ~handle Call.Get_search_rules)
-
-(* ----- Protected subsystem entry ----- *)
-
-let expect_ring what = function
-  | Ok (Call.Entered ring) -> Ok ring
-  | Error e -> Error e
-  | Ok _ -> mismatch what
-
-let enter_subsystem system ~handle ~segno ~entry_offset ~name =
-  expect_ring "enter_subsystem"
-    (Call.dispatch system ~handle (Call.Enter_subsystem { segno; entry_offset; name }))
-
-let exit_subsystem system ~handle =
-  expect_ring "exit_subsystem" (Call.dispatch system ~handle Call.Exit_subsystem)
-
-(* ----- IPC gates ----- *)
-
-let create_channel system ~handle =
-  match Call.dispatch system ~handle Call.Create_channel with
-  | Ok (Call.Channel id) -> Ok id
-  | Error e -> Error e
-  | Ok _ -> mismatch "create_channel"
-
-let send_wakeup system ~handle ~channel =
-  expect_done "send_wakeup" (Call.dispatch system ~handle (Call.Send_wakeup { channel }))
-
-let block system ~handle ~channel =
-  match Call.dispatch system ~handle (Call.Block { channel }) with
-  | Ok (Call.Consumed consumed) -> Ok consumed
-  | Error e -> Error e
-  | Ok _ -> mismatch "block"
-
-(* ----- External I/O gates ----- *)
-
-let attach_device system ~handle ~device =
-  expect_done "attach_device" (Call.dispatch system ~handle (Call.Attach_device { device }))
-
-let detach_device system ~handle ~device =
-  expect_done "detach_device" (Call.dispatch system ~handle (Call.Detach_device { device }))
-
-let device_write system ~handle ~device ~message =
-  expect_done "device_write" (Call.dispatch system ~handle (Call.Device_write { device; message }))
-
-let device_read system ~handle ~device =
-  match Call.dispatch system ~handle (Call.Device_read { device }) with
-  | Ok (Call.Message message) -> Ok message
-  | Error e -> Error e
-  | Ok _ -> mismatch "device_read"
-
-(* ----- Quota ----- *)
-
-let set_quota system ~handle ~segno ~quota =
-  expect_done "set_quota" (Call.dispatch system ~handle (Call.Set_quota { segno; quota }))
-
-(* ----- Remaining linker gates ----- *)
-
-let list_links system ~handle ~segno =
-  match Call.dispatch system ~handle (Call.List_links { segno }) with
-  | Ok (Call.Links links) -> Ok links
-  | Error e -> Error e
-  | Ok _ -> mismatch "list_links"
-
-(* ----- Remaining naming gates ----- *)
-
-let get_working_dir system ~handle =
-  expect_segno "get_working_dir" (Call.dispatch system ~handle Call.Get_working_dir)
-
-let set_working_dir system ~handle ~dir_segno =
-  expect_done "set_working_dir" (Call.dispatch system ~handle (Call.Set_working_dir { dir_segno }))
-
-let initiate_count system ~handle =
-  expect_word "initiate_count" (Call.dispatch system ~handle Call.Initiate_count)
-
-let terminate_by_path system ~handle ~path =
-  expect_done "terminate_by_path" (Call.dispatch system ~handle (Call.Terminate_by_path { path }))
-
-(* ----- Process-management gates ----- *)
-
-let expect_process what = function
-  | Ok (Call.Process handle) -> Ok handle
-  | Error e -> Error e
-  | Ok _ -> mismatch what
-
-let create_process system ~handle =
-  expect_process "create_process" (Call.dispatch system ~handle Call.Create_process)
-
-let destroy_process system ~handle ~target =
-  expect_done "destroy_process" (Call.dispatch system ~handle (Call.Destroy_process { target }))
-
-let new_proc system ~handle = expect_process "new_proc" (Call.dispatch system ~handle Call.New_proc)
-
-let proc_info system ~handle =
-  match Call.dispatch system ~handle Call.Proc_info with
-  | Ok (Call.Info info) -> Ok info
-  | Error e -> Error e
-  | Ok _ -> mismatch "proc_info"
-
-let list_processes system ~handle =
-  match Call.dispatch system ~handle Call.List_processes with
-  | Ok (Call.Processes handles) -> Ok handles
-  | Error e -> Error e
-  | Ok _ -> mismatch "list_processes"
-
-let operator_message system ~handle ~message =
-  expect_done "operator_message" (Call.dispatch system ~handle (Call.Operator_message { message }))
-
-(* ----- Fault injection and salvage ----- *)
-
-let set_fault_plan system ~handle ~seed ~spec =
-  expect_done "set_fault_plan" (Call.dispatch system ~handle (Call.Set_fault_plan { seed; spec }))
-
-let fault_status system ~handle =
-  match Call.dispatch system ~handle Call.Fault_status with
-  | Ok (Call.Fault_report { plan; counts }) -> Ok (plan, counts)
-  | Error e -> Error e
-  | Ok _ -> mismatch "fault_status"
-
-let clear_faults system ~handle =
-  expect_done "clear_faults" (Call.dispatch system ~handle Call.Clear_faults)
-
-let salvage system ~handle =
-  match Call.dispatch system ~handle Call.Salvage with
-  | Ok (Call.Salvaged report) -> Ok report
-  | Error e -> Error e
-  | Ok _ -> mismatch "salvage"
-
-(* ----- Cache inspection and control ----- *)
-
-let probe_access system ~handle ~segno ~requested =
-  match Call.dispatch system ~handle (Call.Probe_access { segno; requested }) with
-  | Ok (Call.Probed verdict) -> Ok verdict
-  | Error e -> Error e
-  | Ok _ -> mismatch "probe_access"
-
-let cache_status system ~handle =
-  match Call.dispatch system ~handle Call.Cache_status with
-  | Ok (Call.Cache_report { policy; assoc }) -> Ok (policy, assoc)
-  | Error e -> Error e
-  | Ok _ -> mismatch "cache_status"
-
-let cache_clear system ~handle =
-  expect_done "cache_clear" (Call.dispatch system ~handle Call.Cache_clear)
-
-(* ----- Traffic controller ----- *)
-
-let sched_status system ~handle =
-  match Call.dispatch system ~handle Call.Sched_status with
-  | Ok (Call.Sched_report { policy; counters }) -> Ok (policy, counters)
-  | Error e -> Error e
-  | Ok _ -> mismatch "sched_status"
-
-let sched_tune system ~handle ~param ~value =
-  expect_done "sched_tune" (Call.dispatch system ~handle (Call.Sched_tune { param; value }))

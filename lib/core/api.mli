@@ -1,19 +1,16 @@
 (** The kernel's gate-call interface.  Calls are refused when the gate
-    is absent from the running configuration, when the caller's ring is
+    is absent from the running configuration, when an installed
+    specialisation mask has stripped it, when the caller's ring is
     outside the gate's call bracket, or when the reference monitor
     refuses the operation; every call is audited.
 
-    {b Deprecation notice.}  The per-gate wrapper functions below
-    ([initiate], [read_word], [set_acl], ...) are the legacy surface:
-    one OCaml function per supervisor entry point, each privately
-    rebuilding the audit/metering prologue.  They are kept for one
-    release so out-of-tree callers keep compiling, but all in-tree
-    callers (shell, examples, experiments, workloads, benches) now go
-    through the typed surface — build a {!Call.request} and hand it to
-    {!Call.dispatch}, which is the single audited, metered entry point.
-    New code must not add per-gate wrappers; add a [Call.request]
-    constructor instead.  The wrappers will be removed once the
-    deprecation window closes. *)
+    There is exactly one entry point: build a {!Call.request} and hand
+    it to {!Call.dispatch}.  (The legacy per-gate wrapper functions —
+    one OCaml function per supervisor entry, each privately rebuilding
+    the audit/metering prologue — have completed their deprecation
+    window and are gone: a second door is a second place the
+    specialisation mask and the metering would have to hold.)  New
+    supervisor entries are added as [Call.request] constructors. *)
 
 open Multics_access
 open Multics_fs
@@ -57,49 +54,7 @@ val error_to_json : error -> string
 (** Machine-readable refusal cause: an object with a ["kind"]
     discriminator plus cause-specific fields. *)
 
-(** {1 Directory control}
-
-    @deprecated All per-gate wrappers in this and the following
-    sections are legacy shims over {!Call.dispatch}; see the module
-    header.  Use [Call.dispatch system ~handle (Call.Initiate ...)]
-    and friends in new code. *)
-
-val initiate :
-  System.t -> handle:int -> dir_segno:int -> name:string -> (int, error) result
-(** Look [name] up in an initiated directory and make the result known;
-    returns its segment number.  This is the simple post-removal
-    interface: "instead of identifying a directory by character string
-    tree name ... a segment number is used". *)
-
-val terminate : System.t -> handle:int -> segno:int -> (unit, error) result
-
-val create_segment :
-  ?brackets:Brackets.t ->
-  System.t ->
-  handle:int ->
-  dir_segno:int ->
-  name:string ->
-  acl:Acl.t ->
-  label:Label.t ->
-  (int, error) result
-
-val create_directory :
-  System.t ->
-  handle:int ->
-  dir_segno:int ->
-  name:string ->
-  acl:Acl.t ->
-  label:Label.t ->
-  (int, error) result
-
-val delete_entry :
-  System.t -> handle:int -> dir_segno:int -> name:string -> (unit, error) result
-
-val rename_entry :
-  System.t -> handle:int -> dir_segno:int -> name:string -> new_name:string ->
-  (unit, error) result
-
-val list_directory : System.t -> handle:int -> dir_segno:int -> (string list, error) result
+(** {1 Reply payload records} *)
 
 type entry_status = {
   status_name : string;
@@ -108,142 +63,11 @@ type entry_status = {
   status_pages : int;
 }
 
-val status_entry :
-  System.t -> handle:int -> dir_segno:int -> name:string -> (entry_status, error) result
-
-val set_acl : System.t -> handle:int -> segno:int -> acl:Acl.t -> (unit, error) result
-
-val set_brackets :
-  System.t -> handle:int -> segno:int -> brackets:Brackets.t -> (unit, error) result
-
-val set_gate_bound :
-  System.t -> handle:int -> segno:int -> gate_bound:int -> (unit, error) result
-
-(** {1 Content references (checked against the installed SDW)} *)
-
-val read_word : System.t -> handle:int -> segno:int -> offset:int -> (int, error) result
-
-val write_word :
-  System.t -> handle:int -> segno:int -> offset:int -> value:int -> (unit, error) result
-
-(** {1 Naming gates (kernel-resident naming only)} *)
-
-val initiate_by_path : System.t -> handle:int -> path:string -> (int, error) result
-
-val create_segment_by_path :
-  ?brackets:Brackets.t ->
-  System.t ->
-  handle:int ->
-  path:string ->
-  acl:Acl.t ->
-  label:Label.t ->
-  (int, error) result
-
-val create_directory_by_path :
-  System.t -> handle:int -> path:string -> acl:Acl.t -> label:Label.t -> (int, error) result
-
-val delete_by_path : System.t -> handle:int -> path:string -> (unit, error) result
-
-val resolve_path : System.t -> handle:int -> path:string -> (int, error) result
-
-val rnt_bind : System.t -> handle:int -> name:string -> segno:int -> (unit, error) result
-val rnt_lookup : System.t -> handle:int -> name:string -> (int, error) result
-val rnt_unbind : System.t -> handle:int -> name:string -> (unit, error) result
-
-val list_reference_names :
-  System.t -> handle:int -> segno:int -> (string list, error) result
-
-(** {1 Linker gates (kernel-resident linker only)} *)
-
-val snap_link :
-  System.t -> handle:int -> segno:int -> link_index:int -> (int * int, error) result
-(** Returns (target segment number, entry offset).  Under the flawed
-    baseline this installs a supervisor-grade descriptor — the
-    historical escalation experiment E11 exploits. *)
-
-val set_search_rules :
-  System.t -> handle:int -> dir_segnos:int list -> (unit, error) result
-
-val get_search_rules : System.t -> handle:int -> (string list, error) result
-
-(** {1 Protected subsystems (hardware gate calls, always available)} *)
-
-val enter_subsystem :
-  System.t -> handle:int -> segno:int -> entry_offset:int -> name:string ->
-  (Ring.t, error) result
-(** Validates the call against the target's SDW; on a legal inward
-    call, switches the process into the gate's ring. *)
-
-val exit_subsystem : System.t -> handle:int -> (Ring.t, error) result
-
-(** {1 IPC gates} *)
-
-val create_channel : System.t -> handle:int -> (int, error) result
-val send_wakeup : System.t -> handle:int -> channel:int -> (unit, error) result
-
-val block : System.t -> handle:int -> channel:int -> (bool, error) result
-(** Functional model: true if a pending wakeup was consumed. *)
-
-(** {1 External I/O gates} *)
-
-val attach_device :
-  System.t -> handle:int -> device:Multics_io.Device.kind -> (unit, error) result
-(** Routed through the per-device gates or the network attachment,
-    depending on the configuration. *)
-
-val detach_device :
-  System.t -> handle:int -> device:Multics_io.Device.kind -> (unit, error) result
-
-val device_write :
-  System.t -> handle:int -> device:Multics_io.Device.kind -> message:int ->
-  (unit, error) result
-
-val device_read :
-  System.t -> handle:int -> device:Multics_io.Device.kind -> (int option, error) result
-
-(** {1 Quota} *)
-
-val set_quota :
-  System.t -> handle:int -> segno:int -> quota:int option -> (unit, error) result
-(** Install or clear a page-quota cell on an initiated directory. *)
-
-(** {1 Remaining linker gates (kernel-resident linker only)} *)
-
 type link_status = {
   link_target_seg : string;
   link_target_entry : string;
   link_snapped : bool;
 }
-
-val list_links : System.t -> handle:int -> segno:int -> (link_status list, error) result
-
-(** {1 Remaining naming gates (kernel-resident naming only)} *)
-
-val get_working_dir : System.t -> handle:int -> (int, error) result
-(** The working directory's segment number (installed if needed). *)
-
-val set_working_dir : System.t -> handle:int -> dir_segno:int -> (unit, error) result
-
-val initiate_count : System.t -> handle:int -> (int, error) result
-(** How many segments this process has made known. *)
-
-val terminate_by_path : System.t -> handle:int -> path:string -> (unit, error) result
-
-(** {1 Process management}
-
-    Privileged gates under [Privileged_login]; reached through the
-    ordinary subsystem-entry mechanism under the unified
-    configuration. *)
-
-val create_process : System.t -> handle:int -> (int, error) result
-(** A sibling process for the same account; returns its handle. *)
-
-val destroy_process : System.t -> handle:int -> target:int -> (unit, error) result
-(** Only the owner's own processes may be destroyed. *)
-
-val new_proc : System.t -> handle:int -> (int, error) result
-(** Recreate the caller's process with a fresh address space; the old
-    handle is logged out. *)
 
 type process_info = {
   info_principal : string;
@@ -253,79 +77,10 @@ type process_info = {
   info_login_ring : int;
 }
 
-val proc_info : System.t -> handle:int -> (process_info, error) result
-
-val list_processes : System.t -> handle:int -> (int list, error) result
-(** Handles belonging to the caller's principal. *)
-
-val operator_message : System.t -> handle:int -> message:string -> (unit, error) result
-(** Record a message for the operator (audited). *)
-
-(** {1 Fault injection and salvage}
-
-    Operator actions, present in every configuration (like the
-    hardware gate calls) and still audited and metered.  A plan can
-    only make the system slower or more refusing; salvage only removes
-    state or re-derives descriptors from policy. *)
-
-val set_fault_plan :
-  System.t -> handle:int -> seed:int -> spec:string -> (unit, error) result
-(** Parse and install a fault plan
-    (e.g. ["gate.deny=every:5,vm.page_read=p:1/8"]); an empty spec
-    clears it. *)
-
-val fault_status :
-  System.t -> handle:int -> (string * (string * int) list, error) result
-(** The active plan rendered as a spec string (["none"] if no plan)
-    and the injector's counters. *)
-
-val clear_faults : System.t -> handle:int -> (unit, error) result
-
-val salvage : System.t -> handle:int -> (Salvager.report, error) result
-
-(** {1 Cache inspection and control}
-
-    Operator surface, like fault control.  [probe_access] runs the
-    cached access-decision path for real — the AVC's hit/miss counters
-    move exactly as an ordinary reference would move them — and returns
-    the verdict without touching any content.  [cache_clear] drops the
-    policy-verdict cache and every process's associative memory; it can
-    only make the next reference slower, never change a verdict. *)
-
-val probe_access :
-  System.t -> handle:int -> segno:int -> requested:Mode.t -> (Policy.verdict, error) result
-
-val cache_status :
-  System.t -> handle:int -> ((string * int) list * (string * int) list, error) result
-(** [(policy cache stats, calling process's associative-memory stats)];
-    each is [("size", _)] plus the obs counter readings. *)
-
-val cache_clear : System.t -> handle:int -> (unit, error) result
-
-(** {1 Traffic-controller inspection and tuning}
-
-    Operator surface, like fault and cache control.  Tuning moves
-    mechanism parameters (quantum, eligibility cap) and can only change
-    {e when} work runs, never what it may touch — reference-monitor
-    decisions and audit totals are schedule-invariant (experiment E17's
-    parity oracle).  Refused with {!No_scheduler} until a traffic
-    controller registers via {!System.register_scheduler}. *)
-
-val sched_status :
-  System.t -> handle:int -> (string * (string * int) list, error) result
-(** [(active policy name, live scheduler counters)]. *)
-
-val sched_tune :
-  System.t -> handle:int -> param:string -> value:int -> (unit, error) result
-(** Set a mechanism parameter (["cap"], ["quantum"], ["age_after"]);
-    {!Bad_tune} explains a rejected parameter or value. *)
-
 (** {1 The typed gate-call surface}
 
     One request constructor per supervisor entry point; {!Call.dispatch}
-    is THE single audited, metered entry point — every per-gate function
-    above is a thin wrapper that builds the request, dispatches it, and
-    projects the typed reply back out. *)
+    is THE single audited, metered entry point. *)
 
 module Call : sig
   type request =
@@ -435,6 +190,7 @@ module Call : sig
       under — configuration-dependent for device I/O. *)
 
   val dispatch : System.t -> handle:int -> request -> response
-  (** Mediate one gate call: gate presence, ring bracket, reference
-      monitor; writes the audit record and the observability counters. *)
+  (** Mediate one gate call: gate presence, specialisation mask, ring
+      bracket, reference monitor; writes the audit record and the
+      observability counters. *)
 end

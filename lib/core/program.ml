@@ -85,9 +85,15 @@ let set_slot env slot v = env.bindings <- (slot, v) :: List.remove_assoc slot en
 
 let value_of env = function Const v -> v | Slot s -> slot_value env s
 
-let api_exn what = function
-  | Ok v -> v
+(* Kernel steps go through the typed gate surface; each projection
+   names the one reply its dispatch arm can return. *)
+let dispatch_exn what system ~handle request project =
+  match Api.Call.dispatch system ~handle request with
   | Error e -> raise (Step_failed (Fmt.str "%s: %a" what Api.pp e))
+  | Ok reply -> (
+      match project reply with
+      | Some v -> v
+      | None -> invalid_arg ("Program." ^ what ^ ": dispatch returned a mismatched reply"))
 
 let env_exn what = function
   | Ok v -> v
@@ -132,13 +138,17 @@ and exec_kernel_step system ~handle env step =
       env.gates <- env.gates + 1;
       let segno = slot_value env seg in
       env.on_reference ~segno ~offset ~write:true;
-      api_exn "write_word"
-        (Api.write_word system ~handle ~segno ~offset ~value:(value_of env value))
+      dispatch_exn "write_word" system ~handle
+        (Api.Call.Write_word { segno; offset; value = value_of env value })
+        (function Api.Call.Done -> Some () | _ -> None)
   | Read_word { seg; offset; slot } ->
       env.gates <- env.gates + 1;
       let segno = slot_value env seg in
       env.on_reference ~segno ~offset ~write:false;
-      set_slot env slot (api_exn "read_word" (Api.read_word system ~handle ~segno ~offset))
+      set_slot env slot
+        (dispatch_exn "read_word" system ~handle
+           (Api.Call.Read_word { segno; offset })
+           (function Api.Call.Word value -> Some value | _ -> None))
   | Bind_name { name; seg } ->
       env.gates <- env.gates + 1;
       env_exn "bind_name" (User_env.bind_name system ~handle ~name ~segno:(slot_value env seg))
@@ -154,15 +164,18 @@ and exec_kernel_step system ~handle env step =
       set_slot env slot target
   | Enter_subsystem { seg; entry_offset; name } ->
       env.gates <- env.gates + 1;
-      ignore
-        (api_exn "enter_subsystem"
-           (Api.enter_subsystem system ~handle ~segno:(slot_value env seg) ~entry_offset ~name))
+      dispatch_exn "enter_subsystem" system ~handle
+        (Api.Call.Enter_subsystem { segno = slot_value env seg; entry_offset; name })
+        (function Api.Call.Entered _ -> Some () | _ -> None)
   | Exit_subsystem ->
       env.gates <- env.gates + 1;
-      ignore (api_exn "exit_subsystem" (Api.exit_subsystem system ~handle))
+      dispatch_exn "exit_subsystem" system ~handle Api.Call.Exit_subsystem
+        (function Api.Call.Entered _ -> Some () | _ -> None)
   | Set_acl { seg; acl } ->
       env.gates <- env.gates + 1;
-      api_exn "set_acl" (Api.set_acl system ~handle ~segno:(slot_value env seg) ~acl)
+      dispatch_exn "set_acl" system ~handle
+        (Api.Call.Set_acl { segno = slot_value env seg; acl })
+        (function Api.Call.Done -> Some () | _ -> None)
   | Compute _ | Assert_slot _ | Repeat _ ->
       invalid_arg "Program: plain step reached the kernel interpreter"
 

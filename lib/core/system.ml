@@ -62,6 +62,23 @@ type journal_entry = {
   entry_name : string option;
 }
 
+(* A specialised gate surface: the set of gate names a specialised
+   kernel admits.  Plain strings so the mask can live here, below
+   lib/spec (which compiles profiles into masks) — the same layering
+   trick as [scheduler_control].  With no mask installed the catalog
+   alone decides, byte for byte the unspecialised behaviour. *)
+type gate_mask = { mask_name : string; mask_admitted : (string, unit) Hashtbl.t }
+
+let gate_mask_make ~name ~gates =
+  let mask_admitted = Hashtbl.create (max 8 (List.length gates)) in
+  List.iter (fun g -> Hashtbl.replace mask_admitted g ()) gates;
+  { mask_name = name; mask_admitted }
+
+let gate_mask_name m = m.mask_name
+
+let gate_mask_gates m =
+  Hashtbl.fold (fun g () acc -> g :: acc) m.mask_admitted [] |> List.sort String.compare
+
 type t = {
   config : Config.t;
   cost : Cost.t;
@@ -87,6 +104,10 @@ type t = {
       (** the multiprocessor plant, when attached: every descriptor
           mutation then broadcasts connects so no CPU's associative
           memory can outlive the descriptor it caches *)
+  mutable gate_mask : gate_mask option;
+      (** the installed specialisation, if any; consulted by the gate
+          check so a stripped gate refuses before any kernel state is
+          touched *)
 }
 
 (* The traffic controller registers itself through a neutral record of
@@ -151,6 +172,15 @@ let attach_plant t plant = t.plant <- plant
 
 let plant t = t.plant
 
+(* ----- Gate specialisation ----- *)
+
+let set_gate_mask t mask = t.gate_mask <- mask
+
+let gate_mask t = t.gate_mask
+
+let gate_admitted t ~gate =
+  match t.gate_mask with None -> true | Some m -> Hashtbl.mem m.mask_admitted gate
+
 let fault_fires t site =
   match t.faults with
   | None -> false
@@ -199,6 +229,7 @@ let create config =
       crash_journal = [];
       scheduler = None;
       plant = None;
+      gate_mask = None;
     }
   in
   let sys_acl = Acl.of_strings [ ("Initializer.*.*", "rew"); ("*.*.*", "r") ] in

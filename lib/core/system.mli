@@ -107,6 +107,36 @@ val attach_plant : t -> Multics_smp.Smp.t option -> unit
 
 val plant : t -> Multics_smp.Smp.t option
 
+(** {1 Gate specialisation}
+
+    A per-workload specialisation installs a gate mask: the set of
+    gate names the specialised kernel still admits.  The gate check
+    consults it after the catalog lookup, so a stripped gate refuses
+    with [Gate_absent] before any kernel state is touched — fail
+    secure by construction.  Masks are plain strings so they live
+    below [lib/spec] (which compiles workload profiles into them),
+    the same layering trick as {!scheduler_control}.  With no mask
+    installed the catalog alone decides, byte for byte the
+    unspecialised behaviour. *)
+
+type gate_mask
+
+val gate_mask_make : name:string -> gates:string list -> gate_mask
+(** A mask admitting exactly [gates] (by gate name). *)
+
+val gate_mask_name : gate_mask -> string
+
+val gate_mask_gates : gate_mask -> string list
+(** The admitted gate names, sorted. *)
+
+val set_gate_mask : t -> gate_mask option -> unit
+(** Install (or clear, with [None]) the active specialisation. *)
+
+val gate_mask : t -> gate_mask option
+
+val gate_admitted : t -> gate:string -> bool
+(** [true] when no mask is installed or the mask admits [gate]. *)
+
 type journal_entry = {
   time : int;
   handle : int;

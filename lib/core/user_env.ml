@@ -24,7 +24,24 @@ let error_to_string = function
 
 let ( let* ) r f = Result.bind r f
 
-let api_result r = Result.map_error (fun e -> Api e) r
+(* Typed-dispatch projections: each kernel call goes through
+   [Api.Call.dispatch] (the single audited entry point) and the reply
+   is projected back to this facade's return type.  A shape mismatch
+   is impossible by construction (each dispatch arm returns its
+   request's reply constructor); [invalid_arg] keeps the impossible
+   loud. *)
+
+let mismatch what = invalid_arg ("User_env." ^ what ^ ": dispatch returned a mismatched reply")
+
+let done_reply what = function
+  | Ok Api.Call.Done -> Ok ()
+  | Error e -> Error (Api e)
+  | Ok _ -> mismatch what
+
+let segno_reply what = function
+  | Ok (Api.Call.Segno segno) -> Ok segno
+  | Error e -> Error (Api e)
+  | Ok _ -> mismatch what
 
 let naming_in_kernel system =
   match (System.config system).Config.naming with
@@ -57,14 +74,19 @@ let split_path path =
    component — the user-ring replacement for the kernel's resolver.
    Pre-removal configurations delegate to the kernel gate instead. *)
 let resolve_path system ~handle ~path =
-  if naming_in_kernel system then api_result (Api.resolve_path system ~handle ~path)
+  if naming_in_kernel system then
+    segno_reply "resolve_path"
+      (Api.Call.dispatch system ~handle (Api.Call.Resolve_path { path }))
   else begin
     let* components = split_path path in
     let* root = root_segno system ~handle in
     let rec walk dir_segno = function
       | [] -> Ok dir_segno
       | name :: rest ->
-          let* segno = api_result (Api.initiate system ~handle ~dir_segno ~name) in
+          let* segno =
+            segno_reply "resolve_path"
+              (Api.Call.dispatch system ~handle (Api.Call.Initiate { dir_segno; name }))
+          in
           walk segno rest
     in
     walk root components
@@ -77,28 +99,36 @@ let parent_path path =
 
 let create_segment_at ?brackets system ~handle ~path ~acl ~label =
   if naming_in_kernel system then
-    api_result (Api.create_segment_by_path ?brackets system ~handle ~path ~acl ~label)
+    segno_reply "create_segment_at"
+      (Api.Call.dispatch system ~handle
+         (Api.Call.Create_segment_by_path { path; acl; label; brackets }))
   else begin
     let dir_path, name = parent_path path in
     let* dir_segno = resolve_path system ~handle ~path:dir_path in
-    api_result (Api.create_segment ?brackets system ~handle ~dir_segno ~name ~acl ~label)
+    segno_reply "create_segment_at"
+      (Api.Call.dispatch system ~handle
+         (Api.Call.Create_segment { dir_segno; name; acl; label; brackets }))
   end
 
 let create_directory_at system ~handle ~path ~acl ~label =
   if naming_in_kernel system then
-    api_result (Api.create_directory_by_path system ~handle ~path ~acl ~label)
+    segno_reply "create_directory_at"
+      (Api.Call.dispatch system ~handle (Api.Call.Create_directory_by_path { path; acl; label }))
   else begin
     let dir_path, name = parent_path path in
     let* dir_segno = resolve_path system ~handle ~path:dir_path in
-    api_result (Api.create_directory system ~handle ~dir_segno ~name ~acl ~label)
+    segno_reply "create_directory_at"
+      (Api.Call.dispatch system ~handle (Api.Call.Create_directory { dir_segno; name; acl; label }))
   end
 
 let delete_at system ~handle ~path =
-  if naming_in_kernel system then api_result (Api.delete_by_path system ~handle ~path)
+  if naming_in_kernel system then
+    done_reply "delete_at" (Api.Call.dispatch system ~handle (Api.Call.Delete_by_path { path }))
   else begin
     let dir_path, name = parent_path path in
     let* dir_segno = resolve_path system ~handle ~path:dir_path in
-    api_result (Api.delete_entry system ~handle ~dir_segno ~name)
+    done_reply "delete_at"
+      (Api.Call.dispatch system ~handle (Api.Call.Delete_entry { dir_segno; name }))
   end
 
 (* ----- Reference names ----- *)
@@ -106,7 +136,8 @@ let delete_at system ~handle ~path =
 let rnt_user_result r = Result.map_error (fun e -> Rnt_user e) r
 
 let bind_name system ~handle ~name ~segno =
-  if naming_in_kernel system then api_result (Api.rnt_bind system ~handle ~name ~segno)
+  if naming_in_kernel system then
+    done_reply "bind_name" (Api.Call.dispatch system ~handle (Api.Call.Rnt_bind { name; segno }))
   else begin
     match System.proc system handle with
     | None -> Error (Api (Api.No_such_process handle))
@@ -114,7 +145,8 @@ let bind_name system ~handle ~name ~segno =
   end
 
 let lookup_name system ~handle ~name =
-  if naming_in_kernel system then api_result (Api.rnt_lookup system ~handle ~name)
+  if naming_in_kernel system then
+    segno_reply "lookup_name" (Api.Call.dispatch system ~handle (Api.Call.Rnt_lookup { name }))
   else begin
     match System.proc system handle with
     | None -> Error (Api (Api.No_such_process handle))
@@ -122,7 +154,8 @@ let lookup_name system ~handle ~name =
   end
 
 let unbind_name system ~handle ~name =
-  if naming_in_kernel system then api_result (Api.rnt_unbind system ~handle ~name)
+  if naming_in_kernel system then
+    done_reply "unbind_name" (Api.Call.dispatch system ~handle (Api.Call.Rnt_unbind { name }))
   else begin
     match System.proc system handle with
     | None -> Error (Api (Api.No_such_process handle))
@@ -137,7 +170,12 @@ let unbind_name system ~handle ~name =
    the initiate gate would mediate), and the target is made known
    through the ordinary descriptor-construction path. *)
 let snap_link system ~handle ~segno ~link_index =
-  if linker_in_kernel system then api_result (Api.snap_link system ~handle ~segno ~link_index)
+  if linker_in_kernel system then begin
+    match Api.Call.dispatch system ~handle (Api.Call.Snap_link { segno; link_index }) with
+    | Ok (Api.Call.Snapped { segno; offset }) -> Ok (segno, offset)
+    | Error e -> Error (Api e)
+    | Ok _ -> mismatch "snap_link"
+  end
   else begin
     match System.proc system handle with
     | None -> Error (Api (Api.No_such_process handle))

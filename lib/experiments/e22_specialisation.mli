@@ -1,0 +1,27 @@
+(** E22 — per-workload kernel specialisation: profile three workload
+    mixes through the per-gate dispatch counters, compile each profile
+    into a specialised gate table (lib/spec), and measure the
+    attack-surface / functionality / dispatch-cost frontier — with the
+    E11 penetration corpus against every specialisation and a 100-seed
+    oracle proving specialised kernels byte-identical to the full
+    kernel on every request they admit. *)
+
+val id : string
+val title : string
+val paper_claim : string
+
+val config : Multics_kernel.Config.t
+
+val specialisations : unit -> Multics_spec.Spec.Specialisation.t list
+(** The measured frontier points: the full surface plus the three
+    profiled mixes (editor-compile, daemon-only, minimal), each
+    compiled from a profile that has round-tripped through its
+    serialisation. *)
+
+val parity_oracle : ?jobs:int -> Multics_spec.Spec.Specialisation.t list -> int * int
+(** [(divergences, specialised_kernels)] over the 100-seed
+    admitted-request parity run; 0 divergences means every admitted
+    request rendered byte-identically at the full and specialised
+    kernels and every stripped gate refused with [Gate_absent]. *)
+
+val render : unit -> string

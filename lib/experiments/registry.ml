@@ -138,6 +138,12 @@ let all =
       render = E21_mc.render;
     };
     {
+      id = E22_specialisation.id;
+      title = E22_specialisation.title;
+      paper_claim = E22_specialisation.paper_claim;
+      render = E22_specialisation.render;
+    };
+    {
       id = Ablations.A1.id;
       title = Ablations.A1.title;
       paper_claim = Ablations.A1.paper_claim;

@@ -37,6 +37,11 @@ module Command = struct
     | Mc_run of { depth : int; bug : bool }
     | Mc_status
     | Mc_replay of { trace : string; bug : bool }
+    | Spec_profile_start
+    | Spec_profile_stop of { name : string }
+    | Spec_apply
+    | Spec_clear
+    | Spec_status
 
   type error =
     | Bad_int of { what : string; got : string; usage : string }
@@ -77,6 +82,9 @@ module Command = struct
   let usage_stats = "stats [json|reset]"
   let usage_audit = "audit [N]"
   let usage_mc = "mc run DEPTH [bug] | mc status | mc replay TRACE [bug]"
+
+  let usage_spec =
+    "spec profile start | spec profile stop NAME | spec apply | spec clear | spec status"
 
   (* Depth 8 is the checker's own ceiling (MULTICS_MC_DEPTH clamps
      there too); beyond it a console run would not come back. *)
@@ -211,6 +219,16 @@ module Command = struct
         Error (Bad_subcommand { family = "mc"; got = sub; usage = usage_mc })
     | _ -> Error (Bad_arity { family = "mc"; usage = usage_mc })
 
+  let parse_spec = function
+    | [ "profile"; "start" ] -> Ok Spec_profile_start
+    | [ "profile"; "stop"; name ] when name <> "" -> Ok (Spec_profile_stop { name })
+    | [ "apply" ] -> Ok Spec_apply
+    | [ "clear" ] -> Ok Spec_clear
+    | [ "status" ] -> Ok Spec_status
+    | sub :: _ when sub <> "profile" && sub <> "apply" && sub <> "clear" && sub <> "status" ->
+        Error (Bad_subcommand { family = "spec"; got = sub; usage = usage_spec })
+    | _ -> Error (Bad_arity { family = "spec"; usage = usage_spec })
+
   (* [None]: the word list is not an operator-family command (the
      shell's other parsers own it). *)
   let parse = function
@@ -223,6 +241,7 @@ module Command = struct
     | "stats" :: rest -> Some (parse_stats rest)
     | "audit" :: rest -> Some (parse_audit rest)
     | "mc" :: rest -> Some (parse_mc rest)
+    | "spec" :: rest -> Some (parse_spec rest)
     | _ -> None
 
   let of_line line =

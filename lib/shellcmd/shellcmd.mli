@@ -1,5 +1,6 @@
 (** Typed parsers for the shell's operator-command families ([fault],
-    [cache], [sched], [smp], [jobs], [site], [stats], [audit], [mc]).
+    [cache], [sched], [smp], [jobs], [site], [stats], [audit], [mc],
+    [spec]).
 
     Each family is a total function from a word list to either a typed
     command or a typed error (in the style of the kernel's own
@@ -35,6 +36,12 @@ module Command : sig
     | Mc_replay of { trace : string; bug : bool }
         (** the trace is validated against the checker's alphabet at
             parse time, then re-parsed by the executor *)
+    | Spec_profile_start  (** begin recording the per-gate dispatch counters *)
+    | Spec_profile_stop of { name : string }
+        (** snapshot the recording into a named gate-usage profile *)
+    | Spec_apply  (** compile the captured profile and install its gate mask *)
+    | Spec_clear  (** restore the full gate surface *)
+    | Spec_status  (** the installed mask and the captured profile *)
 
   type error =
     | Bad_int of { what : string; got : string; usage : string }

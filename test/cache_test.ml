@@ -250,10 +250,10 @@ let test_salvage_invalidates_caches () =
     | Error e -> Alcotest.fail (User_env.error_to_string e)
   in
   (* Warm the per-process SDW associative memory and the policy cache. *)
-  (match Api.write_word system ~handle ~segno ~offset:0 ~value:7 with
+  (match Gate_calls.write_word system ~handle ~segno ~offset:0 ~value:7 with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Api.error_to_string e));
-  (match Api.read_word system ~handle ~segno ~offset:0 with
+  (match Gate_calls.read_word system ~handle ~segno ~offset:0 with
   | Ok 7 -> ()
   | Ok v -> Alcotest.failf "unexpected word %d" v
   | Error e -> Alcotest.fail (Api.error_to_string e));

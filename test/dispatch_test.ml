@@ -1,12 +1,13 @@
-(* Dispatch parity: every legacy per-gate function must behave exactly
-   like [Api.Call.dispatch] of the corresponding request — success and
-   refusal paths alike, in all three reference configurations.
+(* Dispatch determinism: the typed [Api.Call.dispatch] surface — now
+   the only kernel entry point — must behave identically on two
+   identically-booted systems, success and refusal paths alike, in all
+   three reference configurations.
 
-   Two identical systems are booted; the same scenario runs on both,
-   one through the legacy functions and one through typed dispatch.
-   Because the simulation is deterministic, every step must render the
-   same result (including segment numbers, handles, and refusal
-   causes) on both sides. *)
+   Two identical systems are booted and the same scenario runs on
+   both.  Because the simulation is deterministic, every step must
+   render the same result (including segment numbers, handles, and
+   refusal causes) on both sides; a divergence means dispatch consulted
+   state outside the kernel's control. *)
 
 open Multics_access
 open Multics_kernel
@@ -70,19 +71,20 @@ let r_ints = function
   | Ok vs -> "ok [" ^ String.concat "; " (List.map string_of_int vs) ^ "]"
   | Error e -> err e
 
-(* Typed-side projectors (mirror the wrappers' expectations). *)
+(* Reply projectors (one legal reply shape per request). *)
 let d env request = Api.Call.dispatch env.system ~handle:env.handle request
 
 let p_unit = function Ok Api.Call.Done -> Ok () | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
 let p_segno = function Ok (Api.Call.Segno s) -> Ok s | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
 let p_word = function Ok (Api.Call.Word v) -> Ok v | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
+let p_names = function Ok (Api.Call.Names ns) -> Ok ns | Error e -> Error e | Ok _ -> Alcotest.fail "reply shape"
 
 let acl_rw = Acl.of_strings [ ("Alice.Dev.*", "rew") ]
 let label = Label.unclassified
 
-(* One scenario step: a display name, the legacy path, the typed
-   path.  Both receive the run's own [env]. *)
-type step = { name : string; legacy : env -> string; typed : env -> string }
+(* One scenario step: a display name and the dispatch sequence.  Each
+   run receives its own [env]. *)
+type step = { name : string; run : env -> string }
 
 let remember_segno env key rendered result =
   (match result with Ok segno -> set_slot env key segno | Error _ -> ());
@@ -92,12 +94,7 @@ let steps : step list =
   [
     {
       name = "create_segment";
-      legacy =
-        (fun env ->
-          remember_segno env "hot" r_int
-            (Api.create_segment env.system ~handle:env.handle ~dir_segno:(slot env "dir")
-               ~name:"hot" ~acl:acl_rw ~label));
-      typed =
+      run =
         (fun env ->
           remember_segno env "hot" r_int
             (p_segno
@@ -107,12 +104,7 @@ let steps : step list =
     };
     {
       name = "create_directory";
-      legacy =
-        (fun env ->
-          remember_segno env "sub" r_int
-            (Api.create_directory env.system ~handle:env.handle ~dir_segno:(slot env "dir")
-               ~name:"sub" ~acl:acl_rw ~label));
-      typed =
+      run =
         (fun env ->
           remember_segno env "sub" r_int
             (p_segno
@@ -122,56 +114,34 @@ let steps : step list =
     };
     {
       name = "initiate";
-      legacy =
-        (fun env ->
-          r_int
-            (Api.initiate env.system ~handle:env.handle ~dir_segno:(slot env "dir") ~name:"hot"));
-      typed =
+      run =
         (fun env ->
           r_int (p_segno (d env (Api.Call.Initiate { dir_segno = slot env "dir"; name = "hot" }))));
     };
     {
       name = "write_word";
-      legacy =
-        (fun env ->
-          r_unit
-            (Api.write_word env.system ~handle:env.handle ~segno:(slot env "hot") ~offset:1
-               ~value:7));
-      typed =
+      run =
         (fun env ->
           r_unit
             (p_unit (d env (Api.Call.Write_word { segno = slot env "hot"; offset = 1; value = 7 }))));
     };
     {
       name = "read_word";
-      legacy =
-        (fun env -> r_int (Api.read_word env.system ~handle:env.handle ~segno:(slot env "hot") ~offset:1));
-      typed =
+      run =
         (fun env -> r_int (p_word (d env (Api.Call.Read_word { segno = slot env "hot"; offset = 1 }))));
     };
     {
       name = "read_word unknown segno (refusal)";
-      legacy = (fun env -> r_int (Api.read_word env.system ~handle:env.handle ~segno:999 ~offset:0));
-      typed = (fun env -> r_int (p_word (d env (Api.Call.Read_word { segno = 999; offset = 0 }))));
+      run = (fun env -> r_int (p_word (d env (Api.Call.Read_word { segno = 999; offset = 0 }))));
     };
     {
       name = "list_directory";
-      legacy =
-        (fun env -> r_names (Api.list_directory env.system ~handle:env.handle ~dir_segno:(slot env "dir")));
-      typed =
-        (fun env ->
-          match d env (Api.Call.List_directory { dir_segno = slot env "dir" }) with
-          | Ok (Api.Call.Names ns) -> r_names (Ok ns)
-          | Error e -> r_names (Error e)
-          | Ok _ -> Alcotest.fail "reply shape");
+      run =
+        (fun env -> r_names (p_names (d env (Api.Call.List_directory { dir_segno = slot env "dir" }))));
     };
     {
       name = "status_entry";
-      legacy =
-        (fun env ->
-          r_status
-            (Api.status_entry env.system ~handle:env.handle ~dir_segno:(slot env "dir") ~name:"hot"));
-      typed =
+      run =
         (fun env ->
           match d env (Api.Call.Status_entry { dir_segno = slot env "dir"; name = "hot" }) with
           | Ok (Api.Call.Status st) -> r_status (Ok st)
@@ -180,20 +150,7 @@ let steps : step list =
     };
     {
       name = "rename_entry + delete_entry";
-      legacy =
-        (fun env ->
-          let a =
-            r_unit
-              (Api.rename_entry env.system ~handle:env.handle ~dir_segno:(slot env "dir")
-                 ~name:"sub" ~new_name:"sub-old")
-          in
-          let b =
-            r_unit
-              (Api.delete_entry env.system ~handle:env.handle ~dir_segno:(slot env "dir")
-                 ~name:"sub-old")
-          in
-          a ^ "/" ^ b);
-      typed =
+      run =
         (fun env ->
           let a =
             r_unit
@@ -210,19 +167,12 @@ let steps : step list =
     };
     {
       name = "set_acl";
-      legacy =
-        (fun env -> r_unit (Api.set_acl env.system ~handle:env.handle ~segno:(slot env "hot") ~acl:acl_rw));
-      typed =
+      run =
         (fun env -> r_unit (p_unit (d env (Api.Call.Set_acl { segno = slot env "hot"; acl = acl_rw }))));
     };
     {
       name = "set_brackets";
-      legacy =
-        (fun env ->
-          r_unit
-            (Api.set_brackets env.system ~handle:env.handle ~segno:(slot env "hot")
-               ~brackets:Multics_machine.Brackets.user_data));
-      typed =
+      run =
         (fun env ->
           r_unit
             (p_unit
@@ -232,37 +182,24 @@ let steps : step list =
     };
     {
       name = "set_gate_bound";
-      legacy =
-        (fun env ->
-          r_unit (Api.set_gate_bound env.system ~handle:env.handle ~segno:(slot env "hot") ~gate_bound:4));
-      typed =
+      run =
         (fun env ->
           r_unit (p_unit (d env (Api.Call.Set_gate_bound { segno = slot env "hot"; gate_bound = 4 }))));
     };
     {
       name = "set_quota";
-      legacy =
-        (fun env ->
-          r_unit (Api.set_quota env.system ~handle:env.handle ~segno:(slot env "dir") ~quota:(Some 64)));
-      typed =
+      run =
         (fun env ->
           r_unit (p_unit (d env (Api.Call.Set_quota { segno = slot env "dir"; quota = Some 64 }))));
     };
     {
       name = "initiate_by_path";
-      legacy =
-        (fun env -> r_int (Api.initiate_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>hot"));
-      typed =
+      run =
         (fun env -> r_int (p_segno (d env (Api.Call.Initiate_by_path { path = ">udd>Dev>Alice>hot" }))));
     };
     {
       name = "create_segment_by_path";
-      legacy =
-        (fun env ->
-          r_int
-            (Api.create_segment_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>hot2"
-               ~acl:acl_rw ~label));
-      typed =
+      run =
         (fun env ->
           r_int
             (p_segno
@@ -272,12 +209,7 @@ let steps : step list =
     };
     {
       name = "create_directory_by_path";
-      legacy =
-        (fun env ->
-          r_int
-            (Api.create_directory_by_path env.system ~handle:env.handle
-               ~path:">udd>Dev>Alice>sub2" ~acl:acl_rw ~label));
-      typed =
+      run =
         (fun env ->
           r_int
             (p_segno
@@ -287,47 +219,26 @@ let steps : step list =
     };
     {
       name = "delete_by_path";
-      legacy =
-        (fun env -> r_unit (Api.delete_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>hot2"));
-      typed =
+      run =
         (fun env -> r_unit (p_unit (d env (Api.Call.Delete_by_path { path = ">udd>Dev>Alice>hot2" }))));
     };
     {
       name = "resolve_path";
-      legacy = (fun env -> r_int (Api.resolve_path env.system ~handle:env.handle ~path:">udd>Dev"));
-      typed = (fun env -> r_int (p_segno (d env (Api.Call.Resolve_path { path = ">udd>Dev" }))));
+      run = (fun env -> r_int (p_segno (d env (Api.Call.Resolve_path { path = ">udd>Dev" }))));
     };
     {
       name = "rnt bind/lookup/names/unbind";
-      legacy =
-        (fun env ->
-          let a = r_unit (Api.rnt_bind env.system ~handle:env.handle ~name:"h" ~segno:(slot env "hot")) in
-          let b = r_int (Api.rnt_lookup env.system ~handle:env.handle ~name:"h") in
-          let c = r_names (Api.list_reference_names env.system ~handle:env.handle ~segno:(slot env "hot")) in
-          let e = r_unit (Api.rnt_unbind env.system ~handle:env.handle ~name:"h") in
-          String.concat "/" [ a; b; c; e ]);
-      typed =
+      run =
         (fun env ->
           let a = r_unit (p_unit (d env (Api.Call.Rnt_bind { name = "h"; segno = slot env "hot" }))) in
           let b = r_int (p_segno (d env (Api.Call.Rnt_lookup { name = "h" }))) in
-          let c =
-            match d env (Api.Call.List_reference_names { segno = slot env "hot" }) with
-            | Ok (Api.Call.Names ns) -> r_names (Ok ns)
-            | Error e -> r_names (Error e)
-            | Ok _ -> Alcotest.fail "reply shape"
-          in
+          let c = r_names (p_names (d env (Api.Call.List_reference_names { segno = slot env "hot" }))) in
           let e = r_unit (p_unit (d env (Api.Call.Rnt_unbind { name = "h" }))) in
           String.concat "/" [ a; b; c; e ]);
     };
     {
       name = "working dir + initiate_count";
-      legacy =
-        (fun env ->
-          let a = r_int (Api.get_working_dir env.system ~handle:env.handle) in
-          let b = r_unit (Api.set_working_dir env.system ~handle:env.handle ~dir_segno:(slot env "dir")) in
-          let c = r_int (Api.initiate_count env.system ~handle:env.handle) in
-          String.concat "/" [ a; b; c ]);
-      typed =
+      run =
         (fun env ->
           let a = r_int (p_segno (d env Api.Call.Get_working_dir)) in
           let b = r_unit (p_unit (d env (Api.Call.Set_working_dir { dir_segno = slot env "dir" }))) in
@@ -336,9 +247,7 @@ let steps : step list =
     };
     {
       name = "snap_link (refusal in kernel config)";
-      legacy =
-        (fun env -> r_pair (Api.snap_link env.system ~handle:env.handle ~segno:(slot env "hot") ~link_index:0));
-      typed =
+      run =
         (fun env ->
           match d env (Api.Call.Snap_link { segno = slot env "hot"; link_index = 0 }) with
           | Ok (Api.Call.Snapped { segno; offset }) -> r_pair (Ok (segno, offset))
@@ -347,8 +256,7 @@ let steps : step list =
     };
     {
       name = "list_links";
-      legacy = (fun env -> r_links (Api.list_links env.system ~handle:env.handle ~segno:(slot env "hot")));
-      typed =
+      run =
         (fun env ->
           match d env (Api.Call.List_links { segno = slot env "hot" }) with
           | Ok (Api.Call.Links ls) -> r_links (Ok ls)
@@ -357,30 +265,17 @@ let steps : step list =
     };
     {
       name = "search rules";
-      legacy =
-        (fun env ->
-          let a = r_unit (Api.set_search_rules env.system ~handle:env.handle ~dir_segnos:[ slot env "dir" ]) in
-          let b = r_names (Api.get_search_rules env.system ~handle:env.handle) in
-          a ^ "/" ^ b);
-      typed =
+      run =
         (fun env ->
           let a =
             r_unit (p_unit (d env (Api.Call.Set_search_rules { dir_segnos = [ slot env "dir" ] })))
           in
-          let b =
-            match d env Api.Call.Get_search_rules with
-            | Ok (Api.Call.Names ns) -> r_names (Ok ns)
-            | Error e -> r_names (Error e)
-            | Ok _ -> Alcotest.fail "reply shape"
-          in
+          let b = r_names (p_names (d env Api.Call.Get_search_rules)) in
           a ^ "/" ^ b);
     };
     {
       name = "enter_subsystem unknown segno (refusal)";
-      legacy =
-        (fun env ->
-          r_ring (Api.enter_subsystem env.system ~handle:env.handle ~segno:999 ~entry_offset:0 ~name:"ss"));
-      typed =
+      run =
         (fun env ->
           match d env (Api.Call.Enter_subsystem { segno = 999; entry_offset = 0; name = "ss" }) with
           | Ok (Api.Call.Entered ring) -> r_ring (Ok ring)
@@ -389,8 +284,7 @@ let steps : step list =
     };
     {
       name = "exit_subsystem outside subsystem (refusal)";
-      legacy = (fun env -> r_ring (Api.exit_subsystem env.system ~handle:env.handle));
-      typed =
+      run =
         (fun env ->
           match d env Api.Call.Exit_subsystem with
           | Ok (Api.Call.Entered ring) -> r_ring (Ok ring)
@@ -399,17 +293,7 @@ let steps : step list =
     };
     {
       name = "ipc channel/wakeup/block";
-      legacy =
-        (fun env ->
-          let chan_r = Api.create_channel env.system ~handle:env.handle in
-          (match chan_r with Ok c -> set_slot env "chan" c | Error _ -> ());
-          let a = r_int chan_r in
-          let b = r_unit (Api.send_wakeup env.system ~handle:env.handle ~channel:(slot env "chan")) in
-          let c = r_bool (Api.block env.system ~handle:env.handle ~channel:(slot env "chan")) in
-          let e = r_bool (Api.block env.system ~handle:env.handle ~channel:(slot env "chan")) in
-          let f = r_unit (Api.send_wakeup env.system ~handle:env.handle ~channel:999) in
-          String.concat "/" [ a; b; c; e; f ]);
-      typed =
+      run =
         (fun env ->
           let chan_r =
             match d env Api.Call.Create_channel with
@@ -433,16 +317,7 @@ let steps : step list =
     };
     {
       name = "device attach/write/read/detach";
-      legacy =
-        (fun env ->
-          let device = Multics_io.Device.Printer in
-          let a = r_unit (Api.attach_device env.system ~handle:env.handle ~device) in
-          let b = r_unit (Api.device_write env.system ~handle:env.handle ~device ~message:5) in
-          let c = r_int_opt (Api.device_read env.system ~handle:env.handle ~device) in
-          let e = r_unit (Api.detach_device env.system ~handle:env.handle ~device) in
-          let f = r_unit (Api.detach_device env.system ~handle:env.handle ~device) in
-          String.concat "/" [ a; b; c; e; f ]);
-      typed =
+      run =
         (fun env ->
           let device = Multics_io.Device.Printer in
           let a = r_unit (p_unit (d env (Api.Call.Attach_device { device }))) in
@@ -459,13 +334,7 @@ let steps : step list =
     };
     {
       name = "proc_info + list_processes + operator_message";
-      legacy =
-        (fun env ->
-          let a = r_info (Api.proc_info env.system ~handle:env.handle) in
-          let b = r_ints (Api.list_processes env.system ~handle:env.handle) in
-          let c = r_unit (Api.operator_message env.system ~handle:env.handle ~message:"hello") in
-          String.concat "/" [ a; b; c ]);
-      typed =
+      run =
         (fun env ->
           let a =
             match d env Api.Call.Proc_info with
@@ -484,19 +353,7 @@ let steps : step list =
     };
     {
       name = "create_process + destroy_process";
-      legacy =
-        (fun env ->
-          let child_r = Api.create_process env.system ~handle:env.handle in
-          (match child_r with Ok c -> set_slot env "child" c | Error _ -> ());
-          let a = r_int child_r in
-          let b =
-            match child_r with
-            | Ok _ -> r_unit (Api.destroy_process env.system ~handle:env.handle ~target:(slot env "child"))
-            | Error _ -> "skipped"
-          in
-          let c = r_unit (Api.destroy_process env.system ~handle:env.handle ~target:999) in
-          String.concat "/" [ a; b; c ]);
-      typed =
+      run =
         (fun env ->
           let child_r =
             match d env Api.Call.Create_process with
@@ -517,12 +374,7 @@ let steps : step list =
     };
     {
       name = "terminate + terminate_by_path";
-      legacy =
-        (fun env ->
-          let a = r_unit (Api.terminate env.system ~handle:env.handle ~segno:(slot env "hot")) in
-          let b = r_unit (Api.terminate_by_path env.system ~handle:env.handle ~path:">udd>Dev>Alice>sub2") in
-          a ^ "/" ^ b);
-      typed =
+      run =
         (fun env ->
           let a = r_unit (p_unit (d env (Api.Call.Terminate { segno = slot env "hot" }))) in
           let b = r_unit (p_unit (d env (Api.Call.Terminate_by_path { path = ">udd>Dev>Alice>sub2" }))) in
@@ -549,12 +401,12 @@ let boot config =
   env
 
 let parity_for config () =
-  let legacy_env = boot config in
-  let typed_env = boot config in
+  let first_env = boot config in
+  let second_env = boot config in
   List.iter
     (fun step ->
-      let expected = step.legacy legacy_env in
-      let got = step.typed typed_env in
+      let expected = step.run first_env in
+      let got = step.run second_env in
       Alcotest.(check string) step.name expected got)
     steps
 
@@ -562,6 +414,6 @@ let suite =
   List.map
     (fun (config : Config.t) ->
       Alcotest.test_case
-        (Printf.sprintf "legacy = dispatch (%s)" config.Config.name)
+        (Printf.sprintf "dispatch deterministic (%s)" config.Config.name)
         `Quick (parity_for config))
     [ Config.baseline_645; Config.hardware_rings; Config.kernel_6180 ]

@@ -112,7 +112,7 @@ let test_e10_shape () =
     (r.E10_lattice_flow.refused_read_up > 0 && r.E10_lattice_flow.refused_write_down > 0)
 
 let test_registry_complete () =
-  Alcotest.(check int) "24 experiments registered" 24 (List.length Registry.all);
+  Alcotest.(check int) "25 experiments registered" 25 (List.length Registry.all);
   List.iter
     (fun id ->
       Alcotest.(check bool) ("find " ^ id) true (Registry.find id <> None))

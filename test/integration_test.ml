@@ -44,7 +44,7 @@ let canonical_session config =
          ~label:Label.unclassified)
   in
   List.iteri
-    (fun i v -> check_api "fill" (Api.write_word system ~handle:alice ~segno:shared ~offset:i ~value:v))
+    (fun i v -> check_api "fill" (Gate_calls.write_word system ~handle:alice ~segno:shared ~offset:i ~value:v))
     [ 3; 1; 4; 1; 5 ];
   (* An object library + a caller linking to it. *)
   let lib =
@@ -88,11 +88,11 @@ let canonical_session config =
       (User_env.resolve_path system ~handle:bob ~path:">udd>Dev>Alice>src>table")
   in
   let bob_reads =
-    List.init 5 (fun i -> check_api "bob read" (Api.read_word system ~handle:bob ~segno:bob_view ~offset:i))
+    List.init 5 (fun i -> check_api "bob read" (Gate_calls.read_word system ~handle:bob ~segno:bob_view ~offset:i))
   in
   (* Bob may not modify. *)
   let bob_write_refused =
-    match Api.write_word system ~handle:bob ~segno:bob_view ~offset:0 ~value:0 with
+    match Gate_calls.write_word system ~handle:bob ~segno:bob_view ~offset:0 ~value:0 with
     | Error _ -> true
     | Ok () -> false
   in
@@ -134,9 +134,9 @@ let test_audit_covers_every_gate_call () =
   let alice = login_ok system ~person:"Alice" ~project:"Dev" ~password:"pw" in
   let before = Audit_log.length (System.audit system) in
   let wd = check_env "root" (User_env.root_segno system ~handle:alice) in
-  ignore (Api.list_directory system ~handle:alice ~dir_segno:wd);
-  ignore (Api.read_word system ~handle:alice ~segno:9999 ~offset:0);
-  ignore (Api.create_channel system ~handle:alice);
+  ignore (Gate_calls.list_directory system ~handle:alice ~dir_segno:wd);
+  ignore (Gate_calls.read_word system ~handle:alice ~segno:9999 ~offset:0);
+  ignore (Gate_calls.create_channel system ~handle:alice);
   let after = Audit_log.length (System.audit system) in
   Alcotest.(check int) "three records" (before + 3) after
 

@@ -110,9 +110,9 @@ let test_create_write_read () =
          ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ])
          ~label:Label.unclassified)
   in
-  check_api "write" (Api.write_word system ~handle:alice ~segno ~offset:3 ~value:42);
+  check_api "write" (Gate_calls.write_word system ~handle:alice ~segno ~offset:3 ~value:42);
   Alcotest.(check int) "read back" 42
-    (check_api "read" (Api.read_word system ~handle:alice ~segno ~offset:3))
+    (check_api "read" (Gate_calls.read_word system ~handle:alice ~segno ~offset:3))
 
 let test_acl_denies_other_user () =
   let system, alice = boot () in
@@ -139,7 +139,7 @@ let test_acl_denies_other_user () =
 let test_removed_gate_absent () =
   let system, alice = boot () in
   (* kernel_6180 has no kernel resolver gate. *)
-  match Api.resolve_path system ~handle:alice ~path:">sl1" with
+  match Gate_calls.resolve_path system ~handle:alice ~path:">sl1" with
   | Error (Api.Gate_absent "resolve_path") -> ()
   | Ok _ -> Alcotest.fail "removed gate answered"
   | Error e -> Alcotest.fail ("unexpected: " ^ Api.error_to_string e)
@@ -163,10 +163,10 @@ let test_user_env_equivalence () =
            ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ])
            ~label:Label.unclassified)
     in
-    check_api "write" (Api.write_word system ~handle:alice ~segno ~offset:0 ~value:17);
+    check_api "write" (Gate_calls.write_word system ~handle:alice ~segno ~offset:0 ~value:17);
     check_env "bind" (User_env.bind_name system ~handle:alice ~name:"prog" ~segno);
     let via_name = check_env "lookup" (User_env.lookup_name system ~handle:alice ~name:"prog") in
-    let reread = check_api "read" (Api.read_word system ~handle:alice ~segno:via_name ~offset:0) in
+    let reread = check_api "read" (Gate_calls.read_word system ~handle:alice ~segno:via_name ~offset:0) in
     let resolved =
       check_env "re-resolve" (User_env.resolve_path system ~handle:alice ~path:">udd>Dev>Alice>prog")
     in
@@ -253,52 +253,52 @@ let test_subsystem_entry_and_exit () =
   in
   let ring =
     check_api "enter"
-      (Api.enter_subsystem system ~handle:alice ~segno ~entry_offset:1 ~name:"mail")
+      (Gate_calls.enter_subsystem system ~handle:alice ~segno ~entry_offset:1 ~name:"mail")
   in
   Alcotest.(check int) "entered ring 2" 2 (Multics_machine.Ring.to_int ring);
-  let restored = check_api "exit" (Api.exit_subsystem system ~handle:alice) in
+  let restored = check_api "exit" (Gate_calls.exit_subsystem system ~handle:alice) in
   Alcotest.(check int) "back to ring 4" 4 (Multics_machine.Ring.to_int restored);
   (* From ring 4 again, an entry offset beyond the gate bound must be
      refused as a non-gate. *)
-  (match Api.enter_subsystem system ~handle:alice ~segno ~entry_offset:9 ~name:"mail" with
+  (match Gate_calls.enter_subsystem system ~handle:alice ~segno ~entry_offset:9 ~name:"mail" with
   | Error (Api.Hardware_denied (Multics_machine.Hardware.Not_a_gate _)) -> ()
   | Ok _ -> Alcotest.fail "non-gate entry accepted"
   | Error e -> Alcotest.fail ("unexpected: " ^ Api.error_to_string e));
-  match Api.exit_subsystem system ~handle:alice with
+  match Gate_calls.exit_subsystem system ~handle:alice with
   | Error Api.Not_in_subsystem -> ()
   | Ok _ -> Alcotest.fail "exited a subsystem twice"
   | Error e -> Alcotest.fail ("unexpected: " ^ Api.error_to_string e)
 
 let test_ipc_gates () =
   let system, alice = boot () in
-  let chan = check_api "create" (Api.create_channel system ~handle:alice) in
-  Alcotest.(check bool) "no pending" false (check_api "block" (Api.block system ~handle:alice ~channel:chan));
-  check_api "wakeup" (Api.send_wakeup system ~handle:alice ~channel:chan);
+  let chan = check_api "create" (Gate_calls.create_channel system ~handle:alice) in
+  Alcotest.(check bool) "no pending" false (check_api "block" (Gate_calls.block system ~handle:alice ~channel:chan));
+  check_api "wakeup" (Gate_calls.send_wakeup system ~handle:alice ~channel:chan);
   Alcotest.(check bool) "pending consumed" true
-    (check_api "block" (Api.block system ~handle:alice ~channel:chan));
-  match Api.send_wakeup system ~handle:alice ~channel:999 with
+    (check_api "block" (Gate_calls.block system ~handle:alice ~channel:chan));
+  match Gate_calls.send_wakeup system ~handle:alice ~channel:999 with
   | Error (Api.No_such_channel _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "bogus channel accepted"
 
 let test_io_gates_routed () =
   (* Device_drivers config: terminal gate; Network_only: net gate. *)
   let system, alice = boot ~config:Config.baseline_645 () in
-  check_api "attach" (Api.attach_device system ~handle:alice ~device:Multics_io.Device.Terminal);
-  check_api "write" (Api.device_write system ~handle:alice ~device:Multics_io.Device.Terminal ~message:5);
+  check_api "attach" (Gate_calls.attach_device system ~handle:alice ~device:Multics_io.Device.Terminal);
+  check_api "write" (Gate_calls.device_write system ~handle:alice ~device:Multics_io.Device.Terminal ~message:5);
   Alcotest.(check (option int)) "read" (Some 5)
-    (check_api "read" (Api.device_read system ~handle:alice ~device:Multics_io.Device.Terminal));
-  check_api "detach" (Api.detach_device system ~handle:alice ~device:Multics_io.Device.Terminal);
+    (check_api "read" (Gate_calls.device_read system ~handle:alice ~device:Multics_io.Device.Terminal));
+  check_api "detach" (Gate_calls.detach_device system ~handle:alice ~device:Multics_io.Device.Terminal);
   let system2, alice2 = boot () in
-  check_api "net attach" (Api.attach_device system2 ~handle:alice2 ~device:Multics_io.Device.Terminal);
+  check_api "net attach" (Gate_calls.attach_device system2 ~handle:alice2 ~device:Multics_io.Device.Terminal);
   check_api "net write"
-    (Api.device_write system2 ~handle:alice2 ~device:Multics_io.Device.Terminal ~message:9);
+    (Gate_calls.device_write system2 ~handle:alice2 ~device:Multics_io.Device.Terminal ~message:9);
   Alcotest.(check (option int)) "net read" (Some 9)
-    (check_api "net read" (Api.device_read system2 ~handle:alice2 ~device:Multics_io.Device.Terminal))
+    (check_api "net read" (Gate_calls.device_read system2 ~handle:alice2 ~device:Multics_io.Device.Terminal))
 
 let test_audit_records_refusals () =
   let system, alice = boot () in
   let before = Audit_log.refusal_count (System.audit system) in
-  (match Api.read_word system ~handle:alice ~segno:999 ~offset:0 with
+  (match Gate_calls.read_word system ~handle:alice ~segno:999 ~offset:0 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bogus segno accepted");
   Alcotest.(check bool) "refusal audited" true
@@ -394,15 +394,15 @@ let suite =
 
 let test_process_management () =
   let system, alice = boot ~config:Config.baseline_645 () in
-  let child = check_api "create_process" (Api.create_process system ~handle:alice) in
+  let child = check_api "create_process" (Gate_calls.create_process system ~handle:alice) in
   Alcotest.(check bool) "child is a new handle" true (child <> alice);
-  let siblings = check_api "list" (Api.list_processes system ~handle:alice) in
+  let siblings = check_api "list" (Gate_calls.list_processes system ~handle:alice) in
   Alcotest.(check (list int)) "two processes" [ alice; child ] siblings;
-  let info = check_api "proc_info" (Api.proc_info system ~handle:child) in
+  let info = check_api "proc_info" (Gate_calls.proc_info system ~handle:child) in
   Alcotest.(check string) "same principal" "Alice.Dev.a" info.Api.info_principal;
-  check_api "destroy child" (Api.destroy_process system ~handle:alice ~target:child);
+  check_api "destroy child" (Gate_calls.destroy_process system ~handle:alice ~target:child);
   Alcotest.(check (list int)) "child gone" [ alice ]
-    (check_api "list again" (Api.list_processes system ~handle:alice))
+    (check_api "list again" (Gate_calls.list_processes system ~handle:alice))
 
 let test_destroy_foreign_process_refused () =
   let system, alice = boot ~config:Config.baseline_645 () in
@@ -414,18 +414,18 @@ let test_destroy_foreign_process_refused () =
     | Ok h -> h
     | Error e -> Alcotest.fail (System.login_error_to_string e)
   in
-  match Api.destroy_process system ~handle:alice ~target:bob with
+  match Gate_calls.destroy_process system ~handle:alice ~target:bob with
   | Error (Api.Not_authorized _) -> ()
   | Ok () -> Alcotest.fail "destroyed a foreign process"
   | Error e -> Alcotest.fail ("unexpected: " ^ Api.error_to_string e)
 
 let test_new_proc () =
   let system, alice = boot ~config:Config.baseline_645 () in
-  let fresh = check_api "new_proc" (Api.new_proc system ~handle:alice) in
+  let fresh = check_api "new_proc" (Gate_calls.new_proc system ~handle:alice) in
   Alcotest.(check bool) "fresh handle" true (fresh <> alice);
   Alcotest.(check bool) "old handle dead" true (System.proc system alice = None);
   (* The fresh process has only the primed segments known. *)
-  let info = check_api "info" (Api.proc_info system ~handle:fresh) in
+  let info = check_api "info" (Gate_calls.proc_info system ~handle:fresh) in
   Alcotest.(check int) "primed segments" 4 info.Api.info_known_segments
 
 let test_process_gates_unified_fallback () =
@@ -434,46 +434,46 @@ let test_process_gates_unified_fallback () =
   let system, alice = boot () in
   Alcotest.(check bool) "create_process gate absent" true
     (Gate.find (System.config system) ~gate_name:"create_process" = None);
-  let child = check_api "create via unified path" (Api.create_process system ~handle:alice) in
+  let child = check_api "create via unified path" (Gate_calls.create_process system ~handle:alice) in
   Alcotest.(check bool) "child alive" true (System.proc system child <> None)
 
 let test_working_dir_gates () =
   let system, alice = boot ~config:Config.baseline_645 () in
-  let wd = check_api "get_working_dir" (Api.get_working_dir system ~handle:alice) in
-  let listing = check_api "list wd" (Api.list_directory system ~handle:alice ~dir_segno:wd) in
+  let wd = check_api "get_working_dir" (Gate_calls.get_working_dir system ~handle:alice) in
+  let listing = check_api "list wd" (Gate_calls.list_directory system ~handle:alice ~dir_segno:wd) in
   Alcotest.(check (list string)) "home empty" [] listing;
   let sub =
     check_api "mkdir"
-      (Api.create_directory system ~handle:alice ~dir_segno:wd ~name:"work"
+      (Gate_calls.create_directory system ~handle:alice ~dir_segno:wd ~name:"work"
          ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rew") ])
          ~label:Label.unclassified)
   in
-  check_api "set_working_dir" (Api.set_working_dir system ~handle:alice ~dir_segno:sub);
-  let wd2 = check_api "get again" (Api.get_working_dir system ~handle:alice) in
+  check_api "set_working_dir" (Gate_calls.set_working_dir system ~handle:alice ~dir_segno:sub);
+  let wd2 = check_api "get again" (Gate_calls.get_working_dir system ~handle:alice) in
   Alcotest.(check int) "wd moved" sub wd2
 
 let test_initiate_count_and_terminate_by_path () =
   let system, alice = boot ~config:Config.baseline_645 () in
-  let before = check_api "count" (Api.initiate_count system ~handle:alice) in
+  let before = check_api "count" (Gate_calls.initiate_count system ~handle:alice) in
   let _segno =
     check_api "create"
-      (Api.create_segment_by_path system ~handle:alice ~path:">udd>Dev>Alice>tmp"
+      (Gate_calls.create_segment_by_path system ~handle:alice ~path:">udd>Dev>Alice>tmp"
          ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ])
          ~label:Label.unclassified)
   in
   Alcotest.(check int) "one more known" (before + 1)
-    (check_api "count2" (Api.initiate_count system ~handle:alice));
+    (check_api "count2" (Gate_calls.initiate_count system ~handle:alice));
   check_api "terminate_by_path"
-    (Api.terminate_by_path system ~handle:alice ~path:">udd>Dev>Alice>tmp");
+    (Gate_calls.terminate_by_path system ~handle:alice ~path:">udd>Dev>Alice>tmp");
   Alcotest.(check int) "back to before" before
-    (check_api "count3" (Api.initiate_count system ~handle:alice))
+    (check_api "count3" (Gate_calls.initiate_count system ~handle:alice))
 
 let test_quota_gate () =
   let system, alice = boot () in
   let home =
     check_env "resolve home" (User_env.resolve_path system ~handle:alice ~path:">udd>Dev>Alice")
   in
-  check_api "set_quota" (Api.set_quota system ~handle:alice ~segno:home ~quota:(Some 2));
+  check_api "set_quota" (Gate_calls.set_quota system ~handle:alice ~segno:home ~quota:(Some 2));
   let seg =
     check_env "segment"
       (User_env.create_segment_at system ~handle:alice ~path:">udd>Dev>Alice>fat"
@@ -481,9 +481,9 @@ let test_quota_gate () =
          ~label:Label.unclassified)
   in
   let wpp = Multics_fs.Hierarchy.words_per_page (System.hierarchy system) in
-  check_api "page 1" (Api.write_word system ~handle:alice ~segno:seg ~offset:0 ~value:1);
-  check_api "page 2" (Api.write_word system ~handle:alice ~segno:seg ~offset:wpp ~value:1);
-  match Api.write_word system ~handle:alice ~segno:seg ~offset:(2 * wpp) ~value:1 with
+  check_api "page 1" (Gate_calls.write_word system ~handle:alice ~segno:seg ~offset:0 ~value:1);
+  check_api "page 2" (Gate_calls.write_word system ~handle:alice ~segno:seg ~offset:wpp ~value:1);
+  match Gate_calls.write_word system ~handle:alice ~segno:seg ~offset:(2 * wpp) ~value:1 with
   | Error (Api.Fs (Multics_fs.Hierarchy.Quota_exceeded _)) -> ()
   | Ok () -> Alcotest.fail "quota not enforced through the gate"
   | Error e -> Alcotest.fail ("unexpected: " ^ Api.error_to_string e)
@@ -492,7 +492,7 @@ let test_list_links_gate () =
   let system, alice = boot ~config:Config.baseline_645 () in
   let seg =
     check_api "object"
-      (Api.create_segment_by_path system ~handle:alice ~path:">udd>Dev>Alice>obj"
+      (Gate_calls.create_segment_by_path system ~handle:alice ~path:">udd>Dev>Alice>obj"
          ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rew") ])
          ~label:Label.unclassified)
   in
@@ -507,7 +507,7 @@ let test_list_links_gate () =
       Multics_link.Object_seg.Store.put (System.store system) ~uid
         (Multics_link.Object_seg.make ~text_words:10 ~definitions:[]
            ~links:[ ("a", "x"); ("b", "y") ] ()));
-  let links = check_api "list_links" (Api.list_links system ~handle:alice ~segno:seg) in
+  let links = check_api "list_links" (Gate_calls.list_links system ~handle:alice ~segno:seg) in
   Alcotest.(check int) "two links" 2 (List.length links);
   Alcotest.(check bool) "none snapped" true
     (List.for_all (fun l -> not l.Api.link_snapped) links)
@@ -715,26 +715,26 @@ let test_setfaults_revokes_cached_descriptor () =
          ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw"); ("Bob.Dev.*", "r") ])
          ~label:Label.unclassified)
   in
-  check_api "write" (Api.write_word system ~handle:alice ~segno:alice_segno ~offset:0 ~value:5);
+  check_api "write" (Gate_calls.write_word system ~handle:alice ~segno:alice_segno ~offset:0 ~value:5);
   let bob_segno =
     check_env "bob resolves" (User_env.resolve_path system ~handle:bob ~path:">udd>Dev>Alice>note")
   in
   Alcotest.(check int) "bob reads while granted" 5
-    (check_api "read" (Api.read_word system ~handle:bob ~segno:bob_segno ~offset:0));
+    (check_api "read" (Gate_calls.read_word system ~handle:bob ~segno:bob_segno ~offset:0));
   (* Alice revokes; Bob's cached descriptor must die with the grant. *)
   check_api "revoke"
-    (Api.set_acl system ~handle:alice ~segno:alice_segno
+    (Gate_calls.set_acl system ~handle:alice ~segno:alice_segno
        ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ]));
-  (match Api.read_word system ~handle:bob ~segno:bob_segno ~offset:0 with
+  (match Gate_calls.read_word system ~handle:bob ~segno:bob_segno ~offset:0 with
   | Error (Api.Hardware_denied _) -> ()
   | Ok _ -> Alcotest.fail "cached descriptor survived revocation"
   | Error e -> Alcotest.fail ("unexpected: " ^ Api.error_to_string e));
   (* And re-granting restores access the same way. *)
   check_api "re-grant"
-    (Api.set_acl system ~handle:alice ~segno:alice_segno
+    (Gate_calls.set_acl system ~handle:alice ~segno:alice_segno
        ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw"); ("Bob.Dev.*", "r") ]));
   Alcotest.(check int) "bob reads again" 5
-    (check_api "read" (Api.read_word system ~handle:bob ~segno:bob_segno ~offset:0))
+    (check_api "read" (Gate_calls.read_word system ~handle:bob ~segno:bob_segno ~offset:0))
 
 let test_process_directory_lifecycle () =
   let system, alice = boot () in
@@ -754,12 +754,12 @@ let test_process_directory_lifecycle () =
           let segno = System.install_known system p ~uid in
           let scratch =
             check_api "scratch"
-              (Api.create_segment system ~handle:alice ~dir_segno:segno ~name:"temp"
+              (Gate_calls.create_segment system ~handle:alice ~dir_segno:segno ~name:"temp"
                  ~acl:(Acl.of_strings [ ("Alice.Dev.*", "rw") ])
                  ~label:Label.unclassified)
           in
           check_api "scratch write"
-            (Api.write_word system ~handle:alice ~segno:scratch ~offset:0 ~value:1)));
+            (Gate_calls.write_word system ~handle:alice ~segno:scratch ~offset:0 ~value:1)));
   (* Logout destroys the whole subtree. *)
   ignore (System.logout system ~handle:alice);
   Alcotest.(check bool) "pdd entry gone" true

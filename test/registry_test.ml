@@ -9,7 +9,7 @@ open Multics_experiments
 let expected_ids =
   [
     "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12";
-    "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21"; "A1"; "A2"; "A3";
+    "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22"; "A1"; "A2"; "A3";
   ]
 
 let test_all_ids_listed () =

@@ -224,11 +224,11 @@ let login_operator system =
 let test_gates_without_scheduler () =
   let system = System.create Config.kernel_6180 in
   let handle = login_operator system in
-  (match Api.sched_status system ~handle with
+  (match Gate_calls.sched_status system ~handle with
   | Error Api.No_scheduler -> ()
   | Ok _ -> Alcotest.fail "sched_status succeeded with no scheduler"
   | Error e -> Alcotest.failf "unexpected error: %s" (Api.error_to_string e));
-  match Api.sched_tune system ~handle ~param:"cap" ~value:4 with
+  match Gate_calls.sched_tune system ~handle ~param:"cap" ~value:4 with
   | Error Api.No_scheduler -> ()
   | _ -> Alcotest.fail "sched_tune should refuse with no scheduler"
 
@@ -238,19 +238,19 @@ let test_gates_with_scheduler () =
   let sim = make_sim () in
   let sched = Sched.create sim in
   Sched.register sched system;
-  (match Api.sched_status system ~handle with
+  (match Gate_calls.sched_status system ~handle with
   | Ok (policy, counters) ->
       Alcotest.(check string) "policy name" "mlf" policy;
       Alcotest.(check bool) "counters present" true (List.mem_assoc "dispatches" counters)
   | Error e -> Alcotest.failf "sched_status: %s" (Api.error_to_string e));
-  (match Api.sched_tune system ~handle ~param:"cap" ~value:3 with
+  (match Gate_calls.sched_tune system ~handle ~param:"cap" ~value:3 with
   | Ok () -> ()
   | Error e -> Alcotest.failf "sched_tune cap: %s" (Api.error_to_string e));
   Alcotest.(check int) "cap took effect" 3 (Sched.eligibility_cap sched);
-  (match Api.sched_tune system ~handle ~param:"cap" ~value:(-1) with
+  (match Gate_calls.sched_tune system ~handle ~param:"cap" ~value:(-1) with
   | Error (Api.Bad_tune _) -> ()
   | _ -> Alcotest.fail "negative cap must be refused");
-  (match Api.sched_tune system ~handle ~param:"warp" ~value:9 with
+  (match Gate_calls.sched_tune system ~handle ~param:"warp" ~value:9 with
   | Error (Api.Bad_tune _) -> ()
   | _ -> Alcotest.fail "unknown parameter must be refused");
   (* Gate traffic is audited like any other operator surface. *)

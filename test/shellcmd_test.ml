@@ -97,6 +97,18 @@ let table =
     ("mc explore 5", Err (bad_sub, "unknown mc subcommand"));
     ("mc", Err (bad_arity, "bare mc"));
     (* not operator families: the shell's other parsers own these *)
+    (* spec *)
+    ("spec profile start", Cmd Cmd.Spec_profile_start);
+    ("spec profile stop editor", Cmd (Cmd.Spec_profile_stop { name = "editor" }));
+    ("spec apply", Cmd Cmd.Spec_apply);
+    ("spec clear", Cmd Cmd.Spec_clear);
+    ("spec status", Cmd Cmd.Spec_status);
+    ("spec profile", Err (bad_arity, "bare spec profile"));
+    ("spec profile stop", Err (bad_arity, "profile stop missing name"));
+    ("spec profile pause", Err (bad_arity, "unknown profile action"));
+    ("spec strip", Err (bad_sub, "unknown spec subcommand"));
+    ("spec", Err (bad_arity, "bare spec"));
+    (* not operator commands *)
     ("login Alice Dev pw", Not_ours);
     ("ls >udd", Not_ours);
     ("", Not_ours);

@@ -95,13 +95,13 @@ let boot_two_cpus ?faults () =
   (system, plant, handle, segno)
 
 let read_ok what system ~handle ~segno =
-  match Api.read_word system ~handle ~segno ~offset:0 with
+  match Gate_calls.read_word system ~handle ~segno ~offset:0 with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "%s: %s" what (Api.error_to_string e)
 
 let stale_permit_race ?faults () =
   let system, plant, handle, segno = boot_two_cpus ?faults () in
-  (match Api.write_word system ~handle ~segno ~offset:0 ~value:7 with
+  (match Gate_calls.write_word system ~handle ~segno ~offset:0 ~value:7 with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Api.error_to_string e));
   (* Warm both CPUs' associative memories on the segment. *)
@@ -115,7 +115,7 @@ let stale_permit_race ?faults () =
      memory has been cleared. *)
   Smp.set_current plant 0;
   (match
-     Api.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ])
+     Gate_calls.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ])
    with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Api.error_to_string e));
@@ -124,7 +124,7 @@ let stale_permit_race ?faults () =
   (* The in-flight lookup on CPU 1: with a stale CAM entry this would
      replay the revoked Permit.  It must recompute and refuse. *)
   Smp.set_current plant 1;
-  (match Api.read_word system ~handle ~segno ~offset:0 with
+  (match Gate_calls.read_word system ~handle ~segno ~offset:0 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "CPU 1 replayed a stale Permit after revocation");
   plant
@@ -218,7 +218,7 @@ let test_lost_connect_rescue_exhausts_budget () =
   let lost0, retries0, rescues0 = counters () in
   Smp.set_current plant 0;
   (match
-     Api.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ])
+     Gate_calls.set_acl system ~handle ~segno ~acl:(Acl.of_strings [ ("Operator.*.*", "rw") ])
    with
   | Ok () -> ()
   | Error e -> Alcotest.fail (Api.error_to_string e));
@@ -230,7 +230,7 @@ let test_lost_connect_rescue_exhausts_budget () =
   Alcotest.(check bool) "the rescue cleared the target anyway" true
     (List.assoc "connects_received" (Smp.cpu_status plant 1) > 0);
   Smp.set_current plant 1;
-  match Api.read_word system ~handle ~segno ~offset:0 with
+  match Gate_calls.read_word system ~handle ~segno ~offset:0 with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "CPU 1 replayed a stale Permit after the rescue path"
 

@@ -32,4 +32,5 @@ let () =
       ("sid", Sid_test.suite);
       ("registry", Registry_test.suite);
       ("par", Par_test.suite);
+      ("spec", Spec_test.suite);
     ]
